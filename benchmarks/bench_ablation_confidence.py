@@ -1,0 +1,58 @@
+"""Ablation — composition of the CONF assessor (Section 5.7.1).
+
+CONF combines the normalized weighted-degree score with entity-
+perturbation stability at 0.5/0.5.  This ablation compares normalization
+alone, perturbation alone, and the combination by MAP over CoNLL testb.
+
+Expected: the combination is at least as good as either component — the
+paper found exactly this pair (with these coefficients) to work best.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import bench_kb, conll_corpus, pct, render_table
+from benchmarks.conftest import report
+from repro.confidence.combined import ConfAssessor
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.eval.runner import run_disambiguator
+
+VARIANTS = (
+    ("normalization only", 1.0),
+    ("perturbation only", 0.0),
+    ("CONF (0.5 / 0.5)", 0.5),
+)
+
+
+def _run():
+    kb = bench_kb()
+    testb = conll_corpus().testb
+    results = {}
+    for name, norm_weight in VARIANTS:
+        aida = AidaDisambiguator(kb, config=AidaConfig.full())
+        assessor = ConfAssessor(
+            aida, rounds=8, norm_weight=norm_weight, seed=33
+        )
+
+        class _Pipe:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def disambiguate(self, document):
+                return self._inner.disambiguate_with_confidence(document)
+
+        run = run_disambiguator(_Pipe(assessor), testb, kb=kb)
+        results[name] = run.map
+    return results
+
+
+def test_ablation_confidence(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [[name, pct(value)] for name, value in results.items()]
+    report(
+        "Ablation - CONF assessor composition",
+        render_table(["assessor", "MAP"], rows),
+    )
+    combined = results["CONF (0.5 / 0.5)"]
+    assert combined >= results["normalization only"] - 0.01
+    assert combined >= results["perturbation only"] - 0.01

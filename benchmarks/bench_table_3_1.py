@@ -1,0 +1,69 @@
+"""Table 3.1 — CoNLL dataset properties.
+
+Regenerates the dataset-property rows of Table 3.1 (articles, mentions,
+mentions with no entity, words/mentions/distinct mentions per article,
+mentions with candidates, candidates per mention) over the synthetic
+CoNLL-style corpus.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import bench_kb, conll_corpus, render_table
+from benchmarks.conftest import report
+
+
+def _properties():
+    corpus = conll_corpus()
+    kb = bench_kb()
+    props = corpus.properties()
+    docs = corpus.all_documents()
+    with_candidates = 0
+    candidate_total = 0
+    candidate_mentions = 0
+    for doc in docs:
+        for annotation in doc.gold:
+            count = len(kb.candidates(annotation.mention.surface))
+            if count > 0:
+                with_candidates += 1
+                candidate_total += count
+                candidate_mentions += 1
+    props["mentions_with_candidate_in_kb"] = with_candidates
+    props["entities_per_mention_avg"] = (
+        candidate_total / candidate_mentions if candidate_mentions else 0.0
+    )
+    return props
+
+
+def test_table_3_1(benchmark):
+    props = benchmark.pedantic(_properties, rounds=1, iterations=1)
+    rows = [
+        ["articles", f"{props['articles']:.0f}"],
+        ["mentions (total)", f"{props['mentions_total']:.0f}"],
+        ["mentions with no entity", f"{props['mentions_no_entity']:.0f}"],
+        ["words per article (avg.)", f"{props['words_per_article_avg']:.1f}"],
+        [
+            "mentions per article (avg.)",
+            f"{props['mentions_per_article_avg']:.1f}",
+        ],
+        [
+            "distinct mentions per article (avg.)",
+            f"{props['distinct_mentions_per_article_avg']:.1f}",
+        ],
+        [
+            "mentions with candidate in KB",
+            f"{props['mentions_with_candidate_in_kb']:.0f}",
+        ],
+        [
+            "entities per mention (avg.)",
+            f"{props['entities_per_mention_avg']:.1f}",
+        ],
+    ]
+    report(
+        "Table 3.1 - CoNLL dataset properties",
+        render_table(["property", "value"], rows),
+    )
+    assert props["articles"] > 0
+    assert props["mentions_no_entity"] > 0
+    # The paper's corpus has roughly 20% out-of-KB mentions.
+    fraction = props["mentions_no_entity"] / props["mentions_total"]
+    assert 0.05 < fraction < 0.45

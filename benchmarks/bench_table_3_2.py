@@ -1,0 +1,114 @@
+"""Table 3.2 / Figure 3.3 — NED accuracy of AIDA variants vs. competitors.
+
+Runs the full method grid of Section 3.6.2 on the CoNLL testb split:
+AIDA's feature ablations (prior, sim-k, prior+sim-k, robust-prior+sim-k,
+plus graph coherence with and without the coherence robustness test)
+against the re-implemented competitors (Cucerzan; Kulkarni s / sp / CI).
+Reports macro/micro accuracy and MAP, as in Figure 3.3.
+
+Expected shape (paper): r-prior sim-k r-coh best among AIDA variants,
+unconditional prior+sim below sim alone, AIDA above Kul CI above Cuc, and
+the popularity prior far below everything.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import bench_kb, conll_corpus, pct, render_table
+from benchmarks.conftest import report
+from repro.baselines.cucerzan import CucerzanDisambiguator
+from repro.baselines.kulkarni import KulkarniDisambiguator, KulkarniMode
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.eval.runner import run_disambiguator
+from repro.eval.significance import document_accuracies, paired_t_test
+
+
+def _method_grid():
+    kb = bench_kb()
+    return [
+        ("prior", AidaDisambiguator(kb, config=AidaConfig.prior_only())),
+        ("sim-k", AidaDisambiguator(kb, config=AidaConfig.sim_only())),
+        ("prior sim-k", AidaDisambiguator(kb, config=AidaConfig.prior_sim())),
+        (
+            "r-prior sim-k",
+            AidaDisambiguator(kb, config=AidaConfig.robust_prior_sim()),
+        ),
+        (
+            "r-prior sim-k coh",
+            AidaDisambiguator(
+                kb, config=AidaConfig.robust_prior_sim_coherence()
+            ),
+        ),
+        (
+            "r-prior sim-k r-coh",
+            AidaDisambiguator(kb, config=AidaConfig.full()),
+        ),
+        ("Cuc", CucerzanDisambiguator(kb)),
+        (
+            "Kul s",
+            KulkarniDisambiguator(kb, mode=KulkarniMode.SIMILARITY),
+        ),
+        (
+            "Kul sp",
+            KulkarniDisambiguator(kb, mode=KulkarniMode.SIMILARITY_PRIOR),
+        ),
+        (
+            "Kul CI",
+            KulkarniDisambiguator(kb, mode=KulkarniMode.COLLECTIVE),
+        ),
+    ]
+
+
+def _run_grid():
+    kb = bench_kb()
+    testb = conll_corpus().testb
+    results = {}
+    per_doc = {}
+    for name, pipeline in _method_grid():
+        run = run_disambiguator(pipeline, testb, kb=kb)
+        results[name] = (run.macro, run.micro, run.map)
+        per_doc[name] = document_accuracies(run.evaluation)
+    return results, per_doc
+
+
+def test_table_3_2(benchmark):
+    results, per_doc = benchmark.pedantic(
+        _run_grid, rounds=1, iterations=1
+    )
+    rows = [
+        [name, pct(macro), pct(micro), pct(map_)]
+        for name, (macro, micro, map_) in results.items()
+    ]
+    report(
+        "Table 3.2 - NED accuracy on CoNLL testb",
+        render_table(["method", "MacA", "MicA", "MAP"], rows),
+    )
+    # Paired t-tests on per-document accuracies, as in Section 3.6.2.
+    aida = "r-prior sim-k r-coh"
+    significance_rows = []
+    for competitor in ("prior", "Cuc", "Kul sp", "Kul CI"):
+        test = paired_t_test(per_doc[aida], per_doc[competitor])
+        significance_rows.append(
+            [
+                f"AIDA vs {competitor}",
+                f"{test.mean_difference:+.4f}",
+                f"{test.p_value:.4g}",
+                "yes" if test.significant(0.05) else "no",
+            ]
+        )
+    report(
+        "Table 3.2 - paired t-tests (per-document accuracy)",
+        render_table(
+            ["comparison", "mean diff", "p-value", "significant@5%"],
+            significance_rows,
+        ),
+    )
+    micro = {name: values[1] for name, values in results.items()}
+    # Shape assertions mirroring the paper's findings.
+    assert micro["prior"] < micro["sim-k"]
+    assert micro["prior sim-k"] < micro["sim-k"]
+    assert micro["r-prior sim-k"] > micro["prior sim-k"]
+    assert micro["r-prior sim-k r-coh"] >= micro["r-prior sim-k"]
+    assert micro["r-prior sim-k r-coh"] > micro["Kul CI"] - 0.005
+    assert micro["r-prior sim-k r-coh"] > micro["Cuc"]
+    assert micro["Kul CI"] >= micro["Kul sp"] - 0.005

@@ -1,0 +1,126 @@
+"""Table 5.1 / Figure 5.3 — disambiguation-confidence quality.
+
+Compares four confidence assessors over CoNLL testb, ranked by each
+assessor's confidence:
+
+* ``prior``   — the popularity prior of the chosen entity,
+* ``AIDAcoh`` — AIDA's raw (keyphrase/weighted-degree) score,
+* ``IW``      — the Illinois-Wikifier-style linker score,
+* ``CONF``    — the paper's combination of normalized weighted-degree
+  score and entity-perturbation stability.
+
+Reports MAP, precision@95%/80% confidence with the number of qualifying
+mentions, and a downsampled precision-recall curve (Figure 5.3).
+
+Expected shape (paper): CONF has the best MAP and near-perfect precision
+at the 95% confidence level over a substantial mention count.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import bench_kb, conll_corpus, pct, render_table
+from benchmarks.conftest import report
+from repro.baselines.prior_only import PriorOnlyDisambiguator
+from repro.baselines.wikifier import WikifierDisambiguator
+from repro.confidence.combined import ConfAssessor
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.eval.measures import (
+    precision_at_confidence,
+    precision_recall_points,
+)
+from repro.eval.ranking import precision_recall_curve
+from repro.eval.runner import run_disambiguator
+
+
+def _assessors():
+    kb = bench_kb()
+    aida = AidaDisambiguator(kb, config=AidaConfig.full())
+    iw = WikifierDisambiguator(kb)
+    conf = ConfAssessor(aida, rounds=8, seed=33)
+
+    def aida_raw_conf(document, result):
+        return {a.mention: a.score for a in result.assignments}
+
+    def iw_conf(document, result):
+        return {a.mention: iw.linker_score(a) for a in result.assignments}
+
+    class ConfPipe:
+        def disambiguate(self, document):
+            return conf.disambiguate_with_confidence(document)
+
+    return [
+        ("prior", PriorOnlyDisambiguator(kb), None),
+        ("AIDAcoh", aida, aida_raw_conf),
+        ("IW", iw, iw_conf),
+        ("CONF", ConfPipe(), None),
+    ]
+
+
+def _run():
+    kb = bench_kb()
+    testb = conll_corpus().testb
+    results = {}
+    for name, pipeline, conf_fn in _assessors():
+        run = run_disambiguator(
+            pipeline, testb, kb=kb, confidence_fn=conf_fn
+        )
+        p95, n95 = precision_at_confidence(run.evaluation.outcomes, 0.95)
+        p80, n80 = precision_at_confidence(run.evaluation.outcomes, 0.80)
+        curve = precision_recall_curve(
+            precision_recall_points(run.evaluation.outcomes), num_points=10
+        )
+        results[name] = {
+            "map": run.map,
+            "p95": p95,
+            "n95": n95,
+            "p80": p80,
+            "n80": n80,
+            "curve": curve,
+        }
+    return results
+
+
+def test_table_5_1(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for name, r in results.items():
+        # prior and CONF confidences are calibrated probabilities; the raw
+        # AIDA / IW scores are rank-only, so precision@confidence is shown
+        # only for the calibrated assessors (as in the paper).
+        calibrated = name in ("prior", "CONF")
+        rows.append(
+            [
+                name,
+                pct(r["p95"]) if calibrated else "-",
+                str(r["n95"]) if calibrated else "-",
+                pct(r["p80"]) if calibrated else "-",
+                str(r["n80"]) if calibrated else "-",
+                pct(r["map"]),
+            ]
+        )
+    report(
+        "Table 5.1 - confidence assessor quality",
+        render_table(
+            ["method", "Prec@95%", "#Men@95%", "Prec@80%", "#Men@80%",
+             "MAP"],
+            rows,
+        ),
+    )
+    curve_rows = []
+    for name, r in results.items():
+        curve_rows.append(
+            [name]
+            + [f"{precision:.3f}" for _recall, precision in r["curve"]]
+        )
+    recalls = [f"r={recall:.1f}" for recall, _p in results["CONF"]["curve"]]
+    report(
+        "Figure 5.3 - precision-recall curves (confidence ranking)",
+        render_table(["method"] + recalls, curve_rows),
+    )
+    # Shape: CONF leads (or ties) on MAP and improves precision@95 over
+    # the prior with a non-marginal mention count.
+    assert results["CONF"]["map"] >= results["prior"]["map"]
+    assert results["CONF"]["map"] >= results["IW"]["map"] - 0.005
+    assert results["CONF"]["p95"] >= results["prior"]["p95"]
+    assert results["CONF"]["n95"] > 50

@@ -1,0 +1,60 @@
+"""Table 5.2 — AIDA-EE GigaWord dataset properties.
+
+Regenerates the dataset-property rows of Table 5.2 over the two annotated
+days of the synthetic news stream: documents, mentions, mentions with
+emerging entities, words and mentions per article, candidates per mention.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import bench_kb, news_stream, render_table
+from benchmarks.conftest import report
+
+
+def _run():
+    stream = news_stream()
+    kb = bench_kb()
+    props = stream.properties()
+    annotated = stream.train_docs() + stream.test_docs()
+    candidate_total = 0
+    candidate_mentions = 0
+    for doc in annotated:
+        for annotation in doc.gold:
+            count = len(kb.candidates(annotation.mention.surface))
+            if count:
+                candidate_total += count
+                candidate_mentions += 1
+    props["entities_per_mention_avg"] = (
+        candidate_total / candidate_mentions if candidate_mentions else 0.0
+    )
+    return props
+
+
+def test_table_5_2(benchmark):
+    props = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        ["documents", f"{props['documents']:.0f}"],
+        ["mentions", f"{props['mentions']:.0f}"],
+        [
+            "mentions with emerging entities",
+            f"{props['mentions_with_emerging_entities']:.0f}",
+        ],
+        [
+            "words per article (avg.)",
+            f"{props['words_per_article_avg']:.1f}",
+        ],
+        [
+            "mentions per article (avg.)",
+            f"{props['mentions_per_article_avg']:.1f}",
+        ],
+        [
+            "entities per mention (avg.)",
+            f"{props['entities_per_mention_avg']:.1f}",
+        ],
+    ]
+    report(
+        "Table 5.2 - AIDA-EE news-stream dataset properties",
+        render_table(["property", "value"], rows),
+    )
+    assert props["documents"] > 0
+    assert props["mentions_with_emerging_entities"] > 0

@@ -1,0 +1,202 @@
+"""Shared benchmark infrastructure.
+
+One *benchmark world* — larger and more ambiguous than the test fixture —
+serves every experiment, mirroring the single Wikipedia/YAGO substrate of
+the paper.  Everything is built lazily and cached at module level so the
+bench files stay cheap to combine.
+
+``REPRO_BENCH_SCALE`` (environment variable, default ``0.5``) scales the
+CoNLL split sizes; ``1.0`` reproduces the paper's full 946/216/231 split.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.datagen.conll import ConllConfig, ConllCorpus, generate_conll
+from repro.datagen.gigaword import (
+    GigawordConfig,
+    NewsStream,
+    generate_gigaword,
+)
+from repro.datagen.kore50 import Kore50Config, generate_kore50
+from repro.datagen.relatedness_gold import (
+    RelatednessGold,
+    RelatednessGoldConfig,
+    generate_relatedness_gold,
+)
+from repro.datagen.wikipedia import build_world_kb
+from repro.datagen.world import World, WorldConfig
+from repro.datagen.wpslice import WpSliceConfig, generate_wp_slice
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.relatedness import (
+    KeyphraseCosineRelatedness,
+    KeywordCosineRelatedness,
+    KoreLshRelatedness,
+    KoreRelatedness,
+    LshSettings,
+    MilneWittenRelatedness,
+)
+from repro.relatedness.base import EntityRelatedness
+from repro.types import AnnotatedDocument
+from repro.weights.model import WeightModel
+
+#: The calibrated benchmark world: high ambiguity (small name pools),
+#: colliding topic vocabulary (only phrases are distinctive), same-domain
+#: family-name sharing and metonymy.
+BENCH_WORLD_CONFIG = WorldConfig(
+    seed=7,
+    clusters_per_domain=8,
+    family_sharing=0.7,
+    title_place_collision=0.45,
+    topic_vocabulary_size=20,
+    first_name_pool=18,
+    family_name_pool=45,
+    place_name_pool=40,
+    title_word_pool=50,
+)
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+_cache: Dict[str, object] = {}
+
+
+def bench_world() -> World:
+    if "world" not in _cache:
+        _cache["world"] = World.generate(BENCH_WORLD_CONFIG)
+    return _cache["world"]
+
+
+def bench_kb() -> KnowledgeBase:
+    if "kb" not in _cache:
+        kb, wiki = build_world_kb(bench_world(), seed=101)
+        _cache["kb"] = kb
+        _cache["wiki"] = wiki
+    return _cache["kb"]
+
+
+def bench_weights() -> WeightModel:
+    if "weights" not in _cache:
+        kb = bench_kb()
+        _cache["weights"] = WeightModel(kb.keyphrases, kb.links)
+    return _cache["weights"]
+
+
+def conll_corpus() -> ConllCorpus:
+    if "conll" not in _cache:
+        _cache["conll"] = generate_conll(
+            bench_world(),
+            ConllConfig(
+                scale=bench_scale(),
+                heterogeneous_fraction=0.25,
+                context_prob=0.45,
+            ),
+        )
+    return _cache["conll"]
+
+
+def kore50_corpus() -> List[AnnotatedDocument]:
+    """KORE50-style corpus, scaled x3 (150 sentences) so per-measure
+    differences are not single-mention noise."""
+    if "kore50" not in _cache:
+        _cache["kore50"] = generate_kore50(
+            bench_world(), Kore50Config(num_sentences=150)
+        )
+    return _cache["kore50"]
+
+
+def wp_corpus() -> List[AnnotatedDocument]:
+    if "wp" not in _cache:
+        _cache["wp"] = generate_wp_slice(
+            bench_world(), WpSliceConfig(num_sentences=200)
+        )
+    return _cache["wp"]
+
+
+def relatedness_gold() -> RelatednessGold:
+    if "relgold" not in _cache:
+        _cache["relgold"] = generate_relatedness_gold(
+            bench_world(), RelatednessGoldConfig(seeds_per_domain=5)
+        )
+    return _cache["relgold"]
+
+
+def news_stream() -> NewsStream:
+    """The GigaWord-style stream.  NOTE: building it spawns emerging
+    entities into the bench world, so the KB must exist first — handled
+    here by forcing KB construction."""
+    if "stream" not in _cache:
+        bench_kb()
+        _cache["stream"] = generate_gigaword(
+            bench_world(),
+            GigawordConfig(num_days=40, docs_per_day=10, emerging_count=10),
+        )
+    return _cache["stream"]
+
+
+# ----------------------------------------------------------------------
+# Relatedness measure factory (fresh, uncached instances per call)
+# ----------------------------------------------------------------------
+RELATEDNESS_NAMES = ("KWCS", "KPCS", "MW", "KORE", "KORE_LSH-G", "KORE_LSH-F")
+
+
+def make_relatedness(name: str) -> EntityRelatedness:
+    kb = bench_kb()
+    weights = bench_weights()
+    if name == "MW":
+        return MilneWittenRelatedness(kb.links, kb.entity_count)
+    if name == "KWCS":
+        return KeywordCosineRelatedness(kb.keyphrases, weights)
+    if name == "KPCS":
+        return KeyphraseCosineRelatedness(kb.keyphrases, weights)
+    if name == "KORE":
+        return KoreRelatedness(kb.keyphrases, weights)
+    if name == "KORE_LSH-G":
+        return KoreLshRelatedness(
+            kb.keyphrases,
+            KoreRelatedness(kb.keyphrases, weights),
+            LshSettings.recall_geared(),
+            name="KORE_LSH-G",
+        )
+    if name == "KORE_LSH-F":
+        return KoreLshRelatedness(
+            kb.keyphrases,
+            KoreRelatedness(kb.keyphrases, weights),
+            LshSettings.fast(),
+            name="KORE_LSH-F",
+        )
+    raise ValueError(f"unknown relatedness measure: {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Table rendering
+# ----------------------------------------------------------------------
+def render_table(
+    headers: List[str], rows: List[List[str]], title: str = ""
+) -> str:
+    widths = [
+        max(len(str(headers[col])), *(len(str(row[col])) for row in rows))
+        if rows
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    return f"{100.0 * value:.2f}%"

@@ -1,0 +1,39 @@
+"""Benchmark-suite plumbing.
+
+Benchmarks produce *tables* (the paper's tables and figures), not just
+timings.  pytest captures stdout, so each bench registers its rendered
+table through :func:`report`; a terminal-summary hook prints everything at
+the end of the run (terminal summary is never captured), and a copy is
+written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+_REPORTS: List[Tuple[str, str]] = []
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(title: str, body: str) -> None:
+    """Register a rendered table for end-of-run display and persistence."""
+    _REPORTS.append((title, body))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    safe = title.lower().replace(" ", "_").replace("/", "-")
+    path = os.path.join(RESULTS_DIR, f"{safe}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{title}\n{'=' * len(title)}\n{body}\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduction tables")
+    for title, body in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(title)
+        terminalreporter.write_line("-" * len(title))
+        for line in body.splitlines():
+            terminalreporter.write_line(line)

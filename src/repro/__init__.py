@@ -1,0 +1,113 @@
+"""repro — reproduction of "Discovering and Disambiguating Named Entities
+in Text" (Hoffart): the AIDA joint disambiguator, the KORE relatedness
+measure with two-stage LSH acceleration, and NED-EE emerging-entity
+discovery, together with the knowledge-base substrate and synthetic
+corpora they are evaluated on.
+
+Quickstart::
+
+    from repro import (
+        World, WorldConfig, build_world_kb,
+        AidaDisambiguator, AidaConfig,
+    )
+
+    world = World.generate(WorldConfig(seed=7))
+    kb, _wiki = build_world_kb(world)
+    aida = AidaDisambiguator(kb, config=AidaConfig.full())
+    result = aida.disambiguate(document)
+"""
+
+from repro.types import (
+    AnnotatedDocument,
+    Annotation,
+    DisambiguationResult,
+    Document,
+    EntityId,
+    Mention,
+    MentionAssignment,
+    OUT_OF_KB,
+    is_out_of_kb,
+)
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    DictionaryError,
+    DisambiguationError,
+    GraphError,
+    KnowledgeBaseError,
+    ReproError,
+    UnknownEntityError,
+)
+from repro.kb import Entity, KnowledgeBase, Taxonomy
+from repro.core import AidaConfig, AidaDisambiguator, PriorMode
+from repro.relatedness import (
+    InlinkJaccardRelatedness,
+    KeyphraseCosineRelatedness,
+    KeywordCosineRelatedness,
+    KoreLshRelatedness,
+    KoreRelatedness,
+    LshSettings,
+    MilneWittenRelatedness,
+)
+from repro.confidence import ConfAssessor
+from repro.emerging import EeConfig, EmergingEntityPipeline
+from repro.datagen import (
+    DocumentGenerator,
+    DocumentSpec,
+    SyntheticWikipedia,
+    World,
+    WorldConfig,
+    build_world_kb,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # types
+    "AnnotatedDocument",
+    "Annotation",
+    "DisambiguationResult",
+    "Document",
+    "EntityId",
+    "Mention",
+    "MentionAssignment",
+    "OUT_OF_KB",
+    "is_out_of_kb",
+    # errors
+    "ReproError",
+    "KnowledgeBaseError",
+    "UnknownEntityError",
+    "DictionaryError",
+    "DisambiguationError",
+    "GraphError",
+    "ConfigurationError",
+    "DatasetError",
+    # knowledge base
+    "Entity",
+    "KnowledgeBase",
+    "Taxonomy",
+    # AIDA
+    "AidaConfig",
+    "AidaDisambiguator",
+    "PriorMode",
+    # relatedness
+    "MilneWittenRelatedness",
+    "InlinkJaccardRelatedness",
+    "KeywordCosineRelatedness",
+    "KeyphraseCosineRelatedness",
+    "KoreRelatedness",
+    "KoreLshRelatedness",
+    "LshSettings",
+    # confidence / emerging
+    "ConfAssessor",
+    "EeConfig",
+    "EmergingEntityPipeline",
+    # data generation
+    "World",
+    "WorldConfig",
+    "SyntheticWikipedia",
+    "build_world_kb",
+    "DocumentGenerator",
+    "DocumentSpec",
+]

@@ -1,0 +1,15 @@
+"""Applications built on the disambiguation stack (Chapter 6):
+entity-centric search (Section 6.1) and news analytics (Section 6.2)."""
+
+from repro.apps.search.index import EntitySearchIndex
+from repro.apps.search.query import Query, SearchResult
+from repro.apps.analytics.store import AnalyticsStore
+from repro.apps.analytics.trends import TrendAnalyzer
+
+__all__ = [
+    "EntitySearchIndex",
+    "Query",
+    "SearchResult",
+    "AnalyticsStore",
+    "TrendAnalyzer",
+]

@@ -1,0 +1,6 @@
+"""Analytics with strings, things, and cats (Section 6.2)."""
+
+from repro.apps.analytics.store import AnalyticsStore
+from repro.apps.analytics.trends import TrendAnalyzer
+
+__all__ = ["AnalyticsStore", "TrendAnalyzer"]

@@ -1,0 +1,85 @@
+"""Entity occurrence store over a timestamped stream.
+
+The news-analytics architecture of Section 6.2 keeps, per day, which
+entities occurred in which documents; co-occurrence and trend queries run
+on top of this store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.types import DisambiguationResult, Document, EntityId
+
+
+class AnalyticsStore:
+    """Per-day entity occurrence and co-occurrence counts."""
+
+    def __init__(self) -> None:
+        #: day -> entity -> number of documents mentioning it that day.
+        self._daily_counts: Dict[int, Dict[EntityId, int]] = {}
+        #: entity -> set of doc ids it occurs in.
+        self._entity_docs: Dict[EntityId, Set[str]] = {}
+        #: doc id -> (day, set of entities).
+        self._doc_entities: Dict[str, Tuple[int, Set[EntityId]]] = {}
+
+    def ingest(
+        self, document: Document, annotations: DisambiguationResult
+    ) -> None:
+        """Record one annotated document in the store."""
+        entities = {
+            a.entity for a in annotations.assignments if not a.is_out_of_kb
+        }
+        day = document.timestamp
+        self._doc_entities[document.doc_id] = (day, entities)
+        daily = self._daily_counts.setdefault(day, {})
+        for entity_id in entities:
+            daily[entity_id] = daily.get(entity_id, 0) + 1
+            self._entity_docs.setdefault(entity_id, set()).add(
+                document.doc_id
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def document_count(self) -> int:
+        """Number of ingested documents."""
+        return len(self._doc_entities)
+
+    def days(self) -> List[int]:
+        """All days with at least one document, sorted."""
+        return sorted(self._daily_counts)
+
+    def count_on(self, entity_id: EntityId, day: int) -> int:
+        """Documents mentioning the entity on the given day."""
+        return self._daily_counts.get(day, {}).get(entity_id, 0)
+
+    def frequency_series(
+        self, entity_id: EntityId, first_day: int, last_day: int
+    ) -> List[Tuple[int, int]]:
+        """(day, document count) for every day in the range."""
+        return [
+            (day, self.count_on(entity_id, day))
+            for day in range(first_day, last_day + 1)
+        ]
+
+    def total_count(self, entity_id: EntityId) -> int:
+        """Total documents mentioning the entity."""
+        return len(self._entity_docs.get(entity_id, set()))
+
+    def co_occurring(
+        self, entity_id: EntityId, limit: int = 10
+    ) -> List[Tuple[EntityId, int]]:
+        """Entities sharing the most documents with *entity_id*."""
+        counts: Dict[EntityId, int] = {}
+        for doc_id in self._entity_docs.get(entity_id, set()):
+            _day, entities = self._doc_entities[doc_id]
+            for other in entities:
+                if other != entity_id:
+                    counts[other] = counts.get(other, 0) + 1
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:limit]
+
+    def entities_on(self, day: int) -> Dict[EntityId, int]:
+        """entity -> document count for one day."""
+        return dict(self._daily_counts.get(day, {}))

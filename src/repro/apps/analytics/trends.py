@@ -1,0 +1,92 @@
+"""Trend and aggregate analytics over the occurrence store.
+
+The use cases of Section 6.2: entity frequency time lines, bursting
+("trending") entities whose daily count spikes over their trailing
+baseline, and category roll-ups ("how often were *musicians* in the news
+this week") through the taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.analytics.store import AnalyticsStore
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.types import EntityId
+
+
+class TrendAnalyzer:
+    """Analytics queries over an :class:`AnalyticsStore`."""
+
+    def __init__(self, store: AnalyticsStore, kb: KnowledgeBase):
+        self.store = store
+        self.kb = kb
+
+    def trending(
+        self, day: int, baseline_days: int = 7, limit: int = 10
+    ) -> List[Tuple[EntityId, float]]:
+        """Entities whose count on *day* most exceeds their trailing
+        average — burst score = count / (baseline average + 1)."""
+        today = self.store.entities_on(day)
+        scored: List[Tuple[EntityId, float]] = []
+        for entity_id, count in today.items():
+            baseline = 0.0
+            for past in range(day - baseline_days, day):
+                baseline += self.store.count_on(entity_id, past)
+            baseline_avg = baseline / baseline_days if baseline_days else 0.0
+            scored.append((entity_id, count / (baseline_avg + 1.0)))
+        scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        return scored[:limit]
+
+    def category_counts(
+        self, day: int, coarse_only: bool = True
+    ) -> Dict[str, int]:
+        """Document-occurrence counts rolled up by entity category."""
+        counts: Dict[str, int] = {}
+        for entity_id, count in self.store.entities_on(day).items():
+            if entity_id not in self.kb:
+                continue
+            if coarse_only:
+                categories = {self.kb.coarse_class(entity_id)}
+            else:
+                categories = set(self.kb.types_of(entity_id))
+            for category in categories:
+                counts[category] = counts.get(category, 0) + count
+        return counts
+
+    def top_entities(
+        self,
+        first_day: int,
+        last_day: int,
+        category: Optional[str] = None,
+        limit: int = 10,
+    ) -> List[Tuple[EntityId, int]]:
+        """Most mentioned entities in a day range, optionally filtered to
+        a taxonomy category."""
+        totals: Dict[EntityId, int] = {}
+        for day in range(first_day, last_day + 1):
+            for entity_id, count in self.store.entities_on(day).items():
+                totals[entity_id] = totals.get(entity_id, 0) + count
+        if category is not None:
+            totals = {
+                entity_id: count
+                for entity_id, count in totals.items()
+                if entity_id in self.kb
+                and category in self.kb.types_of(entity_id)
+            }
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:limit]
+
+    def co_occurrence_profile(
+        self, entity_id: EntityId, limit: int = 10
+    ) -> List[Tuple[str, int]]:
+        """Co-occurring entities by canonical name (readable output)."""
+        profile = []
+        for other, count in self.store.co_occurring(entity_id, limit):
+            name = (
+                self.kb.entity(other).canonical_name
+                if other in self.kb
+                else other
+            )
+            profile.append((name, count))
+        return profile

@@ -1,0 +1,6 @@
+"""Searching for strings, things, and cats (Section 6.1)."""
+
+from repro.apps.search.index import EntitySearchIndex
+from repro.apps.search.query import Query, SearchResult
+
+__all__ = ["EntitySearchIndex", "Query", "SearchResult"]

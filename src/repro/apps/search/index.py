@@ -1,0 +1,111 @@
+"""Inverted index over strings, things, and cats.
+
+The STICS-style search of Section 6.1 indexes documents along three
+dimensions: plain *words* (strings), disambiguated canonical *entities*
+(things), and the entities' semantic *categories* (cats, expanded through
+the taxonomy).  Queries may mix all three; an entity-annotated document
+matches the category "musician" through any mentioned musician even if the
+word never occurs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.text.stopwords import content_words
+from repro.types import DisambiguationResult, Document, EntityId
+
+
+@dataclass
+class _Posting:
+    doc_id: str
+    count: int = 0
+
+
+class EntitySearchIndex:
+    """Three-dimensional inverted index with tf scoring."""
+
+    def __init__(self, kb: KnowledgeBase):
+        self.kb = kb
+        self._word_index: Dict[str, Dict[str, int]] = {}
+        self._entity_index: Dict[EntityId, Dict[str, int]] = {}
+        self._category_index: Dict[str, Dict[str, int]] = {}
+        self._documents: Dict[str, Document] = {}
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def add_document(
+        self,
+        document: Document,
+        annotations: Optional[DisambiguationResult] = None,
+    ) -> None:
+        """Index a document; *annotations* carries its entity links."""
+        doc_id = document.doc_id
+        self._documents[doc_id] = document
+        for word in content_words(document.tokens):
+            self._bump(self._word_index, word, doc_id)
+        if annotations is None:
+            return
+        for assignment in annotations.assignments:
+            if assignment.is_out_of_kb:
+                continue
+            entity_id = assignment.entity
+            if entity_id not in self.kb:
+                continue
+            self._bump(self._entity_index, entity_id, doc_id)
+            for type_name in self.kb.types_of(entity_id):
+                self._bump(self._category_index, type_name, doc_id)
+
+    @staticmethod
+    def _bump(index: Dict, key, doc_id: str) -> None:
+        postings = index.setdefault(key, {})
+        postings[doc_id] = postings.get(doc_id, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def documents_with_word(self, word: str) -> Dict[str, int]:
+        """doc id -> tf for a word term."""
+        return dict(self._word_index.get(word.lower(), {}))
+
+    def documents_with_entity(self, entity_id: EntityId) -> Dict[str, int]:
+        """doc id -> tf for an entity term."""
+        return dict(self._entity_index.get(entity_id, {}))
+
+    def documents_with_category(self, category: str) -> Dict[str, int]:
+        """doc id -> tf for a category term."""
+        return dict(self._category_index.get(category, {}))
+
+    def document(self, doc_id: str) -> Optional[Document]:
+        """The indexed document by id, if present."""
+        return self._documents.get(doc_id)
+
+    def entity_frequencies(self) -> Dict[EntityId, int]:
+        """Total mention count per indexed entity (for autocompletion)."""
+        return {
+            entity_id: sum(postings.values())
+            for entity_id, postings in self._entity_index.items()
+        }
+
+    def autocomplete_entity(
+        self, prefix: str, limit: int = 10
+    ) -> List[EntityId]:
+        """Entities whose canonical name starts with *prefix*, most
+        frequently mentioned first."""
+        prefix_lower = prefix.lower()
+        frequencies = self.entity_frequencies()
+        matches = [
+            entity_id
+            for entity_id in self._entity_index
+            if self.kb.entity(entity_id)
+            .canonical_name.lower()
+            .startswith(prefix_lower)
+        ]
+        matches.sort(key=lambda eid: (-frequencies.get(eid, 0), eid))
+        return matches[:limit]

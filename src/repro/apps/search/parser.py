@@ -1,0 +1,102 @@
+"""Query-language parser for the strings/things/cats search.
+
+The STICS-style interface (Section 6.1) lets users mix the three
+dimensions in one query.  The grammar here is a flat conjunction of terms:
+
+* ``word`` or ``word:guitar`` — a string term;
+* ``thing:Bob_Dylan`` — a canonical entity term (entity id);
+* ``thing:"Bob Dylan"`` — an entity by name, resolved through the
+  dictionary (ambiguous names resolve to the most popular candidate);
+* ``cat:musician`` — a taxonomy category term.
+
+Quoted values may contain spaces.  Unknown prefixes raise
+:class:`QueryParseError`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.apps.search.query import Query
+from repro.errors import ReproError
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+class QueryParseError(ReproError):
+    """The query string is malformed or references something unknown."""
+
+
+_TERM_RE = re.compile(
+    r"""
+    (?:(?P<prefix>word|thing|cat):)?     # optional dimension prefix
+    (?:"(?P<quoted>[^"]*)"|(?P<bare>\S+))
+    """,
+    re.VERBOSE,
+)
+
+
+def _terms(query_string: str) -> List[Tuple[str, str]]:
+    terms: List[Tuple[str, str]] = []
+    position = 0
+    text = query_string.strip()
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _TERM_RE.match(text, position)
+        if match is None or match.end() == position:
+            raise QueryParseError(
+                f"cannot parse query at position {position}: "
+                f"{text[position:position + 20]!r}"
+            )
+        prefix = match.group("prefix") or "word"
+        value = (
+            match.group("quoted")
+            if match.group("quoted") is not None
+            else match.group("bare")
+        )
+        if not value:
+            raise QueryParseError("empty term value")
+        terms.append((prefix, value))
+        position = match.end()
+    return terms
+
+
+def _resolve_entity(kb: KnowledgeBase, value: str) -> str:
+    """An entity term is either an entity id or a dictionary name."""
+    if value in kb:
+        return value
+    candidates = kb.candidates(value)
+    if not candidates:
+        raise QueryParseError(f"unknown entity: {value!r}")
+    # Ambiguous names resolve to the most popular candidate — the sensible
+    # autocompletion default; callers wanting control pass the id.
+    return max(
+        candidates, key=lambda eid: (kb.entity(eid).popularity, eid)
+    )
+
+
+def parse_query(
+    query_string: str, kb: Optional[KnowledgeBase] = None
+) -> Query:
+    """Parse a query string into a :class:`Query`.
+
+    Entity-by-name resolution and category validation need the *kb*; pass
+    ``None`` to accept entity ids and category names verbatim.
+    """
+    words: List[str] = []
+    entities: List[str] = []
+    categories: List[str] = []
+    for prefix, value in _terms(query_string):
+        if prefix == "word":
+            words.append(value.lower())
+        elif prefix == "thing":
+            entities.append(
+                _resolve_entity(kb, value) if kb is not None else value
+            )
+        else:  # cat
+            if kb is not None and value not in kb.taxonomy:
+                raise QueryParseError(f"unknown category: {value!r}")
+            categories.append(value)
+    return Query.of(words=words, entities=entities, categories=categories)

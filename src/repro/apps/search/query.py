@@ -1,0 +1,86 @@
+"""Query evaluation over the strings/things/cats index.
+
+A query is a conjunction of words, entities, and categories; scoring is
+term-frequency based with a per-dimension weight.  The use cases of
+Section 6.1 — "songs performed by Dylan", "politicians visiting <city>" —
+translate into one category term plus one entity term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.search.index import EntitySearchIndex
+from repro.types import EntityId
+
+
+@dataclass(frozen=True)
+class Query:
+    """A conjunctive query over the three dimensions."""
+
+    words: Tuple[str, ...] = ()
+    entities: Tuple[EntityId, ...] = ()
+    categories: Tuple[str, ...] = ()
+
+    @staticmethod
+    def of(
+        words: Sequence[str] = (),
+        entities: Sequence[EntityId] = (),
+        categories: Sequence[str] = (),
+    ) -> "Query":
+        """Build a Query from plain sequences."""
+        return Query(
+            words=tuple(words),
+            entities=tuple(entities),
+            categories=tuple(categories),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no term is present in any dimension."""
+        return not (self.words or self.entities or self.categories)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked hit: document id and score."""
+    doc_id: str
+    score: float
+
+
+def execute(
+    index: EntitySearchIndex,
+    query: Query,
+    limit: int = 10,
+    word_weight: float = 1.0,
+    entity_weight: float = 2.0,
+    category_weight: float = 1.5,
+) -> List[SearchResult]:
+    """AND-semantics retrieval with weighted tf scoring."""
+    if query.is_empty:
+        return []
+    posting_sets: List[Dict[str, int]] = []
+    scores: Dict[str, float] = {}
+
+    def collect(postings: Dict[str, int], weight: float) -> None:
+        posting_sets.append(postings)
+        for doc_id, count in postings.items():
+            scores[doc_id] = scores.get(doc_id, 0.0) + weight * count
+
+    for word in query.words:
+        collect(index.documents_with_word(word), word_weight)
+    for entity_id in query.entities:
+        collect(index.documents_with_entity(entity_id), entity_weight)
+    for category in query.categories:
+        collect(index.documents_with_category(category), category_weight)
+    if not posting_sets:
+        return []
+    matching = set(posting_sets[0])
+    for postings in posting_sets[1:]:
+        matching &= set(postings)
+    ranked = sorted(
+        (SearchResult(doc_id=doc_id, score=scores[doc_id]) for doc_id in matching),
+        key=lambda r: (-r.score, r.doc_id),
+    )
+    return ranked[:limit]

@@ -1,0 +1,35 @@
+"""Re-implementations of the methods AIDA is compared against.
+
+The paper re-implemented its competitors (Section 3.6.1); we do the same,
+over the identical KB interfaces:
+
+* :class:`PriorOnlyDisambiguator` — most-frequent-sense popularity prior.
+* :class:`CucerzanDisambiguator` — independent per-mention disambiguation
+  with category-expanded context vectors (Cucerzan 2007).
+* :class:`KulkarniDisambiguator` — token-overlap similarity (Kul s), with
+  prior (Kul sp) and with pairwise Milne–Witten coherence solved by
+  hill-climbing (Kul CI) (Kulkarni et al. 2009).
+* :class:`TagmeDisambiguator` — prior × relatedness voting (Ferragina &
+  Scaiella 2012).
+* :class:`WikifierDisambiguator` — ranker + linker-score method in the
+  style of the Illinois Wikifier (Ratinov et al. 2011).
+* :class:`ThresholdEeWrapper` — the thresholding treatment of out-of-KB
+  mentions all these baselines use (Section 5.2).
+"""
+
+from repro.baselines.prior_only import PriorOnlyDisambiguator
+from repro.baselines.cucerzan import CucerzanDisambiguator
+from repro.baselines.kulkarni import KulkarniDisambiguator, KulkarniMode
+from repro.baselines.tagme import TagmeDisambiguator
+from repro.baselines.wikifier import WikifierDisambiguator
+from repro.baselines.threshold_ee import ThresholdEeWrapper
+
+__all__ = [
+    "PriorOnlyDisambiguator",
+    "CucerzanDisambiguator",
+    "KulkarniDisambiguator",
+    "KulkarniMode",
+    "TagmeDisambiguator",
+    "WikifierDisambiguator",
+    "ThresholdEeWrapper",
+]

@@ -1,0 +1,134 @@
+"""Cucerzan-style disambiguation (Cucerzan 2007; Section 2.2.2).
+
+Each mention is disambiguated *separately* against an expanded document
+vector: the document's content words plus the category names of all other
+mentions' candidate entities — "preferring entities that agree with other
+candidates' categories" without knowing the correct ones yet.  This
+simulates joint disambiguation but, as the paper notes, is not true joint
+inference; errors arise when wrong candidates' categories dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.similarity.context import DocumentContext
+from repro.types import (
+    DisambiguationResult,
+    Document,
+    EntityId,
+    MentionAssignment,
+    OUT_OF_KB,
+)
+from repro.utils.text import phrase_tokens
+
+
+class CucerzanDisambiguator:
+    """Per-mention argmax over category-expanded context overlap."""
+
+    def __init__(self, kb: KnowledgeBase, category_weight: float = 0.5):
+        self.kb = kb
+        self.category_weight = category_weight
+        self._entity_vectors: Dict[EntityId, Dict[str, float]] = {}
+        self._category_words: Dict[EntityId, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Entity representations
+    # ------------------------------------------------------------------
+    def _categories_of(self, entity_id: EntityId) -> Set[str]:
+        cached = self._category_words.get(entity_id)
+        if cached is None:
+            cached = set()
+            for category in self.kb.triples.objects(entity_id, "category"):
+                cached.update(phrase_tokens(category))
+            self._category_words[entity_id] = cached
+        return cached
+
+    def _entity_vector(self, entity_id: EntityId) -> Dict[str, float]:
+        cached = self._entity_vectors.get(entity_id)
+        if cached is None:
+            cached = {}
+            for phrase in self.kb.keyphrases.keyphrases(entity_id):
+                for word in phrase:
+                    cached[word] = cached.get(word, 0.0) + 1.0
+            for word in self._categories_of(entity_id):
+                cached[word] = cached.get(word, 0.0) + 1.0
+            self._entity_vectors[entity_id] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Disambiguation
+    # ------------------------------------------------------------------
+    def disambiguate(
+        self,
+        document: Document,
+        restrict_to: Optional[Sequence[int]] = None,
+        fixed: Optional[Mapping[int, EntityId]] = None,
+    ) -> DisambiguationResult:
+        """Per-mention disambiguation against the expanded document vector."""
+        fixed = dict(fixed) if fixed else {}
+        indices = (
+            sorted(set(restrict_to))
+            if restrict_to is not None
+            else list(range(len(document.mentions)))
+        )
+        candidates = {
+            index: self.kb.candidates(document.mentions[index].surface)
+            for index in indices
+        }
+        # The expanded document vector: words of the text plus category
+        # words of every candidate of every mention.
+        doc_vector: Dict[str, float] = {}
+        context = DocumentContext(document)
+        for word, count in context.term_counts().items():
+            doc_vector[word] = doc_vector.get(word, 0.0) + count
+        for index in indices:
+            for entity_id in candidates[index]:
+                for word in self._categories_of(entity_id):
+                    doc_vector[word] = (
+                        doc_vector.get(word, 0.0) + self.category_weight
+                    )
+        assignments: List[MentionAssignment] = []
+        for index in indices:
+            mention = document.mentions[index]
+            if index in fixed:
+                assignments.append(
+                    MentionAssignment(
+                        mention=mention, entity=fixed[index], score=1.0
+                    )
+                )
+                continue
+            pool = candidates[index]
+            if not pool:
+                assignments.append(
+                    MentionAssignment(
+                        mention=mention, entity=OUT_OF_KB, score=0.0
+                    )
+                )
+                continue
+            scores = {
+                entity_id: self._overlap(doc_vector, entity_id)
+                for entity_id in pool
+            }
+            best = max(sorted(scores), key=lambda e: scores[e])
+            assignments.append(
+                MentionAssignment(
+                    mention=mention,
+                    entity=best,
+                    score=scores[best],
+                    candidate_scores=scores,
+                )
+            )
+        return DisambiguationResult(
+            doc_id=document.doc_id, assignments=assignments
+        )
+
+    def _overlap(
+        self, doc_vector: Mapping[str, float], entity_id: EntityId
+    ) -> float:
+        vector = self._entity_vector(entity_id)
+        return sum(
+            weight * doc_vector.get(word, 0.0)
+            for word, weight in vector.items()
+        )

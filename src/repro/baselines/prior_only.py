@@ -1,0 +1,66 @@
+"""Most-frequent-sense baseline: map every mention to the candidate with
+the highest popularity prior (Section 3.1's "popularity-based prior")."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.types import (
+    DisambiguationResult,
+    Document,
+    EntityId,
+    MentionAssignment,
+    OUT_OF_KB,
+)
+
+
+class PriorOnlyDisambiguator:
+    """Chooses argmax prior per mention; OUT_OF_KB when no candidates."""
+
+    def __init__(self, kb: KnowledgeBase):
+        self.kb = kb
+
+    def disambiguate(
+        self,
+        document: Document,
+        restrict_to: Optional[Sequence[int]] = None,
+        fixed: Optional[Mapping[int, EntityId]] = None,
+    ) -> DisambiguationResult:
+        """Argmax-prior disambiguation of the document."""
+        fixed = dict(fixed) if fixed else {}
+        indices = (
+            sorted(set(restrict_to))
+            if restrict_to is not None
+            else range(len(document.mentions))
+        )
+        assignments: List[MentionAssignment] = []
+        for index in indices:
+            mention = document.mentions[index]
+            if index in fixed:
+                assignments.append(
+                    MentionAssignment(
+                        mention=mention, entity=fixed[index], score=1.0
+                    )
+                )
+                continue
+            distribution = self.kb.prior_distribution(mention.surface)
+            if not distribution:
+                assignments.append(
+                    MentionAssignment(
+                        mention=mention, entity=OUT_OF_KB, score=0.0
+                    )
+                )
+                continue
+            best = max(sorted(distribution), key=lambda e: distribution[e])
+            assignments.append(
+                MentionAssignment(
+                    mention=mention,
+                    entity=best,
+                    score=distribution[best],
+                    candidate_scores=dict(distribution),
+                )
+            )
+        return DisambiguationResult(
+            doc_id=document.doc_id, assignments=assignments
+        )

@@ -1,0 +1,109 @@
+"""Threshold-based out-of-KB handling (the state-of-the-art treatment).
+
+Prior work discards a mention's best entity when its score falls below a
+tuned threshold, declaring the mention unlinkable (Section 5.1.1).  This
+wrapper applies that rule on top of any pipeline: a scoring function maps
+each assignment to a scalar, and assignments scoring below the threshold
+are relabeled OUT_OF_KB.
+
+``tune_threshold`` grid-searches the threshold maximizing EE F1 on a
+training corpus — the procedure the paper uses on its withheld day — and,
+as the paper observes, the tuned value tends not to generalize.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.confidence.normalization import normalization_confidence
+from repro.eval.ee_measures import evaluate_emerging
+from repro.types import (
+    AnnotatedDocument,
+    DisambiguationResult,
+    Document,
+    EntityId,
+    MentionAssignment,
+    OUT_OF_KB,
+)
+
+#: Maps one assignment to the scalar the threshold is applied to.
+ScoreFn = Callable[[MentionAssignment], float]
+
+
+def normalized_score(assignment: MentionAssignment) -> float:
+    """Default scoring: the normalized share of the chosen candidate."""
+    return normalization_confidence(assignment)
+
+
+class ThresholdEeWrapper:
+    """Relabels low-scoring assignments as out-of-KB."""
+
+    def __init__(
+        self,
+        pipeline,
+        threshold: float,
+        score_fn: Optional[ScoreFn] = None,
+    ):
+        self.pipeline = pipeline
+        self.threshold = threshold
+        self.score_fn = score_fn if score_fn is not None else normalized_score
+
+    def disambiguate(self, document: Document, **kwargs) -> DisambiguationResult:
+        """Disambiguate, then relabel low-scoring assignments as out-of-KB."""
+        result = self.pipeline.disambiguate(document, **kwargs)
+        relabeled: List[MentionAssignment] = []
+        for assignment in result.assignments:
+            if (
+                not assignment.is_out_of_kb
+                and self.score_fn(assignment) < self.threshold
+            ):
+                assignment = MentionAssignment(
+                    mention=assignment.mention,
+                    entity=OUT_OF_KB,
+                    score=assignment.score,
+                    confidence=assignment.confidence,
+                    candidate_scores=assignment.candidate_scores,
+                )
+            relabeled.append(assignment)
+        return DisambiguationResult(
+            doc_id=result.doc_id, assignments=relabeled
+        )
+
+
+def tune_threshold(
+    pipeline,
+    training_docs: Sequence[AnnotatedDocument],
+    score_fn: Optional[ScoreFn] = None,
+    grid: Optional[Sequence[float]] = None,
+) -> float:
+    """Grid-search the threshold maximizing EE F1 on training documents."""
+    score_fn = score_fn if score_fn is not None else normalized_score
+    grid = (
+        list(grid)
+        if grid is not None
+        else [round(0.05 * step, 2) for step in range(0, 20)]
+    )
+    base_results = [
+        pipeline.disambiguate(doc.document) for doc in training_docs
+    ]
+    gold_maps = [(doc.doc_id, doc.gold_map()) for doc in training_docs]
+    best_threshold = grid[0]
+    best_f1 = -1.0
+    for threshold in grid:
+        predicted_maps = []
+        for result in base_results:
+            relabeled = {}
+            for assignment in result.assignments:
+                entity: EntityId = assignment.entity
+                if (
+                    not assignment.is_out_of_kb
+                    and score_fn(assignment) < threshold
+                ):
+                    entity = OUT_OF_KB
+                relabeled[assignment.mention] = entity
+            predicted_maps.append(relabeled)
+        outcome = evaluate_emerging(gold_maps, predicted_maps)
+        if outcome.f1 > best_f1:
+            best_f1 = outcome.f1
+            best_threshold = threshold
+    return best_threshold

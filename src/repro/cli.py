@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+Four subcommands covering the zero-to-disambiguation path:
+
+* ``generate-kb`` — generate the synthetic world + encyclopedia and save
+  the knowledge base as a TSV directory;
+* ``disambiguate`` — recognize and disambiguate entities in a text against
+  a saved knowledge base;
+* ``relatedness`` — score entity pairs with a chosen relatedness measure;
+* ``classify`` — coarse named-entity classification of a text's mentions.
+
+Plus corpus tooling:
+
+* ``corpus`` — generate an evaluation corpus (CoNLL / KORE50 / WP style)
+  aligned with a generated KB (same seed) as JSON Lines;
+* ``evaluate`` — run a pipeline variant over a saved corpus against a
+  saved KB and print micro/macro accuracy.
+
+Examples::
+
+    python -m repro generate-kb --out /tmp/kb --seed 7
+    python -m repro disambiguate --kb /tmp/kb --text "Page played Kashmir"
+    python -m repro relatedness --kb /tmp/kb --measure kore A_Id B_Id
+    python -m repro classify --kb /tmp/kb --text "Page played Kashmir"
+    python -m repro corpus --seed 7 --kind conll --scale 0.05 \
+        --out /tmp/conll.jsonl
+    python -m repro evaluate --kb /tmp/kb --corpus /tmp/conll.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.wikipedia import build_world_kb
+from repro.datagen.world import World, WorldConfig
+from repro.kb.io import load_knowledge_base, save_knowledge_base
+from repro.ner.classifier import NamedEntityClassifier
+from repro.ner.recognizer import NamedEntityRecognizer
+from repro.relatedness import (
+    InlinkJaccardRelatedness,
+    KoreRelatedness,
+    MilneWittenRelatedness,
+)
+from repro.text.tokenizer import tokenize
+from repro.types import Document
+from repro.weights.model import WeightModel
+
+AIDA_VARIANTS = {
+    "full": AidaConfig.full,
+    "sim": AidaConfig.sim_only,
+    "prior": AidaConfig.prior_only,
+    "r-prior-sim": AidaConfig.robust_prior_sim,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "AIDA/KORE/NED-EE reproduction — named entity discovery and "
+            "disambiguation"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    gen = subparsers.add_parser(
+        "generate-kb", help="generate a synthetic world and save its KB"
+    )
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument(
+        "--clusters", type=int, default=4, help="clusters per domain"
+    )
+
+    dis = subparsers.add_parser(
+        "disambiguate", help="disambiguate entities in a text"
+    )
+    dis.add_argument("--kb", required=True, help="saved KB directory")
+    dis.add_argument("--text", help="input text")
+    dis.add_argument("--file", help="read the input text from a file")
+    dis.add_argument(
+        "--variant",
+        choices=sorted(AIDA_VARIANTS),
+        default="full",
+        help="AIDA configuration",
+    )
+
+    rel = subparsers.add_parser(
+        "relatedness", help="score the relatedness of entity pairs"
+    )
+    rel.add_argument("--kb", required=True)
+    rel.add_argument(
+        "--measure", choices=("mw", "kore", "jaccard"), default="kore"
+    )
+    rel.add_argument(
+        "entities", nargs="+", help="two or more entity ids (all pairs)"
+    )
+
+    cls = subparsers.add_parser(
+        "classify", help="coarse-type the mentions of a text"
+    )
+    cls.add_argument("--kb", required=True)
+    cls.add_argument("--text", required=True)
+
+    corpus = subparsers.add_parser(
+        "corpus", help="generate an annotated evaluation corpus"
+    )
+    corpus.add_argument("--out", required=True, help="output JSONL file")
+    corpus.add_argument("--seed", type=int, default=7)
+    corpus.add_argument(
+        "--clusters", type=int, default=4, help="clusters per domain "
+        "(must match the generate-kb call for aligned entity ids)"
+    )
+    corpus.add_argument(
+        "--kind", choices=("conll", "kore50", "wp"), default="conll"
+    )
+    corpus.add_argument(
+        "--scale", type=float, default=0.05,
+        help="CoNLL split scale (conll kind only)",
+    )
+    corpus.add_argument(
+        "--split", choices=("train", "testa", "testb", "all"),
+        default="testb", help="CoNLL split to write (conll kind only)",
+    )
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate a pipeline on a saved corpus"
+    )
+    evaluate.add_argument("--kb", required=True)
+    evaluate.add_argument("--corpus", required=True)
+    evaluate.add_argument(
+        "--variant", choices=sorted(AIDA_VARIANTS), default="full"
+    )
+
+    return parser
+
+
+def _input_text(args: argparse.Namespace) -> str:
+    if args.text:
+        return args.text
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            return handle.read()
+    raise SystemExit("disambiguate requires --text or --file")
+
+
+def _document(text: str, kb) -> Document:
+    tokens = tuple(tokenize(text))
+    recognizer = NamedEntityRecognizer(kb.dictionary)
+    return recognizer.recognize(Document(doc_id="cli", tokens=tokens))
+
+
+def cmd_generate_kb(args: argparse.Namespace) -> int:
+    """Handle ``generate-kb``: build and save a synthetic KB."""
+    world = World.generate(
+        WorldConfig(seed=args.seed, clusters_per_domain=args.clusters)
+    )
+    kb, _wiki = build_world_kb(world, seed=args.seed + 94)
+    save_knowledge_base(kb, args.out)
+    stats = kb.describe()
+    print(f"saved KB to {args.out}: {stats}")
+    return 0
+
+
+def cmd_disambiguate(args: argparse.Namespace) -> int:
+    """Handle ``disambiguate``: NER + AIDA over the input text."""
+    kb = load_knowledge_base(args.kb)
+    document = _document(_input_text(args), kb)
+    if not document.mentions:
+        print("no entity mentions recognized")
+        return 0
+    config = AIDA_VARIANTS[args.variant]()
+    aida = AidaDisambiguator(kb, config=config)
+    result = aida.disambiguate(document)
+    for assignment in result.assignments:
+        target = (
+            "<out of KB>"
+            if assignment.is_out_of_kb
+            else f"{assignment.entity} "
+            f"({kb.entity(assignment.entity).canonical_name})"
+        )
+        print(f"{assignment.mention.surface!r} -> {target}")
+    return 0
+
+
+def cmd_relatedness(args: argparse.Namespace) -> int:
+    """Handle ``relatedness``: score all entity pairs."""
+    kb = load_knowledge_base(args.kb)
+    missing = [eid for eid in args.entities if eid not in kb]
+    if missing:
+        print(f"unknown entities: {', '.join(missing)}", file=sys.stderr)
+        return 1
+    if args.measure == "mw":
+        measure = MilneWittenRelatedness(kb.links, max(kb.entity_count, 2))
+    elif args.measure == "jaccard":
+        measure = InlinkJaccardRelatedness(kb.links)
+    else:
+        weights = WeightModel(kb.keyphrases, kb.links)
+        measure = KoreRelatedness(kb.keyphrases, weights)
+    entities: List[str] = args.entities
+    for i, a in enumerate(entities):
+        for b in entities[i + 1 :]:
+            print(f"{a}  {b}  {measure.relatedness(a, b):.4f}")
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    """Handle ``classify``: coarse-type the recognized mentions."""
+    kb = load_knowledge_base(args.kb)
+    document = _document(args.text, kb)
+    classifier = NamedEntityClassifier(kb)
+    for mention, label in classifier.classify_document(document):
+        print(f"{mention.surface!r} -> {label or '<unknown>'}")
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    """Handle ``corpus``: generate an annotated corpus as JSONL."""
+    from repro.datagen.conll import ConllConfig, generate_conll
+    from repro.datagen.io import save_corpus
+    from repro.datagen.kore50 import generate_kore50
+    from repro.datagen.wpslice import generate_wp_slice
+
+    world = World.generate(
+        WorldConfig(seed=args.seed, clusters_per_domain=args.clusters)
+    )
+    if args.kind == "conll":
+        corpus = generate_conll(world, ConllConfig(scale=args.scale))
+        if args.split == "all":
+            documents = corpus.all_documents()
+        else:
+            documents = getattr(corpus, args.split)
+    elif args.kind == "kore50":
+        documents = generate_kore50(world)
+    else:
+        documents = generate_wp_slice(world)
+    written = save_corpus(documents, args.out)
+    print(f"wrote {written} documents to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Handle ``evaluate``: score a pipeline on a saved corpus."""
+    from repro.datagen.io import load_corpus
+    from repro.eval.runner import run_disambiguator
+
+    kb = load_knowledge_base(args.kb)
+    documents = load_corpus(args.corpus)
+    config = AIDA_VARIANTS[args.variant]()
+    pipeline = AidaDisambiguator(kb, config=config)
+    run = run_disambiguator(pipeline, documents, kb=kb)
+    print(f"documents: {len(documents)}")
+    print(f"micro accuracy: {100 * run.micro:.2f}%")
+    print(f"macro accuracy: {100 * run.macro:.2f}%")
+    print(f"MAP:            {100 * run.map:.2f}%")
+    return 0
+
+
+_COMMANDS = {
+    "generate-kb": cmd_generate_kb,
+    "disambiguate": cmd_disambiguate,
+    "relatedness": cmd_relatedness,
+    "classify": cmd_classify,
+    "corpus": cmd_corpus,
+    "evaluate": cmd_evaluate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Disambiguation confidence assessment (Section 5.4)."""
+
+from repro.confidence.normalization import (
+    normalization_confidence,
+    normalized_scores,
+)
+from repro.confidence.perturb_mentions import MentionPerturbationConfidence
+from repro.confidence.perturb_entities import EntityPerturbationConfidence
+from repro.confidence.combined import ConfAssessor
+
+__all__ = [
+    "normalized_scores",
+    "normalization_confidence",
+    "MentionPerturbationConfidence",
+    "EntityPerturbationConfidence",
+    "ConfAssessor",
+]

@@ -1,0 +1,62 @@
+"""The CONF assessor (Section 5.7.1).
+
+Of the three confidence techniques, the paper found a linear combination of
+two — the normalized *weighted-degree* score and entity perturbation, with
+coefficients 0.5 each — to work best.  ``ConfAssessor`` wraps a pipeline,
+runs the baseline disambiguation, and fills each assignment's
+``confidence`` with the combined value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.confidence.normalization import normalization_confidence
+from repro.confidence.perturb_entities import EntityPerturbationConfidence
+from repro.types import DisambiguationResult, Document, Mention
+
+
+class ConfAssessor:
+    """CONF = 0.5 · conf_norm + 0.5 · conf_entity-perturbation."""
+
+    def __init__(
+        self,
+        pipeline,
+        rounds: int = 12,
+        flip_probability: float = 0.25,
+        norm_weight: float = 0.5,
+        seed: int = 73,
+    ):
+        if not 0.0 <= norm_weight <= 1.0:
+            raise ValueError("norm_weight must be in [0, 1]")
+        self._pipeline = pipeline
+        self.norm_weight = norm_weight
+        self._perturber = EntityPerturbationConfidence(
+            pipeline,
+            rounds=rounds,
+            flip_probability=flip_probability,
+            seed=seed,
+        )
+
+    def disambiguate_with_confidence(
+        self, document: Document
+    ) -> DisambiguationResult:
+        """Run the pipeline, then attach CONF confidences in place."""
+        baseline = self._pipeline.disambiguate(document)
+        perturbed = self._perturber.assess(document, baseline)
+        for assignment in baseline.assignments:
+            norm = normalization_confidence(assignment)
+            stability = perturbed.get(assignment.mention, 0.0)
+            assignment.confidence = (
+                self.norm_weight * norm
+                + (1.0 - self.norm_weight) * stability
+            )
+        return baseline
+
+    def assess(self, document: Document) -> Dict[Mention, float]:
+        """Mention → CONF confidence (convenience view)."""
+        result = self.disambiguate_with_confidence(document)
+        return {
+            a.mention: (a.confidence if a.confidence is not None else 0.0)
+            for a in result.assignments
+        }

@@ -1,0 +1,47 @@
+"""Score-normalization confidence (Section 5.4.1).
+
+Most good NED methods emit unbounded scores.  Normalizing a mention's
+candidate scores to sum to one turns the chosen candidate's share of the
+total score mass into a confidence::
+
+    normscore(m, e) = score(m, e) / sum_i score(m, e_i)
+    conf_norm(m)    = normscore(m, argmax_e score(m, e))
+
+The scores normalized here are the pipeline's *weighted-degree* candidate
+scores (mention-entity weight plus coherence to the other mentions' chosen
+entities), which Section 5.7.1 found to work best.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.types import EntityId, MentionAssignment
+
+
+def normalized_scores(
+    candidate_scores: Mapping[EntityId, float]
+) -> Dict[EntityId, float]:
+    """Per-mention normalization of candidate scores to a distribution."""
+    if not candidate_scores:
+        return {}
+    # Shift negative scores to zero so the normalization stays a
+    # probability vector even for measures that can go negative.
+    low = min(candidate_scores.values())
+    shifted = {
+        eid: score - low if low < 0.0 else score
+        for eid, score in candidate_scores.items()
+    }
+    total = sum(shifted.values())
+    if total <= 0.0:
+        uniform = 1.0 / len(shifted)
+        return {eid: uniform for eid in shifted}
+    return {eid: value / total for eid, value in shifted.items()}
+
+
+def normalization_confidence(assignment: MentionAssignment) -> float:
+    """conf_norm of one mention's assignment (1.0 for a lone candidate)."""
+    scores = normalized_scores(assignment.candidate_scores)
+    if not scores:
+        return 0.0
+    return scores.get(assignment.entity, 0.0)

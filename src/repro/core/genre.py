@@ -1,0 +1,112 @@
+"""Genre-adaptive disambiguation (the outlook of Section 7.2.2).
+
+Different text genres call for different feature mixes: the paper notes
+that TagMe's prior+relatedness profile wins on "short texts with a high
+density of mentions" where there is too little prose for context
+similarity, while AIDA's full feature set wins on regular articles.  The
+future-work chapter proposes adapting to the genre automatically.
+
+:class:`GenreAdaptiveDisambiguator` implements that proposal with a
+transparent rule: documents are profiled by length and mention density,
+and routed to a genre-appropriate configuration —
+
+* **short / mention-dense** (tweet- or KORE50-like): similarity stays on
+  (every word counts) but the prior test threshold drops and coherence is
+  always trusted (no coherence test — with three mentions in fourteen
+  words, coherence is the only joint signal);
+* **regular prose**: the paper's full AIDA configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.types import DisambiguationResult, Document
+
+#: Genre labels.
+GENRE_SHORT = "short"
+GENRE_REGULAR = "regular"
+
+
+@dataclass(frozen=True)
+class GenreThresholds:
+    """Routing rule: a document is *short* when it has at most
+    ``max_tokens`` tokens or a mention density of at least
+    ``min_density`` mentions per token."""
+
+    max_tokens: int = 40
+    min_density: float = 0.12
+
+
+def classify_genre(
+    document: Document, thresholds: Optional[GenreThresholds] = None
+) -> str:
+    """Label a document short or regular by length/density."""
+    thresholds = thresholds if thresholds is not None else GenreThresholds()
+    token_count = max(len(document.tokens), 1)
+    density = len(document.mentions) / token_count
+    if (
+        token_count <= thresholds.max_tokens
+        or density >= thresholds.min_density
+    ):
+        return GENRE_SHORT
+    return GENRE_REGULAR
+
+
+def short_text_config() -> AidaConfig:
+    """The mention-dense profile: trust coherence unconditionally."""
+    return AidaConfig(
+        use_coherence=True,
+        use_coherence_test=False,
+        prior_threshold=0.95,
+    )
+
+
+class GenreAdaptiveDisambiguator:
+    """Routes documents to a genre-appropriate AIDA configuration."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        thresholds: Optional[GenreThresholds] = None,
+        regular_config: Optional[AidaConfig] = None,
+        short_config: Optional[AidaConfig] = None,
+        relatedness=None,
+    ):
+        self.thresholds = (
+            thresholds if thresholds is not None else GenreThresholds()
+        )
+        self._regular = AidaDisambiguator(
+            kb,
+            relatedness=relatedness,
+            config=(
+                regular_config
+                if regular_config is not None
+                else AidaConfig.full()
+            ),
+        )
+        self._short = AidaDisambiguator(
+            kb,
+            relatedness=relatedness,
+            config=(
+                short_config
+                if short_config is not None
+                else short_text_config()
+            ),
+        )
+
+    def genre_of(self, document: Document) -> str:
+        """The genre label this router assigns to the document."""
+        return classify_genre(document, self.thresholds)
+
+    def disambiguate(
+        self, document: Document, **kwargs
+    ) -> DisambiguationResult:
+        """Disambiguate with the genre-appropriate configuration."""
+        if self.genre_of(document) == GENRE_SHORT:
+            return self._short.disambiguate(document, **kwargs)
+        return self._regular.disambiguate(document, **kwargs)

@@ -1,0 +1,445 @@
+"""The AIDA disambiguation pipeline (Chapter 3).
+
+Stages, per document:
+
+1. candidate retrieval for every mention via the KB dictionary;
+2. keyphrase cover-matching similarity and popularity prior per candidate;
+3. the prior robustness test decides per mention whether the prior enters
+   the mention-entity edge weight;
+4. the coherence robustness test pre-fixes mentions on which prior and
+   similarity agree, keeping only the winning candidate;
+5. the mention-entity graph is built (coherence edges only between entities
+   that are candidates of different mentions), rescaled and γ-balanced;
+6. the greedy dense-subgraph algorithm selects one entity per mention.
+
+The pipeline also exposes the hooks Chapter 5 needs: restricting to a
+mention subset, force-mapping mentions to chosen entities (both used by the
+perturbation confidence assessors), injecting extra candidates (the
+emerging-entity placeholders) and damping edge weights of selected entities
+(the EE balance factor).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.config import AidaConfig, PriorMode
+from repro.core.robustness import passes_prior_test, should_fix_mention
+from repro.graph.dense_subgraph import GreedyDenseSubgraph
+from repro.graph.mention_entity_graph import MentionEntityGraph
+from repro.kb.keyphrases import KeyphraseStore
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.relatedness.base import EntityRelatedness
+from repro.relatedness.milne_witten import MilneWittenRelatedness
+from repro.similarity.context import DocumentContext
+from repro.similarity.keyphrase_match import KeyphraseSimilarity
+from repro.types import (
+    Document,
+    DisambiguationResult,
+    EntityId,
+    Mention,
+    MentionAssignment,
+    OUT_OF_KB,
+)
+from repro.weights.model import WeightModel
+
+
+class AidaDisambiguator:
+    """Joint named-entity disambiguation with robustness tests."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        relatedness: Optional[EntityRelatedness] = None,
+        config: Optional[AidaConfig] = None,
+        keyphrase_store: Optional[KeyphraseStore] = None,
+        weight_model: Optional[WeightModel] = None,
+    ):
+        self.kb = kb
+        self.config = config if config is not None else AidaConfig.full()
+        self.store = (
+            keyphrase_store if keyphrase_store is not None else kb.keyphrases
+        )
+        self.weights = (
+            weight_model
+            if weight_model is not None
+            else WeightModel(self.store, kb.links)
+        )
+        self.relatedness = (
+            relatedness
+            if relatedness is not None
+            else MilneWittenRelatedness(kb.links, max(kb.entity_count, 2))
+        )
+        max_kp = self.config.max_keyphrases or None
+        self.similarity = KeyphraseSimilarity(
+            self.store,
+            self.weights,
+            weight_scheme=self.config.keyword_weight_scheme,
+            max_keyphrases=max_kp,
+        )
+        self._solver = GreedyDenseSubgraph(self.config.graph)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def disambiguate(
+        self,
+        document: Document,
+        restrict_to: Optional[Sequence[int]] = None,
+        fixed: Optional[Mapping[int, EntityId]] = None,
+        extra_candidates: Optional[Mapping[int, Sequence[EntityId]]] = None,
+        entity_edge_factor: Optional[Mapping[EntityId, float]] = None,
+    ) -> DisambiguationResult:
+        """Disambiguate all (or a subset of) the document's mentions.
+
+        Parameters
+        ----------
+        restrict_to:
+            Mention indices to disambiguate; others are dropped from the
+            problem (mention perturbation, Section 5.4.2).
+        fixed:
+            Mention index → entity to pin: the mention's candidate set
+            becomes that single entity (entity perturbation, Section 5.4.3).
+        extra_candidates:
+            Mention index → additional candidate entities (the emerging-
+            entity placeholders of Section 5.5.2).  They must have
+            keyphrases in this pipeline's store to score.
+        entity_edge_factor:
+            Entity → multiplier applied to every graph edge incident to
+            that entity after rescaling (the EE balance γ of Section 5.6).
+        """
+        mentions = list(document.mentions)
+        active = self._active_indices(mentions, restrict_to)
+        fixed = dict(fixed) if fixed else {}
+        extra_candidates = dict(extra_candidates) if extra_candidates else {}
+
+        candidates = self._collect_candidates(
+            document, mentions, active, fixed, extra_candidates
+        )
+        features = self._compute_features(document, mentions, active, candidates)
+        edge_weights = self._edge_weights(features)
+        if entity_edge_factor:
+            self._apply_entity_factors(edge_weights, entity_edge_factor)
+        pool = self._apply_coherence_test(features, edge_weights, candidates)
+
+        if self.config.use_coherence:
+            assignment = self._solve_graph(
+                mentions, active, pool, edge_weights, entity_edge_factor
+            )
+        else:
+            assignment = self._solve_local(active, pool, edge_weights)
+
+        return self._build_result(
+            document, mentions, active, candidates, edge_weights, assignment
+        )
+
+    # ------------------------------------------------------------------
+    # Candidate retrieval
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _active_indices(
+        mentions: Sequence[Mention], restrict_to: Optional[Sequence[int]]
+    ) -> List[int]:
+        if restrict_to is None:
+            return list(range(len(mentions)))
+        return sorted(set(restrict_to))
+
+    def _collect_candidates(
+        self,
+        document: Document,
+        mentions: Sequence[Mention],
+        active: Sequence[int],
+        fixed: Mapping[int, EntityId],
+        extra: Mapping[int, Sequence[EntityId]],
+    ) -> Dict[int, List[EntityId]]:
+        restrictions: Mapping[int, List[EntityId]] = {}
+        if self.config.use_name_coreference:
+            from repro.ner.coref import coreference_candidate_restriction
+
+            restrictions = coreference_candidate_restriction(
+                document, self.kb.candidates
+            )
+        candidates: Dict[int, List[EntityId]] = {}
+        for index in active:
+            if index in fixed:
+                candidates[index] = [fixed[index]]
+                continue
+            surface = mentions[index].surface
+            if index in restrictions:
+                found = list(restrictions[index])
+            else:
+                found = list(self.kb.candidates(surface))
+            for entity_id in extra.get(index, ()):
+                if entity_id not in found:
+                    found.append(entity_id)
+            candidates[index] = sorted(found)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Feature computation
+    # ------------------------------------------------------------------
+    def _compute_features(
+        self,
+        document: Document,
+        mentions: Sequence[Mention],
+        active: Sequence[int],
+        candidates: Mapping[int, List[EntityId]],
+    ) -> Dict[int, Tuple[Dict[EntityId, float], Dict[EntityId, float]]]:
+        """Per mention: (prior distribution, normalized similarity scores).
+
+        Similarity is normalized per mention by its maximum so it becomes
+        commensurable with the prior probability inside the linear edge
+        combination; the graph rescales both families again afterwards.
+        """
+        features: Dict[
+            int, Tuple[Dict[EntityId, float], Dict[EntityId, float]]
+        ] = {}
+        for index in active:
+            pool = candidates[index]
+            if not pool:
+                features[index] = ({}, {})
+                continue
+            context = DocumentContext(
+                document, exclude_mention=mentions[index]
+            )
+            sims = self.similarity.simscores(context, pool)
+            if self.config.normalize_similarity:
+                max_sim = max(sims.values()) if sims else 0.0
+                if max_sim > 0.0:
+                    sims = {eid: s / max_sim for eid, s in sims.items()}
+            priors = {
+                eid: self.kb.prior(mentions[index].surface, eid)
+                for eid in pool
+            }
+            features[index] = (priors, sims)
+        return features
+
+    def _edge_weights(
+        self,
+        features: Mapping[
+            int, Tuple[Dict[EntityId, float], Dict[EntityId, float]]
+        ],
+    ) -> Dict[int, Dict[EntityId, float]]:
+        """Mention-entity edge weights under the configured prior mode."""
+        mode = self.config.prior_mode
+        mix = self.config.prior_mix
+        weights: Dict[int, Dict[EntityId, float]] = {}
+        for index, (priors, sims) in features.items():
+            pool = set(priors) | set(sims)
+            if mode is PriorMode.ONLY:
+                weights[index] = {
+                    eid: priors.get(eid, 0.0) for eid in pool
+                }
+                continue
+            use_prior = mode is PriorMode.ALWAYS or (
+                mode is PriorMode.TEST
+                and passes_prior_test(priors, self.config.prior_threshold)
+            )
+            if use_prior:
+                weights[index] = {
+                    eid: mix * priors.get(eid, 0.0)
+                    + (1.0 - mix) * sims.get(eid, 0.0)
+                    for eid in pool
+                }
+            else:
+                weights[index] = {eid: sims.get(eid, 0.0) for eid in pool}
+        return weights
+
+    @staticmethod
+    def _apply_entity_factors(
+        edge_weights: Dict[int, Dict[EntityId, float]],
+        factors: Mapping[EntityId, float],
+    ) -> None:
+        """Multiply mention-entity weights of selected entities (the EE
+        balance γ of Section 5.6) — applied in both inference modes."""
+        for weights in edge_weights.values():
+            for entity_id, factor in factors.items():
+                if entity_id in weights:
+                    weights[entity_id] *= factor
+
+    def _apply_coherence_test(
+        self,
+        features: Mapping[
+            int, Tuple[Dict[EntityId, float], Dict[EntityId, float]]
+        ],
+        edge_weights: Mapping[int, Dict[EntityId, float]],
+        candidates: Mapping[int, List[EntityId]],
+    ) -> Dict[int, List[EntityId]]:
+        """Fix agreeing mentions to their local winner (Section 3.5.2)."""
+        pool: Dict[int, List[EntityId]] = {
+            index: list(cands) for index, cands in candidates.items()
+        }
+        if not (self.config.use_coherence and self.config.use_coherence_test):
+            return pool
+        for index, cands in pool.items():
+            if len(cands) <= 1:
+                continue
+            priors, sims = features[index]
+            if should_fix_mention(
+                priors, sims, self.config.coherence_threshold
+            ):
+                winner = max(
+                    cands,
+                    key=lambda eid: (edge_weights[index].get(eid, 0.0), eid),
+                )
+                pool[index] = [winner]
+        return pool
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _solve_local(
+        self,
+        active: Sequence[int],
+        pool: Mapping[int, List[EntityId]],
+        edge_weights: Mapping[int, Dict[EntityId, float]],
+    ) -> Dict[int, EntityId]:
+        """Mention-by-mention argmax (no coherence)."""
+        assignment: Dict[int, EntityId] = {}
+        for index in active:
+            cands = pool[index]
+            if not cands:
+                continue
+            assignment[index] = max(
+                cands,
+                key=lambda eid: (edge_weights[index].get(eid, 0.0), eid),
+            )
+        return assignment
+
+    def _solve_graph(
+        self,
+        mentions: Sequence[Mention],
+        active: Sequence[int],
+        pool: Mapping[int, List[EntityId]],
+        edge_weights: Mapping[int, Dict[EntityId, float]],
+        entity_edge_factor: Optional[Mapping[EntityId, float]],
+    ) -> Dict[int, EntityId]:
+        graph = MentionEntityGraph([mentions[i] for i in active])
+        index_of = {original: local for local, original in enumerate(active)}
+        entity_mentions: Dict[EntityId, Set[int]] = {}
+        for original in active:
+            local = index_of[original]
+            for entity_id in pool[original]:
+                graph.add_mention_entity_edge(
+                    local,
+                    entity_id,
+                    edge_weights[original].get(entity_id, 0.0),
+                )
+                entity_mentions.setdefault(entity_id, set()).add(local)
+        entities = sorted(entity_mentions)
+        self.relatedness.prepare(entities)
+        for i, a in enumerate(entities):
+            for b in entities[i + 1 :]:
+                if entity_mentions[a] == entity_mentions[b] and len(
+                    entity_mentions[a]
+                ) == 1:
+                    # Mutually exclusive candidates of one mention: no
+                    # coherence edge (Section 4.6.4).
+                    continue
+                weight = self.relatedness.relatedness(a, b)
+                if weight > 0.0:
+                    graph.add_entity_entity_edge(a, b, weight)
+        graph.rescale_and_balance(self.config.gamma)
+        if entity_edge_factor:
+            self._dampen_entities(graph, entity_edge_factor)
+        local_assignment = self._solver.solve(graph)
+        return {
+            active[local]: entity_id
+            for local, entity_id in local_assignment.items()
+        }
+
+    @staticmethod
+    def _dampen_entities(
+        graph: MentionEntityGraph, factors: Mapping[EntityId, float]
+    ) -> None:
+        """Dampen coherence edges of selected entities.  Mention-entity
+        weights were already dampened before graph construction, so only
+        the entity-entity family is touched here."""
+        for entity_id, factor in sorted(factors.items()):
+            if entity_id not in set(graph.active_entities()):
+                continue
+            for other in graph.ee_neighbors(entity_id):
+                graph.add_entity_entity_edge(
+                    entity_id,
+                    other,
+                    graph.ee_weight(entity_id, other) * factor,
+                )
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def _build_result(
+        self,
+        document: Document,
+        mentions: Sequence[Mention],
+        active: Sequence[int],
+        candidates: Mapping[int, List[EntityId]],
+        edge_weights: Mapping[int, Dict[EntityId, float]],
+        assignment: Mapping[int, EntityId],
+    ) -> DisambiguationResult:
+        chosen_by_index = dict(assignment)
+        assignments: List[MentionAssignment] = []
+        for index in active:
+            mention = mentions[index]
+            pool = candidates[index]
+            if not pool:
+                assignments.append(
+                    MentionAssignment(
+                        mention=mention, entity=OUT_OF_KB, score=0.0
+                    )
+                )
+                continue
+            chosen = chosen_by_index.get(index)
+            if chosen is None:
+                chosen = max(
+                    pool,
+                    key=lambda eid: (edge_weights[index].get(eid, 0.0), eid),
+                )
+            scores = self._candidate_scores(
+                index, pool, edge_weights, chosen_by_index
+            )
+            assignments.append(
+                MentionAssignment(
+                    mention=mention,
+                    entity=chosen,
+                    score=scores.get(chosen, 0.0),
+                    candidate_scores=scores,
+                )
+            )
+        return DisambiguationResult(
+            doc_id=document.doc_id, assignments=assignments
+        )
+
+    def _candidate_scores(
+        self,
+        index: int,
+        pool: Sequence[EntityId],
+        edge_weights: Mapping[int, Dict[EntityId, float]],
+        assignment: Mapping[int, EntityId],
+    ) -> Dict[EntityId, float]:
+        """Weighted-degree scores for every candidate of a mention.
+
+        The score combines the mention-entity edge weight with the
+        candidate's coherence to the entities *chosen* for the other
+        mentions — the "weighted-degree" score that the confidence
+        assessors of Section 5.4 normalize.
+        """
+        others = sorted(
+            {
+                entity_id
+                for other_index, entity_id in assignment.items()
+                if other_index != index
+            }
+        )
+        scores: Dict[EntityId, float] = {}
+        for entity_id in pool:
+            score = edge_weights[index].get(entity_id, 0.0)
+            if self.config.use_coherence:
+                coherence = sum(
+                    self.relatedness.relatedness(entity_id, other)
+                    for other in others
+                    if other != entity_id
+                )
+                score += self.config.gamma * coherence
+            scores[entity_id] = score
+        return scores

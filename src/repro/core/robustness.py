@@ -1,0 +1,69 @@
+"""AIDA's robustness tests (Section 3.5).
+
+*Prior robustness test*: use the popularity prior only when the best
+candidate's prior exceeds ρ; otherwise the prior is disregarded entirely for
+this mention — it is never relied upon alone.
+
+*Coherence robustness test*: per mention, compare the popularity-based
+probability vector over candidates with the similarity-only probability
+vector by L1 distance (a value in [0, 2]).  When the distance stays below λ,
+prior and similarity agree; coherence would only add risk, so the mention is
+fixed to the locally best candidate before the graph algorithm runs.  When
+the distance exceeds λ, the disagreement indicates a situation coherence may
+be able to fix, and all candidates stay in the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.types import EntityId
+
+
+def passes_prior_test(
+    prior_distribution: Mapping[EntityId, float], threshold: float
+) -> bool:
+    """True if the most likely candidate's prior reaches *threshold*."""
+    if not prior_distribution:
+        return False
+    return max(prior_distribution.values()) >= threshold
+
+
+def _normalize(scores: Mapping[EntityId, float]) -> Dict[EntityId, float]:
+    total = sum(scores.values())
+    if total <= 0.0:
+        size = len(scores)
+        return {eid: 1.0 / size for eid in scores} if size else {}
+    return {eid: value / total for eid, value in scores.items()}
+
+
+def coherence_robustness_distance(
+    prior_distribution: Mapping[EntityId, float],
+    sim_scores: Mapping[EntityId, float],
+) -> float:
+    """L1 distance between the prior and similarity candidate vectors.
+
+    Both inputs are defined over the same candidate set; the similarity
+    scores are normalized to a probability vector first (the prior already
+    is one, but is re-normalized defensively for mentions whose candidates
+    carry no anchor mass).
+    """
+    candidates = set(prior_distribution) | set(sim_scores)
+    prior = _normalize(
+        {eid: prior_distribution.get(eid, 0.0) for eid in candidates}
+    )
+    sim = _normalize({eid: sim_scores.get(eid, 0.0) for eid in candidates})
+    return sum(abs(prior[eid] - sim[eid]) for eid in candidates)
+
+
+def should_fix_mention(
+    prior_distribution: Mapping[EntityId, float],
+    sim_scores: Mapping[EntityId, float],
+    threshold: float,
+) -> bool:
+    """Coherence robustness test: fix the mention when prior and similarity
+    agree (distance below λ)."""
+    if len(set(prior_distribution) | set(sim_scores)) <= 1:
+        return True  # a single candidate needs no coherence
+    distance = coherence_robustness_distance(prior_distribution, sim_scores)
+    return distance < threshold

@@ -1,0 +1,34 @@
+"""Synthetic world, encyclopedia, and corpus generators.
+
+The paper's substrate — English Wikipedia, YAGO, and manually annotated
+corpora — is unavailable offline, so this package generates a *seeded
+synthetic equivalent* with the same statistical structure:
+
+* :mod:`vocabulary` / :mod:`names` — pseudo-natural word and name material,
+  with ambiguity constructed deliberately (shared family names, city/team
+  metonymy, acronyms);
+* :mod:`world` — the latent entity universe: domains, coherent clusters,
+  Zipfian popularity, per-entity theme words, and out-of-KB entities;
+* :mod:`wikipedia` — a synthetic encyclopedia dump (articles, anchors,
+  links, categories) from which the knowledge base is built;
+* :mod:`documents` — annotated document generation from entity clusters;
+* :mod:`conll`, :mod:`kore50`, :mod:`wpslice`, :mod:`gigaword` — the four
+  evaluation corpora of Chapters 3–5;
+* :mod:`relatedness_gold` — the entity-relatedness ranking gold standard of
+  Section 4.5.
+
+Everything is deterministic given the seed.
+"""
+
+from repro.datagen.world import World, WorldConfig
+from repro.datagen.wikipedia import SyntheticWikipedia, build_world_kb
+from repro.datagen.documents import DocumentGenerator, DocumentSpec
+
+__all__ = [
+    "World",
+    "WorldConfig",
+    "SyntheticWikipedia",
+    "build_world_kb",
+    "DocumentGenerator",
+    "DocumentSpec",
+]

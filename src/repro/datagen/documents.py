@@ -1,0 +1,289 @@
+"""Annotated document generation.
+
+A document is generated from a *topic*: one (or, for deliberately
+heterogeneous "coherence-trap" texts, several) world clusters.  Each chosen
+entity yields one mention sentence containing:
+
+* the mention surface — an ambiguous short form with probability
+  ``ambiguous_prob``, otherwise the canonical name;
+* with probability ``context_prob``, *own context*: a few of the entity's
+  theme words placed adjacently (so the keyphrase chunker of Chapter 5
+  re-extracts them as phrases) — mentions without own context are only
+  resolvable through coherence with the rest of the document;
+* filler from the background vocabulary.
+
+Gold annotations map every mention to its true entity, or to
+:data:`~repro.types.OUT_OF_KB` when the entity is not in the knowledge
+base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datagen.world import World, WorldEntity
+from repro.errors import DatasetError
+from repro.types import (
+    AnnotatedDocument,
+    Annotation,
+    Document,
+    EntityId,
+    Mention,
+    OUT_OF_KB,
+)
+from repro.utils.rng import SeededRng
+
+_VERBS = (
+    "played", "announced", "revealed", "signed", "visited", "recorded",
+    "launched", "defeated", "joined", "met", "opened", "led",
+)
+
+
+@dataclass
+class DocumentSpec:
+    """Recipe for one generated document."""
+
+    doc_id: str
+    cluster_ids: Sequence[int]
+    #: Entities that must appear (e.g. out-of-KB or emerging entities).
+    forced_entities: Sequence[EntityId] = ()
+    #: Number of entity mentions (including forced ones).
+    num_mentions: int = 8
+    #: Probability a mention uses an ambiguous short form.
+    ambiguous_prob: float = 0.7
+    #: Probability a mention gets its own theme-word context.
+    context_prob: float = 0.75
+    #: Maximum number of mentions that receive own context (None =
+    #: unlimited).  KORE50-style sentences give one mention an anchor
+    #: context and force the rest to resolve through coherence.
+    context_limit: Optional[int] = None
+    #: Probability of swapping one slot for a popular out-of-cluster entity.
+    distractor_prob: float = 0.15
+    #: Day index for news-stream corpora.
+    timestamp: int = 0
+    #: Number of pure filler sentences.
+    filler_sentences: int = 2
+    #: Which short form an ambiguous mention uses: "primary" (family name /
+    #: first short form), "secondary" (first name, when available — the
+    #: KORE50 stress pattern), or "mixed" (random among short forms).
+    surface_choice: str = "primary"
+    #: Bias entity sampling towards long-tail (inverse-popularity) members.
+    prefer_long_tail: bool = False
+    #: Exponent of the popularity bias when sampling cluster members:
+    #: real text mentions popular entities more often (which is what makes
+    #: anchor-frequency priors informative).  0 disables the bias.
+    popularity_bias: float = 0.5
+    #: Metonymy: when a sampled entity is a location whose cluster has an
+    #: organization sharing its name (a team named after its city, a
+    #: government referred to by its country), the document refers to the
+    #: organization with this probability — sports news says "Barcelona"
+    #: and means the club (Section 3.6.4).
+    metonymy_bias: float = 0.65
+    #: Words to use as an entity's own context instead of its latent
+    #: unique words (Chapter 5's news-enrichment scenario); maps entity id
+    #: to replacement words.
+    context_overrides: Dict[EntityId, Sequence[str]] = field(
+        default_factory=dict
+    )
+
+
+class DocumentGenerator:
+    """Generates :class:`AnnotatedDocument` instances from a world."""
+
+    def __init__(self, world: World, seed: int = 1234):
+        self.world = world
+        self._seed = seed
+
+    def generate(self, spec: DocumentSpec) -> AnnotatedDocument:
+        """Generate one annotated document from the spec."""
+        rng = SeededRng(self._seed).fork(f"doc:{spec.doc_id}")
+        entities = self._choose_entities(spec, rng)
+        tokens: List[str] = []
+        annotations: List[Annotation] = []
+        context_budget = (
+            spec.context_limit
+            if spec.context_limit is not None
+            else len(entities)
+        )
+        for entity_id in entities:
+            allow_context = context_budget > 0
+            sentence_tokens, mention, used_context = self._mention_sentence(
+                entity_id, spec, rng, offset=len(tokens),
+                allow_context=allow_context,
+            )
+            if used_context:
+                context_budget -= 1
+            tokens.extend(sentence_tokens)
+            entity = self.world.entity(entity_id)
+            gold = entity_id if entity.in_kb else OUT_OF_KB
+            annotations.append(Annotation(mention=mention, entity=gold))
+        for index in range(spec.filler_sentences):
+            tokens.extend(self._filler_sentence(rng))
+        document = Document(
+            doc_id=spec.doc_id,
+            tokens=tuple(tokens),
+            mentions=tuple(ann.mention for ann in annotations),
+            timestamp=spec.timestamp,
+        )
+        return AnnotatedDocument(document=document, gold=tuple(annotations))
+
+    # ------------------------------------------------------------------
+    # Entity selection
+    # ------------------------------------------------------------------
+    def _choose_entities(
+        self, spec: DocumentSpec, rng: SeededRng
+    ) -> List[EntityId]:
+        chosen: List[EntityId] = list(spec.forced_entities)
+        pool: List[EntityId] = []
+        for cluster_id in spec.cluster_ids:
+            if cluster_id not in self.world.clusters:
+                raise DatasetError(f"unknown cluster: {cluster_id}")
+            pool.extend(
+                member
+                for member in self.world.cluster_members(cluster_id)
+                if member not in chosen
+                and not self.world.entity(member).is_emerging
+            )
+        needed = max(spec.num_mentions - len(chosen), 0)
+        if spec.prefer_long_tail and pool:
+            weights = [
+                1.0 / self.world.entity(eid).popularity for eid in pool
+            ]
+            chosen.extend(
+                rng.pick_k_weighted(pool, weights, needed, unique=True)
+            )
+        elif spec.popularity_bias > 0.0 and pool:
+            weights = [
+                self.world.entity(eid).popularity ** spec.popularity_bias
+                for eid in pool
+            ]
+            chosen.extend(
+                rng.pick_k_weighted(pool, weights, needed, unique=True)
+            )
+        else:
+            chosen.extend(rng.sample(pool, needed))
+        chosen = [
+            self._apply_metonymy(entity_id, spec, rng)
+            for entity_id in chosen
+        ]
+        # Occasionally swap one cluster entity for a popular outsider —
+        # the distractor that makes unconditional coherence risky.
+        if (
+            len(chosen) > len(spec.forced_entities)
+            and rng.maybe(spec.distractor_prob)
+        ):
+            outsiders = [
+                eid
+                for eid in self.world.in_kb_ids()
+                if self.world.entity(eid).cluster_id
+                not in set(spec.cluster_ids)
+            ]
+            if outsiders:
+                weights = [
+                    self.world.entity(eid).popularity for eid in outsiders
+                ]
+                swap_in = rng.weighted_choice(outsiders, weights)
+                chosen[-1] = swap_in
+        return rng.shuffled(chosen)
+
+    _LOCATION_TYPES = frozenset({"city", "country", "region"})
+    _ORG_TYPES = frozenset({"football_club", "government", "sports_team"})
+
+    def _apply_metonymy(
+        self, entity_id: EntityId, spec: DocumentSpec, rng: SeededRng
+    ) -> EntityId:
+        """Replace a location by the same-named organization of its
+        cluster with probability ``metonymy_bias``."""
+        entity = self.world.entity(entity_id)
+        if entity_id in spec.forced_entities:
+            return entity_id
+        if not set(entity.types) & self._LOCATION_TYPES:
+            return entity_id
+        if not rng.maybe(spec.metonymy_bias):
+            return entity_id
+        names = set(entity.names.all_forms)
+        for member in self.world.cluster_members(entity.cluster_id):
+            other = self.world.entity(member)
+            if member == entity_id or not other.in_kb:
+                continue
+            if not set(other.types) & self._ORG_TYPES:
+                continue
+            if names & set(other.names.all_forms):
+                return member
+        return entity_id
+
+    # ------------------------------------------------------------------
+    # Sentence assembly
+    # ------------------------------------------------------------------
+    def _surface_form(
+        self, entity: WorldEntity, spec: DocumentSpec, rng: SeededRng
+    ) -> str:
+        shorts = entity.names.short_forms
+        if not shorts or not rng.maybe(spec.ambiguous_prob):
+            return entity.names.canonical
+        if spec.surface_choice == "secondary" and len(shorts) > 1:
+            return shorts[1]
+        if spec.surface_choice == "mixed":
+            return rng.choice(list(shorts))
+        return shorts[0]
+
+    def _mention_sentence(
+        self,
+        entity_id: EntityId,
+        spec: DocumentSpec,
+        rng: SeededRng,
+        offset: int,
+        allow_context: bool = True,
+    ) -> Tuple[List[str], Mention, bool]:
+        entity = self.world.entity(entity_id)
+        surface = self._surface_form(entity, spec, rng)
+        surface_tokens = surface.split()
+        has_context = allow_context and rng.maybe(spec.context_prob)
+        before: List[str] = []
+        after: List[str] = [rng.choice(_VERBS)]
+        if has_context:
+            # Own context: adjacent (shared, unique) theme-word pairs that
+            # mirror the entity's keyphrases.
+            own_words = list(
+                spec.context_overrides.get(
+                    entity.entity_id, entity.unique_words
+                )
+            )
+            unique = rng.sample(own_words, min(2, len(own_words)))
+            while len(unique) < 2:
+                unique.append(unique[0])
+            shared = rng.sample(list(entity.shared_words), 2)
+            after.extend([shared[0], unique[0]])
+            after.append("in")
+            after.extend([shared[1], unique[1]])
+        else:
+            # Sparse context: a lone cluster word at most.
+            if rng.maybe(0.5):
+                after.append(rng.choice(list(entity.shared_words)))
+        after.append(rng.choice(self.world.vocabulary.background))
+        after.append(".")
+        tokens = before + surface_tokens + after
+        start = offset + len(before)
+        mention = Mention(
+            surface=surface, start=start, end=start + len(surface_tokens)
+        )
+        return tokens, mention, has_context
+
+    def _filler_sentence(self, rng: SeededRng) -> List[str]:
+        length = rng.randint(5, 9)
+        words = [
+            rng.choice(self.world.vocabulary.background)
+            for _ in range(length)
+        ]
+        words.append(".")
+        return words
+
+    # ------------------------------------------------------------------
+    # Convenience corpus helper
+    # ------------------------------------------------------------------
+    def generate_many(
+        self, specs: Sequence[DocumentSpec]
+    ) -> List[AnnotatedDocument]:
+        """Generate a document per spec."""
+        return [self.generate(spec) for spec in specs]

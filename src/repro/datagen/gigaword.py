@@ -1,0 +1,253 @@
+"""AIDA-EE GigaWord-style timestamped news stream (Section 5.7.2).
+
+A stream of news documents over ``num_days`` days, generated from the world
+after spawning *emerging entities* — out-of-KB entities that share a name
+with a prominent in-KB entity (the hurricane-"Sandy" pattern).  The stream
+has the redundancy Chapter 5's harvesting relies on:
+
+* each active emerging entity appears in several documents per day with its
+  own theme words (absent from every in-KB candidate's model), so the model
+  difference of Algorithm 2 isolates a clean placeholder model;
+* in-KB entities accrue *news words* over time — fresh context vocabulary
+  absent from their encyclopedia keyphrases.  Early documents pair news
+  words with KB theme words (high-confidence → harvestable); later
+  documents, in particular the annotated test day, lean mostly on news
+  words, which is what makes keyphrase enrichment of existing entities pay
+  off (Figure 5.4, the "Theresa May" example).
+
+Two days are designated for annotation (hyper-parameter tuning vs. test),
+mirroring the paper's Oct-1/Nov-1 annotated slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datagen.documents import DocumentGenerator, DocumentSpec
+from repro.datagen.world import World, WorldEntity
+from repro.errors import DatasetError
+from repro.types import AnnotatedDocument, EntityId
+from repro.utils.rng import SeededRng
+
+
+@dataclass
+class GigawordConfig:
+    """Size and temporal knobs of the news stream."""
+    seed: int = 909
+    num_days: int = 40
+    docs_per_day: int = 12
+    #: Number of emerging entities spawned into the world.
+    emerging_count: int = 12
+    #: Emerging entities surface between these days.
+    emerging_first_day: int = 5
+    emerging_last_day: int = 25
+    #: Annotated days (train = tuning, test = evaluation).
+    train_day: int = 30
+    test_day: int = 38
+    #: Documents about each active emerging entity per day.
+    ee_docs_per_day: int = 2
+    #: Fraction of in-KB own-context words replaced by news words, before
+    #: and at/after the test day.
+    news_word_fraction_early: float = 0.35
+    news_word_fraction_late: float = 0.75
+    mentions_low: int = 6
+    mentions_high: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.train_day < self.num_days:
+            raise DatasetError("train_day out of range")
+        if not 0 <= self.test_day < self.num_days:
+            raise DatasetError("test_day out of range")
+        if self.emerging_last_day >= min(self.train_day, self.test_day):
+            raise DatasetError(
+                "emerging entities must surface before the annotated days"
+            )
+
+
+@dataclass
+class NewsStream:
+    """The generated stream plus its annotated slices."""
+
+    config: GigawordConfig
+    documents: List[AnnotatedDocument] = field(default_factory=list)
+    #: The emerging entities spawned for this stream.
+    emerging_ids: List[EntityId] = field(default_factory=list)
+    #: News vocabulary assigned to in-KB entities (entity -> words).
+    news_words: Dict[EntityId, Tuple[str, ...]] = field(default_factory=dict)
+
+    def docs_on(self, day: int) -> List[AnnotatedDocument]:
+        """Documents published on the given day."""
+        return [d for d in self.documents if d.document.timestamp == day]
+
+    def docs_between(self, first_day: int, last_day: int) -> List[
+        AnnotatedDocument
+    ]:
+        """Documents with first_day <= timestamp <= last_day."""
+        return [
+            d
+            for d in self.documents
+            if first_day <= d.document.timestamp <= last_day
+        ]
+
+    def train_docs(self) -> List[AnnotatedDocument]:
+        """The annotated tuning-day documents."""
+        return self.docs_on(self.config.train_day)
+
+    def test_docs(self) -> List[AnnotatedDocument]:
+        """The annotated test-day documents."""
+        return self.docs_on(self.config.test_day)
+
+    def properties(self) -> Dict[str, float]:
+        """Dataset statistics in the shape of Table 5.2 (over the two
+        annotated days)."""
+        annotated = self.train_docs() + self.test_docs()
+        mentions = sum(len(d.gold) for d in annotated)
+        ee_mentions = sum(len(d.out_of_kb_gold()) for d in annotated)
+        words = sum(len(d.document.tokens) for d in annotated)
+        return {
+            "documents": len(annotated),
+            "mentions": mentions,
+            "mentions_with_emerging_entities": ee_mentions,
+            "words_per_article_avg": (
+                words / len(annotated) if annotated else 0.0
+            ),
+            "mentions_per_article_avg": (
+                mentions / len(annotated) if annotated else 0.0
+            ),
+        }
+
+
+def generate_gigaword(
+    world: World, config: Optional[GigawordConfig] = None
+) -> NewsStream:
+    """Spawn emerging entities into *world* and generate the stream.
+
+    Note: this mutates the world (adds emerging entities to clusters), so
+    generate the encyclopedia/KB *before* calling this — emerging entities
+    must not leak into the KB.
+    """
+    config = config if config is not None else GigawordConfig()
+    rng = SeededRng(config.seed).fork("gigaword")
+    emerging = world.spawn_emerging(
+        config.emerging_count,
+        config.emerging_first_day,
+        config.emerging_last_day,
+        seed=config.seed,
+    )
+    generator = DocumentGenerator(world, seed=config.seed)
+    news_words = _assign_news_words(world, rng)
+    stream = NewsStream(
+        config=config,
+        emerging_ids=[e.entity_id for e in emerging],
+        news_words=news_words,
+    )
+    doc_number = 0
+    cluster_ids = sorted(world.clusters)
+    for day in range(config.num_days):
+        day_rng = rng.fork(f"day:{day}")
+        # Regular cluster documents.
+        for _ in range(config.docs_per_day):
+            doc_number += 1
+            stream.documents.append(
+                _cluster_document(
+                    generator, world, cluster_ids, news_words,
+                    config, day, day_rng, doc_number,
+                )
+            )
+        # Emerging-entity documents (redundant coverage per EE).
+        for entity in emerging:
+            if entity.emerging_day is None or day < entity.emerging_day:
+                continue
+            for _ in range(config.ee_docs_per_day):
+                doc_number += 1
+                stream.documents.append(
+                    _emerging_document(
+                        generator, entity, config, day, doc_number
+                    )
+                )
+    return stream
+
+
+def _assign_news_words(
+    world: World, rng: SeededRng
+) -> Dict[EntityId, Tuple[str, ...]]:
+    """Fresh per-entity news vocabulary, disjoint from the entity's own
+    unique words."""
+    news: Dict[EntityId, Tuple[str, ...]] = {}
+    for entity_id in world.in_kb_ids():
+        entity = world.entity(entity_id)
+        topic = [
+            word
+            for word in world.vocabulary.topic_words(entity.domain)
+            if word not in entity.unique_words
+        ]
+        news[entity_id] = tuple(
+            rng.fork(f"news:{entity_id}").sample(topic, 4)
+        )
+    return news
+
+
+def _cluster_document(
+    generator: DocumentGenerator,
+    world: World,
+    cluster_ids: Sequence[int],
+    news_words: Dict[EntityId, Tuple[str, ...]],
+    config: GigawordConfig,
+    day: int,
+    rng: SeededRng,
+    doc_number: int,
+) -> AnnotatedDocument:
+    cluster_id = rng.choice(cluster_ids)
+    late = day >= config.test_day
+    news_fraction = (
+        config.news_word_fraction_late
+        if late
+        else config.news_word_fraction_early
+    )
+    overrides: Dict[EntityId, Tuple[str, ...]] = {}
+    for member in world.cluster_members(cluster_id):
+        entity = world.entity(member)
+        if not entity.in_kb or member not in news_words:
+            continue
+        if rng.maybe(news_fraction):
+            if late:
+                # Test-day context is dominated by news vocabulary.
+                overrides[member] = news_words[member]
+            else:
+                # Early documents mix news and KB words so the entity is
+                # still resolvable with KB keyphrases (high confidence).
+                mixed = list(news_words[member][:2]) + list(
+                    entity.unique_words[:2]
+                )
+                overrides[member] = tuple(mixed)
+    spec = DocumentSpec(
+        doc_id=f"news-{doc_number:05d}",
+        cluster_ids=[cluster_id],
+        num_mentions=rng.randint(config.mentions_low, config.mentions_high),
+        ambiguous_prob=0.8,
+        context_prob=0.7,
+        timestamp=day,
+        context_overrides=overrides,
+    )
+    return generator.generate(spec)
+
+
+def _emerging_document(
+    generator: DocumentGenerator,
+    entity: WorldEntity,
+    config: GigawordConfig,
+    day: int,
+    doc_number: int,
+) -> AnnotatedDocument:
+    spec = DocumentSpec(
+        doc_id=f"news-{doc_number:05d}",
+        cluster_ids=[entity.cluster_id],
+        forced_entities=[entity.entity_id],
+        num_mentions=6,
+        ambiguous_prob=0.8,
+        context_prob=0.9,
+        distractor_prob=0.0,
+        timestamp=day,
+    )
+    return generator.generate(spec)

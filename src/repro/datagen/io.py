@@ -1,0 +1,113 @@
+"""Corpus serialization.
+
+Annotated corpora are written as JSON Lines — one document per line with
+its tokens, mention spans, gold entities and timestamp — the format the
+original AIDA project distributes its CoNLL-YAGO annotations in (modulo
+syntax).  Serialized corpora let experiments re-run without regenerating
+the world, and make the synthetic gold standards inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.errors import DatasetError
+from repro.types import (
+    AnnotatedDocument,
+    Annotation,
+    Document,
+    Mention,
+)
+
+FORMAT_VERSION = 1
+
+
+def document_to_dict(annotated: AnnotatedDocument) -> dict:
+    """One document as a plain JSON-serializable dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "doc_id": annotated.doc_id,
+        "timestamp": annotated.document.timestamp,
+        "tokens": list(annotated.document.tokens),
+        "gold": [
+            {
+                "surface": annotation.mention.surface,
+                "start": annotation.mention.start,
+                "end": annotation.mention.end,
+                "entity": annotation.entity,
+            }
+            for annotation in annotated.gold
+        ],
+    }
+
+
+def document_from_dict(data: dict) -> AnnotatedDocument:
+    """Inverse of :func:`document_to_dict`, with validation."""
+    try:
+        version = data["version"]
+        if version != FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported corpus format version: {version}"
+            )
+        tokens = tuple(str(tok) for tok in data["tokens"])
+        gold: List[Annotation] = []
+        for row in data["gold"]:
+            mention = Mention(
+                surface=str(row["surface"]),
+                start=int(row["start"]),
+                end=int(row["end"]),
+            )
+            if mention.end > len(tokens):
+                raise DatasetError(
+                    f"mention span {mention.start}:{mention.end} exceeds "
+                    f"document length {len(tokens)}"
+                )
+            gold.append(
+                Annotation(mention=mention, entity=str(row["entity"]))
+            )
+        document = Document(
+            doc_id=str(data["doc_id"]),
+            tokens=tokens,
+            mentions=tuple(ann.mention for ann in gold),
+            timestamp=int(data.get("timestamp", 0)),
+        )
+        return AnnotatedDocument(document=document, gold=tuple(gold))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetError(f"malformed corpus record: {exc}") from exc
+
+
+def save_corpus(
+    documents: Iterable[AnnotatedDocument], path: str
+) -> int:
+    """Write documents as JSON Lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for annotated in documents:
+            handle.write(
+                json.dumps(
+                    document_to_dict(annotated), ensure_ascii=False,
+                    sort_keys=True,
+                )
+            )
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_corpus(path: str) -> List[AnnotatedDocument]:
+    """Read a JSON Lines corpus written by :func:`save_corpus`."""
+    documents: List[AnnotatedDocument] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            documents.append(document_from_dict(data))
+    return documents

@@ -1,0 +1,177 @@
+"""Name material with constructed ambiguity.
+
+The central difficulty of NED is that names are shared: "Page" may be a
+guitarist, an executive, or a town; "Kashmir" a region or a song; country
+names double as national sports teams (metonymy).  This module generates
+capitalized name tokens and hands out *shared* short names deliberately, so
+the synthetic corpora exhibit the same ambiguity structure the paper's
+corpora do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import DatasetError
+from repro.utils.rng import SeededRng
+from repro.datagen.vocabulary import make_word
+
+
+def _capitalize(word: str) -> str:
+    return word[:1].upper() + word[1:]
+
+
+@dataclass
+class NamePools:
+    """Reusable pools of name tokens.
+
+    ``family_names`` and ``place_names`` are intentionally small relative to
+    the number of entities drawing from them, which is what creates
+    ambiguity: several persons share one family name, a sports team shares
+    its city's name, a song shares a region's name.
+    """
+
+    first_names: List[str] = field(default_factory=list)
+    family_names: List[str] = field(default_factory=list)
+    place_names: List[str] = field(default_factory=list)
+    org_words: List[str] = field(default_factory=list)
+    title_words: List[str] = field(default_factory=list)
+
+
+def generate_name_pools(
+    seed: int,
+    first_names: int = 60,
+    family_names: int = 80,
+    place_names: int = 60,
+    org_words: int = 60,
+    title_words: int = 80,
+) -> NamePools:
+    """Generate all name-token pools (unique across pools)."""
+    rng = SeededRng(seed).fork("names")
+    seen: Set[str] = set()
+
+    def fresh(source: SeededRng, syllables: int) -> str:
+        for attempt in range(100):
+            word = _capitalize(make_word(source, syllables + attempt // 20))
+            if word not in seen:
+                seen.add(word)
+                return word
+        raise DatasetError("could not generate a unique name token")
+
+    return NamePools(
+        first_names=[fresh(rng.fork("first"), 1) for _ in range(first_names)],
+        family_names=[
+            fresh(rng.fork("family"), 2) for _ in range(family_names)
+        ],
+        place_names=[fresh(rng.fork("place"), 2) for _ in range(place_names)],
+        org_words=[fresh(rng.fork("org"), 2) for _ in range(org_words)],
+        title_words=[fresh(rng.fork("title"), 1) for _ in range(title_words)],
+    )
+
+
+@dataclass(frozen=True)
+class EntityNames:
+    """The naming of one entity: its canonical full name plus the shorter,
+    ambiguous surface forms documents may use."""
+
+    canonical: str
+    short_forms: Tuple[str, ...] = ()
+
+    @property
+    def all_forms(self) -> Tuple[str, ...]:
+        """Canonical name followed by the distinct short forms."""
+        forms = [self.canonical]
+        for short in self.short_forms:
+            if short not in forms:
+                forms.append(short)
+        return tuple(forms)
+
+
+class NameFactory:
+    """Hands out entity names, deliberately re-using short forms.
+
+    The factory tracks how often each short form has been given out so the
+    world generator can steer the ambiguity level.
+    """
+
+    def __init__(self, pools: NamePools, rng: SeededRng):
+        self._pools = pools
+        self._rng = rng
+        self._short_form_uses: Dict[str, int] = {}
+
+    def uses_of(self, short_form: str) -> int:
+        """How many entities received this short form so far."""
+        return self._short_form_uses.get(short_form, 0)
+
+    def _note(self, *short_forms: str) -> None:
+        for form in short_forms:
+            self._short_form_uses[form] = (
+                self._short_form_uses.get(form, 0) + 1
+            )
+
+    def person_name(
+        self, shared_family: Optional[str] = None
+    ) -> EntityNames:
+        """First + family name; the bare family name (and first name) are
+        the ambiguous short forms.  Pass ``shared_family`` to force family-
+        name collision with other persons."""
+        first = self._rng.choice(self._pools.first_names)
+        family = (
+            shared_family
+            if shared_family is not None
+            else self._rng.choice(self._pools.family_names)
+        )
+        canonical = f"{first} {family}"
+        self._note(family, first)
+        return EntityNames(canonical=canonical, short_forms=(family, first))
+
+    def place_name(self, base: Optional[str] = None) -> EntityNames:
+        """A single-token place name (city, region, country)."""
+        name = base if base is not None else self._rng.choice(
+            self._pools.place_names
+        )
+        self._note(name)
+        return EntityNames(canonical=name, short_forms=(name,))
+
+    def team_name(self, place: str) -> EntityNames:
+        """A sports team named after its city — the metonymy pattern: the
+        bare city name is a short form of the team."""
+        suffix = self._rng.choice(["United", "City", "Rovers", "Athletic"])
+        canonical = f"{place} {suffix}"
+        self._note(place)
+        return EntityNames(canonical=canonical, short_forms=(place,))
+
+    def org_name(self, with_acronym: bool = False) -> EntityNames:
+        """A multi-word organization name, optionally with an acronym."""
+        words = self._rng.sample(self._pools.org_words, 2)
+        suffix = self._rng.choice(["Group", "Corporation", "Agency", "Labs"])
+        canonical = " ".join(words + [suffix])
+        shorts: List[str] = [words[0]]
+        if with_acronym:
+            acronym = "".join(w[0].upper() for w in words + [suffix])
+            shorts.append(acronym)
+        self._note(*shorts)
+        return EntityNames(canonical=canonical, short_forms=tuple(shorts))
+
+    def work_title(self, shared: Optional[str] = None) -> EntityNames:
+        """A title for a song/album/film — one or two title words; pass
+        ``shared`` to collide with a place or another work (the
+        "Kashmir" pattern)."""
+        if shared is not None:
+            self._note(shared)
+            return EntityNames(canonical=shared, short_forms=(shared,))
+        if self._rng.maybe(0.5):
+            name = self._rng.choice(self._pools.title_words)
+        else:
+            name = " ".join(self._rng.sample(self._pools.title_words, 2))
+        self._note(name)
+        return EntityNames(canonical=name, short_forms=(name,))
+
+    def band_name(self) -> EntityNames:
+        """A stylized band name; its title word is the short form."""
+        word = self._rng.choice(self._pools.title_words)
+        style = self._rng.choice(["The %s", "%s Brigade", "%s Machine"])
+        canonical = style % word
+        self._note(word)
+        return EntityNames(canonical=canonical, short_forms=(word,))

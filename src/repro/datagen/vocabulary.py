@@ -1,0 +1,98 @@
+"""Pseudo-natural vocabulary generation.
+
+Generates pronounceable lower-case words from syllables, partitioned into a
+global *background* vocabulary (filler text) and per-domain *topic*
+vocabularies (from which entity theme words and keyphrases are drawn).
+Words are unique across partitions so that observing a topic word in a
+document is genuine evidence for its domain, mirroring how real topical
+vocabulary behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import DatasetError
+from repro.utils.rng import SeededRng
+
+_ONSETS = [
+    "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j",
+    "k", "l", "m", "n", "p", "pl", "pr", "r", "s", "sh", "sl", "st", "t",
+    "th", "tr", "v", "w", "z",
+]
+_VOWELS = ["a", "e", "i", "o", "u", "ai", "ea", "ou", "io"]
+_CODAS = ["", "n", "r", "l", "s", "t", "m", "nd", "rn", "st", "ck", "x"]
+
+#: Default topical domains of the synthetic world.
+DOMAINS = ("music", "sports", "politics", "business", "tech", "film")
+
+
+def make_word(rng: SeededRng, syllables: int) -> str:
+    """One pronounceable pseudo-word with the given syllable count."""
+    parts: List[str] = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_ONSETS))
+        parts.append(rng.choice(_VOWELS))
+    parts.append(rng.choice(_CODAS))
+    return "".join(parts)
+
+
+@dataclass
+class Vocabulary:
+    """Partitioned word inventory of the synthetic world."""
+
+    background: List[str] = field(default_factory=list)
+    topics: Dict[str, List[str]] = field(default_factory=dict)
+
+    def topic_words(self, domain: str) -> List[str]:
+        """The topic vocabulary of a domain."""
+        if domain not in self.topics:
+            raise DatasetError(f"unknown domain: {domain!r}")
+        return self.topics[domain]
+
+    @property
+    def domains(self) -> List[str]:
+        """All domains, sorted."""
+        return sorted(self.topics)
+
+    def all_words(self) -> List[str]:
+        """Background plus all topic words."""
+        words = list(self.background)
+        for domain in sorted(self.topics):
+            words.extend(self.topics[domain])
+        return words
+
+
+def generate_vocabulary(
+    seed: int,
+    background_size: int = 400,
+    topic_size: int = 160,
+    domains: Sequence[str] = DOMAINS,
+) -> Vocabulary:
+    """Generate the partitioned vocabulary deterministically.
+
+    Uniqueness across all partitions is enforced; collisions are retried
+    with more syllables.
+    """
+    rng = SeededRng(seed).fork("vocabulary")
+    seen = set()
+
+    def fresh_word(source: SeededRng, syllables: int) -> str:
+        for attempt in range(100):
+            word = make_word(source, syllables + (attempt // 20))
+            if word not in seen:
+                seen.add(word)
+                return word
+        raise DatasetError("could not generate a unique word")
+
+    background = [
+        fresh_word(rng, 1 + (index % 2)) for index in range(background_size)
+    ]
+    topics: Dict[str, List[str]] = {}
+    for domain in domains:
+        domain_rng = rng.fork(f"topic:{domain}")
+        topics[domain] = [
+            fresh_word(domain_rng, 2) for _ in range(topic_size)
+        ]
+    return Vocabulary(background=background, topics=topics)

@@ -1,0 +1,556 @@
+"""The latent entity universe behind all synthetic data.
+
+The *world* is the ground-truth reality from which both the synthetic
+encyclopedia (→ knowledge base) and every evaluation corpus are generated.
+It consists of:
+
+* **entities** grouped into topically coherent **clusters** (a band with its
+  members and songs; two football clubs with players, cities and a stadium;
+  a country with its government and politicians; ...),
+* per-cluster **shared theme words** and per-entity **unique theme words**
+  drawn from the domain's topic vocabulary — these drive keyphrases, article
+  text and document context, so keyphrase overlap faithfully reflects latent
+  relatedness,
+* **Zipfian popularity**, which drives anchor counts (the prior) and article
+  link density (so long-tail entities are link-poor but keyphrase-rich —
+  the regime where KORE beats Milne–Witten),
+* **constructed name ambiguity**: shared family names, city/team metonymy,
+  song titles colliding with place names, acronyms,
+* a fraction of **out-of-KB entities** (never enter the encyclopedia) and,
+  on demand, **emerging entities** that share a name with a prominent in-KB
+  entity and only ever appear in the news stream (Chapter 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DatasetError
+from repro.datagen.names import (
+    EntityNames,
+    NameFactory,
+    generate_name_pools,
+)
+from repro.datagen.vocabulary import (
+    DOMAINS,
+    Vocabulary,
+    generate_vocabulary,
+)
+from repro.types import EntityId
+from repro.utils.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class WorldEntity:
+    """One entity of the latent world (in-KB or not)."""
+
+    entity_id: EntityId
+    names: EntityNames
+    types: Tuple[str, ...]
+    domain: str
+    cluster_id: int
+    popularity: float
+    shared_words: Tuple[str, ...]
+    unique_words: Tuple[str, ...]
+    in_kb: bool = True
+    emerging_day: Optional[int] = None
+
+    @property
+    def is_emerging(self) -> bool:
+        """Whether the entity only exists in the news stream."""
+        return self.emerging_day is not None
+
+    @property
+    def theme_words(self) -> Tuple[str, ...]:
+        """Shared cluster words plus entity-unique words."""
+        return self.shared_words + self.unique_words
+
+
+@dataclass
+class Cluster:
+    """A topically coherent group of entities."""
+
+    cluster_id: int
+    domain: str
+    shared_words: Tuple[str, ...]
+    members: List[EntityId] = field(default_factory=list)
+
+
+@dataclass
+class WorldConfig:
+    """Size and ambiguity knobs of the world generator."""
+
+    seed: int = 7
+    clusters_per_domain: int = 8
+    domains: Sequence[str] = DOMAINS
+    #: Words shared by all members of a cluster.
+    shared_words_per_cluster: int = 8
+    #: Words unique to each entity.
+    unique_words_per_entity: int = 5
+    #: Probability that a new person re-uses an already used family name.
+    family_sharing: float = 0.55
+    #: When a family name is shared, probability of picking one already
+    #: used in the *same domain* — this creates the hard "Burkhard Reich
+    #: vs. Marco Reich" cases where the confusable candidates also share
+    #: topical vocabulary.
+    same_domain_family_bias: float = 0.6
+    #: Size of each domain's topic vocabulary.  Smaller vocabularies make
+    #: single words collide across entities, so that only word *pairs*
+    #: (keyphrases) are discriminative.
+    topic_vocabulary_size: int = 80
+    #: Name-pool sizes.  Smaller pools force more entities to share each
+    #: name, raising the ambiguity (candidates per mention).
+    first_name_pool: int = 60
+    family_name_pool: int = 80
+    place_name_pool: int = 60
+    title_word_pool: int = 80
+    #: Probability that a song/film title collides with a place name.
+    title_place_collision: float = 0.35
+    #: Fraction of entities that never enter the knowledge base.
+    out_of_kb_fraction: float = 0.18
+    #: Zipf exponent of the popularity distribution.
+    zipf_exponent: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.clusters_per_domain < 1:
+            raise DatasetError("clusters_per_domain must be >= 1")
+        if not 0.0 <= self.out_of_kb_fraction < 1.0:
+            raise DatasetError("out_of_kb_fraction must be in [0, 1)")
+
+
+class World:
+    """The generated universe.  Use :meth:`generate` to build one."""
+
+    def __init__(self, config: WorldConfig, vocabulary: Vocabulary):
+        self.config = config
+        self.vocabulary = vocabulary
+        self.entities: Dict[EntityId, WorldEntity] = {}
+        self.clusters: Dict[int, Cluster] = {}
+        self._id_counter = 0
+        self._used_family_names: List[str] = []
+        self._family_names_by_domain: Dict[str, List[str]] = {}
+        self._used_place_names: List[str] = []
+        self._emerging_counter = 0
+
+    # ==================================================================
+    # Generation
+    # ==================================================================
+    @staticmethod
+    def generate(config: Optional[WorldConfig] = None) -> "World":
+        """Generate a world from the configuration (deterministic)."""
+        config = config if config is not None else WorldConfig()
+        vocabulary = generate_vocabulary(
+            config.seed,
+            topic_size=config.topic_vocabulary_size,
+            domains=tuple(config.domains),
+        )
+        world = World(config, vocabulary)
+        rng = SeededRng(config.seed).fork("world")
+        pools = generate_name_pools(
+            config.seed,
+            first_names=config.first_name_pool,
+            family_names=config.family_name_pool,
+            place_names=config.place_name_pool,
+            title_words=config.title_word_pool,
+        )
+        factory = NameFactory(pools, rng.fork("namefactory"))
+        cluster_id = 0
+        for domain in config.domains:
+            for _ in range(config.clusters_per_domain):
+                world._build_cluster(domain, cluster_id, rng, factory)
+                cluster_id += 1
+        world._assign_popularity(rng.fork("popularity"))
+        world._mark_out_of_kb(rng.fork("ookb"))
+        return world
+
+    # ------------------------------------------------------------------
+    # Cluster construction per domain
+    # ------------------------------------------------------------------
+    def _build_cluster(
+        self,
+        domain: str,
+        cluster_id: int,
+        rng: SeededRng,
+        factory: NameFactory,
+    ) -> None:
+        cluster_rng = rng.fork(f"cluster:{cluster_id}")
+        topic = self.vocabulary.topic_words(domain)
+        shared = tuple(
+            cluster_rng.sample(topic, self.config.shared_words_per_cluster)
+        )
+        cluster = Cluster(
+            cluster_id=cluster_id, domain=domain, shared_words=shared
+        )
+        self.clusters[cluster_id] = cluster
+        builders = {
+            "music": self._music_cluster,
+            "sports": self._sports_cluster,
+            "politics": self._politics_cluster,
+            "business": self._business_cluster,
+            "tech": self._tech_cluster,
+            "film": self._film_cluster,
+        }
+        builder = builders.get(domain, self._generic_cluster)
+        builder(cluster, cluster_rng, factory)
+
+    def _add_entity(
+        self,
+        cluster: Cluster,
+        names: EntityNames,
+        types: Tuple[str, ...],
+        rng: SeededRng,
+    ) -> WorldEntity:
+        self._id_counter += 1
+        entity_id = f"E{self._id_counter:05d}_" + names.canonical.replace(
+            " ", "_"
+        )
+        topic = self.vocabulary.topic_words(cluster.domain)
+        unique = tuple(
+            rng.sample(topic, self.config.unique_words_per_entity)
+        )
+        entity = WorldEntity(
+            entity_id=entity_id,
+            names=names,
+            types=types,
+            domain=cluster.domain,
+            cluster_id=cluster.cluster_id,
+            popularity=1.0,  # replaced by _assign_popularity
+            shared_words=cluster.shared_words,
+            unique_words=unique,
+        )
+        self.entities[entity_id] = entity
+        cluster.members.append(entity_id)
+        return entity
+
+    def _shared_family(
+        self, cluster: Cluster, rng: SeededRng
+    ) -> Optional[str]:
+        """Pick a family name to re-use, preferring the same domain but
+        never the same cluster — two same-named people inside one topical
+        cluster would be irresolvable even for a human annotator."""
+        if not self._used_family_names or not rng.maybe(
+            self.config.family_sharing
+        ):
+            return None
+        in_cluster = {
+            self.entities[member].names.short_forms[0]
+            for member in cluster.members
+            if self.entities[member].names.short_forms
+        }
+        same_domain = [
+            name
+            for name in self._family_names_by_domain.get(cluster.domain, [])
+            if name not in in_cluster
+        ]
+        if same_domain and rng.maybe(self.config.same_domain_family_bias):
+            return rng.choice(same_domain)
+        usable = [
+            name
+            for name in self._used_family_names
+            if name not in in_cluster
+        ]
+        return rng.choice(usable) if usable else None
+
+    def _person(
+        self, cluster: Cluster, rng: SeededRng, factory: NameFactory,
+        types: Tuple[str, ...],
+    ) -> WorldEntity:
+        names = factory.person_name(
+            shared_family=self._shared_family(cluster, rng)
+        )
+        family = names.short_forms[0]
+        if family not in self._used_family_names:
+            self._used_family_names.append(family)
+        per_domain = self._family_names_by_domain.setdefault(
+            cluster.domain, []
+        )
+        if family not in per_domain:
+            per_domain.append(family)
+        return self._add_entity(cluster, names, types, rng)
+
+    def _place(
+        self, cluster: Cluster, rng: SeededRng, factory: NameFactory,
+        types: Tuple[str, ...],
+    ) -> WorldEntity:
+        names = factory.place_name()
+        if names.canonical not in self._used_place_names:
+            self._used_place_names.append(names.canonical)
+        return self._add_entity(cluster, names, types, rng)
+
+    def _work(
+        self, cluster: Cluster, rng: SeededRng, factory: NameFactory,
+        types: Tuple[str, ...],
+    ) -> WorldEntity:
+        shared = None
+        if self._used_place_names and rng.maybe(
+            self.config.title_place_collision
+        ):
+            shared = rng.choice(self._used_place_names)
+        names = factory.work_title(shared=shared)
+        return self._add_entity(cluster, names, types, rng)
+
+    def _music_cluster(
+        self, cluster: Cluster, rng: SeededRng, factory: NameFactory
+    ) -> None:
+        self._add_entity(cluster, factory.band_name(), ("band",), rng)
+        for _ in range(rng.randint(2, 3)):
+            self._person(
+                cluster, rng, factory,
+                (rng.choice(["singer", "guitarist", "musician"]),),
+            )
+        for _ in range(rng.randint(2, 3)):
+            self._work(cluster, rng, factory, ("song",))
+        self._work(cluster, rng, factory, ("album",))
+
+    def _sports_cluster(
+        self, cluster: Cluster, rng: SeededRng, factory: NameFactory
+    ) -> None:
+        for _ in range(2):
+            city = self._place(cluster, rng, factory, ("city",))
+            team_names = factory.team_name(city.names.canonical)
+            self._add_entity(cluster, team_names, ("football_club",), rng)
+        for _ in range(rng.randint(3, 4)):
+            self._person(cluster, rng, factory, ("footballer",))
+        self._place(cluster, rng, factory, ("stadium",))
+        self._work(cluster, rng, factory, ("sports_event",))
+
+    def _politics_cluster(
+        self, cluster: Cluster, rng: SeededRng, factory: NameFactory
+    ) -> None:
+        country = self._place(cluster, rng, factory, ("country",))
+        capital = self._place(cluster, rng, factory, ("city",))
+        gov_names = EntityNames(
+            canonical=f"{country.names.canonical} Government",
+            # Metonymy: both the country and the capital name refer to the
+            # government in political prose.
+            short_forms=(country.names.canonical, capital.names.canonical),
+        )
+        self._add_entity(cluster, gov_names, ("government",), rng)
+        for _ in range(rng.randint(2, 3)):
+            self._person(cluster, rng, factory, ("politician",))
+        self._work(cluster, rng, factory, ("election",))
+
+    def _business_cluster(
+        self, cluster: Cluster, rng: SeededRng, factory: NameFactory
+    ) -> None:
+        for _ in range(rng.randint(1, 2)):
+            self._add_entity(
+                cluster, factory.org_name(with_acronym=True),
+                ("company",), rng,
+            )
+        for _ in range(2):
+            self._person(cluster, rng, factory, ("executive",))
+        self._work(cluster, rng, factory, ("product",))
+        self._place(cluster, rng, factory, ("city",))
+
+    def _tech_cluster(
+        self, cluster: Cluster, rng: SeededRng, factory: NameFactory
+    ) -> None:
+        self._add_entity(
+            cluster, factory.org_name(with_acronym=True), ("company",), rng
+        )
+        for _ in range(rng.randint(1, 2)):
+            self._work(cluster, rng, factory, ("product",))
+        self._work(cluster, rng, factory, ("video_game",))
+        for _ in range(2):
+            self._person(
+                cluster, rng, factory,
+                (rng.choice(["scientist", "executive"]),),
+            )
+
+    def _film_cluster(
+        self, cluster: Cluster, rng: SeededRng, factory: NameFactory
+    ) -> None:
+        self._work(cluster, rng, factory, ("film",))
+        self._work(cluster, rng, factory, ("tv_series",))
+        for _ in range(rng.randint(2, 3)):
+            self._person(cluster, rng, factory, ("actor",))
+        self._person(cluster, rng, factory, ("writer",))
+
+    def _generic_cluster(
+        self, cluster: Cluster, rng: SeededRng, factory: NameFactory
+    ) -> None:
+        for _ in range(4):
+            self._person(cluster, rng, factory, ("person",))
+
+    # ------------------------------------------------------------------
+    # Popularity and KB membership
+    # ------------------------------------------------------------------
+    def _assign_popularity(self, rng: SeededRng) -> None:
+        order = rng.shuffled(sorted(self.entities))
+        exponent = self.config.zipf_exponent
+        for rank, entity_id in enumerate(order, start=1):
+            entity = self.entities[entity_id]
+            popularity = 1000.0 / (rank**exponent)
+            self.entities[entity_id] = replace(entity, popularity=popularity)
+
+    def _mark_out_of_kb(self, rng: SeededRng) -> None:
+        """Mark the configured fraction of entities as out-of-KB, biased
+        towards the unpopular (Wikipedia's notability guideline)."""
+        ranked = sorted(
+            self.entities, key=lambda eid: self.entities[eid].popularity
+        )
+        target = int(len(ranked) * self.config.out_of_kb_fraction)
+        chosen = 0
+        for entity_id in ranked:
+            if chosen >= target:
+                break
+            # The least popular entities are most likely to be left out.
+            if rng.maybe(0.75):
+                entity = self.entities[entity_id]
+                self.entities[entity_id] = replace(entity, in_kb=False)
+                chosen += 1
+
+    # ==================================================================
+    # Emerging entities (Chapter 5)
+    # ==================================================================
+    def spawn_emerging(
+        self,
+        count: int,
+        first_day: int,
+        last_day: int,
+        seed: int,
+    ) -> List[WorldEntity]:
+        """Create emerging entities that share a name with a prominent
+        in-KB entity and attach each to an existing cluster for context.
+
+        The hurricane-"Sandy" pattern: the name already has in-KB
+        candidates, the new referent only exists in the news.
+        """
+        rng = SeededRng(seed).fork("emerging")
+        donors = [
+            eid
+            for eid in sorted(self.entities)
+            if self.entities[eid].in_kb
+            and not self.entities[eid].is_emerging
+            and len(self.entities[eid].names.short_forms) > 0
+        ]
+        donors.sort(key=lambda eid: -self.entities[eid].popularity)
+        donors = donors[: max(count * 3, 10)]
+        spawned: List[WorldEntity] = []
+        cluster_ids = sorted(self.clusters)
+        for index in range(count):
+            donor = self.entities[rng.choice(donors)]
+            shared_name = donor.names.short_forms[0]
+            cluster = self.clusters[rng.choice(cluster_ids)]
+            topic = self.vocabulary.topic_words(cluster.domain)
+            unique = tuple(
+                rng.sample(topic, self.config.unique_words_per_entity + 2)
+            )
+            self._emerging_counter += 1
+            entity_id = (
+                f"EE{self._emerging_counter:04d}_"
+                + shared_name.replace(" ", "_")
+            )
+            entity = WorldEntity(
+                entity_id=entity_id,
+                names=EntityNames(
+                    canonical=shared_name, short_forms=(shared_name,)
+                ),
+                types=(rng.choice(["person", "event", "product"]),),
+                domain=cluster.domain,
+                cluster_id=cluster.cluster_id,
+                popularity=5.0,
+                shared_words=cluster.shared_words,
+                unique_words=unique,
+                in_kb=False,
+                emerging_day=rng.randint(first_day, last_day),
+            )
+            self.entities[entity_id] = entity
+            cluster.members.append(entity_id)
+            spawned.append(entity)
+        return spawned
+
+    # ==================================================================
+    # Accessors
+    # ==================================================================
+    def entity(self, entity_id: EntityId) -> WorldEntity:
+        """The world entity by id; raises DatasetError when absent."""
+        if entity_id not in self.entities:
+            raise DatasetError(f"unknown world entity: {entity_id!r}")
+        return self.entities[entity_id]
+
+    def entity_ids(self) -> List[EntityId]:
+        """All world entity ids, sorted."""
+        return sorted(self.entities)
+
+    def in_kb_ids(self) -> List[EntityId]:
+        """Ids of entities registered in the knowledge base."""
+        return [
+            eid for eid in self.entity_ids() if self.entities[eid].in_kb
+        ]
+
+    def out_of_kb_ids(self) -> List[EntityId]:
+        """Ids of entities absent from the knowledge base."""
+        return [
+            eid for eid in self.entity_ids() if not self.entities[eid].in_kb
+        ]
+
+    def cluster_members(self, cluster_id: int) -> List[EntityId]:
+        """Member entity ids of a cluster."""
+        return list(self.clusters[cluster_id].members)
+
+    def cluster_popularity(self, cluster_id: int) -> float:
+        """Total popularity mass of a cluster — news coverage follows it."""
+        return sum(
+            self.entities[member].popularity
+            for member in self.clusters[cluster_id].members
+        )
+
+    def cluster_weights(self) -> Tuple[List[int], List[float]]:
+        """(cluster ids, popularity weights) for weighted cluster picks."""
+        ids = sorted(self.clusters)
+        return ids, [self.cluster_popularity(cid) for cid in ids]
+
+    def cluster_of(self, entity_id: EntityId) -> Cluster:
+        """The cluster an entity belongs to."""
+        return self.clusters[self.entity(entity_id).cluster_id]
+
+    # ------------------------------------------------------------------
+    # Keyphrases: the latent phrase model of an entity
+    # ------------------------------------------------------------------
+    def entity_phrases(self, entity_id: EntityId) -> List[Tuple[str, ...]]:
+        """Deterministic keyphrases of an entity from its theme words.
+
+        A mixture of one-, two- and three-word phrases combining the
+        entity's unique words with its cluster's shared words, so related
+        entities overlap partially (never exactly) in their phrase sets —
+        the regime KORE's partial matching is designed for.
+        """
+        entity = self.entity(entity_id)
+        shared = list(entity.shared_words)
+        unique = list(entity.unique_words)
+        phrases: List[Tuple[str, ...]] = []
+        for offset, word in enumerate(unique):
+            phrases.append((word,))
+            phrases.append((shared[offset % len(shared)], word))
+        for offset in range(0, len(unique) - 1):
+            phrases.append(
+                (
+                    shared[(offset + 1) % len(shared)],
+                    unique[offset],
+                    unique[offset + 1],
+                )
+            )
+        for offset in range(0, len(shared), 2):
+            pair = shared[offset : offset + 2]
+            if len(pair) == 2:
+                phrases.append(tuple(pair))
+        return phrases
+
+    def latent_relatedness(self, a: EntityId, b: EntityId) -> float:
+        """Ground-truth relatedness: weighted theme-word overlap.
+
+        Used to derive the relatedness gold standard; unique-word overlap
+        counts more than shared cluster vocabulary.
+        """
+        ea, eb = self.entity(a), self.entity(b)
+        unique_overlap = len(
+            set(ea.unique_words) & set(eb.unique_words)
+        )
+        shared_overlap = len(
+            set(ea.shared_words) & set(eb.shared_words)
+        )
+        same_cluster = 1.0 if ea.cluster_id == eb.cluster_id else 0.0
+        return 3.0 * unique_overlap + shared_overlap + 2.0 * same_cluster

@@ -1,0 +1,29 @@
+"""Emerging-entity discovery (Chapter 5, NED-EE)."""
+
+from repro.emerging.harvest import (
+    KeyphraseHarvester,
+    NameModel,
+)
+from repro.emerging.ee_model import EmergingEntityModel, build_ee_model
+from repro.emerging.discovery import EeConfig, EmergingEntityPipeline
+from repro.emerging.stream import (
+    docs_in_window,
+    name_document_support,
+)
+from repro.emerging.registration import (
+    EmergingEntityGrouper,
+    EmergingEntityRegistrar,
+)
+
+__all__ = [
+    "EmergingEntityGrouper",
+    "EmergingEntityRegistrar",
+    "KeyphraseHarvester",
+    "NameModel",
+    "EmergingEntityModel",
+    "build_ee_model",
+    "EeConfig",
+    "EmergingEntityPipeline",
+    "docs_in_window",
+    "name_document_support",
+]

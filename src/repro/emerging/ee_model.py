@@ -1,0 +1,128 @@
+"""Explicit emerging-entity model by model difference (Algorithm 2).
+
+For an ambiguous name *n*, the *global* model (phrases harvested around all
+news occurrences of n) covers every entity using the name — in-KB and
+emerging alike.  Since the in-KB candidates' keyphrase models are known,
+subtracting them isolates the emerging entity::
+
+    d(k) = α · ( b(k) − c(k) )
+
+where b is the global phrase count, c the total in-KB candidate count of
+the phrase, and α = |KB collection| / |news chunk| balances the differing
+collection sizes.  Phrases with non-positive adjusted count are dropped;
+what remains is the placeholder entity's keyphrase model, weighted like any
+other entity's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.emerging.harvest import NameModel
+from repro.kb.keyphrases import KeyphraseStore, Phrase
+from repro.types import EntityId
+
+#: Prefix of placeholder entity ids (one per ambiguous name).
+EE_PREFIX = "--EE--:"
+
+
+def ee_entity_id(name: str) -> EntityId:
+    """The placeholder entity id for mentions of *name*."""
+    return EE_PREFIX + name
+
+
+def is_ee_placeholder(entity_id: EntityId) -> bool:
+    """Whether the id denotes an EE placeholder."""
+    return entity_id.startswith(EE_PREFIX)
+
+
+@dataclass
+class EmergingEntityModel:
+    """The placeholder entity for one ambiguous name."""
+
+    name: str
+    entity_id: EntityId
+    phrase_counts: Dict[Phrase, int] = field(default_factory=dict)
+    occurrence_count: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the model difference left no phrases."""
+        return not self.phrase_counts
+
+    def top_phrases(self, limit: int) -> List[Tuple[Phrase, int]]:
+        """The highest-count placeholder phrases."""
+        ordered = sorted(
+            self.phrase_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ordered[:limit]
+
+
+def build_ee_model(
+    name_model: NameModel,
+    candidates: Sequence[EntityId],
+    store: KeyphraseStore,
+    kb_collection_size: int,
+    news_chunk_size: int,
+) -> EmergingEntityModel:
+    """Run the model difference of Algorithm 2.
+
+    Parameters
+    ----------
+    name_model:
+        The harvested global model of the name.
+    candidates:
+        The in-KB candidate entities for the name.
+    store:
+        The keyphrase store holding the candidates' models (possibly
+        already enriched with dynamically harvested phrases).
+    kb_collection_size / news_chunk_size:
+        Collection sizes for the balance factor α.
+    """
+    alpha = kb_collection_size / max(news_chunk_size, 1)
+    model = EmergingEntityModel(
+        name=name_model.name, entity_id=ee_entity_id(name_model.name)
+    )
+    # Total in-KB count of each phrase across all candidates.
+    kb_counts: Dict[Phrase, int] = {}
+    for candidate in candidates:
+        for phrase, count in store.keyphrase_counts(candidate).items():
+            kb_counts[phrase] = kb_counts.get(phrase, 0) + count
+    for phrase, global_count in sorted(name_model.phrase_counts.items()):
+        adjusted = alpha * (global_count - kb_counts.get(phrase, 0))
+        if adjusted > 0.0:
+            model.phrase_counts[phrase] = max(1, round(adjusted))
+    # The EE occurrence count: global occurrences minus the mass the
+    # in-KB candidates account for, balanced the same way.
+    candidate_occurrences = len(candidates)
+    adjusted_occ = alpha * (
+        name_model.occurrence_count - candidate_occurrences
+    )
+    model.occurrence_count = max(1, round(adjusted_occ)) if (
+        adjusted_occ > 0
+    ) else 1
+    return model
+
+
+def register_ee_models(
+    store: KeyphraseStore,
+    models: Sequence[EmergingEntityModel],
+    max_keyphrases: int = 0,
+) -> KeyphraseStore:
+    """Layer placeholder models onto a *copy* of the store.
+
+    ``max_keyphrases`` (0 = unlimited) caps phrases per placeholder so
+    very chatty names do not dominate the long tail.
+    """
+    layered = store.copy()
+    for model in models:
+        layered.ensure_entity(model.entity_id)
+        items = (
+            model.top_phrases(max_keyphrases)
+            if max_keyphrases
+            else sorted(model.phrase_counts.items())
+        )
+        for phrase, count in items:
+            layered.add_keyphrase(model.entity_id, phrase, count)
+    return layered

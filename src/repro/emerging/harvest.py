@@ -1,0 +1,125 @@
+"""Dynamic keyphrase harvesting from news text (Section 5.5.1).
+
+For a mention occurrence, the harvesting context is the window of sentences
+around it (the paper uses 5 preceding and 5 following).  Keyphrase
+candidates are extracted from the window with the part-of-speech patterns
+of Appendix A (proper-noun runs and nominal technical terms) and counted.
+
+Two consumers:
+
+* the *name model* — phrases co-occurring with any mention of an ambiguous
+  name across a news chunk, the "global model" of Algorithm 2;
+* *entity enrichment* — phrases around occurrences that a confidence-aware
+  NED run resolved with very high confidence, added to the in-KB entity's
+  keyphrase model (the "Theresa May" scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.kb.dictionary import match_key
+from repro.kb.keyphrases import Phrase
+from repro.text.chunker import KeyphraseChunker
+from repro.text.sentences import sentence_containing, split_sentences
+from repro.types import Document, Mention
+
+
+@dataclass
+class NameModel:
+    """Harvested global model of a name: phrase counts and support."""
+
+    name: str
+    phrase_counts: Dict[Phrase, int] = field(default_factory=dict)
+    #: Number of mention occurrences the phrases were harvested around.
+    occurrence_count: int = 0
+
+    def add(self, phrases: Iterable[Phrase]) -> None:
+        """Record one occurrence and its phrases in the name model."""
+        self.occurrence_count += 1
+        for phrase in phrases:
+            self.phrase_counts[phrase] = (
+                self.phrase_counts.get(phrase, 0) + 1
+            )
+
+
+class KeyphraseHarvester:
+    """Extracts keyphrase candidates around mentions in documents."""
+
+    def __init__(
+        self,
+        sentence_window: int = 5,
+        chunker: KeyphraseChunker = None,
+    ):
+        if sentence_window < 0:
+            raise ValueError("sentence_window must be >= 0")
+        self.sentence_window = sentence_window
+        self._chunker = chunker if chunker is not None else KeyphraseChunker()
+        #: (doc_id, mention span) -> extracted phrases; harvesting sweeps
+        #: the same stream documents for many names/days, so this pays off.
+        self._cache: Dict[Tuple[str, int, int], List[Phrase]] = {}
+
+    # ------------------------------------------------------------------
+    # Context extraction
+    # ------------------------------------------------------------------
+    def context_phrases(
+        self, document: Document, mention: Mention
+    ) -> List[Phrase]:
+        """Keyphrase candidates from the sentence window around a mention,
+        excluding the mention's own tokens."""
+        cache_key = (document.doc_id, mention.start, mention.end)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        tokens = list(document.tokens)
+        spans = split_sentences(tokens)
+        own_span = sentence_containing(spans, mention.start)
+        own_index = spans.index(own_span) if own_span in spans else 0
+        first = max(0, own_index - self.sentence_window)
+        last = min(len(spans) - 1, own_index + self.sentence_window)
+        window_start = spans[first][0]
+        window_end = spans[last][1]
+        window = tokens[window_start:window_end]
+        mention_tokens = {
+            tok.lower() for tok in tokens[mention.start : mention.end]
+        }
+        phrases = self._chunker.extract(window)
+        result = [
+            phrase
+            for phrase in phrases
+            if not set(phrase) <= mention_tokens
+        ]
+        self._cache[cache_key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # The global name model (input to Algorithm 2)
+    # ------------------------------------------------------------------
+    def harvest_name_model(
+        self, documents: Sequence[Document], name: str
+    ) -> NameModel:
+        """Phrases co-occurring with mentions of *name* across a chunk."""
+        model = NameModel(name=name)
+        key = match_key(name)
+        for document in documents:
+            for mention in document.mentions:
+                if match_key(mention.surface) != key:
+                    continue
+                model.add(self.context_phrases(document, mention))
+        return model
+
+    # ------------------------------------------------------------------
+    # Entity enrichment from high-confidence occurrences
+    # ------------------------------------------------------------------
+    def harvest_entity_phrases(
+        self,
+        occurrences: Sequence[Tuple[Document, Mention]],
+    ) -> Dict[Phrase, int]:
+        """Aggregate phrase counts around a set of mention occurrences
+        (all resolved to the same entity by the caller)."""
+        counts: Dict[Phrase, int] = {}
+        for document, mention in occurrences:
+            for phrase in self.context_phrases(document, mention):
+                counts[phrase] = counts.get(phrase, 0) + 1
+        return counts

@@ -1,0 +1,190 @@
+"""Registering discovered emerging entities (the KB life-cycle step).
+
+Section 5.6 / Figure 5.2: once mentions have been identified as emerging,
+"the mentions that are mapped to the same EE can be grouped together, and
+this group is added — together with its keyphrase representation — to the
+KB for the further processing in the KB maintenance life-cycle".  The TAC
+KBP evolution the paper recounts (Section 2.2.4) adds the same
+requirement: cluster out-of-KB mentions so each cluster is one new thing.
+
+This module implements that step:
+
+* :class:`EmergingEntityGrouper` clusters EE-labeled mentions — same name
+  (under the dictionary's case rules) and sufficiently similar harvested
+  context; two unrelated emerging "Prisms" stay apart;
+* :class:`EmergingEntityRegistrar` turns mature groups (enough distinct
+  supporting documents) into provisional KB entities on a *copy* of the
+  knowledge base, with the group's aggregated keyphrases, so subsequent
+  disambiguation runs can link to them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.emerging.harvest import KeyphraseHarvester
+from repro.kb.dictionary import match_key
+from repro.kb.entity import Entity
+from repro.kb.keyphrases import Phrase
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.types import Document, EntityId, Mention
+
+#: Prefix of provisionally registered (not yet canonicalized) entities.
+PROVISIONAL_PREFIX = "NEW:"
+
+
+def _words_of(phrases: Dict[Phrase, int]) -> set:
+    return {word for phrase in phrases for word in phrase}
+
+
+def _jaccard(a: Dict[Phrase, int], b: Dict[Phrase, int]) -> float:
+    """Word-level Jaccard of two phrase profiles.
+
+    Exact phrases rarely repeat across short news snippets, but an
+    entity's theme *words* do — word granularity is what separates two
+    unrelated emerging "Prisms" while merging occurrences of one.
+    """
+    words_a, words_b = _words_of(a), _words_of(b)
+    if not words_a or not words_b:
+        return 0.0
+    return len(words_a & words_b) / len(words_a | words_b)
+
+
+@dataclass
+class EmergingGroup:
+    """A cluster of EE mentions believed to denote one new entity."""
+
+    name: str
+    phrase_counts: Dict[Phrase, int] = field(default_factory=dict)
+    occurrences: List[Tuple[str, Mention]] = field(default_factory=list)
+
+    @property
+    def support(self) -> int:
+        """Number of distinct supporting documents."""
+        return len({doc_id for doc_id, _mention in self.occurrences})
+
+    def absorb(
+        self, doc_id: str, mention: Mention, phrases: Sequence[Phrase]
+    ) -> None:
+        """Add one occurrence and its phrases to the group."""
+        self.occurrences.append((doc_id, mention))
+        for phrase in phrases:
+            self.phrase_counts[phrase] = (
+                self.phrase_counts.get(phrase, 0) + 1
+            )
+
+    def top_phrases(self, limit: int = 20) -> List[Tuple[Phrase, int]]:
+        """The most frequent group phrases with counts."""
+        ordered = sorted(
+            self.phrase_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ordered[:limit]
+
+
+class EmergingEntityGrouper:
+    """Clusters EE mentions by name and context similarity."""
+
+    def __init__(
+        self,
+        harvester: Optional[KeyphraseHarvester] = None,
+        similarity_threshold: float = 0.1,
+    ):
+        if not 0.0 <= similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in [0, 1]")
+        self.similarity_threshold = similarity_threshold
+        self._harvester = (
+            harvester
+            if harvester is not None
+            else KeyphraseHarvester(sentence_window=1)
+        )
+        self._groups: Dict[str, List[EmergingGroup]] = {}
+
+    def add_occurrence(self, document: Document, mention: Mention) -> None:
+        """Assign one EE-labeled mention to a group (possibly a new one).
+
+        Grouping rule: mentions join the existing same-name group whose
+        phrase profile overlaps theirs best (Jaccard over phrases), if the
+        overlap reaches the threshold; otherwise they found a new group —
+        the hurricane "Sandy" and a new singer "Sandy" end up separate.
+        """
+        phrases = self._harvester.context_phrases(document, mention)
+        counts = {phrase: 1 for phrase in phrases}
+        key = match_key(mention.surface)
+        groups = self._groups.setdefault(key, [])
+        best: Optional[EmergingGroup] = None
+        best_similarity = 0.0
+        for group in groups:
+            similarity = _jaccard(counts, group.phrase_counts)
+            if similarity > best_similarity:
+                best = group
+                best_similarity = similarity
+        if best is None or best_similarity < self.similarity_threshold:
+            best = EmergingGroup(name=mention.surface)
+            groups.append(best)
+        best.absorb(document.doc_id, mention, phrases)
+
+    def groups(self, min_support: int = 1) -> List[EmergingGroup]:
+        """All groups with at least *min_support* distinct documents."""
+        result = [
+            group
+            for groups in self._groups.values()
+            for group in groups
+            if group.support >= min_support
+        ]
+        result.sort(key=lambda g: (-g.support, g.name))
+        return result
+
+
+class EmergingEntityRegistrar:
+    """Promotes mature EE groups to provisional KB entities."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        min_support: int = 3,
+        max_keyphrases: int = 50,
+    ):
+        if min_support < 1:
+            raise ValueError("min_support must be >= 1")
+        self.kb = kb
+        self.min_support = min_support
+        self.max_keyphrases = max_keyphrases
+        self._counter = 0
+
+    def register(
+        self, grouper: EmergingEntityGrouper
+    ) -> Tuple[KnowledgeBase, List[EntityId]]:
+        """Register all mature groups on a KB view; returns it plus the
+        new provisional entity ids.
+
+        The source KB is never mutated: entities, dictionary additions
+        and keyphrases land on a decoupled view, mirroring how a KB
+        maintenance pipeline stages new entries before human
+        canonicalization.
+        """
+        view = self.kb.editable_copy()
+        store = view.keyphrases
+        registered: List[EntityId] = []
+        for group in grouper.groups(min_support=self.min_support):
+            self._counter += 1
+            entity_id = (
+                f"{PROVISIONAL_PREFIX}{self._counter:04d}:"
+                + group.name.replace(" ", "_")
+            )
+            view.add_entity(
+                Entity(
+                    entity_id=entity_id,
+                    canonical_name=group.name,
+                    types=(),
+                )
+            )
+            for phrase, count in group.top_phrases(self.max_keyphrases):
+                store.add_keyphrase(entity_id, phrase, count)
+            registered.append(entity_id)
+        return view, registered
+
+
+def is_provisional(entity_id: EntityId) -> bool:
+    """Whether the id denotes a provisionally registered entity."""
+    return entity_id.startswith(PROVISIONAL_PREFIX)

@@ -1,0 +1,44 @@
+"""News-stream windowing utilities.
+
+Chapter 5 harvests keyphrases from *chunks* of news defined by publication
+time: the documents of the preceding days for an emerging-entity model, a
+longer window for enriching existing entities, and a support filter
+("mentioned in at least 10 distinct articles over the last 3 days") for
+selecting mentions the method has data for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.kb.dictionary import match_key
+from repro.types import Document
+
+
+def docs_in_window(
+    documents: Sequence[Document], first_day: int, last_day: int
+) -> List[Document]:
+    """Documents with first_day <= timestamp <= last_day (inclusive)."""
+    return [
+        doc
+        for doc in documents
+        if first_day <= doc.timestamp <= last_day
+    ]
+
+
+def document_mentions_name(document: Document, name: str) -> bool:
+    """Whether any mention in the document matches *name* under the
+    dictionary's case rules."""
+    key = match_key(name)
+    return any(
+        match_key(mention.surface) == key for mention in document.mentions
+    )
+
+
+def name_document_support(
+    documents: Iterable[Document], name: str
+) -> int:
+    """Number of distinct documents whose mentions include *name*."""
+    return sum(
+        1 for doc in documents if document_mentions_name(doc, name)
+    )

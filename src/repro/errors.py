@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class. Specific subclasses signal which subsystem failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class KnowledgeBaseError(ReproError):
+    """A knowledge-base operation failed (unknown entity, bad triple, ...)."""
+
+
+class UnknownEntityError(KnowledgeBaseError):
+    """An entity id was looked up that is not registered in the KB."""
+
+    def __init__(self, entity_id: str):
+        super().__init__(f"unknown entity: {entity_id!r}")
+        self.entity_id = entity_id
+
+
+class DictionaryError(KnowledgeBaseError):
+    """A name-dictionary operation failed."""
+
+
+class DisambiguationError(ReproError):
+    """The disambiguation pipeline could not produce a result."""
+
+
+class GraphError(DisambiguationError):
+    """The mention-entity graph is malformed or the algorithm hit an
+    unsatisfiable constraint (e.g. a mention with no candidate left)."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of its valid range."""
+
+
+class DatasetError(ReproError):
+    """A corpus/dataset generator received inconsistent parameters."""

@@ -1,0 +1,37 @@
+"""Evaluation measures and experiment runners."""
+
+from repro.eval.measures import (
+    EvaluationResult,
+    document_accuracy,
+    evaluate_documents,
+    macro_average_accuracy,
+    mean_average_precision,
+    micro_average_accuracy,
+    precision_at_confidence,
+)
+from repro.eval.ee_measures import EeResult, evaluate_emerging
+from repro.eval.ranking import (
+    cumulative_accuracy_by_links,
+    link_averaged_accuracy,
+    precision_recall_curve,
+    spearman,
+)
+from repro.eval.runner import CorpusRun, run_disambiguator
+
+__all__ = [
+    "EvaluationResult",
+    "document_accuracy",
+    "evaluate_documents",
+    "macro_average_accuracy",
+    "micro_average_accuracy",
+    "mean_average_precision",
+    "precision_at_confidence",
+    "EeResult",
+    "evaluate_emerging",
+    "spearman",
+    "precision_recall_curve",
+    "cumulative_accuracy_by_links",
+    "link_averaged_accuracy",
+    "CorpusRun",
+    "run_disambiguator",
+]

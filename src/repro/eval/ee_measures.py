@@ -1,0 +1,128 @@
+"""Emerging-entity discovery measures (Section 5.7.2).
+
+EE precision is the correct fraction of mentions a method labeled EE; EE
+recall is the fraction of gold-EE mentions the method found; both are
+averaged per document, and F1 is the per-document harmonic mean averaged —
+which is why average F1 can fall below both averages (a document with zero
+precision or recall contributes an F1 of zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.types import EntityId, Mention, is_out_of_kb
+
+
+@dataclass
+class EeDocumentOutcome:
+    """Per-document gold/predicted pairs for EE scoring."""
+    doc_id: str
+    #: (gold entity, predicted entity) per mention.
+    pairs: List[Tuple[EntityId, Optional[EntityId]]] = field(
+        default_factory=list
+    )
+
+    def _gold_ee(self) -> int:
+        return sum(1 for gold, _pred in self.pairs if is_out_of_kb(gold))
+
+    def _pred_ee(self) -> int:
+        return sum(1 for _gold, pred in self.pairs if is_out_of_kb(pred))
+
+    def _true_ee(self) -> int:
+        return sum(
+            1
+            for gold, pred in self.pairs
+            if is_out_of_kb(gold) and is_out_of_kb(pred)
+        )
+
+    @property
+    def precision(self) -> Optional[float]:
+        """EE precision (None when nothing was flagged EE)."""
+        predicted = self._pred_ee()
+        if predicted == 0:
+            return None  # undefined: method flagged nothing as EE
+        return self._true_ee() / predicted
+
+    @property
+    def recall(self) -> Optional[float]:
+        """EE recall (None when the document has no gold EE)."""
+        gold = self._gold_ee()
+        if gold == 0:
+            return None  # undefined: document has no EE mentions
+        return self._true_ee() / gold
+
+    @property
+    def f1(self) -> Optional[float]:
+        """Harmonic mean of EE precision and recall."""
+        precision, recall = self.precision, self.recall
+        if precision is None and recall is None:
+            return None
+        p = precision if precision is not None else 0.0
+        r = recall if recall is not None else 0.0
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+
+@dataclass
+class EeResult:
+    """Corpus-level EE scores (per-document averaged)."""
+    outcomes: List[EeDocumentOutcome] = field(default_factory=list)
+
+    @staticmethod
+    def _average(values: List[Optional[float]]) -> float:
+        defined = [v for v in values if v is not None]
+        return sum(defined) / len(defined) if defined else 0.0
+
+    @property
+    def precision(self) -> float:
+        """EE precision (None when nothing was flagged EE)."""
+        return self._average([o.precision for o in self.outcomes])
+
+    @property
+    def recall(self) -> float:
+        """EE recall (None when the document has no gold EE)."""
+        return self._average([o.recall for o in self.outcomes])
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of EE precision and recall."""
+        return self._average([o.f1 for o in self.outcomes])
+
+    @property
+    def micro_accuracy(self) -> float:
+        """Overall accuracy over all mentions (in-KB and EE together)."""
+        correct = total = 0
+        for outcome in self.outcomes:
+            for gold, pred in outcome.pairs:
+                total += 1
+                if gold == pred:
+                    correct += 1
+        return correct / total if total else 0.0
+
+    @property
+    def macro_accuracy(self) -> float:
+        """Per-document accuracy averaged over documents."""
+        scores = []
+        for outcome in self.outcomes:
+            if not outcome.pairs:
+                continue
+            good = sum(1 for gold, pred in outcome.pairs if gold == pred)
+            scores.append(good / len(outcome.pairs))
+        return sum(scores) / len(scores) if scores else 0.0
+
+
+def evaluate_emerging(
+    gold_maps: Sequence[Tuple[str, Dict[Mention, EntityId]]],
+    predicted_maps: Sequence[Dict[Mention, EntityId]],
+) -> EeResult:
+    """Evaluate EE discovery document-by-document (aligned by position)."""
+    result = EeResult()
+    for (doc_id, gold), predicted in zip(gold_maps, predicted_maps):
+        outcome = EeDocumentOutcome(doc_id=doc_id)
+        for mention, gold_entity in gold.items():
+            outcome.pairs.append((gold_entity, predicted.get(mention)))
+        result.outcomes.append(outcome)
+    return result

@@ -1,0 +1,181 @@
+"""Accuracy and ranking measures (Sections 3.6.1 and 5.7.1).
+
+* **Micro average accuracy** — fraction of correctly disambiguated gold
+  mentions over the whole collection.
+* **Document accuracy** — the per-document fraction.
+* **Macro average accuracy** — document accuracies averaged over documents.
+* **MAP** — interpolated mean average precision over a confidence ranking
+  of mention-entity pairs (Eq. 5.1), equivalent to the area under the
+  precision-recall curve.
+* **Precision@confidence** — precision over the pairs whose confidence is
+  at least a cutoff, plus how many pairs qualify.
+
+Chapter 3's evaluation considers only mentions whose gold entity is in the
+KB (Section 3.6.1); the runner handles that filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.types import EntityId, Mention
+
+
+@dataclass
+class DocumentOutcome:
+    """Per-document gold vs. predicted pairs (unique mentions)."""
+
+    doc_id: str
+    #: (gold entity, predicted entity, confidence or None) per mention.
+    pairs: List[Tuple[EntityId, Optional[EntityId], Optional[float]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def correct(self) -> int:
+        """Number of correctly predicted pairs."""
+        return sum(1 for gold, pred, _conf in self.pairs if gold == pred)
+
+    @property
+    def total(self) -> int:
+        """Number of evaluated pairs."""
+        return len(self.pairs)
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregated outcomes of one corpus run."""
+    outcomes: List[DocumentOutcome] = field(default_factory=list)
+
+    @property
+    def micro(self) -> float:
+        """Micro average accuracy."""
+        return micro_average_accuracy(self.outcomes)
+
+    @property
+    def macro(self) -> float:
+        """Macro average accuracy."""
+        return macro_average_accuracy(self.outcomes)
+
+    @property
+    def map(self) -> float:
+        """Interpolated mean average precision."""
+        return mean_average_precision(self.outcomes)
+
+    def precision_at(self, confidence: float) -> Tuple[float, int]:
+        """Precision and pair count at a confidence cutoff."""
+        return precision_at_confidence(self.outcomes, confidence)
+
+
+def micro_average_accuracy(outcomes: Sequence[DocumentOutcome]) -> float:
+    """Correct fraction pooled over all mentions."""
+    correct = sum(outcome.correct for outcome in outcomes)
+    total = sum(outcome.total for outcome in outcomes)
+    return correct / total if total else 0.0
+
+
+def document_accuracy(outcome: DocumentOutcome) -> float:
+    """Correct fraction within one document."""
+    return outcome.correct / outcome.total if outcome.total else 0.0
+
+
+def macro_average_accuracy(outcomes: Sequence[DocumentOutcome]) -> float:
+    """Document accuracies averaged over documents."""
+    scored = [document_accuracy(o) for o in outcomes if o.total > 0]
+    return sum(scored) / len(scored) if scored else 0.0
+
+
+def _ranked_correctness(
+    outcomes: Sequence[DocumentOutcome],
+) -> List[bool]:
+    """Mention pairs ordered by descending confidence (missing confidences
+    rank last); True where the prediction is correct."""
+    rows: List[Tuple[float, bool]] = []
+    for outcome in outcomes:
+        for gold, pred, conf in outcome.pairs:
+            rows.append(
+                (conf if conf is not None else float("-inf"), gold == pred)
+            )
+    rows.sort(key=lambda item: -item[0])
+    return [correct for _conf, correct in rows]
+
+
+def mean_average_precision(
+    outcomes: Sequence[DocumentOutcome], steps: int = 100
+) -> float:
+    """Interpolated MAP over the confidence ranking (Eq. 5.1): the average
+    of precision@recall-level over *steps* evenly spaced recall levels —
+    the area under the precision-recall curve."""
+    ranked = _ranked_correctness(outcomes)
+    if not ranked:
+        return 0.0
+    precisions: List[float] = []
+    correct = 0
+    for index, is_correct in enumerate(ranked, start=1):
+        if is_correct:
+            correct += 1
+        precisions.append(correct / index)
+    # Interpolated precision: the best precision at or beyond each cutoff.
+    interpolated = list(precisions)
+    for index in range(len(interpolated) - 2, -1, -1):
+        interpolated[index] = max(
+            interpolated[index], interpolated[index + 1]
+        )
+    total = 0.0
+    n = len(ranked)
+    for step in range(1, steps + 1):
+        cutoff = max(1, round(step / steps * n))
+        total += interpolated[cutoff - 1]
+    return total / steps
+
+
+def precision_recall_points(
+    outcomes: Sequence[DocumentOutcome],
+) -> List[Tuple[float, float]]:
+    """(recall, precision) points along the confidence ranking."""
+    ranked = _ranked_correctness(outcomes)
+    points: List[Tuple[float, float]] = []
+    correct = 0
+    n = len(ranked)
+    for index, is_correct in enumerate(ranked, start=1):
+        if is_correct:
+            correct += 1
+        points.append((index / n, correct / index))
+    return points
+
+
+def precision_at_confidence(
+    outcomes: Sequence[DocumentOutcome], confidence: float
+) -> Tuple[float, int]:
+    """Precision over pairs with confidence >= cutoff, and their count."""
+    qualifying: List[bool] = []
+    for outcome in outcomes:
+        for gold, pred, conf in outcome.pairs:
+            if conf is not None and conf >= confidence:
+                qualifying.append(gold == pred)
+    if not qualifying:
+        return (0.0, 0)
+    return (sum(qualifying) / len(qualifying), len(qualifying))
+
+
+def evaluate_documents(
+    gold_maps: Sequence[Tuple[str, Dict[Mention, EntityId]]],
+    predicted_maps: Sequence[
+        Dict[Mention, Tuple[Optional[EntityId], Optional[float]]]
+    ],
+) -> EvaluationResult:
+    """Pair up gold and predicted maps document-by-document.
+
+    ``gold_maps`` is (doc_id, mention -> gold entity); ``predicted_maps``
+    aligns by position and maps mention -> (predicted entity, confidence).
+    Mentions missing from the prediction count as wrong.
+    """
+    result = EvaluationResult()
+    for (doc_id, gold), predicted in zip(gold_maps, predicted_maps):
+        outcome = DocumentOutcome(doc_id=doc_id)
+        for mention, gold_entity in gold.items():
+            pred_entity, confidence = predicted.get(mention, (None, None))
+            outcome.pairs.append((gold_entity, pred_entity, confidence))
+        result.outcomes.append(outcome)
+    return result

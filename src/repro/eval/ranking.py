@@ -1,0 +1,92 @@
+"""Rank-correlation and curve utilities.
+
+* :func:`spearman` — Spearman rank correlation between a gold ranking and a
+  method's ranking of the same items (Table 4.2).
+* :func:`precision_recall_curve` — downsampled PR points (Figure 5.3).
+* :func:`cumulative_accuracy_by_links` — accuracy over mentions whose true
+  entity has at most *x* inlinks, per x (Figure 4.3), plus link-averaged
+  accuracy groups (Table 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+
+def spearman(
+    gold_order: Sequence[Hashable], method_order: Sequence[Hashable]
+) -> float:
+    """Spearman rank correlation of two orderings of the same item set."""
+    if set(gold_order) != set(method_order):
+        raise ValueError("both orderings must rank the same items")
+    n = len(gold_order)
+    if n < 2:
+        return 1.0
+    gold_rank = {item: rank for rank, item in enumerate(gold_order)}
+    method_rank = {item: rank for rank, item in enumerate(method_order)}
+    d_squared = sum(
+        (gold_rank[item] - method_rank[item]) ** 2 for item in gold_order
+    )
+    return 1.0 - (6.0 * d_squared) / (n * (n * n - 1))
+
+
+def precision_recall_curve(
+    points: Sequence[Tuple[float, float]], num_points: int = 20
+) -> List[Tuple[float, float]]:
+    """Downsample raw (recall, precision) points to ~num_points."""
+    if not points:
+        return []
+    if len(points) <= num_points:
+        return list(points)
+    step = len(points) / num_points
+    sampled = [
+        points[min(int(i * step), len(points) - 1)]
+        for i in range(1, num_points + 1)
+    ]
+    return sampled
+
+
+def cumulative_accuracy_by_links(
+    records: Sequence[Tuple[int, bool]],
+    max_links: Optional[int] = None,
+) -> List[Tuple[int, float]]:
+    """Per link-count x: accuracy over all records with inlinks <= x.
+
+    ``records`` are (inlink count of the gold entity, prediction correct).
+    Returns (x, cumulative accuracy) for each distinct x (≤ max_links).
+    """
+    ordered = sorted(records, key=lambda item: item[0])
+    curve: List[Tuple[int, float]] = []
+    correct = 0
+    total = 0
+    index = 0
+    while index < len(ordered):
+        links = ordered[index][0]
+        if max_links is not None and links > max_links:
+            break
+        while index < len(ordered) and ordered[index][0] == links:
+            total += 1
+            if ordered[index][1]:
+                correct += 1
+            index += 1
+        curve.append((links, correct / total))
+    return curve
+
+
+def link_averaged_accuracy(
+    records: Sequence[Tuple[int, bool]],
+    max_links: Optional[int] = None,
+) -> float:
+    """Macro-average accuracy over groups of records sharing the same
+    inlink count (the "link-averaged" rows of Table 4.3)."""
+    groups: Dict[int, List[bool]] = {}
+    for links, correct in records:
+        if max_links is not None and links > max_links:
+            continue
+        groups.setdefault(links, []).append(correct)
+    if not groups:
+        return 0.0
+    per_group = [
+        sum(flags) / len(flags) for _links, flags in sorted(groups.items())
+    ]
+    return sum(per_group) / len(per_group)

@@ -1,0 +1,202 @@
+"""TAC KBP-style entity-linking evaluation (Section 2.2.4).
+
+The TAC Knowledge Base Population workshop evaluates a different protocol
+than the CoNLL-style corpora: each document carries exactly **one** target
+mention, the system must link it to the KB or declare it NIL (out-of-KB),
+and the later editions additionally require NIL mentions to be clustered
+so that mentions of the same unseen entity share a cluster id.
+
+This module adapts any pipeline to that protocol and scores it with the
+standard measures: linking accuracy (micro, over all queries), in-KB
+accuracy, NIL accuracy, and B³ precision/recall/F1 over the NIL clusters
+(using the emerging-entity grouper for clustering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.emerging.registration import EmergingEntityGrouper
+from repro.types import (
+    AnnotatedDocument,
+    Document,
+    EntityId,
+    Mention,
+    is_out_of_kb,
+)
+
+
+@dataclass(frozen=True)
+class TacQuery:
+    """One evaluation query: a document with a single target mention."""
+
+    document: Document
+    mention: Mention
+    gold_entity: EntityId
+    #: For gold-NIL queries, an id grouping mentions of the same unseen
+    #: entity (the clustering gold standard).
+    gold_nil_cluster: Optional[str] = None
+
+
+def queries_from_corpus(
+    documents: Sequence[AnnotatedDocument],
+    nil_cluster_of=None,
+) -> List[TacQuery]:
+    """Explode an annotated corpus into single-mention queries.
+
+    Every gold mention becomes one query over its full document, as TAC
+    provides full documents but evaluates one mention each.
+    ``nil_cluster_of(doc, annotation) -> str`` supplies gold NIL cluster
+    ids; by default NIL mentions sharing a surface form share a cluster.
+    """
+    queries: List[TacQuery] = []
+    for annotated in documents:
+        for annotation in annotated.gold:
+            cluster = None
+            if is_out_of_kb(annotation.entity):
+                if nil_cluster_of is not None:
+                    cluster = nil_cluster_of(annotated, annotation)
+                else:
+                    cluster = annotation.mention.surface
+            queries.append(
+                TacQuery(
+                    document=annotated.document,
+                    mention=annotation.mention,
+                    gold_entity=annotation.entity,
+                    gold_nil_cluster=cluster,
+                )
+            )
+    return queries
+
+
+@dataclass
+class TacResult:
+    """Scores of one TAC-style run."""
+
+    total: int = 0
+    correct: int = 0
+    in_kb_total: int = 0
+    in_kb_correct: int = 0
+    nil_total: int = 0
+    nil_correct: int = 0
+    b3_precision: float = 0.0
+    b3_recall: float = 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Overall linking accuracy."""
+        return self.correct / self.total if self.total else 0.0
+
+    @property
+    def in_kb_accuracy(self) -> float:
+        """Accuracy over gold in-KB queries."""
+        return (
+            self.in_kb_correct / self.in_kb_total
+            if self.in_kb_total
+            else 0.0
+        )
+
+    @property
+    def nil_accuracy(self) -> float:
+        """Accuracy over gold NIL queries."""
+        return self.nil_correct / self.nil_total if self.nil_total else 0.0
+
+    @property
+    def b3_f1(self) -> float:
+        """B-cubed F1 over the NIL clusters."""
+        if self.b3_precision + self.b3_recall == 0.0:
+            return 0.0
+        return (
+            2.0
+            * self.b3_precision
+            * self.b3_recall
+            / (self.b3_precision + self.b3_recall)
+        )
+
+
+def _b3(
+    gold_clusters: Dict[int, str], system_clusters: Dict[int, str]
+) -> Tuple[float, float]:
+    """B³ precision/recall over items present in both clusterings."""
+    items = sorted(set(gold_clusters) & set(system_clusters))
+    if not items:
+        return (0.0, 0.0)
+    precision_total = 0.0
+    recall_total = 0.0
+    for item in items:
+        gold_mates = {
+            other
+            for other in items
+            if gold_clusters[other] == gold_clusters[item]
+        }
+        system_mates = {
+            other
+            for other in items
+            if system_clusters[other] == system_clusters[item]
+        }
+        overlap = len(gold_mates & system_mates)
+        precision_total += overlap / len(system_mates)
+        recall_total += overlap / len(gold_mates)
+    return (precision_total / len(items), recall_total / len(items))
+
+
+def evaluate_tac(
+    pipeline,
+    queries: Sequence[TacQuery],
+    grouper: Optional[EmergingEntityGrouper] = None,
+) -> TacResult:
+    """Run the pipeline per query and score the TAC measures.
+
+    The pipeline sees the full document but only the query mention is
+    evaluated (``restrict_to`` narrows the problem to it plus nothing —
+    the paper notes this single-mention setup is "less appealing for
+    joint-inference methods", which is visible in the scores).
+    """
+    result = TacResult()
+    grouper = grouper if grouper is not None else EmergingEntityGrouper()
+    gold_nil: Dict[int, str] = {}
+    system_nil: Dict[int, str] = {}
+    for query_index, query in enumerate(queries):
+        mention_index = list(query.document.mentions).index(query.mention)
+        run = pipeline.disambiguate(
+            query.document, restrict_to=[mention_index]
+        )
+        predicted = run.as_map().get(query.mention)
+        result.total += 1
+        gold_is_nil = is_out_of_kb(query.gold_entity)
+        predicted_is_nil = predicted is None or is_out_of_kb(predicted)
+        if gold_is_nil:
+            result.nil_total += 1
+            if predicted_is_nil:
+                result.nil_correct += 1
+                result.correct += 1
+        else:
+            result.in_kb_total += 1
+            if predicted == query.gold_entity:
+                result.in_kb_correct += 1
+                result.correct += 1
+        # NIL clustering: every gold-NIL query that the system also NILed
+        # is clustered via the EE grouper; cluster ids are recovered once
+        # after all queries so they stay consistent.
+        if gold_is_nil and predicted_is_nil:
+            gold_nil[query_index] = query.gold_nil_cluster or "nil"
+            grouper.add_occurrence(query.document, query.mention)
+            system_nil[query_index] = (
+                query.document.doc_id,
+                query.mention,
+            )
+    occurrence_to_cluster = {}
+    for group_index, group in enumerate(grouper.groups()):
+        for doc_id, mention in group.occurrences:
+            occurrence_to_cluster[(doc_id, mention)] = (
+                f"{group.name}#{group_index}"
+            )
+    system_nil = {
+        query_index: occurrence_to_cluster.get(key, f"solo-{query_index}")
+        for query_index, key in system_nil.items()
+    }
+    precision, recall = _b3(gold_nil, system_nil)
+    result.b3_precision = precision
+    result.b3_recall = recall
+    return result

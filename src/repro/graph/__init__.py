@@ -1,0 +1,13 @@
+"""Mention-entity graph model and the dense-subgraph algorithm (Sec. 3.4)."""
+
+from repro.graph.mention_entity_graph import MentionEntityGraph
+from repro.graph.dense_subgraph import (
+    DenseSubgraphConfig,
+    GreedyDenseSubgraph,
+)
+
+__all__ = [
+    "MentionEntityGraph",
+    "DenseSubgraphConfig",
+    "GreedyDenseSubgraph",
+]

@@ -1,0 +1,237 @@
+"""Greedy dense-subgraph disambiguation (Algorithm 1, Section 3.4.2).
+
+Three phases:
+
+1. **Pre-processing** — restrict the graph to the ``prune_factor × #mentions``
+   entities with the smallest sum of squared shortest-path distances to the
+   mention nodes (taboo entities are always kept).
+2. **Main loop** — iteratively remove the non-taboo entity with the lowest
+   weighted degree; track the iteration maximizing
+   ``min weighted degree of entities / #entities`` and keep that subgraph.
+3. **Post-processing** — the best subgraph may still contain several
+   candidates per mention.  If the number of full mention→entity
+   combinations is feasible, enumerate them exhaustively and pick the
+   assignment with the largest total edge weight (mention-entity edges of
+   the chosen pairs plus coherence edges among chosen entities); otherwise
+   run a degree-proportional randomized local search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graph.mention_entity_graph import MentionEntityGraph
+from repro.graph.shortest_paths import entity_mention_distances
+from repro.types import EntityId
+from repro.utils.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class DenseSubgraphConfig:
+    """Knobs of Algorithm 1.
+
+    ``prune_factor`` — keep this many entities per mention in pre-processing
+    (the paper's experimentally determined choice is 5).
+    ``enumeration_limit`` — maximum number of full assignments to enumerate
+    exhaustively in post-processing.
+    ``local_search_iterations`` — iterations of the randomized local search
+    used when enumeration is infeasible.
+    ``seed`` — seed for the local search.
+    """
+
+    prune_factor: int = 5
+    enumeration_limit: int = 20000
+    local_search_iterations: int = 500
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.prune_factor < 1:
+            raise GraphError("prune_factor must be >= 1")
+        if self.enumeration_limit < 1:
+            raise GraphError("enumeration_limit must be >= 1")
+
+
+class GreedyDenseSubgraph:
+    """Runs Algorithm 1 on a prepared mention-entity graph."""
+
+    def __init__(self, config: Optional[DenseSubgraphConfig] = None):
+        self.config = config if config is not None else DenseSubgraphConfig()
+
+    def solve(self, graph: MentionEntityGraph) -> Dict[int, EntityId]:
+        """Disambiguate: one entity per mention (mentions without any
+        candidate are absent from the result)."""
+        if graph.mention_count == 0:
+            return {}
+        self._preprocess(graph)
+        best = self._main_loop(graph)
+        graph.restore(best)
+        return self._postprocess(graph)
+
+    # ------------------------------------------------------------------
+    # Phase 1: distance-based pruning
+    # ------------------------------------------------------------------
+    def _preprocess(self, graph: MentionEntityGraph) -> None:
+        limit = self.config.prune_factor * graph.mention_count
+        entities = graph.active_entities()
+        if len(entities) <= limit:
+            return
+        distances = entity_mention_distances(graph)
+        ranked = sorted(entities, key=lambda eid: (distances[eid], eid))
+        graph.restrict_to_entities(ranked[:limit])
+
+    # ------------------------------------------------------------------
+    # Phase 2: greedy removal maximizing min-weighted-degree density
+    # ------------------------------------------------------------------
+    def _main_loop(self, graph: MentionEntityGraph) -> FrozenSet[EntityId]:
+        best_snapshot = graph.snapshot()
+        best_objective = self._objective(graph)
+        while True:
+            victim = self._lowest_degree_non_taboo(graph)
+            if victim is None:
+                break
+            graph.remove_entity(victim)
+            objective = self._objective(graph)
+            if objective > best_objective:
+                best_objective = objective
+                best_snapshot = graph.snapshot()
+        return best_snapshot
+
+    @staticmethod
+    def _objective(graph: MentionEntityGraph) -> float:
+        count = graph.entity_count()
+        if count == 0:
+            return 0.0
+        return graph.minimum_weighted_degree() / count
+
+    @staticmethod
+    def _lowest_degree_non_taboo(
+        graph: MentionEntityGraph,
+    ) -> Optional[EntityId]:
+        best: Optional[EntityId] = None
+        best_degree = float("inf")
+        for entity_id in graph.active_entities():
+            if graph.is_taboo(entity_id):
+                continue
+            degree = graph.weighted_degree(entity_id)
+            if degree < best_degree or (
+                degree == best_degree
+                and (best is None or entity_id < best)
+            ):
+                best = entity_id
+                best_degree = degree
+        return best
+
+    # ------------------------------------------------------------------
+    # Phase 3: final one-entity-per-mention selection
+    # ------------------------------------------------------------------
+    def _postprocess(self, graph: MentionEntityGraph) -> Dict[int, EntityId]:
+        per_mention: List[Tuple[int, List[EntityId]]] = []
+        for index in range(graph.mention_count):
+            candidates = graph.candidates_of(index)
+            if candidates:
+                per_mention.append((index, candidates))
+        if not per_mention:
+            return {}
+        combinations = 1
+        feasible = True
+        for _index, candidates in per_mention:
+            combinations *= len(candidates)
+            if combinations > self.config.enumeration_limit:
+                feasible = False
+                break
+        if feasible:
+            assignment = self._enumerate(graph, per_mention)
+        else:
+            assignment = self._local_search(graph, per_mention)
+        return assignment
+
+    def _enumerate(
+        self,
+        graph: MentionEntityGraph,
+        per_mention: Sequence[Tuple[int, List[EntityId]]],
+    ) -> Dict[int, EntityId]:
+        best_assignment: Dict[int, EntityId] = {}
+        best_score = float("-inf")
+        indices = [index for index, _c in per_mention]
+        pools = [candidates for _i, candidates in per_mention]
+        choice = [0] * len(pools)
+        while True:
+            assignment = {
+                indices[slot]: pools[slot][choice[slot]]
+                for slot in range(len(pools))
+            }
+            score = self._assignment_score(graph, assignment)
+            if score > best_score:
+                best_score = score
+                best_assignment = assignment
+            # Odometer increment.
+            slot = len(pools) - 1
+            while slot >= 0:
+                choice[slot] += 1
+                if choice[slot] < len(pools[slot]):
+                    break
+                choice[slot] = 0
+                slot -= 1
+            if slot < 0:
+                break
+        return best_assignment
+
+    def _local_search(
+        self,
+        graph: MentionEntityGraph,
+        per_mention: Sequence[Tuple[int, List[EntityId]]],
+    ) -> Dict[int, EntityId]:
+        rng = SeededRng(self.config.seed)
+        # Start greedily: best mention-entity edge per mention.
+        current = {
+            index: max(
+                candidates,
+                key=lambda eid: (graph.me_weight(index, eid), eid),
+            )
+            for index, candidates in per_mention
+        }
+        current_score = self._assignment_score(graph, current)
+        best = dict(current)
+        best_score = current_score
+        pools = dict(per_mention)
+        indices = [index for index, _c in per_mention]
+        for _step in range(self.config.local_search_iterations):
+            index = rng.choice(indices)
+            candidates = pools[index]
+            if len(candidates) < 2:
+                continue
+            # Candidates are sampled proportionally to weighted degree.
+            weights = [
+                graph.weighted_degree(eid) + 1e-9 for eid in candidates
+            ]
+            proposal = rng.weighted_choice(candidates, weights)
+            if proposal == current[index]:
+                continue
+            previous = current[index]
+            current[index] = proposal
+            score = self._assignment_score(graph, current)
+            if score >= current_score:
+                current_score = score
+                if score > best_score:
+                    best_score = score
+                    best = dict(current)
+            else:
+                current[index] = previous
+        return best
+
+    @staticmethod
+    def _assignment_score(
+        graph: MentionEntityGraph, assignment: Dict[int, EntityId]
+    ) -> float:
+        """Total edge weight of an assignment: chosen mention-entity edges
+        plus coherence among the distinct chosen entities."""
+        score = 0.0
+        for index, entity_id in assignment.items():
+            score += graph.me_weight(index, entity_id)
+        chosen = sorted(set(assignment.values()))
+        for i, a in enumerate(chosen):
+            for b in chosen[i + 1 :]:
+                score += graph.ee_weight(a, b)
+        return score

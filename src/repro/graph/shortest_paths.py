@@ -1,0 +1,81 @@
+"""Shortest weighted paths from mentions to entities (pre-processing phase).
+
+Algorithm 1 prunes the mention-entity graph before the greedy loop: for each
+entity node, the distance to the set of all mention nodes is computed as the
+sum of squared shortest-path distances, and only the entities closest to the
+mentions are kept.  Edge *distance* is ``1 - weight`` (weights live in
+[0, 1] after rescaling), floored at a small epsilon so zero-weight edges do
+not create free paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graph.mention_entity_graph import MentionEntityGraph
+from repro.types import EntityId
+
+_EPSILON = 1e-6
+#: Distance assigned when a mention is unreachable from an entity.
+UNREACHABLE = 1.0e9
+
+
+def _edge_distance(weight: float) -> float:
+    return max(1.0 - weight, _EPSILON)
+
+
+def distances_from_mention(
+    graph: MentionEntityGraph, mention_index: int
+) -> Dict[EntityId, float]:
+    """Dijkstra from one mention node over the full bipartite+coherence
+    graph; returns shortest distances to every reachable entity."""
+    start: Hashable = ("m", mention_index)
+    best: Dict[Hashable, float] = {start: 0.0}
+    heap: List[Tuple[float, int, Hashable]] = [(0.0, 0, start)]
+    tiebreak = 1
+    result: Dict[EntityId, float] = {}
+    while heap:
+        dist, _tb, node = heapq.heappop(heap)
+        if dist > best.get(node, UNREACHABLE):
+            continue
+        for neighbor, weight in _neighbors(graph, node):
+            candidate = dist + _edge_distance(weight)
+            if candidate < best.get(neighbor, UNREACHABLE):
+                best[neighbor] = candidate
+                heapq.heappush(heap, (candidate, tiebreak, neighbor))
+                tiebreak += 1
+    for node, dist in best.items():
+        if isinstance(node, tuple) and node[0] == "m":
+            continue
+        result[node] = dist
+    return result
+
+
+def _neighbors(graph: MentionEntityGraph, node: Hashable):
+    if isinstance(node, tuple) and node[0] == "m":
+        index = node[1]
+        for entity_id in graph.candidates_of(index):
+            yield entity_id, graph.me_weight(index, entity_id)
+        return
+    entity_id = node
+    for index in sorted(graph.mentions_of(entity_id)):
+        yield ("m", index), graph.me_weight(index, entity_id)
+    for other in graph.ee_neighbors(entity_id):
+        yield other, graph.ee_weight(entity_id, other)
+
+
+def entity_mention_distances(
+    graph: MentionEntityGraph,
+) -> Dict[EntityId, float]:
+    """Sum of squared shortest-path distances from each entity to all
+    mentions (Section 3.4.2's pre-processing criterion)."""
+    totals: Dict[EntityId, float] = {
+        eid: 0.0 for eid in graph.active_entities()
+    }
+    for index in range(graph.mention_count):
+        from_mention = distances_from_mention(graph, index)
+        for entity_id in totals:
+            dist = from_mention.get(entity_id, UNREACHABLE)
+            totals[entity_id] += min(dist, UNREACHABLE) ** 2
+    return totals

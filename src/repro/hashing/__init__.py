@@ -1,0 +1,6 @@
+"""Min-hash sketches and locality-sensitive hashing (Section 4.4)."""
+
+from repro.hashing.minhash import MinHasher, jaccard_estimate
+from repro.hashing.lsh import LshIndex, band_signature
+
+__all__ = ["MinHasher", "jaccard_estimate", "LshIndex", "band_signature"]

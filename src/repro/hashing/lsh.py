@@ -1,0 +1,92 @@
+"""Locality-sensitive hashing by banding min-hash sketches.
+
+A sketch of length ``bands * rows`` is split into bands of ``rows``
+coordinates each; items sharing any band signature land in the same bucket.
+Following Section 4.4.2, coordinates within a band are combined by summing
+(losing their order), which is how the paper's stage-one keyphrase grouping
+combines the two ids of a band.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set, Tuple, TypeVar
+
+Item = TypeVar("Item", bound=Hashable)
+
+
+def band_signature(
+    sketch: Sequence[int], bands: int, rows: int
+) -> Tuple[Tuple[int, int], ...]:
+    """Per-band bucket keys of a sketch: (band index, sum of band coords).
+
+    Requires ``len(sketch) == bands * rows``.
+    """
+    if len(sketch) != bands * rows:
+        raise ValueError(
+            f"sketch length {len(sketch)} != bands*rows = {bands * rows}"
+        )
+    keys: List[Tuple[int, int]] = []
+    for band in range(bands):
+        chunk = sketch[band * rows : (band + 1) * rows]
+        keys.append((band, sum(chunk)))
+    return tuple(keys)
+
+
+class LshIndex:
+    """Buckets items by banded min-hash signatures.
+
+    Built at task run-time over a set of items (entities, keyphrases); then
+    ``candidate_pairs`` yields exactly the pairs sharing at least one bucket.
+    """
+
+    def __init__(self, bands: int, rows: int):
+        if bands < 1 or rows < 1:
+            raise ValueError("bands and rows must be >= 1")
+        self.bands = bands
+        self.rows = rows
+        self._buckets: Dict[Tuple[int, int], List[Item]] = {}
+        self._items: Set[Item] = set()
+
+    @property
+    def sketch_length(self) -> int:
+        """Required sketch length (bands x rows)."""
+        return self.bands * self.rows
+
+    def add(self, item: Item, sketch: Sequence[int]) -> None:
+        """Index an item under its banded sketch signature."""
+        if item in self._items:
+            return
+        self._items.add(item)
+        for key in band_signature(sketch, self.bands, self.rows):
+            self._buckets.setdefault(key, []).append(item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def buckets(self) -> List[List[Item]]:
+        """All non-singleton buckets (sorted for determinism)."""
+        result = [
+            sorted(items, key=repr)
+            for items in self._buckets.values()
+            if len(items) > 1
+        ]
+        result.sort(key=repr)
+        return result
+
+    def candidate_pairs(self) -> Set[Tuple[Item, Item]]:
+        """All unordered item pairs co-located in at least one bucket."""
+        pairs: Set[Tuple[Item, Item]] = set()
+        for items in self._buckets.values():
+            if len(items) < 2:
+                continue
+            ordered = sorted(items, key=repr)
+            for i, first in enumerate(ordered):
+                for second in ordered[i + 1 :]:
+                    pairs.add((first, second))
+        return pairs
+
+    def bucket_keys_of(
+        self, sketch: Sequence[int]
+    ) -> Tuple[Tuple[int, int], ...]:
+        """The band bucket keys a sketch maps to."""
+        return band_signature(sketch, self.bands, self.rows)

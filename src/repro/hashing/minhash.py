@@ -1,0 +1,75 @@
+"""Min-hash sketches.
+
+A min-hash sketch of a set is the vector of minima of the set's element ids
+under k independent hash permutations.  The probability that two sketches
+agree in one coordinate equals the Jaccard similarity of the underlying sets
+(Broder et al.), making sketches an unbiased Jaccard estimator and the
+substrate for LSH banding.
+
+Permutations are the standard universal family ``h(x) = (a*x + b) mod p``
+with a large prime p, seeded deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Sequence, Tuple
+
+_MERSENNE_61 = (1 << 61) - 1
+
+
+def _element_id(element: str) -> int:
+    """Stable 60-bit integer id for a string element."""
+    digest = hashlib.blake2b(
+        element.encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % _MERSENNE_61
+
+
+def _coefficients(num_hashes: int, seed: int) -> List[Tuple[int, int]]:
+    coeffs: List[Tuple[int, int]] = []
+    for index in range(num_hashes):
+        material = hashlib.sha256(
+            f"minhash:{seed}:{index}".encode("utf-8")
+        ).digest()
+        a = int.from_bytes(material[:8], "big") % (_MERSENNE_61 - 1) + 1
+        b = int.from_bytes(material[8:16], "big") % _MERSENNE_61
+        coeffs.append((a, b))
+    return coeffs
+
+
+class MinHasher:
+    """Computes fixed-length min-hash sketches of string sets."""
+
+    def __init__(self, num_hashes: int, seed: int = 0):
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        self.num_hashes = num_hashes
+        self.seed = seed
+        self._coeffs = _coefficients(num_hashes, seed)
+
+    def sketch(self, elements: Iterable[str]) -> Tuple[int, ...]:
+        """Min-hash sketch of a set of string elements.
+
+        An empty set yields a sketch of sentinel maxima (never collides
+        with a non-empty sketch coordinate except astronomically rarely).
+        """
+        ids = [_element_id(el) for el in set(elements)]
+        if not ids:
+            return tuple([_MERSENNE_61] * self.num_hashes)
+        sketch: List[int] = []
+        for a, b in self._coeffs:
+            sketch.append(min((a * x + b) % _MERSENNE_61 for x in ids))
+        return tuple(sketch)
+
+
+def jaccard_estimate(
+    sketch_a: Sequence[int], sketch_b: Sequence[int]
+) -> float:
+    """Fraction of agreeing coordinates — estimates Jaccard similarity."""
+    if len(sketch_a) != len(sketch_b):
+        raise ValueError("sketches must have the same length")
+    if not sketch_a:
+        return 0.0
+    agree = sum(1 for x, y in zip(sketch_a, sketch_b) if x == y)
+    return agree / len(sketch_a)

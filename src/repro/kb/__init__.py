@@ -1,0 +1,44 @@
+"""YAGO-style knowledge base substrate.
+
+The knowledge base (Section 2.3) provides everything the disambiguation
+algorithms consume:
+
+* an entity repository ``E`` (:class:`~repro.kb.entity.Entity`),
+* a type taxonomy with a WordNet-like backbone (:mod:`repro.kb.schema`),
+* an SPO triple store with pattern queries (:mod:`repro.kb.triples`),
+* a name dictionary ``D ⊂ (N × E)`` built from titles, redirects,
+  disambiguation pages and link anchors (:mod:`repro.kb.dictionary`),
+* the inter-entity link graph used by Milne–Witten coherence
+  (:mod:`repro.kb.links`),
+* per-entity keyphrases with IDF/MI weights (:mod:`repro.kb.keyphrases`).
+
+:class:`~repro.kb.knowledge_base.KnowledgeBase` is the facade tying these
+together; :mod:`repro.kb.builder` constructs one from a synthetic Wikipedia.
+"""
+
+from repro.kb.entity import Entity
+from repro.kb.schema import Taxonomy
+from repro.kb.triples import Triple, TripleStore
+from repro.kb.dictionary import Dictionary, NameRecord
+from repro.kb.links import LinkGraph
+from repro.kb.keyphrases import KeyphraseStore, WeightedPhrase
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.io import load_knowledge_base, save_knowledge_base
+from repro.kb.external import ExternalDescription, ExternalEntityImporter
+
+__all__ = [
+    "Entity",
+    "Taxonomy",
+    "Triple",
+    "TripleStore",
+    "Dictionary",
+    "NameRecord",
+    "LinkGraph",
+    "KeyphraseStore",
+    "WeightedPhrase",
+    "KnowledgeBase",
+    "load_knowledge_base",
+    "save_knowledge_base",
+    "ExternalDescription",
+    "ExternalEntityImporter",
+]

@@ -1,0 +1,169 @@
+"""Construct a :class:`KnowledgeBase` from an encyclopedia dump.
+
+Mirrors YAGO's extraction architecture (Section 2.3.3): every encyclopedic
+article becomes an entity; the name dictionary is harvested from titles,
+redirects, disambiguation pages and link anchors; the link graph comes from
+inter-article links; keyphrases come from each article's link anchors,
+category names and citation titles, extended with the titles of articles
+linking to the entity (Section 3.3.4).
+
+The dump format is :class:`ArticleRecord` — a plain data object produced by
+:mod:`repro.datagen.wikipedia` (or hand-built in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kb.dictionary import (
+    SOURCE_ANCHOR,
+    SOURCE_DISAMBIGUATION,
+    SOURCE_REDIRECT,
+)
+from repro.kb.entity import Entity
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.schema import Taxonomy
+from repro.types import EntityId
+from repro.utils.text import phrase_tokens
+
+
+@dataclass
+class ArticleRecord:
+    """One article of the (synthetic) encyclopedia.
+
+    Attributes
+    ----------
+    entity:
+        The canonical entity this article describes.
+    redirects:
+        Alternative names redirecting to this article.
+    disambiguation_names:
+        Ambiguous names whose disambiguation page lists this article.
+    anchors:
+        Outgoing links: (anchor text, target entity) -> occurrence count.
+        These populate both the link graph and the dictionary's anchor
+        statistics, and the anchor texts become keyphrases of *this* entity.
+    categories:
+        Category names of the article; they become keyphrases and triples.
+    citations:
+        Citation titles; they become keyphrases.
+    weighted_phrases:
+        Keyphrases with explicit occurrence counts (phrase text -> count).
+        Real encyclopedia keyphrase counts track how often a phrase is
+        used for the entity across the collection; the emerging-entity
+        model difference (Algorithm 2) depends on these counts being on a
+        usage scale, not flat.
+    facts:
+        Extra SPO facts (predicate, object) about the entity.
+    """
+
+    entity: Entity
+    redirects: List[str] = field(default_factory=list)
+    disambiguation_names: List[str] = field(default_factory=list)
+    anchors: Dict[Tuple[str, EntityId], int] = field(default_factory=dict)
+    categories: List[str] = field(default_factory=list)
+    citations: List[str] = field(default_factory=list)
+    weighted_phrases: Dict[str, int] = field(default_factory=dict)
+    facts: List[Tuple[str, str]] = field(default_factory=list)
+
+
+class KnowledgeBaseBuilder:
+    """Accumulates article records and assembles the knowledge base."""
+
+    def __init__(self, taxonomy: Optional[Taxonomy] = None):
+        self._taxonomy = taxonomy
+        self._articles: Dict[EntityId, ArticleRecord] = {}
+
+    def add_article(self, record: ArticleRecord) -> None:
+        """Queue one article record (later records replace earlier ones for the same entity)."""
+        self._articles[record.entity.entity_id] = record
+
+    def add_articles(self, records: Sequence[ArticleRecord]) -> None:
+        """Queue several article records."""
+        for record in records:
+            self.add_article(record)
+
+    @property
+    def article_count(self) -> int:
+        """Number of queued articles."""
+        return len(self._articles)
+
+    def build(self) -> KnowledgeBase:
+        """Assemble the knowledge base from all accumulated articles."""
+        kb = KnowledgeBase(taxonomy=self._taxonomy)
+        for record in self._sorted_articles():
+            kb.add_entity(record.entity)
+        for record in self._sorted_articles():
+            self._ingest_names(kb, record)
+            self._ingest_links_and_anchors(kb, record)
+            self._ingest_facts(kb, record)
+        # Keyphrases need the link graph complete: titles of linking
+        # articles are keyphrases of the linked entity.
+        for record in self._sorted_articles():
+            self._ingest_keyphrases(kb, record)
+        return kb
+
+    def _sorted_articles(self) -> List[ArticleRecord]:
+        return [self._articles[eid] for eid in sorted(self._articles)]
+
+    def _ingest_names(self, kb: KnowledgeBase, record: ArticleRecord) -> None:
+        eid = record.entity.entity_id
+        for redirect in record.redirects:
+            kb.dictionary.add_name(redirect, eid, SOURCE_REDIRECT)
+        for name in record.disambiguation_names:
+            kb.dictionary.add_name(name, eid, SOURCE_DISAMBIGUATION)
+
+    def _ingest_links_and_anchors(
+        self, kb: KnowledgeBase, record: ArticleRecord
+    ) -> None:
+        eid = record.entity.entity_id
+        for (anchor_text, target), count in sorted(record.anchors.items()):
+            if target not in kb:
+                continue
+            kb.links.add_link(eid, target)
+            kb.dictionary.add_name(
+                anchor_text, target, SOURCE_ANCHOR, anchor_count=count
+            )
+
+    def _ingest_facts(self, kb: KnowledgeBase, record: ArticleRecord) -> None:
+        eid = record.entity.entity_id
+        for category in record.categories:
+            kb.triples.add(eid, "category", category)
+        for predicate, obj in record.facts:
+            kb.triples.add(eid, predicate, obj)
+
+    def _ingest_keyphrases(
+        self, kb: KnowledgeBase, record: ArticleRecord
+    ) -> None:
+        eid = record.entity.entity_id
+        # Own article: anchor texts, categories, citation titles.
+        for (anchor_text, _target), count in sorted(record.anchors.items()):
+            kb.keyphrases.add_keyphrase(
+                eid, phrase_tokens(anchor_text), count
+            )
+        for category in record.categories:
+            kb.keyphrases.add_keyphrase(eid, phrase_tokens(category))
+        for citation in record.citations:
+            kb.keyphrases.add_keyphrase(eid, phrase_tokens(citation))
+        for phrase_text, count in sorted(record.weighted_phrases.items()):
+            kb.keyphrases.add_keyphrase(
+                eid, phrase_tokens(phrase_text), count
+            )
+        # Titles of articles linking to this entity.
+        for linker in sorted(kb.links.inlinks(eid)):
+            linker_record = self._articles.get(linker)
+            if linker_record is None:
+                continue
+            title = linker_record.entity.canonical_name
+            kb.keyphrases.add_keyphrase(eid, phrase_tokens(title))
+
+
+def build_knowledge_base(
+    records: Sequence[ArticleRecord],
+    taxonomy: Optional[Taxonomy] = None,
+) -> KnowledgeBase:
+    """Convenience wrapper: build a KB from article records in one call."""
+    builder = KnowledgeBaseBuilder(taxonomy=taxonomy)
+    builder.add_articles(records)
+    return builder.build()

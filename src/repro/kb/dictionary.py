@@ -1,0 +1,162 @@
+"""Name-entity dictionary with AIDA's candidate-matching rules.
+
+The dictionary ``D ⊂ (N × E)`` (Section 2.2.1) maps surface names to candidate
+entities.  Entries carry their provenance (article title, redirect,
+disambiguation page, link anchor) and per-(name, entity) anchor counts, from
+which the popularity prior (Section 3.3.3) is estimated.
+
+Matching follows Section 3.3.2: names of three characters or fewer are matched
+case-sensitively (to keep acronyms like "US" apart from the word "us"); longer
+names are matched after upper-casing both mention and name, so the all-caps
+mention "APPLE" retrieves candidates registered under "Apple".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import DictionaryError
+from repro.types import EntityId
+
+#: Provenance labels for dictionary entries.
+SOURCE_TITLE = "title"
+SOURCE_REDIRECT = "redirect"
+SOURCE_DISAMBIGUATION = "disambiguation"
+SOURCE_ANCHOR = "anchor"
+
+VALID_SOURCES = frozenset(
+    {SOURCE_TITLE, SOURCE_REDIRECT, SOURCE_DISAMBIGUATION, SOURCE_ANCHOR}
+)
+
+#: Names at most this long (in characters) are matched case-sensitively.
+CASE_SENSITIVE_MAX_LEN = 3
+
+
+def match_key(name: str) -> str:
+    """Canonical lookup key for a name under AIDA's matching rules."""
+    if len(name) <= CASE_SENSITIVE_MAX_LEN:
+        return name
+    return name.upper()
+
+
+@dataclass
+class NameRecord:
+    """All dictionary information for one surface name."""
+
+    name: str
+    #: entity -> provenance sources under which this (name, entity) pair
+    #: entered the dictionary.
+    entities: Dict[EntityId, Set[str]] = field(default_factory=dict)
+    #: entity -> number of times this name was used as a link anchor for it.
+    anchor_counts: Dict[EntityId, int] = field(default_factory=dict)
+
+    @property
+    def total_anchor_count(self) -> int:
+        """Total anchor occurrences of the name."""
+        return sum(self.anchor_counts.values())
+
+    def prior(self, entity_id: EntityId) -> float:
+        """Anchor-frequency estimate of P(entity | name) (Section 3.3.3)."""
+        total = self.total_anchor_count
+        if total == 0:
+            # No anchor evidence: uniform over the registered candidates.
+            return 1.0 / len(self.entities) if self.entities else 0.0
+        return self.anchor_counts.get(entity_id, 0) / total
+
+    def prior_distribution(self) -> Dict[EntityId, float]:
+        return {eid: self.prior(eid) for eid in self.entities}
+
+
+class Dictionary:
+    """Mutable name→entity dictionary with anchor statistics."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, NameRecord] = {}
+        self._names_of_entity: Dict[EntityId, Set[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def add_name(
+        self,
+        name: str,
+        entity_id: EntityId,
+        source: str,
+        anchor_count: int = 0,
+    ) -> None:
+        """Register *name* as referring to *entity_id*.
+
+        ``anchor_count`` adds to the (name, entity) anchor tally regardless of
+        source; pass it when ingesting anchor statistics.
+        """
+        if source not in VALID_SOURCES:
+            raise DictionaryError(f"unknown dictionary source: {source!r}")
+        if not name.strip():
+            raise DictionaryError("cannot register an empty name")
+        if anchor_count < 0:
+            raise DictionaryError("anchor_count must be non-negative")
+        key = match_key(name)
+        record = self._records.get(key)
+        if record is None:
+            record = NameRecord(name=name)
+            self._records[key] = record
+        record.entities.setdefault(entity_id, set()).add(source)
+        if anchor_count:
+            record.anchor_counts[entity_id] = (
+                record.anchor_counts.get(entity_id, 0) + anchor_count
+            )
+        self._names_of_entity.setdefault(entity_id, set()).add(name)
+
+    def record_for(self, name: str) -> Optional[NameRecord]:
+        """The name record matching *name* under the case rules, if any."""
+        return self._records.get(match_key(name))
+
+    def candidates(self, mention_surface: str) -> List[EntityId]:
+        """Candidate entities ``E_m`` for a mention surface form.
+
+        An entity is a candidate if any of its registered names matches the
+        mention fully (Section 3.3.2).  Returns a sorted list; empty when the
+        dictionary has no entry, in which case the mention is trivially an
+        out-of-KB entity.
+        """
+        record = self.record_for(mention_surface)
+        if record is None:
+            return []
+        return sorted(record.entities)
+
+    def prior(self, mention_surface: str, entity_id: EntityId) -> float:
+        """Popularity prior P(entity | mention) from anchor frequencies."""
+        record = self.record_for(mention_surface)
+        if record is None:
+            return 0.0
+        return record.prior(entity_id)
+
+    def prior_distribution(
+        self, mention_surface: str
+    ) -> Dict[EntityId, float]:
+        record = self.record_for(mention_surface)
+        if record is None:
+            return {}
+        return record.prior_distribution()
+
+    def names_of(self, entity_id: EntityId) -> List[str]:
+        """All surface names registered for an entity."""
+        return sorted(self._names_of_entity.get(entity_id, set()))
+
+    def all_names(self) -> List[str]:
+        """All registered names (original spellings)."""
+        return sorted(record.name for record in self._records.values())
+
+    def ambiguity(self, mention_surface: str) -> int:
+        """Number of candidate entities for a surface form."""
+        return len(self.candidates(mention_surface))
+
+    def merge_counts(self, counts: Mapping[Tuple[str, EntityId], int]) -> None:
+        """Bulk-add anchor counts for (name, entity) pairs."""
+        for (name, entity_id), count in counts.items():
+            self.add_name(name, entity_id, SOURCE_ANCHOR, anchor_count=count)
+
+    def entity_ids(self) -> Iterable[EntityId]:
+        """All entities with at least one registered name."""
+        return sorted(self._names_of_entity)

@@ -1,0 +1,82 @@
+"""Entity records of the knowledge base.
+
+An entity corresponds to one encyclopedic article (Section 2.3.3): it has a
+canonical id, a canonical (title) name, one or more semantic types from the
+taxonomy, and bookkeeping attributes used by the experiments (popularity rank,
+domain of the synthetic world it was generated from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.types import EntityId
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One canonical entity.
+
+    Attributes
+    ----------
+    entity_id:
+        Unique opaque identifier, e.g. ``"Bob_Dylan"``.
+    canonical_name:
+        The article title, e.g. ``"Bob Dylan"``.
+    types:
+        Leaf types from the taxonomy, e.g. ``("musician",)``.  The taxonomy
+        expands these to all transitive super-types.
+    domain:
+        Topical domain the synthetic generator placed this entity in
+        (``"music"``, ``"sports"``, ...); real KBs would not have this field
+        but the relatedness gold standard and some analyses group by it.
+    popularity:
+        A positive popularity mass (Zipf-distributed in the synthetic world).
+        Drives anchor counts and article length.
+    """
+
+    entity_id: EntityId
+    canonical_name: str
+    types: Tuple[str, ...] = ()
+    domain: str = ""
+    popularity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.entity_id:
+            raise ValueError("entity_id must be non-empty")
+        if self.popularity <= 0:
+            raise ValueError("popularity must be positive")
+
+    def has_type(self, type_name: str) -> bool:
+        """Whether *type_name* is among the leaf types."""
+        return type_name in self.types
+
+
+@dataclass(frozen=True)
+class EntitySet:
+    """An immutable set of entity ids with convenience accessors."""
+
+    ids: FrozenSet[EntityId] = field(default_factory=frozenset)
+
+    @staticmethod
+    def of(*ids: EntityId) -> "EntitySet":
+        """Build an EntitySet from entity ids."""
+        return EntitySet(frozenset(ids))
+
+    def __contains__(self, entity_id: EntityId) -> bool:
+        return entity_id in self.ids
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self):
+        return iter(sorted(self.ids))
+
+    def union(self, other: "EntitySet") -> "EntitySet":
+        """Set union with another EntitySet."""
+        return EntitySet(self.ids | other.ids)
+
+    def intersection(self, other: "EntitySet") -> "EntitySet":
+        """Set intersection with another EntitySet."""
+        return EntitySet(self.ids & other.ids)

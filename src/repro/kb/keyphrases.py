@@ -1,0 +1,177 @@
+"""Per-entity keyphrase store.
+
+Keyphrases characterize entities (Section 3.3.4): they are mined from an
+entity's article (link anchors, category names, citation titles) and — in
+Chapter 5 — harvested dynamically from news.  The store keeps, per entity,
+the multiset of keyphrases, plus entity-level document frequencies for phrases
+and their constituent words.  Weight computation (IDF, MI, NPMI) lives in
+:mod:`repro.weights` and consumes these counts.
+
+A phrase is represented as a tuple of normalized tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.types import EntityId
+
+#: A keyphrase: an ordered tuple of normalized word tokens.
+Phrase = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class WeightedPhrase:
+    """A keyphrase together with its entity-specific weight."""
+
+    phrase: Phrase
+    weight: float
+
+    @property
+    def text(self) -> str:
+        """The phrase as a space-joined string."""
+        return " ".join(self.phrase)
+
+
+class KeyphraseStore:
+    """Keyphrase multisets per entity with global document frequencies.
+
+    Document frequency is entity-level, matching Eq. 3.5: ``df(k)`` is the
+    number of entities having keyphrase *k* (phrase df) or having at least
+    one keyphrase containing token *k* (word df).
+    """
+
+    def __init__(self) -> None:
+        self._phrases: Dict[EntityId, Dict[Phrase, int]] = {}
+        self._words: Dict[EntityId, Dict[str, int]] = {}
+        self._phrase_df: Dict[Phrase, int] = {}
+        self._word_df: Dict[str, int] = {}
+        self._entities_with_word: Dict[str, Set[EntityId]] = {}
+        self._entities_with_phrase: Dict[Phrase, Set[EntityId]] = {}
+
+    def __len__(self) -> int:
+        return len(self._phrases)
+
+    def __contains__(self, entity_id: EntityId) -> bool:
+        return entity_id in self._phrases
+
+    @property
+    def entity_count(self) -> int:
+        """Number of registered entities."""
+        return len(self._phrases)
+
+    def ensure_entity(self, entity_id: EntityId) -> None:
+        """Register an entity even if it (still) has no keyphrases."""
+        self._phrases.setdefault(entity_id, {})
+        self._words.setdefault(entity_id, {})
+
+    def add_keyphrase(
+        self, entity_id: EntityId, phrase: Iterable[str], count: int = 1
+    ) -> None:
+        """Add *count* occurrences of a keyphrase to an entity's article."""
+        phrase_t: Phrase = tuple(phrase)
+        if not phrase_t or count <= 0:
+            return
+        self.ensure_entity(entity_id)
+        entity_phrases = self._phrases[entity_id]
+        if phrase_t not in entity_phrases:
+            self._phrase_df[phrase_t] = self._phrase_df.get(phrase_t, 0) + 1
+            self._entities_with_phrase.setdefault(phrase_t, set()).add(
+                entity_id
+            )
+        entity_phrases[phrase_t] = entity_phrases.get(phrase_t, 0) + count
+        entity_words = self._words[entity_id]
+        for word in phrase_t:
+            if word not in entity_words:
+                self._word_df[word] = self._word_df.get(word, 0) + 1
+                self._entities_with_word.setdefault(word, set()).add(
+                    entity_id
+                )
+            entity_words[word] = entity_words.get(word, 0) + count
+
+    def keyphrases(self, entity_id: EntityId) -> List[Phrase]:
+        """Distinct keyphrases of an entity (sorted for determinism)."""
+        return sorted(self._phrases.get(entity_id, {}))
+
+    def keyphrase_counts(self, entity_id: EntityId) -> Dict[Phrase, int]:
+        """Phrase -> occurrence count for the entity."""
+        return dict(self._phrases.get(entity_id, {}))
+
+    def keywords(self, entity_id: EntityId) -> List[str]:
+        """Distinct constituent words of an entity's keyphrases."""
+        return sorted(self._words.get(entity_id, {}))
+
+    def keyword_counts(self, entity_id: EntityId) -> Dict[str, int]:
+        """Word -> occurrence count for the entity."""
+        return dict(self._words.get(entity_id, {}))
+
+    def has_word(self, entity_id: EntityId, word: str) -> bool:
+        """Whether the entity has a keyphrase containing *word*."""
+        return word in self._words.get(entity_id, {})
+
+    def has_phrase(self, entity_id: EntityId, phrase: Phrase) -> bool:
+        """Whether the entity has the exact keyphrase."""
+        return phrase in self._phrases.get(entity_id, {})
+
+    def phrase_df(self, phrase: Phrase) -> int:
+        """Number of entities having this exact keyphrase."""
+        return self._phrase_df.get(phrase, 0)
+
+    def word_df(self, word: str) -> int:
+        """Number of entities having a keyphrase that contains *word*."""
+        return self._word_df.get(word, 0)
+
+    def entities_with_word(self, word: str) -> FrozenSet[EntityId]:
+        """Entities having a keyphrase containing *word*."""
+        return frozenset(self._entities_with_word.get(word, set()))
+
+    def entities_with_phrase(self, phrase: Phrase) -> FrozenSet[EntityId]:
+        """Entities having the exact keyphrase."""
+        return frozenset(self._entities_with_phrase.get(phrase, set()))
+
+    def entity_ids(self) -> List[EntityId]:
+        """All registered entity ids, sorted."""
+        return sorted(self._phrases)
+
+    def vocabulary(self) -> List[str]:
+        """All distinct keywords across all entities."""
+        return sorted(self._word_df)
+
+    def copy(self) -> "KeyphraseStore":
+        """Deep-copy the store (used when layering dynamic keyphrases on top
+        of the static KB-derived ones without mutating the KB)."""
+        clone = KeyphraseStore()
+        for entity_id, phrases in self._phrases.items():
+            clone.ensure_entity(entity_id)
+            for phrase, count in phrases.items():
+                clone.add_keyphrase(entity_id, phrase, count)
+        return clone
+
+    def restricted_to(
+        self, entity_ids: Iterable[EntityId]
+    ) -> "KeyphraseStore":
+        """A new store containing only the given entities."""
+        wanted = set(entity_ids)
+        clone = KeyphraseStore()
+        for entity_id in wanted:
+            if entity_id not in self._phrases:
+                continue
+            clone.ensure_entity(entity_id)
+            for phrase, count in self._phrases[entity_id].items():
+                clone.add_keyphrase(entity_id, phrase, count)
+        return clone
+
+    def top_keyphrases(
+        self, entity_id: EntityId, limit: Optional[int] = None
+    ) -> List[Phrase]:
+        """Keyphrases ordered by occurrence count (desc), then lexically.
+
+        Chapter 5 caps the number of keyphrases per entity to balance popular
+        entities against long-tail ones; pass ``limit`` for that behaviour.
+        """
+        counted = self._phrases.get(entity_id, {})
+        ordered = sorted(counted.items(), key=lambda kv: (-kv[1], kv[0]))
+        if limit is not None:
+            ordered = ordered[:limit]
+        return [phrase for phrase, _count in ordered]

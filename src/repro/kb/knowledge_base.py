@@ -1,0 +1,200 @@
+"""The knowledge-base facade.
+
+Ties together the entity repository, taxonomy, triple store, name dictionary,
+link graph, and keyphrase store into the single object the disambiguation
+pipelines consume (Figure 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.errors import UnknownEntityError
+from repro.kb.dictionary import Dictionary
+from repro.kb.entity import Entity
+from repro.kb.keyphrases import KeyphraseStore, Phrase
+from repro.kb.links import LinkGraph
+from repro.kb.schema import Taxonomy
+from repro.kb.triples import TripleStore
+from repro.types import EntityId
+
+
+class KnowledgeBase:
+    """Entity repository E, dictionary D, and per-entity features F.
+
+    Instances are built by :mod:`repro.kb.builder` (from a synthetic
+    Wikipedia) or assembled manually in tests.
+    """
+
+    def __init__(
+        self,
+        taxonomy: Optional[Taxonomy] = None,
+        dictionary: Optional[Dictionary] = None,
+        links: Optional[LinkGraph] = None,
+        keyphrases: Optional[KeyphraseStore] = None,
+        triples: Optional[TripleStore] = None,
+    ):
+        self.taxonomy = taxonomy if taxonomy is not None else Taxonomy()
+        self.dictionary = dictionary if dictionary is not None else Dictionary()
+        self.links = links if links is not None else LinkGraph()
+        self.keyphrases = (
+            keyphrases if keyphrases is not None else KeyphraseStore()
+        )
+        self.triples = triples if triples is not None else TripleStore()
+        self._entities: Dict[EntityId, Entity] = {}
+
+    # ------------------------------------------------------------------
+    # Entity repository
+    # ------------------------------------------------------------------
+    def add_entity(self, entity: Entity) -> None:
+        """Register an entity; its canonical name enters the dictionary."""
+        self._entities[entity.entity_id] = entity
+        self.keyphrases.ensure_entity(entity.entity_id)
+        self.dictionary.add_name(
+            entity.canonical_name, entity.entity_id, source="title"
+        )
+        for type_name in entity.types:
+            self.triples.add(entity.entity_id, "type", type_name)
+
+    def __contains__(self, entity_id: EntityId) -> bool:
+        return entity_id in self._entities
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    @property
+    def entity_count(self) -> int:
+        """N — the total number of entities, used by IDF/NPMI/MW formulas."""
+        return len(self._entities)
+
+    def entity(self, entity_id: EntityId) -> Entity:
+        """The entity record; raises UnknownEntityError when absent."""
+        found = self._entities.get(entity_id)
+        if found is None:
+            raise UnknownEntityError(entity_id)
+        return found
+
+    def maybe_entity(self, entity_id: EntityId) -> Optional[Entity]:
+        """The entity record, or None when absent."""
+        return self._entities.get(entity_id)
+
+    def entity_ids(self) -> List[EntityId]:
+        """All entity ids, sorted."""
+        return sorted(self._entities)
+
+    def entities(self) -> List[Entity]:
+        """All entity records in id order."""
+        return [self._entities[eid] for eid in self.entity_ids()]
+
+    # ------------------------------------------------------------------
+    # Dictionary / prior
+    # ------------------------------------------------------------------
+    def candidates(self, mention_surface: str) -> List[EntityId]:
+        """Candidate entities for a mention, per the case-matching rules."""
+        return [
+            eid
+            for eid in self.dictionary.candidates(mention_surface)
+            if eid in self._entities
+        ]
+
+    def prior(self, mention_surface: str, entity_id: EntityId) -> float:
+        """Popularity prior P(entity | mention surface)."""
+        return self.dictionary.prior(mention_surface, entity_id)
+
+    def prior_distribution(
+        self, mention_surface: str
+    ) -> Dict[EntityId, float]:
+        """Prior distribution over the candidates of a surface form."""
+        dist = self.dictionary.prior_distribution(mention_surface)
+        return {eid: p for eid, p in dist.items() if eid in self._entities}
+
+    # ------------------------------------------------------------------
+    # Types / categories
+    # ------------------------------------------------------------------
+    def types_of(self, entity_id: EntityId) -> FrozenSet[str]:
+        """All types of an entity, expanded through the taxonomy."""
+        entity = self.entity(entity_id)
+        return self.taxonomy.expand(entity.types)
+
+    def entities_of_type(self, type_name: str) -> List[EntityId]:
+        """All entities whose (expanded) types include *type_name*."""
+        wanted = {type_name} | set(self.taxonomy.descendants(type_name))
+        result = []
+        for eid in self.entity_ids():
+            if wanted.intersection(self._entities[eid].types):
+                result.append(eid)
+        return result
+
+    def coarse_class(self, entity_id: EntityId) -> str:
+        """The coarse NER-style class (person/organization/...) of an
+        entity, derived from its first leaf type."""
+        entity = self.entity(entity_id)
+        if not entity.types:
+            return "entity"
+        return self.taxonomy.coarse_class(entity.types[0])
+
+    # ------------------------------------------------------------------
+    # Links / keyphrases
+    # ------------------------------------------------------------------
+    def inlinks(self, entity_id: EntityId) -> FrozenSet[EntityId]:
+        """Entities whose articles link to this one."""
+        return self.links.inlinks(entity_id)
+
+    def inlink_count(self, entity_id: EntityId) -> int:
+        """Number of inlinks of the entity."""
+        return self.links.inlink_count(entity_id)
+
+    def entity_keyphrases(self, entity_id: EntityId) -> List[Phrase]:
+        """Distinct keyphrases of the entity."""
+        return self.keyphrases.keyphrases(entity_id)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def with_keyphrases(self, keyphrases: KeyphraseStore) -> "KnowledgeBase":
+        """A shallow view of this KB with a different keyphrase store.
+
+        Used by Chapter 5 to layer dynamically harvested keyphrases on top of
+        the static KB without mutating it.  Entities, dictionary, links and
+        triples are shared.
+        """
+        view = KnowledgeBase(
+            taxonomy=self.taxonomy,
+            dictionary=self.dictionary,
+            links=self.links,
+            keyphrases=keyphrases,
+            triples=self.triples,
+        )
+        view._entities = self._entities
+        return view
+
+    def editable_copy(self) -> "KnowledgeBase":
+        """A view safe to *extend* without touching this KB.
+
+        Entities, dictionary, triples and keyphrases are copied (the
+        mutable surfaces of entity registration); the taxonomy and link
+        graph are shared, since extensions never rewrite them.  Used by
+        the out-of-encyclopedia importer and the emerging-entity
+        registrar to stage new entries.
+        """
+        import copy as _copy
+
+        view = KnowledgeBase(
+            taxonomy=self.taxonomy,
+            dictionary=_copy.deepcopy(self.dictionary),
+            links=self.links,
+            keyphrases=self.keyphrases.copy(),
+            triples=_copy.deepcopy(self.triples),
+        )
+        view._entities = dict(self._entities)
+        return view
+
+    def describe(self) -> Dict[str, int]:
+        """Summary statistics (for dataset-property tables)."""
+        return {
+            "entities": len(self._entities),
+            "names": len(self.dictionary),
+            "links": self.links.edge_count,
+            "triples": len(self.triples),
+            "keyphrase_entities": self.keyphrases.entity_count,
+        }

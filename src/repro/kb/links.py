@@ -1,0 +1,95 @@
+"""Inter-entity link graph.
+
+Wikipedia's inter-article links are the basis of the Milne–Witten relatedness
+measure (Eq. 3.7) and of the "superdocument" used for keyphrase MI weights
+(Section 4.3.1).  The graph is directed: an edge (a, b) means a's article
+links to b's article.  Inlink sets are exposed as frozensets so relatedness
+code can intersect them cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.types import EntityId
+
+
+class LinkGraph:
+    """Directed entity-to-entity link graph with in/out indexes."""
+
+    def __init__(self) -> None:
+        self._out: Dict[EntityId, Set[EntityId]] = {}
+        self._in: Dict[EntityId, Set[EntityId]] = {}
+        self._edge_count = 0
+        self._inlink_cache: Dict[EntityId, FrozenSet[EntityId]] = {}
+
+    def add_link(self, source: EntityId, target: EntityId) -> bool:
+        """Add a directed link; self-links are ignored. Returns True if new."""
+        if source == target:
+            return False
+        outs = self._out.setdefault(source, set())
+        if target in outs:
+            return False
+        outs.add(target)
+        self._in.setdefault(target, set()).add(source)
+        self._inlink_cache.pop(target, None)
+        self._edge_count += 1
+        return True
+
+    def add_links(self, edges: Iterable[Tuple[EntityId, EntityId]]) -> None:
+        """Add many directed links."""
+        for source, target in edges:
+            self.add_link(source, target)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of distinct directed edges."""
+        return self._edge_count
+
+    def node_count(self) -> int:
+        """Number of nodes with at least one edge."""
+        return len(set(self._out) | set(self._in))
+
+    def outlinks(self, entity_id: EntityId) -> FrozenSet[EntityId]:
+        """Targets the entity links to."""
+        return frozenset(self._out.get(entity_id, set()))
+
+    def inlinks(self, entity_id: EntityId) -> FrozenSet[EntityId]:
+        """Sources linking to the entity (cached frozenset)."""
+        cached = self._inlink_cache.get(entity_id)
+        if cached is None:
+            cached = frozenset(self._in.get(entity_id, set()))
+            self._inlink_cache[entity_id] = cached
+        return cached
+
+    def inlink_count(self, entity_id: EntityId) -> int:
+        """Number of inlinks of the entity."""
+        return len(self._in.get(entity_id, set()))
+
+    def outlink_count(self, entity_id: EntityId) -> int:
+        """Number of outlinks of the entity."""
+        return len(self._out.get(entity_id, set()))
+
+    def has_link(self, source: EntityId, target: EntityId) -> bool:
+        """Whether the directed edge source -> target exists."""
+        return target in self._out.get(source, set())
+
+    def shared_inlinks(self, a: EntityId, b: EntityId) -> int:
+        """Size of the intersection of the two inlink sets."""
+        ins_a = self._in.get(a, set())
+        ins_b = self._in.get(b, set())
+        if len(ins_a) > len(ins_b):
+            ins_a, ins_b = ins_b, ins_a
+        return sum(1 for node in ins_a if node in ins_b)
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Histogram of inlink counts over all nodes (for dataset stats)."""
+        hist: Dict[int, int] = {}
+        for node in set(self._out) | set(self._in):
+            count = self.inlink_count(node)
+            hist[count] = hist.get(count, 0) + 1
+        return hist
+
+    def nodes(self) -> List[EntityId]:
+        """All nodes, sorted."""
+        return sorted(set(self._out) | set(self._in))

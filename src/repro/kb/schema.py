@@ -1,0 +1,193 @@
+"""Type taxonomy with a WordNet-like backbone.
+
+YAGO (Section 2.3.3) maps every entity into semantic classes arranged in a
+subclass hierarchy rooted in a small upper ontology.  The taxonomy here is a
+DAG of type names with ``subclass_of`` edges; it supports transitive closure
+queries ("all super-types of *musician*"), which entity search's category
+dimension (Chapter 6) and named-entity classification rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import KnowledgeBaseError
+
+#: The root of the taxonomy; everything is a subclass of it.
+ROOT_TYPE = "entity"
+
+#: Default upper ontology used by the synthetic world.  Maps each type to its
+#: direct super-types.  Leaf types (musician, stadium, ...) are what entities
+#: carry; coarse NER-style classes (person, organization, location, ...) sit
+#: in the middle.
+DEFAULT_TYPE_HIERARCHY: Mapping[str, Tuple[str, ...]] = {
+    "person": (ROOT_TYPE,),
+    "organization": (ROOT_TYPE,),
+    "location": (ROOT_TYPE,),
+    "artifact": (ROOT_TYPE,),
+    "event": (ROOT_TYPE,),
+    "musician": ("person",),
+    "singer": ("musician",),
+    "guitarist": ("musician",),
+    "politician": ("person",),
+    "athlete": ("person",),
+    "footballer": ("athlete",),
+    "boxer": ("athlete",),
+    "scientist": ("person",),
+    "actor": ("person",),
+    "executive": ("person",),
+    "writer": ("person",),
+    "company": ("organization",),
+    "band": ("organization",),
+    "sports_team": ("organization",),
+    "football_club": ("sports_team",),
+    "government": ("organization",),
+    "party": ("organization",),
+    "city": ("location",),
+    "country": ("location",),
+    "region": ("location",),
+    "stadium": ("location",),
+    "song": ("artifact",),
+    "album": ("artifact",),
+    "film": ("artifact",),
+    "product": ("artifact",),
+    "video_game": ("artifact",),
+    "tv_series": ("artifact",),
+    "sports_event": ("event",),
+    "election": ("event",),
+    "disaster": ("event",),
+}
+
+
+class Taxonomy:
+    """A DAG of type names with subclass-of edges.
+
+    The taxonomy is built once from a mapping ``type -> direct super-types``
+    and is immutable afterwards.  Cycle-free-ness is validated at build time.
+    """
+
+    def __init__(
+        self, hierarchy: Optional[Mapping[str, Iterable[str]]] = None
+    ):
+        raw = dict(hierarchy) if hierarchy is not None else dict(
+            DEFAULT_TYPE_HIERARCHY
+        )
+        self._parents: Dict[str, Tuple[str, ...]] = {ROOT_TYPE: ()}
+        for type_name, supers in raw.items():
+            self._parents[type_name] = tuple(supers)
+        self._children: Dict[str, Set[str]] = {t: set() for t in self._parents}
+        for type_name, supers in self._parents.items():
+            for sup in supers:
+                if sup not in self._parents:
+                    raise KnowledgeBaseError(
+                        f"type {type_name!r} references unknown super-type "
+                        f"{sup!r}"
+                    )
+                self._children[sup].add(type_name)
+        self._ancestors_cache: Dict[str, FrozenSet[str]] = {}
+        self._validate_acyclic()
+
+    def _validate_acyclic(self) -> None:
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node: str, stack: List[str]) -> None:
+            if state.get(node) == 1:
+                return
+            if state.get(node) == 0:
+                cycle = " -> ".join(stack + [node])
+                raise KnowledgeBaseError(f"taxonomy has a cycle: {cycle}")
+            state[node] = 0
+            for parent in self._parents[node]:
+                visit(parent, stack + [node])
+            state[node] = 1
+
+        for type_name in self._parents:
+            visit(type_name, [])
+
+    def __contains__(self, type_name: str) -> bool:
+        return type_name in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    @property
+    def types(self) -> List[str]:
+        """All type names, sorted."""
+        return sorted(self._parents)
+
+    def parents(self, type_name: str) -> Tuple[str, ...]:
+        """Direct super-types of *type_name*."""
+        self._require(type_name)
+        return self._parents[type_name]
+
+    def children(self, type_name: str) -> FrozenSet[str]:
+        """Direct sub-types of *type_name*."""
+        self._require(type_name)
+        return frozenset(self._children[type_name])
+
+    def ancestors(self, type_name: str) -> FrozenSet[str]:
+        """All transitive super-types of *type_name*, excluding itself."""
+        self._require(type_name)
+        cached = self._ancestors_cache.get(type_name)
+        if cached is not None:
+            return cached
+        result: Set[str] = set()
+        frontier = list(self._parents[type_name])
+        while frontier:
+            node = frontier.pop()
+            if node in result:
+                continue
+            result.add(node)
+            frontier.extend(self._parents[node])
+        frozen = frozenset(result)
+        self._ancestors_cache[type_name] = frozen
+        return frozen
+
+    def descendants(self, type_name: str) -> FrozenSet[str]:
+        """All transitive sub-types of *type_name*, excluding itself."""
+        self._require(type_name)
+        result: Set[str] = set()
+        frontier = list(self._children[type_name])
+        while frontier:
+            node = frontier.pop()
+            if node in result:
+                continue
+            result.add(node)
+            frontier.extend(self._children[node])
+        return frozenset(result)
+
+    def is_subtype(self, type_name: str, super_type: str) -> bool:
+        """True if *type_name* equals or transitively specializes
+        *super_type*."""
+        if type_name == super_type:
+            return type_name in self._parents
+        return super_type in self.ancestors(type_name)
+
+    def expand(self, leaf_types: Iterable[str]) -> FrozenSet[str]:
+        """All types implied by the given leaf types (incl. themselves)."""
+        result: Set[str] = set()
+        for leaf in leaf_types:
+            result.add(leaf)
+            result.update(self.ancestors(leaf))
+        return frozenset(result)
+
+    def coarse_class(self, type_name: str) -> str:
+        """Map a type to its coarse NER-style class (direct child of root).
+
+        Returns :data:`ROOT_TYPE` for the root itself.
+        """
+        self._require(type_name)
+        if type_name == ROOT_TYPE:
+            return ROOT_TYPE
+        current = type_name
+        while True:
+            parents = self._parents[current]
+            if not parents:
+                return current
+            if ROOT_TYPE in parents:
+                return current
+            current = parents[0]
+
+    def _require(self, type_name: str) -> None:
+        if type_name not in self._parents:
+            raise KnowledgeBaseError(f"unknown type: {type_name!r}")

@@ -1,0 +1,126 @@
+"""SPO triple store.
+
+Knowledge bases store facts as subject-property-object triples according to
+the RDF data model (Section 2.3.2).  This module is a small in-memory triple
+store with the classic six-index layout (SPO/SOP/PSO/POS/OSP/OPS collapsed to
+three dictionaries keyed by the bound positions actually queried), supporting
+pattern queries where any position may be a wildcard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import KnowledgeBaseError
+
+#: Wildcard marker for pattern queries.
+ANY = None
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One subject-property-object fact, e.g. (Bob_Dylan, created, Desire)."""
+
+    subject: str
+    predicate: str
+    obj: str
+
+    def __post_init__(self) -> None:
+        if not (self.subject and self.predicate and self.obj):
+            raise KnowledgeBaseError(
+                f"triple components must be non-empty: {self!r}"
+            )
+
+    def as_tuple(self) -> Tuple[str, str, str]:
+        """The triple as a plain (s, p, o) tuple."""
+        return (self.subject, self.predicate, self.obj)
+
+
+class TripleStore:
+    """In-memory triple store with pattern matching.
+
+    ``match(s, p, o)`` accepts ``None`` (:data:`ANY`) in any position and
+    iterates all matching triples.  Insertion is idempotent.
+    """
+
+    def __init__(self) -> None:
+        self._triples: Set[Tuple[str, str, str]] = set()
+        self._by_subject: Dict[str, Set[Tuple[str, str, str]]] = {}
+        self._by_predicate: Dict[str, Set[Tuple[str, str, str]]] = {}
+        self._by_object: Dict[str, Set[Tuple[str, str, str]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple.as_tuple() in self._triples
+
+    def add(self, subject: str, predicate: str, obj: str) -> bool:
+        """Insert a triple; returns False if it was already present."""
+        triple = Triple(subject, predicate, obj).as_tuple()
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        self._by_subject.setdefault(subject, set()).add(triple)
+        self._by_predicate.setdefault(predicate, set()).add(triple)
+        self._by_object.setdefault(obj, set()).add(triple)
+        return True
+
+    def remove(self, subject: str, predicate: str, obj: str) -> bool:
+        """Remove a triple; returns False if it was not present."""
+        triple = (subject, predicate, obj)
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._by_subject[subject].discard(triple)
+        self._by_predicate[predicate].discard(triple)
+        self._by_object[obj].discard(triple)
+        return True
+
+    def match(
+        self,
+        subject: Optional[str] = ANY,
+        predicate: Optional[str] = ANY,
+        obj: Optional[str] = ANY,
+    ) -> Iterator[Triple]:
+        """Iterate triples matching the pattern; None matches anything."""
+        candidates = self._candidate_set(subject, predicate, obj)
+        for s, p, o in sorted(candidates):
+            if subject is not ANY and s != subject:
+                continue
+            if predicate is not ANY and p != predicate:
+                continue
+            if obj is not ANY and o != obj:
+                continue
+            yield Triple(s, p, o)
+
+    def _candidate_set(
+        self,
+        subject: Optional[str],
+        predicate: Optional[str],
+        obj: Optional[str],
+    ) -> Set[Tuple[str, str, str]]:
+        # Pick the most selective bound index available.
+        indexed: List[Set[Tuple[str, str, str]]] = []
+        if subject is not ANY:
+            indexed.append(self._by_subject.get(subject, set()))
+        if obj is not ANY:
+            indexed.append(self._by_object.get(obj, set()))
+        if predicate is not ANY:
+            indexed.append(self._by_predicate.get(predicate, set()))
+        if not indexed:
+            return self._triples
+        return min(indexed, key=len)
+
+    def objects(self, subject: str, predicate: str) -> List[str]:
+        """All objects o with (subject, predicate, o) in the store."""
+        return [t.obj for t in self.match(subject, predicate, ANY)]
+
+    def subjects(self, predicate: str, obj: str) -> List[str]:
+        """All subjects s with (s, predicate, obj) in the store."""
+        return [t.subject for t in self.match(ANY, predicate, obj)]
+
+    def predicates_of(self, subject: str) -> List[str]:
+        """Distinct predicates appearing with the given subject."""
+        return sorted({t.predicate for t in self.match(subject, ANY, ANY)})

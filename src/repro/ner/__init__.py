@@ -1,0 +1,12 @@
+"""Named entity recognition (stand-in for the Stanford NER tagger).
+
+NED assumes the input has been segmented into mentions by an NER step
+(Section 2.1).  The recognizer here combines dictionary longest-match with
+capitalization evidence; the evaluation corpora feed gold mention spans, as
+the paper's experiments do, but the examples and applications run this
+recognizer end-to-end.
+"""
+
+from repro.ner.recognizer import NamedEntityRecognizer
+
+__all__ = ["NamedEntityRecognizer"]

@@ -1,0 +1,153 @@
+"""Named entity classification (Section 2.4.4).
+
+NEC labels mentions with semantic types instead of concrete entities —
+"it would label 'Dylan' as person, maybe even musician".  This classifier
+scores each coarse (or fine) type of the taxonomy by combining:
+
+* **candidate-type prior** — the types of the mention's dictionary
+  candidates, weighted by their popularity prior, and
+* **context evidence** — how well the document context matches the
+  keyphrases of candidates of each type (type-conditioned similarity).
+
+It degrades gracefully for out-of-KB mentions (no candidates): the
+context is compared against *type profiles* aggregated over all entities
+of each type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.similarity.context import DocumentContext
+from repro.types import Document, Mention
+from repro.weights.model import WeightModel
+
+#: The coarse classes of the CoNLL-era shared tasks.
+COARSE_CLASSES = ("person", "organization", "location", "artifact", "event")
+
+
+class NamedEntityClassifier:
+    """Types mentions via candidate priors and type-profile context."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        weights: Optional[WeightModel] = None,
+        prior_weight: float = 0.6,
+    ):
+        self.kb = kb
+        self._weights = (
+            weights
+            if weights is not None
+            else WeightModel(kb.keyphrases, kb.links)
+        )
+        self.prior_weight = prior_weight
+        self._type_profiles: Optional[Dict[str, Dict[str, float]]] = None
+
+    # ------------------------------------------------------------------
+    # Type profiles (lazy, aggregated over the whole KB)
+    # ------------------------------------------------------------------
+    def _profiles(self) -> Dict[str, Dict[str, float]]:
+        if self._type_profiles is not None:
+            return self._type_profiles
+        profiles: Dict[str, Dict[str, float]] = {
+            cls: {} for cls in COARSE_CLASSES
+        }
+        for entity_id in self.kb.entity_ids():
+            coarse = self.kb.coarse_class(entity_id)
+            if coarse not in profiles:
+                continue
+            profile = profiles[coarse]
+            for word, count in self.kb.keyphrases.keyword_counts(
+                entity_id
+            ).items():
+                idf = self._weights.idf_word(word)
+                if idf > 0.0:
+                    profile[word] = profile.get(word, 0.0) + count * idf
+        # L1-normalize each profile so classes with more entities do not
+        # dominate by mass alone.
+        for profile in profiles.values():
+            total = sum(profile.values())
+            if total > 0.0:
+                for word in profile:
+                    profile[word] /= total
+        self._type_profiles = profiles
+        return profiles
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def type_scores(
+        self, document: Document, mention: Mention
+    ) -> Dict[str, float]:
+        """Score every coarse class for the mention (normalized to 1)."""
+        prior_scores = self._candidate_type_prior(mention)
+        context_scores = self._context_scores(document, mention)
+        combined: Dict[str, float] = {}
+        for cls in COARSE_CLASSES:
+            combined[cls] = (
+                self.prior_weight * prior_scores.get(cls, 0.0)
+                + (1.0 - self.prior_weight) * context_scores.get(cls, 0.0)
+            )
+        total = sum(combined.values())
+        if total > 0.0:
+            combined = {cls: v / total for cls, v in combined.items()}
+        return combined
+
+    def classify(
+        self, document: Document, mention: Mention
+    ) -> Optional[str]:
+        """The best coarse class, or None when there is no signal."""
+        scores = self.type_scores(document, mention)
+        best = max(sorted(scores), key=lambda cls: scores[cls])
+        return best if scores[best] > 0.0 else None
+
+    def classify_document(
+        self, document: Document
+    ) -> List[Tuple[Mention, Optional[str]]]:
+        """Classify every mention of the document."""
+        return [
+            (mention, self.classify(document, mention))
+            for mention in document.mentions
+        ]
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def _candidate_type_prior(self, mention: Mention) -> Dict[str, float]:
+        """P(class | mention) from the candidates' popularity priors."""
+        distribution = self.kb.prior_distribution(mention.surface)
+        scores: Dict[str, float] = {}
+        if not distribution:
+            return scores
+        candidates = sorted(distribution)
+        uniform = 1.0 / len(candidates)
+        for entity_id in candidates:
+            weight = distribution[entity_id]
+            if weight == 0.0:
+                weight = uniform  # unseen-anchor candidates still count
+            coarse = self.kb.coarse_class(entity_id)
+            scores[coarse] = scores.get(coarse, 0.0) + weight
+        total = sum(scores.values())
+        if total > 0.0:
+            scores = {cls: v / total for cls, v in scores.items()}
+        return scores
+
+    def _context_scores(
+        self, document: Document, mention: Mention
+    ) -> Dict[str, float]:
+        """Cosine-free overlap of the context with each type profile."""
+        context = DocumentContext(document, exclude_mention=mention)
+        counts = context.term_counts()
+        scores: Dict[str, float] = {}
+        for cls, profile in self._profiles().items():
+            overlap = sum(
+                weight * counts.get(word, 0)
+                for word, weight in profile.items()
+            )
+            scores[cls] = overlap
+        total = sum(scores.values())
+        if total > 0.0:
+            scores = {cls: v / total for cls, v in scores.items()}
+        return scores

@@ -1,0 +1,126 @@
+"""Within-document name coreference (Section 2.4.3, applied to NED).
+
+A news article introduces "Jimmy Page" once and says "Page" afterwards.
+Coreference resolution on a named-entity-only mention set "is subsumed by
+NED, under the assumption that all entities mentioned in a text exist in
+the entity repository" — and conversely NED benefits from resolving the
+short forms to the longer ones first: the short mention inherits the long
+mention's (far less ambiguous) candidate space.
+
+:class:`NameCoreferenceResolver` links a mention to an earlier, longer
+mention of the same document when the short surface is a token suffix or
+prefix of the longer one ("Page" ← "Jimmy Page", "Kashmir" ← "Kashmir
+Region"), and exposes the induced candidate restriction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kb.dictionary import match_key
+from repro.types import Document, Mention
+
+
+def _token_key(surface: str) -> Tuple[str, ...]:
+    return tuple(match_key(tok) for tok in surface.split())
+
+
+def is_short_form_of(short: str, long: str) -> bool:
+    """True when *short* is a strict token prefix or suffix of *long*."""
+    short_tokens = _token_key(short)
+    long_tokens = _token_key(long)
+    if not short_tokens or len(short_tokens) >= len(long_tokens):
+        return False
+    return (
+        long_tokens[: len(short_tokens)] == short_tokens
+        or long_tokens[-len(short_tokens):] == short_tokens
+    )
+
+
+@dataclass
+class CoreferenceChains:
+    """The resolved chains of one document."""
+
+    #: mention -> the representative (longest) mention of its chain.
+    representative: Dict[Mention, Mention] = field(default_factory=dict)
+
+    def chain_of(self, mention: Mention) -> Mention:
+        """The representative mention of the chain containing *mention*."""
+        return self.representative.get(mention, mention)
+
+    def chains(self) -> Dict[Mention, List[Mention]]:
+        """Representative -> chained mentions, position-sorted."""
+        grouped: Dict[Mention, List[Mention]] = {}
+        for mention, head in self.representative.items():
+            grouped.setdefault(head, []).append(mention)
+        for head in grouped:
+            grouped[head].sort(key=lambda m: m.start)
+        return grouped
+
+
+class NameCoreferenceResolver:
+    """Chains short-form mentions to longer same-name mentions."""
+
+    def resolve(self, document: Document) -> CoreferenceChains:
+        """Compute the coreference chains of the document."""
+        chains = CoreferenceChains()
+        mentions = sorted(document.mentions, key=lambda m: m.start)
+        for index, mention in enumerate(mentions):
+            head = self._find_antecedent(mention, mentions, index)
+            if head is not None:
+                # Chain through: the antecedent may itself be chained.
+                chains.representative[mention] = chains.chain_of(head)
+        return chains
+
+    @staticmethod
+    def _find_antecedent(
+        mention: Mention, mentions: Sequence[Mention], index: int
+    ) -> Optional[Mention]:
+        """The closest longer mention (anywhere in the document) the
+        surface is a short form of; ties prefer earlier mentions, the
+        news-writing convention of introducing full names first."""
+        best: Optional[Mention] = None
+        for other in mentions:
+            if other is mention:
+                continue
+            if not is_short_form_of(mention.surface, other.surface):
+                continue
+            if best is None or len(other.surface) > len(best.surface):
+                best = other
+        return best
+
+
+def coreference_candidate_restriction(
+    document: Document, kb_candidates
+) -> Dict[int, List[str]]:
+    """Candidate restriction induced by the chains.
+
+    ``kb_candidates(surface) -> [entity ids]``.  For every chained mention
+    whose representative has a *non-empty* candidate set, the short
+    mention's candidates are restricted to the intersection with the
+    representative's — typically collapsing "Page"'s many candidates to
+    the single "Jimmy Page".  Returns mention-index -> restricted list;
+    unchained or non-overlapping mentions are absent.
+    """
+    chains = NameCoreferenceResolver().resolve(document)
+    restrictions: Dict[int, List[str]] = {}
+    mentions = list(document.mentions)
+    for index, mention in enumerate(mentions):
+        head = chains.chain_of(mention)
+        if head is mention:
+            continue
+        head_candidates = set(kb_candidates(head.surface))
+        if not head_candidates:
+            continue
+        own_candidates = kb_candidates(mention.surface)
+        restricted = [
+            eid for eid in own_candidates if eid in head_candidates
+        ]
+        if restricted:
+            restrictions[index] = restricted
+        else:
+            # The long form's candidates are a superset in spirit even if
+            # the dictionary lacks the short alias: adopt them outright.
+            restrictions[index] = sorted(head_candidates)
+    return restrictions

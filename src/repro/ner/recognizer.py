@@ -1,0 +1,135 @@
+"""Dictionary + capitalization named entity recognizer.
+
+Strategy (greedy longest-match, left to right):
+
+1. Try to match the longest token n-gram (up to ``max_mention_len``) whose
+   surface form has an entry in the KB dictionary *and* looks like a name
+   (capitalized or all-caps, not sentence-initial-only lowercase noise).
+2. Independently, maximal capitalized non-sentence-initial token runs are
+   emitted even without a dictionary entry — these are the candidate
+   mentions for out-of-KB entities, which Chapter 5 needs.
+
+Overlapping matches resolve in favour of the longer span.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.kb.dictionary import Dictionary
+from repro.text.sentences import split_sentences
+from repro.text.stopwords import is_stopword
+from repro.types import Document, Mention
+from repro.utils.text import is_all_upper
+
+
+class NamedEntityRecognizer:
+    """Recognizes entity mentions in token sequences."""
+
+    def __init__(
+        self,
+        dictionary: Optional[Dictionary] = None,
+        max_mention_len: int = 4,
+        emit_unknown_names: bool = True,
+    ):
+        self._dictionary = dictionary
+        self.max_mention_len = max_mention_len
+        self.emit_unknown_names = emit_unknown_names
+
+    def recognize(self, document: Document) -> Document:
+        """Return a copy of *document* with recognized mentions attached."""
+        mentions = self.find_mentions(document.tokens)
+        return document.with_mentions(mentions)
+
+    def find_mentions(self, tokens: Sequence[str]) -> List[Mention]:
+        """Recognize mention spans over a token sequence."""
+        sentence_starts = {span[0] for span in split_sentences(tokens)}
+        name_like = self._name_like_mask(tokens, sentence_starts)
+        claimed: Set[int] = set()
+        mentions: List[Mention] = []
+        index = 0
+        n = len(tokens)
+        while index < n:
+            span = self._match_at(tokens, index, name_like)
+            if span is None:
+                index += 1
+                continue
+            start, end = span
+            if any(pos in claimed for pos in range(start, end)):
+                index += 1
+                continue
+            surface = " ".join(tokens[start:end])
+            mentions.append(Mention(surface=surface, start=start, end=end))
+            claimed.update(range(start, end))
+            index = end
+        return mentions
+
+    def _name_like_mask(
+        self, tokens: Sequence[str], sentence_starts: Set[int]
+    ) -> List[bool]:
+        """Token positions that plausibly belong to a name."""
+        mask: List[bool] = []
+        for index, token in enumerate(tokens):
+            if not token or not token[0].isalpha():
+                mask.append(False)
+                continue
+            if is_stopword(token) and not is_all_upper(token):
+                mask.append(False)
+                continue
+            capitalized = token[0].isupper()
+            if not capitalized:
+                mask.append(False)
+                continue
+            if index in sentence_starts and not is_all_upper(token):
+                # Sentence-initial capitalization is ambiguous: accept it
+                # only if the dictionary knows the token as a name.
+                known = (
+                    self._dictionary is not None
+                    and self._dictionary.record_for(token) is not None
+                )
+                mask.append(known or self._next_is_name(tokens, index))
+                continue
+            mask.append(True)
+        return mask
+
+    def _next_is_name(self, tokens: Sequence[str], index: int) -> bool:
+        """Heuristic: a sentence-initial cap word followed by another
+        capitalized word usually starts a multi-word name."""
+        nxt = index + 1
+        if nxt >= len(tokens):
+            return False
+        token = tokens[nxt]
+        return bool(token) and token[0].isupper() and not is_stopword(token)
+
+    def _match_at(
+        self,
+        tokens: Sequence[str],
+        index: int,
+        name_like: List[bool],
+    ) -> Optional[Tuple[int, int]]:
+        if not name_like[index]:
+            return None
+        # Longest dictionary match first.
+        if self._dictionary is not None:
+            for length in range(self.max_mention_len, 0, -1):
+                end = index + length
+                if end > len(tokens):
+                    continue
+                if not all(name_like[index:end]):
+                    continue
+                surface = " ".join(tokens[index:end])
+                if self._dictionary.record_for(surface) is not None:
+                    return (index, end)
+        if not self.emit_unknown_names:
+            return None
+        # Maximal name-like run without dictionary support.
+        end = index
+        while (
+            end < len(tokens)
+            and end - index < self.max_mention_len
+            and name_like[end]
+        ):
+            end += 1
+        if end > index:
+            return (index, end)
+        return None

@@ -1,0 +1,78 @@
+"""Common interface for entity relatedness measures.
+
+All measures are symmetric functions of two entity ids into [0, 1].  The base
+class provides result caching and counts the number of *actual* pairwise
+computations — the quantity Table 4.4 reports — so subclasses only implement
+``_compute``.  Measures with a pre-clustering stage (LSH) override
+``prepare`` and ``should_compare``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Tuple
+
+from repro.types import EntityId
+
+
+class EntityRelatedness(ABC):
+    """Symmetric, cached entity-entity relatedness in [0, 1]."""
+
+    #: Human-readable measure name (used in benchmark tables).
+    name: str = "relatedness"
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[EntityId, EntityId], float] = {}
+        self.comparisons = 0
+
+    def prepare(self, entities: Iterable[EntityId]) -> None:
+        """Hook run once per task over the candidate entity set.
+
+        Pre-clustering measures (LSH) build their buckets here; the default
+        does nothing.
+        """
+
+    def should_compare(self, a: EntityId, b: EntityId) -> bool:
+        """Whether the exact measure should be computed for this pair.
+
+        LSH-based measures return False for pairs sharing no hash bucket;
+        such pairs are assumed unrelated (relatedness 0) without counting a
+        comparison.
+        """
+        return True
+
+    def relatedness(self, a: EntityId, b: EntityId) -> float:
+        """Relatedness of the pair; identical ids are fully related."""
+        if a == b:
+            return 1.0
+        key = (a, b) if a <= b else (b, a)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if not self.should_compare(key[0], key[1]):
+            value = 0.0
+        else:
+            self.comparisons += 1
+            value = float(self._compute(key[0], key[1]))
+            value = min(max(value, 0.0), 1.0)
+        self._cache[key] = value
+        return value
+
+    @abstractmethod
+    def _compute(self, a: EntityId, b: EntityId) -> float:
+        """Compute the raw measure for an ordered (a <= b) pair."""
+
+    def reset_stats(self) -> None:
+        """Clear the cache and the comparison counter."""
+        self._cache.clear()
+        self.comparisons = 0
+
+    def rank_candidates(
+        self, seed: EntityId, candidates: Iterable[EntityId]
+    ) -> list:
+        """Candidates sorted by descending relatedness to *seed* (ties by
+        id) — the operation the relatedness gold standard evaluates."""
+        pool = list(candidates)
+        return sorted(
+            pool, key=lambda eid: (-self.relatedness(seed, eid), eid)
+        )

@@ -1,0 +1,31 @@
+"""Jaccard similarity on inlink sets.
+
+Ceccarelli et al. (Section 2.2.3) found plain Jaccard on the entity link
+sets to be a competitive single measure; it also backs the Guo-et-al-style
+baseline.  Included as a simple link-based alternative to Milne–Witten.
+"""
+
+from __future__ import annotations
+
+from repro.kb.links import LinkGraph
+from repro.relatedness.base import EntityRelatedness
+from repro.types import EntityId
+
+
+class InlinkJaccardRelatedness(EntityRelatedness):
+    """Jaccard similarity of the two inlink sets."""
+    name = "Jaccard"
+
+    def __init__(self, links: LinkGraph):
+        super().__init__()
+        self._links = links
+
+    def _compute(self, a: EntityId, b: EntityId) -> float:
+        ins_a = self._links.inlinks(a)
+        ins_b = self._links.inlinks(b)
+        if not ins_a or not ins_b:
+            return 0.0
+        union = len(ins_a | ins_b)
+        if union == 0:
+            return 0.0
+        return len(ins_a & ins_b) / union

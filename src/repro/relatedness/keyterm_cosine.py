@@ -1,0 +1,104 @@
+"""Keyterm cosine relatedness baselines (Section 4.3.2).
+
+Entities are cast into weighted keyterm vectors and compared by cosine
+similarity.  Following the experimental setup of Section 4.5.2, keyphrases
+are weighted by normalized mutual information µ (Eq. 4.1) and keywords by
+IDF; for the keyword variant (KWCS) each word's weight is additionally
+multiplied by the average µ weight of the phrases it was taken from.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping
+
+from repro.kb.keyphrases import KeyphraseStore, Phrase
+from repro.relatedness.base import EntityRelatedness
+from repro.types import EntityId
+from repro.weights.model import WeightModel
+
+
+def cosine(
+    vec_a: Mapping[Hashable, float], vec_b: Mapping[Hashable, float]
+) -> float:
+    """Cosine similarity of two sparse vectors (0 if either is empty)."""
+    if not vec_a or not vec_b:
+        return 0.0
+    if len(vec_a) > len(vec_b):
+        vec_a, vec_b = vec_b, vec_a
+    dot = sum(
+        weight * vec_b[term]
+        for term, weight in vec_a.items()
+        if term in vec_b
+    )
+    if dot == 0.0:
+        return 0.0
+    norm_a = math.sqrt(sum(w * w for w in vec_a.values()))
+    norm_b = math.sqrt(sum(w * w for w in vec_b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+class KeyphraseCosineRelatedness(EntityRelatedness):
+    """KPCS — cosine over keyphrase vectors with µ weights."""
+
+    name = "KPCS"
+
+    def __init__(self, store: KeyphraseStore, weights: WeightModel):
+        super().__init__()
+        self._store = store
+        self._weights = weights
+        self._vectors: Dict[EntityId, Dict[Phrase, float]] = {}
+
+    def _vector(self, entity_id: EntityId) -> Dict[Phrase, float]:
+        cached = self._vectors.get(entity_id)
+        if cached is None:
+            cached = dict(self._weights.keyphrase_weights(entity_id))
+            self._vectors[entity_id] = cached
+        return cached
+
+    def _compute(self, a: EntityId, b: EntityId) -> float:
+        return cosine(self._vector(a), self._vector(b))
+
+
+class KeywordCosineRelatedness(EntityRelatedness):
+    """KWCS — cosine over keyword vectors derived from keyphrases.
+
+    Word weight = IDF(word) × (average µ weight of the entity's phrases
+    containing the word), per Section 4.3.2.
+    """
+
+    name = "KWCS"
+
+    def __init__(self, store: KeyphraseStore, weights: WeightModel):
+        super().__init__()
+        self._store = store
+        self._weights = weights
+        self._vectors: Dict[EntityId, Dict[str, float]] = {}
+
+    def _vector(self, entity_id: EntityId) -> Dict[str, float]:
+        cached = self._vectors.get(entity_id)
+        if cached is not None:
+            return cached
+        phrase_weights = self._weights.keyphrase_weights(entity_id)
+        phrase_weight_sums: Dict[str, float] = {}
+        phrase_counts: Dict[str, int] = {}
+        for phrase in self._store.keyphrases(entity_id):
+            mu = phrase_weights.get(phrase, 0.0)
+            for word in set(phrase):
+                phrase_weight_sums[word] = (
+                    phrase_weight_sums.get(word, 0.0) + mu
+                )
+                phrase_counts[word] = phrase_counts.get(word, 0) + 1
+        vector: Dict[str, float] = {}
+        for word, total in phrase_weight_sums.items():
+            average_mu = total / phrase_counts[word]
+            weight = self._weights.idf_word(word) * average_mu
+            if weight > 0.0:
+                vector[word] = weight
+        self._vectors[entity_id] = vector
+        return vector
+
+    def _compute(self, a: EntityId, b: EntityId) -> float:
+        return cosine(self._vector(a), self._vector(b))

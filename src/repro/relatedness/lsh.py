@@ -1,0 +1,154 @@
+"""Two-stage hashing acceleration for KORE (Section 4.4.2).
+
+Stage 1 (KB-wide, precomputed): every keyphrase is min-hash-sketched over its
+word set and bucketed by LSH banding, grouping near-duplicate phrases.  Each
+entity is then represented by the *set of phrase-bucket ids* of its phrases,
+preserving the notion of partial phrase matches.
+
+Stage 2 (per task, over the candidate entity set): entities are min-hash-
+sketched over their phrase-bucket id sets and bucketed by a second LSH.  The
+exact KORE measure is computed only for entity pairs sharing at least one
+stage-two bucket; all other pairs are assumed unrelated (relatedness 0).
+
+The paper's settings (KORE_LSH-G: 200 bands × 1 row; KORE_LSH-F: 1000 bands
+× 2 rows over millions of entities) are scaled down for the synthetic KB —
+the *geometry* (G: single-row bands → recall-geared; F: two-row bands →
+aggressive pruning) is preserved, the sketch lengths are configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.hashing.lsh import LshIndex
+from repro.hashing.minhash import MinHasher
+from repro.kb.keyphrases import KeyphraseStore, Phrase
+from repro.relatedness.base import EntityRelatedness
+from repro.relatedness.kore import KoreRelatedness
+from repro.types import EntityId
+
+
+@dataclass(frozen=True)
+class LshSettings:
+    """Geometry of the two LSH stages.
+
+    ``phrase_*`` controls stage one (keyphrase grouping); ``entity_*``
+    controls stage two (entity grouping).
+    """
+
+    phrase_sketch_len: int = 4
+    phrase_bands: int = 2
+    phrase_rows: int = 2
+    entity_bands: int = 40
+    entity_rows: int = 1
+    seed: int = 17
+
+    @staticmethod
+    def recall_geared(seed: int = 17) -> "LshSettings":
+        """KORE_LSH-G: single-row entity bands, high recall."""
+        return LshSettings(
+            entity_bands=40, entity_rows=1, seed=seed
+        )
+
+    @staticmethod
+    def fast(seed: int = 17) -> "LshSettings":
+        """KORE_LSH-F: two-row entity bands, aggressive pruning."""
+        return LshSettings(
+            entity_bands=80, entity_rows=2, seed=seed
+        )
+
+
+class KoreLshRelatedness(EntityRelatedness):
+    """KORE with two-stage LSH pre-clustering."""
+
+    def __init__(
+        self,
+        store: KeyphraseStore,
+        kore: KoreRelatedness,
+        settings: Optional[LshSettings] = None,
+        name: str = "KORE_LSH",
+    ):
+        super().__init__()
+        self.name = name
+        self._store = store
+        self._kore = kore
+        self._settings = settings if settings is not None else LshSettings()
+        self._phrase_hasher = MinHasher(
+            self._settings.phrase_sketch_len, seed=self._settings.seed
+        )
+        self._entity_hasher = MinHasher(
+            self._settings.entity_bands * self._settings.entity_rows,
+            seed=self._settings.seed + 1,
+        )
+        self._phrase_buckets: Dict[Phrase, Tuple[str, ...]] = {}
+        self._entity_bucket_sets: Dict[EntityId, FrozenSet[str]] = {}
+        self._entity_sketches: Dict[EntityId, Tuple[int, ...]] = {}
+        self._allowed_pairs: Set[Tuple[EntityId, EntityId]] = set()
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    # Stage 1: keyphrase grouping (cached per phrase)
+    # ------------------------------------------------------------------
+    def _phrase_bucket_ids(self, phrase: Phrase) -> Tuple[str, ...]:
+        cached = self._phrase_buckets.get(phrase)
+        if cached is not None:
+            return cached
+        sketch = self._phrase_hasher.sketch(phrase)
+        bands = self._settings.phrase_bands
+        rows = self._settings.phrase_rows
+        ids = tuple(
+            f"b{band}:{sum(sketch[band * rows:(band + 1) * rows])}"
+            for band in range(bands)
+        )
+        self._phrase_buckets[phrase] = ids
+        return ids
+
+    def _entity_bucket_set(self, entity_id: EntityId) -> FrozenSet[str]:
+        cached = self._entity_bucket_sets.get(entity_id)
+        if cached is not None:
+            return cached
+        buckets: Set[str] = set()
+        for phrase in self._store.keyphrases(entity_id):
+            buckets.update(self._phrase_bucket_ids(phrase))
+        frozen = frozenset(buckets)
+        self._entity_bucket_sets[entity_id] = frozen
+        return frozen
+
+    # ------------------------------------------------------------------
+    # Stage 2: entity grouping at task run-time
+    # ------------------------------------------------------------------
+    def prepare(self, entities: Iterable[EntityId]) -> None:
+        """Build the per-task entity LSH and the allowed-pair set."""
+        index = LshIndex(
+            self._settings.entity_bands, self._settings.entity_rows
+        )
+        for entity_id in sorted(set(entities)):
+            sketch = self._entity_sketches.get(entity_id)
+            if sketch is None:
+                # Sketches depend only on the entity's (static) keyphrase
+                # set, so they are precomputed once — as in the paper,
+                # where stage one runs offline over the whole KB.
+                bucket_set = self._entity_bucket_set(entity_id)
+                sketch = self._entity_hasher.sketch(bucket_set)
+                self._entity_sketches[entity_id] = sketch
+            index.add(entity_id, sketch)
+        self._allowed_pairs = index.candidate_pairs()
+        self._prepared = True
+        # A new task invalidates cached zero decisions from the old one.
+        self._cache.clear()
+
+    def should_compare(self, a: EntityId, b: EntityId) -> bool:
+        """Whether the pair shares a stage-two bucket."""
+        if not self._prepared:
+            return True  # without preparation, behave like exact KORE
+        key = (a, b) if a <= b else (b, a)
+        return key in self._allowed_pairs
+
+    def _compute(self, a: EntityId, b: EntityId) -> float:
+        return self._kore.relatedness(a, b)
+
+    @property
+    def allowed_pair_count(self) -> int:
+        """Number of pairs surviving pre-clustering."""
+        return len(self._allowed_pairs)

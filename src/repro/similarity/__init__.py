@@ -1,0 +1,19 @@
+"""Mention-entity similarity features (Section 3.3)."""
+
+from repro.similarity.context import DocumentContext
+from repro.similarity.prior import PopularityPrior
+from repro.similarity.keyphrase_match import (
+    Cover,
+    KeyphraseSimilarity,
+    phrase_cover,
+    score_phrase,
+)
+
+__all__ = [
+    "DocumentContext",
+    "PopularityPrior",
+    "Cover",
+    "KeyphraseSimilarity",
+    "phrase_cover",
+    "score_phrase",
+]

@@ -1,0 +1,192 @@
+"""Keyphrase cover matching and the mention-entity similarity score.
+
+Keyphrases may occur only partially in an input text ("Grammy Award winner"
+vs. "Grammy winner"), so AIDA matches individual keyphrase words and rewards
+their proximity (Section 3.3.4).  For each keyphrase the *cover* is the
+shortest token window containing a maximal number of the phrase's words.
+The phrase score (Eq. 3.4) is::
+
+    score(q) = z * ( sum_{w in cover} weight(w) / sum_{w in q} weight(w) )^2
+    z        = (# matching words) / (length of cover)
+
+and the mention-entity similarity (Eq. 3.6) sums the scores of all the
+entity's keyphrases over the mention's document context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.kb.keyphrases import KeyphraseStore, Phrase
+from repro.similarity.context import DocumentContext
+from repro.types import EntityId
+from repro.weights.model import WeightModel
+
+
+@dataclass(frozen=True)
+class Cover:
+    """The shortest window covering the maximal subset of a phrase's words.
+
+    ``start``/``end`` are inclusive token offsets into the document;
+    ``matched_words`` are the distinct phrase words found in the window.
+    """
+
+    start: int
+    end: int
+    matched_words: Tuple[str, ...]
+
+    @property
+    def length(self) -> int:
+        """Window length in tokens (inclusive)."""
+        return self.end - self.start + 1
+
+    @property
+    def match_count(self) -> int:
+        """Number of distinct phrase words matched."""
+        return len(self.matched_words)
+
+
+def phrase_cover(
+    context: DocumentContext, phrase: Sequence[str]
+) -> Optional[Cover]:
+    """Find the cover of *phrase* in the context, or None if no word occurs.
+
+    Classic minimum-window-over-positions sweep: gather all positions of any
+    phrase word, then slide a two-pointer window over the position-sorted
+    hits, tracking the smallest window containing all *present* distinct
+    words (words absent from the document cannot be covered and only reduce
+    the score through the weight ratio).
+    """
+    distinct = list(dict.fromkeys(phrase))  # stable dedup
+    hits = context.occurrences(distinct)
+    if not hits:
+        return None
+    present = {word for _pos, word in hits}
+    needed = len(present)
+    best: Optional[Tuple[int, int]] = None
+    counts: Dict[str, int] = {}
+    covered = 0
+    left = 0
+    for right, (_pos_r, word_r) in enumerate(hits):
+        counts[word_r] = counts.get(word_r, 0) + 1
+        if counts[word_r] == 1:
+            covered += 1
+        while covered == needed:
+            window = (hits[left][0], hits[right][0])
+            if best is None or (window[1] - window[0]) < (best[1] - best[0]):
+                best = window
+            word_l = hits[left][1]
+            counts[word_l] -= 1
+            if counts[word_l] == 0:
+                covered -= 1
+            left += 1
+    assert best is not None  # needed >= 1 and all hits seen
+    return Cover(
+        start=best[0], end=best[1], matched_words=tuple(sorted(present))
+    )
+
+
+def score_phrase(
+    context: DocumentContext,
+    phrase: Sequence[str],
+    word_weights: Mapping[str, float],
+) -> float:
+    """Eq. 3.4 — score of a (partially) matching phrase in the context."""
+    cover = phrase_cover(context, phrase)
+    if cover is None:
+        return 0.0
+    total_weight = sum(word_weights.get(word, 0.0) for word in set(phrase))
+    if total_weight <= 0.0:
+        return 0.0
+    matched_weight = sum(
+        word_weights.get(word, 0.0) for word in cover.matched_words
+    )
+    z = cover.match_count / cover.length
+    ratio = matched_weight / total_weight
+    return z * ratio * ratio
+
+
+class KeyphraseSimilarity:
+    """Mention-entity similarity via keyphrase cover matching (Eq. 3.6).
+
+    Parameters
+    ----------
+    store:
+        Keyphrase store providing each entity's phrases.
+    weights:
+        Weight model; keyphrase words are weighted by NPMI (default) or by
+        collection-wide IDF (``weight_scheme="idf"``), as Eq. 3.4 allows.
+    max_keyphrases:
+        Optional cap on phrases per entity (most frequent first), used by
+        the Chapter 5 experiments to balance popular entities.
+    distance_discount:
+        When positive, phrase scores are damped by the cover's distance to
+        the mention: ``score / (1 + discount * distance / doc_length)``.
+        Section 3.3.4 reports experimenting with exactly this and finding
+        no improvement; the option is kept for the ablation.
+    """
+
+    def __init__(
+        self,
+        store: KeyphraseStore,
+        weights: WeightModel,
+        weight_scheme: str = "npmi",
+        max_keyphrases: Optional[int] = None,
+        distance_discount: float = 0.0,
+    ):
+        if weight_scheme not in ("npmi", "idf"):
+            raise ValueError(f"unknown weight scheme: {weight_scheme!r}")
+        if distance_discount < 0.0:
+            raise ValueError("distance_discount must be non-negative")
+        self._store = store
+        self._weights = weights
+        self._scheme = weight_scheme
+        self._max_keyphrases = max_keyphrases
+        self.distance_discount = distance_discount
+
+    def entity_phrases(self, entity_id: EntityId) -> List[Phrase]:
+        """The (possibly capped) keyphrases of an entity."""
+        return self._store.top_keyphrases(
+            entity_id, limit=self._max_keyphrases
+        )
+
+    def simscore(
+        self, context: DocumentContext, entity_id: EntityId
+    ) -> float:
+        """Aggregate partial-match score of all entity keyphrases."""
+        word_weights = self._weights.keyword_weights(
+            entity_id, scheme=self._scheme
+        )
+        total = 0.0
+        for phrase in self.entity_phrases(entity_id):
+            if not any(word in context for word in phrase):
+                continue  # no word present: score is zero, skip the sweep
+            score = score_phrase(context, phrase, word_weights)
+            if score > 0.0 and self.distance_discount > 0.0:
+                score *= self._proximity_factor(context, phrase)
+            total += score
+        return total
+
+    def _proximity_factor(
+        self, context: DocumentContext, phrase: Phrase
+    ) -> float:
+        """Damping by cover-to-mention distance (1.0 without a mention)."""
+        center = context.mention_center
+        if center is None:
+            return 1.0
+        cover = phrase_cover(context, phrase)
+        if cover is None:
+            return 1.0
+        doc_length = max(len(context.document.tokens), 1)
+        cover_center = (cover.start + cover.end) / 2.0
+        distance = abs(cover_center - center)
+        return 1.0 / (
+            1.0 + self.distance_discount * distance / doc_length
+        )
+
+    def simscores(
+        self, context: DocumentContext, entity_ids: Sequence[EntityId]
+    ) -> Dict[EntityId, float]:
+        """simscore for every candidate entity."""
+        return {eid: self.simscore(context, eid) for eid in entity_ids}

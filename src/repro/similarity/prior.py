@@ -1,0 +1,44 @@
+"""Popularity prior (Section 3.3.3).
+
+The prior P(entity | name) is estimated from how often a surface form is used
+as a link anchor for each entity in the encyclopedia.  The dictionary stores
+the raw anchor counts; this wrapper adds the lookups the pipeline needs
+(best candidate, full distribution, dominance test input).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.types import EntityId
+
+
+class PopularityPrior:
+    """Anchor-frequency popularity prior over a knowledge base."""
+
+    def __init__(self, kb: KnowledgeBase):
+        self._kb = kb
+
+    def prior(self, mention_surface: str, entity_id: EntityId) -> float:
+        """P(entity | mention surface) from anchor statistics."""
+        return self._kb.prior(mention_surface, entity_id)
+
+    def distribution(self, mention_surface: str) -> Dict[EntityId, float]:
+        """Prior distribution over all candidates of the surface."""
+        return self._kb.prior_distribution(mention_surface)
+
+    def best(
+        self, mention_surface: str
+    ) -> Optional[Tuple[EntityId, float]]:
+        """The most probable candidate and its prior, or None."""
+        dist = self.distribution(mention_surface)
+        if not dist:
+            return None
+        entity_id = max(sorted(dist), key=lambda eid: dist[eid])
+        return entity_id, dist[entity_id]
+
+    def ranked(self, mention_surface: str) -> List[Tuple[EntityId, float]]:
+        """Candidates sorted by descending prior (ties broken by id)."""
+        dist = self.distribution(mention_surface)
+        return sorted(dist.items(), key=lambda kv: (-kv[1], kv[0]))

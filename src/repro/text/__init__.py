@@ -1,0 +1,24 @@
+"""Lightweight text processing: tokenization, sentences, POS, chunking.
+
+Stands in for the Stanford toolchain the paper uses.  The POS tagger is a
+lexicon-plus-suffix tagger; the chunker implements the keyphrase
+part-of-speech patterns of Appendix A (proper-noun sequences and the
+technical-term pattern of Justeson & Katz).
+"""
+
+from repro.text.tokenizer import tokenize
+from repro.text.sentences import split_sentences
+from repro.text.stopwords import STOPWORDS, is_stopword, content_words
+from repro.text.pos import PosTagger, TaggedToken
+from repro.text.chunker import KeyphraseChunker
+
+__all__ = [
+    "tokenize",
+    "split_sentences",
+    "STOPWORDS",
+    "is_stopword",
+    "content_words",
+    "PosTagger",
+    "TaggedToken",
+    "KeyphraseChunker",
+]

@@ -1,0 +1,119 @@
+"""Keyphrase candidate extraction by part-of-speech patterns (Appendix A).
+
+Section 5.5.1 extracts keyphrase candidates from news sentences by matching
+pre-defined POS-tag patterns: maximal proper-noun sequences, and the
+Justeson–Katz technical-term pattern ``(JJ|NN)+ NN`` optionally extended with
+a prepositional attachment ``(JJ|NN)* NN IN (JJ|NN)* NN``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.text.pos import PosTagger, TaggedToken
+
+_NOMINAL = frozenset({"NN", "JJ"})
+
+
+class KeyphraseChunker:
+    """Extracts keyphrase candidate spans from token sequences."""
+
+    def __init__(self, max_phrase_len: int = 5, tagger: PosTagger = None):
+        if max_phrase_len < 1:
+            raise ValueError("max_phrase_len must be >= 1")
+        self.max_phrase_len = max_phrase_len
+        self._tagger = tagger if tagger is not None else PosTagger()
+
+    def extract(self, tokens: Sequence[str]) -> List[Tuple[str, ...]]:
+        """Keyphrase candidates as tuples of lower-cased tokens."""
+        tagged = self._tagger.tag(tokens)
+        spans = self.extract_spans(tagged)
+        phrases = [
+            tuple(tok.lower() for tok in tokens[start:end])
+            for start, end in spans
+        ]
+        # Distinct phrases, first occurrence order.
+        return list(dict.fromkeys(phrases))
+
+    def extract_spans(
+        self, tagged: Sequence[TaggedToken]
+    ) -> List[Tuple[int, int]]:
+        """(start, end) spans of keyphrase candidates over tagged tokens."""
+        spans: List[Tuple[int, int]] = []
+        spans.extend(self._proper_noun_spans(tagged))
+        spans.extend(self._technical_term_spans(tagged))
+        # Deduplicate while preserving order.
+        seen = set()
+        unique: List[Tuple[int, int]] = []
+        for span in spans:
+            if span not in seen:
+                seen.add(span)
+                unique.append(span)
+        return unique
+
+    def _proper_noun_spans(
+        self, tagged: Sequence[TaggedToken]
+    ) -> List[Tuple[int, int]]:
+        """Maximal runs of NNP tokens (proper names)."""
+        spans: List[Tuple[int, int]] = []
+        start = None
+        for index, item in enumerate(tagged):
+            if item.tag == "NNP":
+                if start is None:
+                    start = index
+            else:
+                if start is not None:
+                    self._append_clipped(spans, start, index)
+                    start = None
+        if start is not None:
+            self._append_clipped(spans, start, len(tagged))
+        return spans
+
+    def _technical_term_spans(
+        self, tagged: Sequence[TaggedToken]
+    ) -> List[Tuple[int, int]]:
+        """Justeson–Katz pattern: (JJ|NN)* NN, length >= 2, ending in NN.
+
+        Matches maximal nominal runs and emits the run when it ends in a
+        common noun and contains at least two tokens (single common nouns
+        are too noisy to serve as keyphrases).
+        """
+        spans: List[Tuple[int, int]] = []
+        start = None
+        for index, item in enumerate(tagged):
+            if item.tag in _NOMINAL:
+                if start is None:
+                    start = index
+            else:
+                if start is not None:
+                    self._maybe_append_nominal(spans, tagged, start, index)
+                    start = None
+        if start is not None:
+            self._maybe_append_nominal(spans, tagged, start, len(tagged))
+        return spans
+
+    def _maybe_append_nominal(
+        self,
+        spans: List[Tuple[int, int]],
+        tagged: Sequence[TaggedToken],
+        start: int,
+        end: int,
+    ) -> None:
+        if end - start < 2:
+            return
+        if tagged[end - 1].tag != "NN":
+            # Trim trailing adjectives so the phrase ends in a noun.
+            while end > start and tagged[end - 1].tag != "NN":
+                end -= 1
+            if end - start < 2:
+                return
+        self._append_clipped(spans, start, end)
+
+    def _append_clipped(
+        self, spans: List[Tuple[int, int]], start: int, end: int
+    ) -> None:
+        """Append the span, clipping over-long phrases to max_phrase_len
+        (keeping the head-final suffix, which carries the head noun)."""
+        if end - start > self.max_phrase_len:
+            start = end - self.max_phrase_len
+        spans.append((start, end))

@@ -1,0 +1,110 @@
+"""Lexicon-plus-heuristics part-of-speech tagger.
+
+A lightweight stand-in for the Stanford POS tagger used in Section 5.5.1.
+It assigns a reduced Penn-style tagset sufficient for the keyphrase chunking
+patterns of Appendix A:
+
+``NNP`` proper noun, ``NN`` common noun, ``JJ`` adjective, ``VB`` verb,
+``IN`` preposition, ``DT`` determiner, ``CD`` number, ``CC`` conjunction,
+``PUNCT`` punctuation, ``PRP`` pronoun, ``RB`` adverb.
+
+Strategy: closed-class lexicon lookup first, then capitalization (non
+sentence-initial capitalized word -> NNP), then suffix heuristics, falling
+back to NN — the standard most-frequent-tag baseline that is adequate for
+noun-phrase chunking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.text.sentences import split_sentences
+
+_DETERMINERS = frozenset(
+    "a an the this that these those some any each every no".split()
+)
+_PREPOSITIONS = frozenset(
+    """of in on at by for with from to into onto over under between among
+    about against during before after above below up down out off as""".split()
+)
+_CONJUNCTIONS = frozenset("and or but nor so yet".split())
+_PRONOUNS = frozenset(
+    """i you he she it we they me him her us them my your his its our
+    their who whom whose which what""".split()
+)
+_VERBS = frozenset(
+    """is are was were be been being am have has had do does did will
+    would shall should may might must can could said says say made make
+    played plays play performed performs perform recorded records record
+    released releases release won wins win signed signs sign announced
+    announces announce revealed reveals reveal wrote writes write founded
+    founds found scored scores score defeated defeats defeat joined joins
+    join visited visits visit opened opens open launched launches launch
+    became becomes become led leads lead held holds hold met meets meet
+    began begins begin ended ends end""".split()
+)
+_ADVERBS = frozenset(
+    """very too also only just not never always often again still here
+    there now then soon already yesterday today tomorrow""".split()
+)
+_ADJ_SUFFIXES = ("ous", "ful", "ive", "able", "ible", "al", "ic", "ish")
+_VERB_SUFFIXES = ("ing", "ize", "ise")
+
+
+@dataclass(frozen=True)
+class TaggedToken:
+    """A token paired with its POS tag."""
+    token: str
+    tag: str
+
+
+class PosTagger:
+    """Deterministic rule-based tagger over token sequences."""
+
+    def tag(self, tokens: Sequence[str]) -> List[TaggedToken]:
+        """Tag every token; sentence starts are detected internally so that
+        sentence-initial capitalization does not force NNP."""
+        sentence_starts = {span[0] for span in split_sentences(tokens)}
+        tagged: List[TaggedToken] = []
+        for index, token in enumerate(tokens):
+            tag = self._tag_one(token, index in sentence_starts)
+            tagged.append(TaggedToken(token, tag))
+        return tagged
+
+    def _tag_one(self, token: str, sentence_initial: bool) -> str:
+        if not any(ch.isalnum() for ch in token):
+            return "PUNCT"
+        if token[0].isdigit():
+            return "CD"
+        lower = token.lower()
+        if lower in _DETERMINERS:
+            return "DT"
+        if lower in _PREPOSITIONS:
+            return "IN"
+        if lower in _CONJUNCTIONS:
+            return "CC"
+        if lower in _PRONOUNS:
+            return "PRP"
+        if lower in _VERBS:
+            return "VB"
+        if lower in _ADVERBS:
+            return "RB"
+        if token[0].isupper():
+            if not sentence_initial or token.isupper():
+                return "NNP"
+            # Sentence-initial capitalized word: fall through to suffix
+            # rules on the lower-cased form, defaulting to NNP only if it
+            # looks like nothing else (common for names starting sentences).
+            if lower.endswith(_VERB_SUFFIXES):
+                return "VB"
+            if lower.endswith(_ADJ_SUFFIXES):
+                return "JJ"
+            return "NNP"
+        if lower.endswith(_VERB_SUFFIXES):
+            return "VB"
+        if lower.endswith("ly"):
+            return "RB"
+        if lower.endswith(_ADJ_SUFFIXES):
+            return "JJ"
+        return "NN"

@@ -1,0 +1,37 @@
+"""Sentence boundary detection over token sequences."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+_TERMINATORS = frozenset({".", "!", "?"})
+
+
+def split_sentences(tokens: Sequence[str]) -> List[Tuple[int, int]]:
+    """Split a token sequence into sentence spans.
+
+    Returns (start, end) token-offset pairs; each span includes its
+    terminating punctuation token.  A trailing fragment without terminator
+    forms its own sentence.
+    """
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    for index, token in enumerate(tokens):
+        if token in _TERMINATORS:
+            spans.append((start, index + 1))
+            start = index + 1
+    if start < len(tokens):
+        spans.append((start, len(tokens)))
+    return spans
+
+
+def sentence_containing(
+    spans: Sequence[Tuple[int, int]], token_index: int
+) -> Tuple[int, int]:
+    """The sentence span covering *token_index* (or the last span)."""
+    for span in spans:
+        if span[0] <= token_index < span[1]:
+            return span
+    if spans:
+        return spans[-1]
+    return (0, 0)

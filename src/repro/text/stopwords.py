@@ -1,0 +1,40 @@
+"""Stopword list and helpers.
+
+The mention context used by AIDA's similarity (Section 3.3.4) is "all tokens
+in the entire input text except stopwords and the mention itself".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+STOPWORDS = frozenset(
+    """
+    a an the this that these those some any each every no
+    i you he she it we they me him her us them my your his its our their
+    am is are was were be been being have has had do does did will would
+    shall should may might must can could
+    and or but nor so yet if then else when while because although though
+    of in on at by for with from to into onto over under between among
+    about against during before after above below up down out off again
+    as not only also very too more most less least much many few such own
+    same other another both all
+    there here where why how what which who whom whose
+    said says say new two three first last
+    's . , ; : ! ? ( ) [ ] " “ ”
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """Whether the token is a stopword (case-insensitive)."""
+    return token.lower() in STOPWORDS
+
+
+def content_words(tokens: Iterable[str]) -> List[str]:
+    """Lower-cased tokens with stopwords and punctuation removed."""
+    return [
+        tok.lower()
+        for tok in tokens
+        if tok.lower() not in STOPWORDS and any(ch.isalnum() for ch in tok)
+    ]

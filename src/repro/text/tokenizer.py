@@ -1,0 +1,28 @@
+"""Whitespace-and-punctuation tokenizer.
+
+Splits text into word tokens, separating trailing/leading punctuation into
+their own tokens (so "Dylan's 1976 record Desire." yields "Dylan", "'s",
+"1976", "record", "Desire", ".").  Sufficient for the synthetic corpora,
+whose generators emit space-separated tokens anyway.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_RE = re.compile(
+    r"""
+    [A-Za-z]+(?:-[A-Za-z]+|'(?!s\b)[A-Za-z]+)*   # words, incl. hyphenated
+                                  # and O'Brien, but not the 's clitic
+    | \d+(?:[.,]\d+)*             # numbers
+    | 's                          # possessive clitic
+    | [.,;:!?()\[\]"“”]           # punctuation as single tokens
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Tokenize *text* into a list of word/number/punctuation tokens."""
+    return _TOKEN_RE.findall(text)

@@ -1,0 +1,13 @@
+"""Shared utilities: seeded randomness, text normalization, timing."""
+
+from repro.utils.rng import SeededRng, derive_seed
+from repro.utils.text import normalize_token, normalize_phrase
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "SeededRng",
+    "derive_seed",
+    "normalize_token",
+    "normalize_phrase",
+    "Stopwatch",
+]

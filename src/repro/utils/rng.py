@@ -1,0 +1,130 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the library (synthetic-world generation,
+perturbation-based confidence, local search) takes an explicit seed so that
+experiments are exactly reproducible.  ``derive_seed`` deterministically forks
+independent streams from a parent seed and a string label, so adding a new
+consumer of randomness never shifts the values another consumer sees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+_MASK_64 = (1 << 64) - 1
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """Derive an independent 64-bit child seed from *seed* and *label*."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & _MASK_64
+
+
+class SeededRng:
+    """A thin, explicitly-seeded wrapper around :class:`random.Random`.
+
+    Exposes only the operations the library actually uses, plus ``fork`` to
+    create independent sub-streams.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def fork(self, label: str) -> "SeededRng":
+        """Return a new rng whose stream is independent of this one."""
+        return SeededRng(derive_seed(self.seed, label))
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Random integer in the inclusive range [low, high]."""
+        return self._random.randint(low, high)
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._random.uniform(low, high)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Gaussian sample with the given mean and stddev."""
+        return self._random.gauss(mu, sigma)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """One uniformly chosen item."""
+        return self._random.choice(items)
+
+    def sample(self, items: Sequence[T], k: int) -> List[T]:
+        """k distinct items (capped at the population size)."""
+        k = min(k, len(items))
+        return self._random.sample(items, k)
+
+    def shuffle(self, items: List[T]) -> None:
+        """Shuffle the list in place."""
+        self._random.shuffle(items)
+
+    def shuffled(self, items: Iterable[T]) -> List[T]:
+        """A shuffled copy of the items."""
+        out = list(items)
+        self._random.shuffle(out)
+        return out
+
+    def weighted_choice(
+        self, items: Sequence[T], weights: Sequence[float]
+    ) -> T:
+        """Pick one item with probability proportional to its weight."""
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        return self._random.choices(items, weights=weights, k=1)[0]
+
+    def zipf_weights(self, n: int, exponent: float = 1.0) -> List[float]:
+        """Zipfian weights 1/rank**exponent for ranks 1..n (not normalized)."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+
+    def subset(self, items: Sequence[T], probability: float) -> List[T]:
+        """Keep each item independently with the given probability."""
+        return [item for item in items if self._random.random() < probability]
+
+    def maybe(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self._random.random() < probability
+
+    def pick_k_weighted(
+        self,
+        items: Sequence[T],
+        weights: Sequence[float],
+        k: int,
+        unique: bool = True,
+    ) -> List[T]:
+        """Pick *k* items with probability proportional to weight.
+
+        With ``unique=True`` (default) the result contains no duplicates;
+        items are drawn without replacement.
+        """
+        if not unique:
+            return self._random.choices(items, weights=weights, k=k)
+        chosen: List[T] = []
+        pool = list(items)
+        pool_weights = list(weights)
+        k = min(k, len(pool))
+        for _ in range(k):
+            total = sum(pool_weights)
+            if total <= 0.0:
+                break
+            pick = self._random.random() * total
+            acc = 0.0
+            index = 0
+            for index, weight in enumerate(pool_weights):
+                acc += weight
+                if pick <= acc:
+                    break
+            chosen.append(pool.pop(index))
+            pool_weights.pop(index)
+        return chosen

@@ -1,0 +1,54 @@
+"""Text normalization helpers used by the dictionary and similarity code."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+def normalize_token(token: str) -> str:
+    """Lower-case a token and strip surrounding punctuation."""
+    return token.strip(".,;:!?'\"()[]").lower()
+
+
+def normalize_phrase(phrase: str) -> str:
+    """Normalize a multi-word phrase: collapse whitespace, lower-case."""
+    return " ".join(normalize_token(tok) for tok in phrase.split() if tok)
+
+
+def phrase_tokens(phrase: str) -> Tuple[str, ...]:
+    """Split a phrase into normalized, non-empty tokens."""
+    return tuple(
+        norm for tok in phrase.split() if (norm := normalize_token(tok))
+    )
+
+
+def upper_case_ratio(text: str) -> float:
+    """Fraction of alphabetic characters that are upper-case."""
+    alpha = [ch for ch in text if ch.isalpha()]
+    if not alpha:
+        return 0.0
+    return sum(1 for ch in alpha if ch.isupper()) / len(alpha)
+
+
+def is_all_upper(text: str) -> bool:
+    """True if the text has alphabetic characters and all are upper-case."""
+    alpha = [ch for ch in text if ch.isalpha()]
+    return bool(alpha) and all(ch.isupper() for ch in alpha)
+
+
+def join_tokens(tokens: Iterable[str]) -> str:
+    """Join tokens with single spaces."""
+    return " ".join(tokens)
+
+
+def ngrams(tokens: List[str], max_len: int) -> List[Tuple[int, int]]:
+    """All (start, end) spans of length 1..max_len over the token list."""
+    spans: List[Tuple[int, int]] = []
+    n = len(tokens)
+    for start in range(n):
+        for length in range(1, max_len + 1):
+            end = start + length
+            if end > n:
+                break
+            spans.append((start, end))
+    return spans

@@ -1,0 +1,91 @@
+"""Simple wall-clock timing used by the efficiency experiments (Table 4.4)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class Stopwatch:
+    """Accumulates elapsed time per named phase.
+
+    Usage::
+
+        watch = Stopwatch()
+        with watch.measure("coherence"):
+            ...
+        watch.total("coherence")
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    def measure(self, phase: str) -> "_Measurement":
+        """Context manager timing one phase occurrence."""
+        return _Measurement(self, phase)
+
+    def record(self, phase: str, elapsed: float) -> None:
+        """Add an elapsed duration to a phase."""
+        self._totals[phase] = self._totals.get(phase, 0.0) + elapsed
+        self._counts[phase] = self._counts.get(phase, 0) + 1
+
+    def total(self, phase: str) -> float:
+        """Accumulated seconds of a phase."""
+        return self._totals.get(phase, 0.0)
+
+    def count(self, phase: str) -> int:
+        """Number of recorded occurrences of a phase."""
+        return self._counts.get(phase, 0)
+
+    def phases(self) -> List[str]:
+        """All phase names, sorted."""
+        return sorted(self._totals)
+
+
+class _Measurement:
+    def __init__(self, watch: Stopwatch, phase: str):
+        self._watch = watch
+        self._phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "_Measurement":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._watch.record(self._phase, time.perf_counter() - self._start)
+
+
+@dataclass
+class TimingStats:
+    """Summary statistics over a list of per-document timings."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0 when empty)."""
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (0 for fewer than two samples)."""
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return (sum((x - mean) ** 2 for x in self.samples) / (n - 1)) ** 0.5
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile by nearest-rank (q in [0, 1])."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]

@@ -1,0 +1,5 @@
+"""Statistical keyterm weights: IDF, NPMI, and normalized MI (µ)."""
+
+from repro.weights.model import WeightModel, binary_entropy, joint_entropy
+
+__all__ = ["WeightModel", "binary_entropy", "joint_entropy"]

@@ -1,0 +1,231 @@
+"""Keyterm weight computation.
+
+Implements the weighting formulas of Chapters 3 and 4 over a
+:class:`~repro.kb.keyphrases.KeyphraseStore` and the entity link graph:
+
+* **IDF** (Eq. 3.5): ``idf(k) = log2(N / df(k))`` with entity-level document
+  frequencies.
+* **NPMI** (Eq. 3.1–3.3) for entity-keyword pairs, where the co-occurrence
+  event is the keyword appearing in the entity's *superdocument* — the union
+  of its own keyphrases with the keyphrases of all entities linking to it
+  (Section 4.3.1).
+* **µ, normalized mutual information** (Eq. 4.1) for entity-keyphrase pairs:
+  ``µ(E,T) = 2 · (H(E) + H(T) − H(E,T)) / (H(E) + H(T))`` over the binary
+  occurrence events, which KORE found to work better than NPMI for phrases.
+
+Keywords with non-positive NPMI are discarded for NED (Section 3.3.4), which
+``keyword_weights`` honours.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.kb.keyphrases import KeyphraseStore, Phrase
+from repro.kb.links import LinkGraph
+from repro.types import EntityId
+
+
+def binary_entropy(p: float) -> float:
+    """Entropy (nats) of a Bernoulli(p) variable; 0 at p in {0, 1}."""
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -(p * math.log(p) + (1.0 - p) * math.log(1.0 - p))
+
+
+def joint_entropy(n11: int, n10: int, n01: int, n00: int) -> float:
+    """Entropy (nats) of a 2x2 contingency table of counts."""
+    total = n11 + n10 + n01 + n00
+    if total <= 0:
+        return 0.0
+    entropy = 0.0
+    for count in (n11, n10, n01, n00):
+        if count > 0:
+            p = count / total
+            entropy -= p * math.log(p)
+    return entropy
+
+
+class WeightModel:
+    """Computes and caches keyterm weights for a keyphrase store.
+
+    Parameters
+    ----------
+    keyphrases:
+        The per-entity keyphrase store (counts + document frequencies).
+    links:
+        Entity link graph; inlinks define the superdocument.  Pass ``None``
+        to make every superdocument just the entity's own article (used for
+        emerging-entity placeholder models, which have no links).
+    collection_size:
+        Override for N, the number of "documents" (entities).  Defaults to
+        the number of entities in the store.
+    """
+
+    def __init__(
+        self,
+        keyphrases: KeyphraseStore,
+        links: Optional[LinkGraph] = None,
+        collection_size: Optional[int] = None,
+    ):
+        self._store = keyphrases
+        self._links = links
+        explicit = collection_size is not None
+        size = collection_size if explicit else keyphrases.entity_count
+        self._n = max(int(size), 2)  # avoid degenerate log terms
+        self._superdoc_words: Dict[EntityId, Dict[str, int]] = {}
+        self._superdoc_phrases: Dict[EntityId, Dict[Phrase, int]] = {}
+        self._keyword_weight_cache: Dict[EntityId, Dict[str, float]] = {}
+        self._keyphrase_weight_cache: Dict[EntityId, Dict[Phrase, float]] = {}
+
+    @property
+    def collection_size(self) -> int:
+        """N - the number of documents (entities) behind the statistics."""
+        return self._n
+
+    # ------------------------------------------------------------------
+    # IDF (Eq. 3.5)
+    # ------------------------------------------------------------------
+    def idf_word(self, word: str) -> float:
+        """Entity-level IDF of a keyword (Eq. 3.5)."""
+        df = self._store.word_df(word)
+        if df <= 0:
+            return 0.0
+        return math.log2(self._n / df)
+
+    def idf_phrase(self, phrase: Phrase) -> float:
+        """Entity-level IDF of a keyphrase (Eq. 3.5)."""
+        df = self._store.phrase_df(phrase)
+        if df <= 0:
+            return 0.0
+        return math.log2(self._n / df)
+
+    # ------------------------------------------------------------------
+    # Superdocument counts
+    # ------------------------------------------------------------------
+    def _sources(self, entity_id: EntityId) -> FrozenSet[EntityId]:
+        own = frozenset({entity_id})
+        if self._links is None:
+            return own
+        return own | self._links.inlinks(entity_id)
+
+    def _superdoc_word_counts(self, entity_id: EntityId) -> Dict[str, int]:
+        cached = self._superdoc_words.get(entity_id)
+        if cached is not None:
+            return cached
+        counts: Dict[str, int] = {}
+        for source in self._sources(entity_id):
+            for word in self._store.keyword_counts(source):
+                counts[word] = counts.get(word, 0) + 1
+        self._superdoc_words[entity_id] = counts
+        return counts
+
+    def _superdoc_phrase_counts(
+        self, entity_id: EntityId
+    ) -> Dict[Phrase, int]:
+        cached = self._superdoc_phrases.get(entity_id)
+        if cached is not None:
+            return cached
+        counts: Dict[Phrase, int] = {}
+        for source in self._sources(entity_id):
+            for phrase in self._store.keyphrase_counts(source):
+                counts[phrase] = counts.get(phrase, 0) + 1
+        self._superdoc_phrases[entity_id] = counts
+        return counts
+
+    def _entity_occurrence(self, entity_id: EntityId) -> int:
+        return len(self._sources(entity_id))
+
+    # ------------------------------------------------------------------
+    # NPMI for entity-keyword pairs (Eq. 3.1-3.3)
+    # ------------------------------------------------------------------
+    def npmi_word(self, entity_id: EntityId, word: str) -> float:
+        """NPMI of an entity-keyword pair over superdocuments (Eq. 3.1)."""
+        joint = self._superdoc_word_counts(entity_id).get(word, 0)
+        if joint <= 0:
+            return -1.0
+        occ_e = self._entity_occurrence(entity_id)
+        occ_w = max(self._store.word_df(word), joint)
+        p_joint = joint / self._n
+        p_e = occ_e / self._n
+        p_w = occ_w / self._n
+        if p_joint >= 1.0:
+            return 1.0
+        pmi = math.log(p_joint / (p_e * p_w))
+        return pmi / (-math.log(p_joint))
+
+    # ------------------------------------------------------------------
+    # Normalized MI µ for entity-keyphrase pairs (Eq. 4.1)
+    # ------------------------------------------------------------------
+    def mi_phrase(self, entity_id: EntityId, phrase: Phrase) -> float:
+        """Normalized MI of an entity-keyphrase pair (Eq. 4.1)."""
+        joint = self._superdoc_phrase_counts(entity_id).get(phrase, 0)
+        occ_e = self._entity_occurrence(entity_id)
+        occ_t = max(self._store.phrase_df(phrase), joint)
+        n11 = joint
+        n10 = occ_e - joint
+        n01 = occ_t - joint
+        n00 = max(self._n - n11 - n10 - n01, 0)
+        h_e = binary_entropy(occ_e / self._n)
+        h_t = binary_entropy(occ_t / self._n)
+        if h_e + h_t <= 0.0:
+            return 0.0
+        h_joint = joint_entropy(n11, n10, n01, n00)
+        return 2.0 * (h_e + h_t - h_joint) / (h_e + h_t)
+
+    # ------------------------------------------------------------------
+    # Per-entity weight maps
+    # ------------------------------------------------------------------
+    def keyword_weights(
+        self, entity_id: EntityId, scheme: str = "npmi"
+    ) -> Dict[str, float]:
+        """Weights for all constituent words of the entity's keyphrases.
+
+        ``scheme`` is ``"npmi"`` (entity-specific, non-positive discarded)
+        or ``"idf"`` (global).
+        """
+        if scheme == "idf":
+            return {
+                word: self.idf_word(word)
+                for word in self._store.keywords(entity_id)
+            }
+        if scheme != "npmi":
+            raise ValueError(f"unknown keyword weight scheme: {scheme!r}")
+        cached = self._keyword_weight_cache.get(entity_id)
+        if cached is not None:
+            return cached
+        weights: Dict[str, float] = {}
+        for word in self._store.keywords(entity_id):
+            npmi = self.npmi_word(entity_id, word)
+            if npmi > 0.0:
+                weights[word] = npmi
+        self._keyword_weight_cache[entity_id] = weights
+        return weights
+
+    def keyphrase_weights(self, entity_id: EntityId) -> Dict[Phrase, float]:
+        """µ weights for all keyphrases of the entity (non-negative)."""
+        cached = self._keyphrase_weight_cache.get(entity_id)
+        if cached is not None:
+            return cached
+        weights: Dict[Phrase, float] = {}
+        for phrase in self._store.keyphrases(entity_id):
+            mi = self.mi_phrase(entity_id, phrase)
+            if mi > 0.0:
+                weights[phrase] = mi
+        self._keyphrase_weight_cache[entity_id] = weights
+        return weights
+
+    def invalidate(self, entity_ids: Optional[Iterable[EntityId]] = None):
+        """Drop cached weights (after the store gained new keyphrases)."""
+        if entity_ids is None:
+            self._superdoc_words.clear()
+            self._superdoc_phrases.clear()
+            self._keyword_weight_cache.clear()
+            self._keyphrase_weight_cache.clear()
+            return
+        for entity_id in entity_ids:
+            self._superdoc_words.pop(entity_id, None)
+            self._superdoc_phrases.pop(entity_id, None)
+            self._keyword_weight_cache.pop(entity_id, None)
+            self._keyphrase_weight_cache.pop(entity_id, None)

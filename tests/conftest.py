@@ -1,0 +1,59 @@
+"""Shared fixtures: a small deterministic world, its encyclopedia and KB.
+
+The fixtures are session-scoped — the world/KB build takes a noticeable
+fraction of a second and every suite shares the same seed, so tests are
+reproducible and fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.documents import DocumentGenerator, DocumentSpec
+from repro.datagen.wikipedia import SyntheticWikipedia, build_world_kb
+from repro.datagen.world import World, WorldConfig
+
+
+SMALL_WORLD_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    return World.generate(
+        WorldConfig(seed=SMALL_WORLD_SEED, clusters_per_domain=4)
+    )
+
+
+@pytest.fixture(scope="session")
+def kb_and_wiki(world):
+    return build_world_kb(world, seed=101)
+
+
+@pytest.fixture(scope="session")
+def kb(kb_and_wiki):
+    return kb_and_wiki[0]
+
+
+@pytest.fixture(scope="session")
+def wiki(kb_and_wiki) -> SyntheticWikipedia:
+    return kb_and_wiki[1]
+
+
+@pytest.fixture(scope="session")
+def doc_generator(world) -> DocumentGenerator:
+    return DocumentGenerator(world, seed=55)
+
+
+@pytest.fixture(scope="session")
+def sample_docs(world, doc_generator):
+    """Ten annotated single-cluster documents."""
+    docs = []
+    cluster_ids = sorted(world.clusters)
+    for index in range(10):
+        spec = DocumentSpec(
+            doc_id=f"sample-{index}",
+            cluster_ids=[cluster_ids[index % len(cluster_ids)]],
+            num_mentions=5,
+        )
+        docs.append(doc_generator.generate(spec))
+    return docs

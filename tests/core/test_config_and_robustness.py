@@ -1,0 +1,97 @@
+"""Tests for AIDA configuration and the robustness tests."""
+
+import pytest
+
+from repro.core.config import AidaConfig, PriorMode
+from repro.core.robustness import (
+    coherence_robustness_distance,
+    passes_prior_test,
+    should_fix_mention,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = AidaConfig()
+        assert config.prior_threshold == pytest.approx(0.9)
+        assert config.coherence_threshold == pytest.approx(0.9)
+        assert config.gamma == pytest.approx(0.40)
+        assert config.prior_mix == pytest.approx(0.566)
+
+    def test_named_variants(self):
+        assert AidaConfig.prior_only().prior_mode is PriorMode.ONLY
+        assert AidaConfig.sim_only().prior_mode is PriorMode.NEVER
+        assert AidaConfig.prior_sim().prior_mode is PriorMode.ALWAYS
+        assert not AidaConfig.robust_prior_sim().use_coherence
+        coh = AidaConfig.robust_prior_sim_coherence()
+        assert coh.use_coherence and not coh.use_coherence_test
+        full = AidaConfig.full()
+        assert full.use_coherence and full.use_coherence_test
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"prior_threshold": 1.5},
+            {"coherence_threshold": -0.1},
+            {"gamma": 2.0},
+            {"prior_mix": -0.2},
+            {"max_keyphrases": -1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AidaConfig(**kwargs)
+
+
+class TestPriorTest:
+    def test_dominant_prior_passes(self):
+        assert passes_prior_test({"A": 0.95, "B": 0.05}, threshold=0.9)
+
+    def test_split_prior_fails(self):
+        assert not passes_prior_test({"A": 0.6, "B": 0.4}, threshold=0.9)
+
+    def test_empty_distribution_fails(self):
+        assert not passes_prior_test({}, threshold=0.9)
+
+
+class TestCoherenceTest:
+    def test_agreeing_distributions_have_small_distance(self):
+        prior = {"A": 0.8, "B": 0.2}
+        sims = {"A": 0.8, "B": 0.2}
+        assert coherence_robustness_distance(prior, sims) == pytest.approx(
+            0.0
+        )
+
+    def test_disagreeing_distributions_have_large_distance(self):
+        prior = {"A": 1.0, "B": 0.0}
+        sims = {"A": 0.0, "B": 1.0}
+        assert coherence_robustness_distance(prior, sims) == pytest.approx(
+            2.0
+        )
+
+    def test_distance_bounded(self):
+        prior = {"A": 0.7, "B": 0.3}
+        sims = {"A": 0.1, "B": 0.9}
+        distance = coherence_robustness_distance(prior, sims)
+        assert 0.0 <= distance <= 2.0
+
+    def test_unnormalized_sims_are_normalized(self):
+        prior = {"A": 0.5, "B": 0.5}
+        sims = {"A": 10.0, "B": 10.0}
+        assert coherence_robustness_distance(prior, sims) == pytest.approx(
+            0.0
+        )
+
+    def test_fix_on_agreement(self):
+        prior = {"A": 0.9, "B": 0.1}
+        sims = {"A": 0.85, "B": 0.15}
+        assert should_fix_mention(prior, sims, threshold=0.9)
+
+    def test_no_fix_on_disagreement(self):
+        prior = {"A": 0.95, "B": 0.05}
+        sims = {"A": 0.05, "B": 0.95}
+        assert not should_fix_mention(prior, sims, threshold=0.9)
+
+    def test_single_candidate_always_fixed(self):
+        assert should_fix_mention({"A": 1.0}, {"A": 0.0}, threshold=0.9)

@@ -1,0 +1,178 @@
+"""Tests for the four evaluation corpora and the relatedness gold."""
+
+import pytest
+
+from repro.datagen.conll import ConllConfig, generate_conll
+from repro.datagen.gigaword import GigawordConfig, generate_gigaword
+from repro.datagen.kore50 import Kore50Config, generate_kore50
+from repro.datagen.relatedness_gold import (
+    RelatednessGoldConfig,
+    generate_relatedness_gold,
+)
+from repro.datagen.world import World, WorldConfig
+from repro.datagen.wpslice import WpSliceConfig, generate_wp_slice
+from repro.errors import DatasetError
+from repro.types import OUT_OF_KB
+
+
+class TestConll:
+    @pytest.fixture(scope="class")
+    def corpus(self, world):
+        return generate_conll(world, ConllConfig(scale=0.03))
+
+    def test_split_sizes_scale(self, corpus):
+        assert len(corpus.train) == int(946 * 0.03)
+        assert len(corpus.testa) == int(216 * 0.03)
+        assert len(corpus.testb) == int(231 * 0.03)
+
+    def test_out_of_kb_fraction_near_paper(self, corpus):
+        props = corpus.properties()
+        fraction = props["mentions_no_entity"] / props["mentions_total"]
+        assert 0.05 < fraction < 0.4
+
+    def test_properties_shape(self, corpus):
+        props = corpus.properties()
+        assert props["articles"] == len(corpus.all_documents())
+        assert props["mentions_per_article_avg"] > 3
+
+    def test_deterministic(self, world):
+        a = generate_conll(world, ConllConfig(scale=0.01))
+        b = generate_conll(world, ConllConfig(scale=0.01))
+        assert a.testb[0].document.tokens == b.testb[0].document.tokens
+
+    def test_invalid_scale(self, world):
+        with pytest.raises(DatasetError):
+            ConllConfig(scale=0.0)
+
+
+class TestKore50:
+    def test_sentence_count_and_density(self, world):
+        docs = generate_kore50(world, Kore50Config(num_sentences=20))
+        assert len(docs) == 20
+        for doc in docs:
+            assert len(doc.gold) == 3
+            # Short sentences: high mention density.
+            assert len(doc.document.tokens) < 60
+
+
+class TestWpSlice:
+    def test_music_domain_only(self, world):
+        docs = generate_wp_slice(world, WpSliceConfig(num_sentences=15))
+        music_entities = {
+            eid
+            for eid in world.entity_ids()
+            if world.entity(eid).domain == "music"
+        }
+        for doc in docs:
+            for ann in doc.gold:
+                if ann.entity != OUT_OF_KB:
+                    assert ann.entity in music_entities
+
+    def test_unknown_domain_rejected(self, world):
+        with pytest.raises(DatasetError):
+            generate_wp_slice(world, WpSliceConfig(domain="astrology"))
+
+
+class TestGigaword:
+    @pytest.fixture(scope="class")
+    def fresh_world(self):
+        # generate_gigaword mutates the world (spawns emerging entities),
+        # so the shared session world must not be used here.
+        return World.generate(WorldConfig(seed=13, clusters_per_domain=3))
+
+    @pytest.fixture(scope="class")
+    def stream(self, fresh_world):
+        return generate_gigaword(
+            fresh_world,
+            GigawordConfig(
+                num_days=34,
+                docs_per_day=4,
+                emerging_count=4,
+                train_day=28,
+                test_day=31,
+                emerging_first_day=4,
+                emerging_last_day=20,
+            ),
+        )
+
+    def test_all_days_covered(self, stream):
+        days = {d.document.timestamp for d in stream.documents}
+        assert days == set(range(34))
+
+    def test_annotated_days_have_docs(self, stream):
+        assert stream.train_docs()
+        assert stream.test_docs()
+
+    def test_emerging_mentions_present_after_emerging_day(
+        self, fresh_world, stream
+    ):
+        for eid in stream.emerging_ids:
+            entity = fresh_world.entity(eid)
+            name = entity.names.canonical
+            docs_with_name = [
+                d
+                for d in stream.documents
+                if any(m.surface == name for m in d.document.mentions)
+            ]
+            late = [
+                d
+                for d in docs_with_name
+                if d.document.timestamp >= entity.emerging_day
+            ]
+            assert late  # the EE appears in the stream after surfacing
+
+    def test_properties(self, stream):
+        props = stream.properties()
+        assert props["documents"] > 0
+        assert props["mentions_with_emerging_entities"] > 0
+
+    def test_invalid_config(self):
+        with pytest.raises(DatasetError):
+            GigawordConfig(num_days=10, train_day=20)
+        with pytest.raises(DatasetError):
+            GigawordConfig(
+                num_days=40, emerging_last_day=35, train_day=30, test_day=38
+            )
+
+
+class TestRelatednessGold:
+    @pytest.fixture(scope="class")
+    def gold(self, world):
+        return generate_relatedness_gold(
+            world, RelatednessGoldConfig(seeds_per_domain=2)
+        )
+
+    def test_seed_count(self, gold):
+        assert len(gold.seeds) == 8  # 4 domains x 2
+
+    def test_candidate_count(self, gold):
+        for seed in gold.seeds:
+            assert len(seed.ranked_candidates) == 20
+
+    def test_seed_not_among_candidates(self, gold):
+        for seed in gold.seeds:
+            assert seed.seed not in seed.ranked_candidates
+
+    def test_cluster_members_rank_high(self, world, gold):
+        # On average, same-cluster candidates should rank above
+        # cross-domain ones.
+        for seed in gold.seeds:
+            cluster = world.entity(seed.seed).cluster_id
+            ranks_same = [
+                rank
+                for rank, eid in enumerate(seed.ranked_candidates)
+                if world.entity(eid).cluster_id == cluster
+            ]
+            ranks_other = [
+                rank
+                for rank, eid in enumerate(seed.ranked_candidates)
+                if world.entity(eid).domain != world.entity(seed.seed).domain
+            ]
+            if ranks_same and ranks_other:
+                avg_same = sum(ranks_same) / len(ranks_same)
+                avg_other = sum(ranks_other) / len(ranks_other)
+                assert avg_same < avg_other
+
+    def test_by_domain_grouping(self, gold):
+        grouped = gold.by_domain()
+        assert set(grouped) == {"tech", "film", "music", "sports"}

@@ -1,0 +1,76 @@
+"""Tests for corpus JSONL serialization."""
+
+import json
+
+import pytest
+
+from repro.datagen.io import (
+    FORMAT_VERSION,
+    document_from_dict,
+    document_to_dict,
+    load_corpus,
+    save_corpus,
+)
+from repro.errors import DatasetError
+
+
+class TestRoundTrip:
+    def test_documents_survive(self, sample_docs, tmp_path):
+        path = str(tmp_path / "corpus.jsonl")
+        written = save_corpus(sample_docs, path)
+        assert written == len(sample_docs)
+        loaded = load_corpus(path)
+        assert len(loaded) == len(sample_docs)
+        for original, restored in zip(sample_docs, loaded):
+            assert restored.doc_id == original.doc_id
+            assert restored.document.tokens == original.document.tokens
+            assert restored.document.timestamp == (
+                original.document.timestamp
+            )
+            assert restored.gold == original.gold
+
+    def test_mentions_attached_to_document(self, sample_docs, tmp_path):
+        path = str(tmp_path / "corpus.jsonl")
+        save_corpus(sample_docs, path)
+        loaded = load_corpus(path)
+        for annotated in loaded:
+            assert annotated.document.mentions == tuple(
+                ann.mention for ann in annotated.gold
+            )
+
+    def test_dict_round_trip(self, sample_docs):
+        data = document_to_dict(sample_docs[0])
+        restored = document_from_dict(data)
+        assert restored.gold == sample_docs[0].gold
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, sample_docs):
+        data = document_to_dict(sample_docs[0])
+        data["version"] = FORMAT_VERSION + 1
+        with pytest.raises(DatasetError):
+            document_from_dict(data)
+
+    def test_missing_field_rejected(self, sample_docs):
+        data = document_to_dict(sample_docs[0])
+        del data["tokens"]
+        with pytest.raises(DatasetError):
+            document_from_dict(data)
+
+    def test_out_of_range_span_rejected(self, sample_docs):
+        data = document_to_dict(sample_docs[0])
+        data["gold"][0]["end"] = len(data["tokens"]) + 5
+        with pytest.raises(DatasetError):
+            document_from_dict(data)
+
+    def test_invalid_json_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(DatasetError):
+            load_corpus(str(path))
+
+    def test_blank_lines_skipped(self, sample_docs, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        record = json.dumps(document_to_dict(sample_docs[0]))
+        path.write_text(f"\n{record}\n\n")
+        assert len(load_corpus(str(path))) == 1

@@ -1,0 +1,171 @@
+"""Tests for the synthetic encyclopedia and document generation."""
+
+import pytest
+
+from repro.datagen.documents import DocumentGenerator, DocumentSpec
+from repro.datagen.wikipedia import SyntheticWikipedia, build_world_kb
+from repro.types import OUT_OF_KB
+
+
+class TestWikipedia:
+    def test_only_in_kb_entities_have_articles(self, world, wiki):
+        assert set(wiki.articles) == set(world.in_kb_ids())
+
+    def test_deterministic(self, world):
+        a = SyntheticWikipedia.generate(world, seed=101)
+        b = SyntheticWikipedia.generate(world, seed=101)
+        eid = sorted(a.articles)[0]
+        assert a.articles[eid].anchors == b.articles[eid].anchors
+
+    def test_popular_entities_have_more_inlinks(self, world, kb):
+        in_kb = world.in_kb_ids()
+        by_pop = sorted(
+            in_kb, key=lambda eid: -world.entity(eid).popularity
+        )
+        top = by_pop[:10]
+        bottom = by_pop[-10:]
+        avg_top = sum(kb.inlink_count(e) for e in top) / len(top)
+        avg_bottom = sum(kb.inlink_count(e) for e in bottom) / len(bottom)
+        assert avg_top > avg_bottom * 1.5
+
+    def test_anchor_counts_give_popularity_prior(self, world, kb):
+        # For ambiguous names, the more popular entity should usually have
+        # the larger prior.
+        checked = 0
+        agree = 0
+        for name in kb.dictionary.all_names():
+            candidates = kb.candidates(name)
+            if len(candidates) < 2:
+                continue
+            by_prior = max(candidates, key=lambda e: kb.prior(name, e))
+            by_pop = max(
+                candidates, key=lambda e: world.entity(e).popularity
+            )
+            checked += 1
+            if by_prior == by_pop:
+                agree += 1
+        assert checked > 5
+        # Majority agreement; hub-structured linking makes anchor counts
+        # depend on article structure as well, so this is not exact.
+        assert agree / checked >= 0.5
+
+    def test_keyphrases_cover_theme_words(self, world, kb):
+        eid = world.in_kb_ids()[0]
+        entity = world.entity(eid)
+        words = {
+            word
+            for phrase in kb.entity_keyphrases(eid)
+            for word in phrase
+        }
+        covered = sum(1 for w in entity.unique_words if w in words)
+        assert covered == len(entity.unique_words)
+
+    def test_kb_dictionary_contains_short_forms(self, world, kb):
+        eid = world.in_kb_ids()[0]
+        entity = world.entity(eid)
+        for form in entity.names.short_forms:
+            assert eid in kb.candidates(form)
+
+
+class TestDocumentGenerator:
+    def test_deterministic(self, world, doc_generator):
+        spec = DocumentSpec(doc_id="det", cluster_ids=[0], num_mentions=4)
+        a = doc_generator.generate(spec)
+        b = doc_generator.generate(spec)
+        assert a.document.tokens == b.document.tokens
+        assert a.gold == b.gold
+
+    def test_mention_offsets_match_surface(self, world, doc_generator):
+        spec = DocumentSpec(doc_id="off", cluster_ids=[1], num_mentions=4)
+        annotated = doc_generator.generate(spec)
+        doc = annotated.document
+        for mention in doc.mentions:
+            assert doc.mention_surface(mention) == mention.surface
+
+    def test_out_of_kb_gold_for_out_of_kb_entities(
+        self, world, doc_generator
+    ):
+        ookb = [
+            eid
+            for eid in world.out_of_kb_ids()
+            if not world.entity(eid).is_emerging
+        ]
+        if not ookb:
+            pytest.skip("world has no out-of-KB entities")
+        target = ookb[0]
+        spec = DocumentSpec(
+            doc_id="ookb",
+            cluster_ids=[world.entity(target).cluster_id],
+            forced_entities=[target],
+            num_mentions=4,
+        )
+        annotated = doc_generator.generate(spec)
+        assert any(ann.entity == OUT_OF_KB for ann in annotated.gold)
+
+    def test_num_mentions_respected(self, world, doc_generator):
+        spec = DocumentSpec(doc_id="n", cluster_ids=[0], num_mentions=3)
+        annotated = doc_generator.generate(spec)
+        assert len(annotated.gold) == 3
+
+    def test_ambiguous_prob_zero_gives_canonical(self, world, doc_generator):
+        spec = DocumentSpec(
+            doc_id="canon",
+            cluster_ids=[0],
+            num_mentions=4,
+            ambiguous_prob=0.0,
+        )
+        annotated = doc_generator.generate(spec)
+        for ann in annotated.gold:
+            entity_id = (
+                ann.entity
+                if ann.entity != OUT_OF_KB
+                else None
+            )
+            if entity_id:
+                canonical = world.entity(entity_id).names.canonical
+                assert ann.mention.surface == canonical
+
+    def test_context_override_used(self, world, doc_generator):
+        cluster = world.clusters[0]
+        target = cluster.members[0]
+        spec = DocumentSpec(
+            doc_id="override",
+            cluster_ids=[0],
+            forced_entities=[target],
+            num_mentions=2,
+            context_prob=1.0,
+            context_overrides={target: ("xxoverride", "yyoverride")},
+        )
+        annotated = doc_generator.generate(spec)
+        assert "xxoverride" in annotated.document.tokens
+
+    def test_unknown_cluster_rejected(self, world, doc_generator):
+        from repro.errors import DatasetError
+
+        spec = DocumentSpec(doc_id="bad", cluster_ids=[999])
+        with pytest.raises(DatasetError):
+            doc_generator.generate(spec)
+
+    def test_long_tail_preference(self, world, doc_generator):
+        """With prefer_long_tail, average popularity of chosen entities
+        drops (statistically, over several documents)."""
+
+        def avg_pop(prefer):
+            total = 0.0
+            count = 0
+            for index in range(12):
+                spec = DocumentSpec(
+                    doc_id=f"lt-{prefer}-{index}",
+                    cluster_ids=[index % len(world.clusters)],
+                    num_mentions=4,
+                    prefer_long_tail=prefer,
+                    distractor_prob=0.0,
+                )
+                annotated = doc_generator.generate(spec)
+                for ann in annotated.gold:
+                    if ann.entity != OUT_OF_KB:
+                        total += world.entity(ann.entity).popularity
+                        count += 1
+            return total / count
+
+        assert avg_pop(True) <= avg_pop(False) * 1.2

@@ -1,0 +1,164 @@
+"""Tests for vocabulary, names, and the world generator."""
+
+import pytest
+
+from repro.datagen.names import NameFactory, generate_name_pools
+from repro.datagen.vocabulary import generate_vocabulary, make_word
+from repro.datagen.world import World, WorldConfig
+from repro.errors import DatasetError
+from repro.utils.rng import SeededRng
+
+
+class TestVocabulary:
+    def test_deterministic(self):
+        a = generate_vocabulary(3)
+        b = generate_vocabulary(3)
+        assert a.background == b.background
+        assert a.topics == b.topics
+
+    def test_partitions_disjoint(self):
+        vocab = generate_vocabulary(3)
+        seen = set(vocab.background)
+        for domain in vocab.domains:
+            topic = set(vocab.topic_words(domain))
+            assert not topic & seen
+            seen |= topic
+
+    def test_sizes(self):
+        vocab = generate_vocabulary(3, background_size=10, topic_size=5)
+        assert len(vocab.background) == 10
+        assert all(
+            len(vocab.topic_words(d)) == 5 for d in vocab.domains
+        )
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(DatasetError):
+            generate_vocabulary(3).topic_words("astrology")
+
+    def test_make_word_pronounceable(self):
+        word = make_word(SeededRng(1), syllables=2)
+        assert word.isalpha()
+        assert word == word.lower()
+
+
+class TestNamePools:
+    def test_deterministic(self):
+        assert (
+            generate_name_pools(5).family_names
+            == generate_name_pools(5).family_names
+        )
+
+    def test_person_name_structure(self):
+        pools = generate_name_pools(5)
+        factory = NameFactory(pools, SeededRng(1))
+        names = factory.person_name()
+        assert len(names.canonical.split()) == 2
+        assert names.short_forms[0] == names.canonical.split()[1]
+
+    def test_shared_family_forced(self):
+        pools = generate_name_pools(5)
+        factory = NameFactory(pools, SeededRng(1))
+        names = factory.person_name(shared_family="Smith")
+        assert names.canonical.endswith("Smith")
+
+    def test_team_name_shares_city(self):
+        pools = generate_name_pools(5)
+        factory = NameFactory(pools, SeededRng(1))
+        names = factory.team_name("Duluth")
+        assert "Duluth" in names.short_forms
+        assert names.canonical.startswith("Duluth")
+
+    def test_org_acronym(self):
+        pools = generate_name_pools(5)
+        factory = NameFactory(pools, SeededRng(1))
+        names = factory.org_name(with_acronym=True)
+        acronym = names.short_forms[1]
+        assert acronym.isupper()
+        assert len(acronym) == 3
+
+    def test_usage_tracking(self):
+        pools = generate_name_pools(5)
+        factory = NameFactory(pools, SeededRng(1))
+        names = factory.place_name(base="Kashmir")
+        assert factory.uses_of("Kashmir") == 1
+
+
+class TestWorld:
+    def test_deterministic(self):
+        a = World.generate(WorldConfig(seed=9, clusters_per_domain=2))
+        b = World.generate(WorldConfig(seed=9, clusters_per_domain=2))
+        assert a.entity_ids() == b.entity_ids()
+        first = a.entity_ids()[0]
+        assert a.entity(first).names == b.entity(first).names
+
+    def test_out_of_kb_fraction_respected(self, world):
+        total = len(world.entities)
+        ookb = len(world.out_of_kb_ids())
+        assert 0 < ookb < total * 0.3
+
+    def test_popularity_zipfian(self, world):
+        pops = sorted(
+            (e.popularity for e in world.entities.values()), reverse=True
+        )
+        assert pops[0] > 10 * pops[-1]
+
+    def test_clusters_cover_all_entities(self, world):
+        members = set()
+        for cluster in world.clusters.values():
+            members.update(cluster.members)
+        assert members == set(world.entities)
+
+    def test_name_ambiguity_exists(self, world):
+        from collections import Counter
+
+        counter = Counter()
+        for entity in world.entities.values():
+            for form in entity.names.short_forms:
+                counter[form] += 1
+        assert any(count >= 2 for count in counter.values())
+
+    def test_entity_phrases_mix_shared_and_unique(self, world):
+        entity_id = world.entity_ids()[0]
+        entity = world.entity(entity_id)
+        phrases = world.entity_phrases(entity_id)
+        flat = {word for phrase in phrases for word in phrase}
+        assert set(entity.unique_words) <= flat
+        assert flat & set(entity.shared_words)
+
+    def test_latent_relatedness_cluster_gt_cross(self, world):
+        cluster = world.clusters[0]
+        a, b = cluster.members[0], cluster.members[1]
+        other_cluster = world.clusters[max(world.clusters)]
+        c = other_cluster.members[0]
+        assert world.latent_relatedness(a, b) > world.latent_relatedness(
+            a, c
+        )
+
+    def test_unknown_entity_raises(self, world):
+        with pytest.raises(DatasetError):
+            world.entity("missing")
+
+
+class TestEmergingSpawn:
+    def test_spawn_shares_name_with_in_kb(self):
+        world = World.generate(WorldConfig(seed=9, clusters_per_domain=2))
+        spawned = world.spawn_emerging(
+            3, first_day=5, last_day=10, seed=77
+        )
+        assert len(spawned) == 3
+        in_kb_names = {
+            form
+            for eid in world.in_kb_ids()
+            for form in world.entity(eid).names.all_forms
+            if not world.entity(eid).is_emerging
+        }
+        for entity in spawned:
+            assert entity.names.canonical in in_kb_names
+            assert not entity.in_kb
+            assert 5 <= entity.emerging_day <= 10
+
+    def test_spawned_have_fresh_unique_words(self):
+        world = World.generate(WorldConfig(seed=9, clusters_per_domain=2))
+        spawned = world.spawn_emerging(2, 5, 10, seed=77)
+        for entity in spawned:
+            assert entity.unique_words

@@ -1,0 +1,141 @@
+"""Tests for the NED-EE pipeline (Algorithm 3)."""
+
+import pytest
+
+from repro.datagen.gigaword import GigawordConfig, generate_gigaword
+from repro.datagen.wikipedia import build_world_kb
+from repro.datagen.world import World, WorldConfig
+from repro.emerging.discovery import EeConfig, EmergingEntityPipeline
+from repro.errors import ConfigurationError
+from repro.eval.ee_measures import evaluate_emerging
+
+
+@pytest.fixture(scope="module")
+def ee_setup():
+    world = World.generate(WorldConfig(seed=11, clusters_per_domain=3))
+    kb, _wiki = build_world_kb(world, seed=101)
+    stream = generate_gigaword(
+        world,
+        GigawordConfig(
+            seed=909,
+            num_days=36,
+            docs_per_day=5,
+            emerging_count=5,
+            train_day=28,
+            test_day=33,
+            emerging_first_day=5,
+            emerging_last_day=20,
+        ),
+    )
+    docs = [d.document for d in stream.documents]
+    return world, kb, stream, docs
+
+
+class TestEeConfig:
+    def test_defaults_skip_first_stage(self):
+        assert not EeConfig().runs_first_stage
+
+    def test_thresholds_enable_first_stage(self):
+        assert EeConfig(confidence_low=0.1).runs_first_stage
+        assert EeConfig(confidence_high=0.9).runs_first_stage
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            EeConfig(confidence_low=0.8, confidence_high=0.2)
+
+    def test_invalid_harvest_days(self):
+        with pytest.raises(ConfigurationError):
+            EeConfig(harvest_days=0)
+
+
+class TestPipeline:
+    def test_emerging_mentions_discovered(self, ee_setup):
+        world, kb, stream, docs = ee_setup
+        pipeline = EmergingEntityPipeline(
+            kb, docs, EeConfig(enrich_existing=False)
+        )
+        test_docs = stream.test_docs()[:6]
+        predicted = [
+            pipeline.disambiguate(d.document).as_map() for d in test_docs
+        ]
+        gold = [(d.doc_id, d.gold_map()) for d in test_docs]
+        result = evaluate_emerging(gold, predicted)
+        # The explicit EE model should find some emerging mentions and be
+        # precise about them.
+        assert result.recall > 0.0
+        assert result.precision > 0.5
+
+    def test_result_covers_all_mentions(self, ee_setup):
+        world, kb, stream, docs = ee_setup
+        pipeline = EmergingEntityPipeline(
+            kb, docs, EeConfig(enrich_existing=False)
+        )
+        document = stream.test_docs()[0].document
+        result = pipeline.disambiguate(document)
+        assert len(result.assignments) == len(document.mentions)
+
+    def test_no_placeholder_ids_leak(self, ee_setup):
+        world, kb, stream, docs = ee_setup
+        pipeline = EmergingEntityPipeline(
+            kb, docs, EeConfig(enrich_existing=False)
+        )
+        document = stream.test_docs()[0].document
+        result = pipeline.disambiguate(document)
+        for assignment in result.assignments:
+            assert not assignment.entity.startswith("--EE--:")
+
+    def test_ee_model_caching(self, ee_setup):
+        world, kb, stream, docs = ee_setup
+        pipeline = EmergingEntityPipeline(
+            kb, docs, EeConfig(enrich_existing=False)
+        )
+        store = kb.keyphrases
+        model_a = pipeline.ee_model_for("Anything", 30, store)
+        model_b = pipeline.ee_model_for("Anything", 30, store)
+        assert model_a is model_b
+
+    def test_enrichment_adds_keyphrases(self, ee_setup):
+        world, kb, stream, docs = ee_setup
+        pipeline = EmergingEntityPipeline(
+            kb,
+            docs,
+            EeConfig(
+                enrich_existing=True,
+                entity_harvest_days=6,
+                confidence_rounds=2,
+            ),
+        )
+        enriched = pipeline.enriched_store_for(stream.config.test_day)
+        base_phrases = sum(
+            len(kb.keyphrases.keyphrases(eid))
+            for eid in kb.keyphrases.entity_ids()
+        )
+        enriched_phrases = sum(
+            len(enriched.keyphrases(eid)) for eid in enriched.entity_ids()
+        )
+        assert enriched_phrases > base_phrases
+
+    def test_enriched_store_cached_per_day(self, ee_setup):
+        world, kb, stream, docs = ee_setup
+        pipeline = EmergingEntityPipeline(
+            kb,
+            docs,
+            EeConfig(
+                enrich_existing=True,
+                entity_harvest_days=4,
+                confidence_rounds=2,
+            ),
+        )
+        day = stream.config.test_day
+        assert pipeline.enriched_store_for(day) is (
+            pipeline.enriched_store_for(day)
+        )
+
+    def test_coherence_variant_runs(self, ee_setup):
+        world, kb, stream, docs = ee_setup
+        pipeline = EmergingEntityPipeline(
+            kb, docs, EeConfig(enrich_existing=False, use_coherence=True)
+        )
+        document = stream.test_docs()[0].document
+        result = pipeline.disambiguate(document)
+        assert len(result.assignments) == len(document.mentions)

@@ -1,0 +1,176 @@
+"""Tests for stream windowing, keyphrase harvesting, and Algorithm 2."""
+
+import pytest
+
+from repro.emerging.ee_model import (
+    build_ee_model,
+    ee_entity_id,
+    is_ee_placeholder,
+    register_ee_models,
+)
+from repro.emerging.harvest import KeyphraseHarvester, NameModel
+from repro.emerging.stream import (
+    docs_in_window,
+    document_mentions_name,
+    name_document_support,
+)
+from repro.kb.keyphrases import KeyphraseStore
+from repro.types import Document, Mention
+
+
+def _doc(doc_id, tokens, mention_specs, day=0):
+    mentions = tuple(
+        Mention(surface=surface, start=start, end=end)
+        for surface, start, end in mention_specs
+    )
+    return Document(
+        doc_id=doc_id, tokens=tuple(tokens), mentions=mentions, timestamp=day
+    )
+
+
+@pytest.fixture
+def news_docs():
+    # "Prism" used as a surveillance program (new) across two documents.
+    doc1 = _doc(
+        "n1",
+        ["the", "surveillance", "program", "Prism", "was", "revealed", "."],
+        [("Prism", 3, 4)],
+        day=1,
+    )
+    doc2 = _doc(
+        "n2",
+        ["Prism", "collects", "intelligence", "data", "secretly", "."],
+        [("Prism", 0, 1)],
+        day=2,
+    )
+    doc3 = _doc(
+        "n3",
+        ["unrelated", "news", "about", "sports", "."],
+        [],
+        day=2,
+    )
+    return [doc1, doc2, doc3]
+
+
+class TestStreamWindows:
+    def test_docs_in_window_inclusive(self, news_docs):
+        assert [d.doc_id for d in docs_in_window(news_docs, 1, 1)] == ["n1"]
+        assert len(docs_in_window(news_docs, 1, 2)) == 3
+
+    def test_document_mentions_name_case_rules(self, news_docs):
+        assert document_mentions_name(news_docs[0], "Prism")
+        assert document_mentions_name(news_docs[0], "PRISM")  # case rule
+        assert not document_mentions_name(news_docs[2], "Prism")
+
+    def test_name_document_support(self, news_docs):
+        assert name_document_support(news_docs, "Prism") == 2
+
+
+class TestHarvester:
+    def test_context_phrases_exclude_mention(self, news_docs):
+        harvester = KeyphraseHarvester()
+        phrases = harvester.context_phrases(
+            news_docs[0], news_docs[0].mentions[0]
+        )
+        assert ("surveillance", "program") in phrases
+        assert ("prism",) not in phrases
+
+    def test_name_model_counts(self, news_docs):
+        harvester = KeyphraseHarvester()
+        model = harvester.harvest_name_model(news_docs, "Prism")
+        assert model.occurrence_count == 2
+        assert ("surveillance", "program") in model.phrase_counts
+
+    def test_name_model_for_absent_name(self, news_docs):
+        harvester = KeyphraseHarvester()
+        model = harvester.harvest_name_model(news_docs, "Nobody")
+        assert model.occurrence_count == 0
+        assert model.phrase_counts == {}
+
+    def test_cache_consistency(self, news_docs):
+        harvester = KeyphraseHarvester()
+        first = harvester.context_phrases(
+            news_docs[0], news_docs[0].mentions[0]
+        )
+        second = harvester.context_phrases(
+            news_docs[0], news_docs[0].mentions[0]
+        )
+        assert first == second
+
+    def test_entity_phrase_aggregation(self, news_docs):
+        harvester = KeyphraseHarvester()
+        occs = [(news_docs[0], news_docs[0].mentions[0])]
+        counts = harvester.harvest_entity_phrases(occs)
+        assert counts[("surveillance", "program")] == 1
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            KeyphraseHarvester(sentence_window=-1)
+
+
+class TestEeModel:
+    def test_placeholder_ids(self):
+        assert is_ee_placeholder(ee_entity_id("Prism"))
+        assert not is_ee_placeholder("Prism_Band")
+
+    def test_model_difference_removes_kb_phrases(self):
+        store = KeyphraseStore()
+        store.add_keyphrase("Prism_Band", ("rock", "band"), 5)
+        name_model = NameModel(name="Prism")
+        name_model.phrase_counts = {
+            ("surveillance", "program"): 4,
+            ("rock", "band"): 2,  # covered by the in-KB candidate
+        }
+        name_model.occurrence_count = 6
+        model = build_ee_model(
+            name_model,
+            candidates=["Prism_Band"],
+            store=store,
+            kb_collection_size=100,
+            news_chunk_size=10,
+        )
+        assert ("surveillance", "program") in model.phrase_counts
+        assert ("rock", "band") not in model.phrase_counts
+
+    def test_alpha_scales_counts(self):
+        store = KeyphraseStore()
+        name_model = NameModel(name="X")
+        name_model.phrase_counts = {("fresh", "phrase"): 2}
+        name_model.occurrence_count = 3
+        model = build_ee_model(
+            name_model, [], store, kb_collection_size=100, news_chunk_size=10
+        )
+        # alpha = 10: count 2 -> 20.
+        assert model.phrase_counts[("fresh", "phrase")] == 20
+
+    def test_empty_model_flag(self):
+        store = KeyphraseStore()
+        model = build_ee_model(
+            NameModel(name="X"), [], store, 100, 10
+        )
+        assert model.is_empty
+
+    def test_register_layers_copy(self):
+        store = KeyphraseStore()
+        store.add_keyphrase("E1", ("old", "phrase"))
+        name_model = NameModel(name="X")
+        name_model.phrase_counts = {("new", "phrase"): 3}
+        name_model.occurrence_count = 1
+        model = build_ee_model(name_model, [], store, 10, 10)
+        layered = register_ee_models(store, [model])
+        assert ee_entity_id("X") in layered
+        assert ee_entity_id("X") not in store
+        assert ("new", "phrase") in layered.keyphrases(ee_entity_id("X"))
+
+    def test_register_caps_keyphrases(self):
+        store = KeyphraseStore()
+        name_model = NameModel(name="X")
+        name_model.phrase_counts = {
+            (f"word{i}", "thing"): i + 1 for i in range(10)
+        }
+        name_model.occurrence_count = 1
+        model = build_ee_model(name_model, [], store, 10, 10)
+        layered = register_ee_models(store, [model], max_keyphrases=3)
+        assert len(layered.keyphrases(ee_entity_id("X"))) == 3
+        # The highest-count phrase must survive the cap.
+        assert ("word9", "thing") in layered.keyphrases(ee_entity_id("X"))

@@ -1,0 +1,208 @@
+"""Tests for EE grouping and provisional KB registration."""
+
+import pytest
+
+from repro.emerging.registration import (
+    EmergingEntityGrouper,
+    EmergingEntityRegistrar,
+    is_provisional,
+)
+from repro.kb.entity import Entity
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.types import Document, Mention
+
+
+def _doc(doc_id, tokens, surface, start, end):
+    mention = Mention(surface=surface, start=start, end=end)
+    return (
+        Document(doc_id=doc_id, tokens=tuple(tokens), mentions=(mention,)),
+        mention,
+    )
+
+
+@pytest.fixture
+def program_docs():
+    """Three documents about the surveillance program 'Prism'."""
+    docs = []
+    for index in range(3):
+        docs.append(
+            _doc(
+                f"prog-{index}",
+                ["the", "surveillance", "program", "Prism", "was",
+                 "revealed", "."],
+                "Prism",
+                3,
+                4,
+            )
+        )
+    return docs
+
+
+@pytest.fixture
+def album_docs():
+    """Two documents about a different 'Prism' — a new album."""
+    docs = []
+    for index in range(2):
+        docs.append(
+            _doc(
+                f"alb-{index}",
+                ["the", "pop", "album", "Prism", "features", "catchy",
+                 "tunes", "."],
+                "Prism",
+                3,
+                4,
+            )
+        )
+    return docs
+
+
+class TestGrouper:
+    def test_same_context_groups_together(self, program_docs):
+        grouper = EmergingEntityGrouper()
+        for document, mention in program_docs:
+            grouper.add_occurrence(document, mention)
+        groups = grouper.groups()
+        assert len(groups) == 1
+        assert groups[0].support == 3
+
+    def test_different_contexts_split(self, program_docs, album_docs):
+        grouper = EmergingEntityGrouper()
+        for document, mention in program_docs + album_docs:
+            grouper.add_occurrence(document, mention)
+        groups = grouper.groups()
+        assert len(groups) == 2
+        supports = sorted(group.support for group in groups)
+        assert supports == [2, 3]
+
+    def test_different_names_never_merge(self, program_docs):
+        grouper = EmergingEntityGrouper()
+        for document, mention in program_docs:
+            grouper.add_occurrence(document, mention)
+        other_doc, other_mention = _doc(
+            "x",
+            ["the", "surveillance", "program", "Tempest", "was",
+             "revealed", "."],
+            "Tempest",
+            3,
+            4,
+        )
+        grouper.add_occurrence(other_doc, other_mention)
+        names = {group.name for group in grouper.groups()}
+        assert names == {"Prism", "Tempest"}
+
+    def test_min_support_filter(self, program_docs, album_docs):
+        grouper = EmergingEntityGrouper()
+        for document, mention in program_docs + album_docs:
+            grouper.add_occurrence(document, mention)
+        assert len(grouper.groups(min_support=3)) == 1
+
+    def test_group_phrases_aggregated(self, program_docs):
+        grouper = EmergingEntityGrouper()
+        for document, mention in program_docs:
+            grouper.add_occurrence(document, mention)
+        group = grouper.groups()[0]
+        assert group.phrase_counts[("surveillance", "program")] == 3
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            EmergingEntityGrouper(similarity_threshold=2.0)
+
+
+class TestRegistrar:
+    @pytest.fixture
+    def small_kb(self):
+        kb = KnowledgeBase()
+        kb.add_entity(
+            Entity(
+                entity_id="Prism_Band",
+                canonical_name="Prism (band)",
+                types=("band",),
+            )
+        )
+        kb.dictionary.add_name(
+            "Prism", "Prism_Band", source="anchor", anchor_count=5
+        )
+        return kb
+
+    def test_mature_group_registered(
+        self, small_kb, program_docs, album_docs
+    ):
+        grouper = EmergingEntityGrouper()
+        for document, mention in program_docs + album_docs:
+            grouper.add_occurrence(document, mention)
+        registrar = EmergingEntityRegistrar(small_kb, min_support=3)
+        view, registered = registrar.register(grouper)
+        assert len(registered) == 1  # only the 3-doc program group
+        assert is_provisional(registered[0])
+        assert registered[0] in view
+        assert registered[0] not in small_kb
+
+    def test_registered_entity_becomes_candidate(
+        self, small_kb, program_docs
+    ):
+        grouper = EmergingEntityGrouper()
+        for document, mention in program_docs:
+            grouper.add_occurrence(document, mention)
+        view, registered = EmergingEntityRegistrar(
+            small_kb, min_support=3
+        ).register(grouper)
+        candidates = view.candidates("Prism")
+        assert registered[0] in candidates
+        assert "Prism_Band" in candidates
+        # The base KB's dictionary is untouched.
+        assert small_kb.candidates("Prism") == ["Prism_Band"]
+
+    def test_keyphrases_carried_over(self, small_kb, program_docs):
+        grouper = EmergingEntityGrouper()
+        for document, mention in program_docs:
+            grouper.add_occurrence(document, mention)
+        view, registered = EmergingEntityRegistrar(
+            small_kb, min_support=3
+        ).register(grouper)
+        phrases = view.keyphrases.keyphrases(registered[0])
+        assert ("surveillance", "program") in phrases
+
+    def test_immature_groups_skipped(self, small_kb, album_docs):
+        grouper = EmergingEntityGrouper()
+        for document, mention in album_docs:
+            grouper.add_occurrence(document, mention)
+        _view, registered = EmergingEntityRegistrar(
+            small_kb, min_support=3
+        ).register(grouper)
+        assert registered == []
+
+    def test_invalid_min_support(self, small_kb):
+        with pytest.raises(ValueError):
+            EmergingEntityRegistrar(small_kb, min_support=0)
+
+    def test_registered_entity_disambiguatable(
+        self, small_kb, program_docs
+    ):
+        # End-to-end: a future document about the program links to the
+        # provisional entity, not the band.
+        from repro.core.config import AidaConfig
+        from repro.core.pipeline import AidaDisambiguator
+        from repro.weights.model import WeightModel
+
+        grouper = EmergingEntityGrouper()
+        for document, mention in program_docs:
+            grouper.add_occurrence(document, mention)
+        view, registered = EmergingEntityRegistrar(
+            small_kb, min_support=3
+        ).register(grouper)
+        weights = WeightModel(view.keyphrases, view.links)
+        aida = AidaDisambiguator(
+            view,
+            config=AidaConfig.sim_only(),
+            keyphrase_store=view.keyphrases,
+            weight_model=weights,
+        )
+        future_doc, future_mention = _doc(
+            "future",
+            ["Prism", "the", "surveillance", "program", "expanded", "."],
+            "Prism",
+            0,
+            1,
+        )
+        result = aida.disambiguate(future_doc)
+        assert result.assignments[0].entity == registered[0]

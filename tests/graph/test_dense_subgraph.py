@@ -1,0 +1,137 @@
+"""Tests for shortest paths and the greedy dense-subgraph algorithm."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dense_subgraph import (
+    DenseSubgraphConfig,
+    GreedyDenseSubgraph,
+)
+from repro.graph.mention_entity_graph import MentionEntityGraph
+from repro.graph.shortest_paths import (
+    distances_from_mention,
+    entity_mention_distances,
+)
+from repro.types import Mention
+
+
+def _mentions(n):
+    return [
+        Mention(surface=f"m{i}", start=i * 2, end=i * 2 + 1)
+        for i in range(n)
+    ]
+
+
+def _coherent_graph():
+    """Two mentions; entities A+C form a coherent pair, B has the higher
+    local weight for mention 0 but no coherence."""
+    g = MentionEntityGraph(_mentions(2))
+    g.add_mention_entity_edge(0, "A", 0.4)
+    g.add_mention_entity_edge(0, "B", 0.6)
+    g.add_mention_entity_edge(1, "C", 0.5)
+    g.add_mention_entity_edge(1, "D", 0.5)
+    g.add_entity_entity_edge("A", "C", 0.9)
+    return g
+
+
+class TestShortestPaths:
+    def test_direct_edge_distance(self):
+        g = _coherent_graph()
+        dist = distances_from_mention(g, 0)
+        assert dist["A"] == pytest.approx(0.6)  # 1 - 0.4
+        assert dist["B"] == pytest.approx(0.4)
+
+    def test_path_through_coherence_edge(self):
+        g = _coherent_graph()
+        dist = distances_from_mention(g, 0)
+        # C reachable via A (0.6) + coherence edge (0.1) = 0.7, or via
+        # mention 1; from mention 0 the A path is shortest.
+        assert dist["C"] == pytest.approx(0.7)
+
+    def test_entity_mention_distances_sums_squares(self):
+        g = _coherent_graph()
+        totals = entity_mention_distances(g)
+        assert set(totals) == {"A", "B", "C", "D"}
+        assert all(value >= 0.0 for value in totals.values())
+
+    def test_coherent_entities_are_closer(self):
+        g = _coherent_graph()
+        totals = entity_mention_distances(g)
+        # A is strongly connected to both mentions (via C): closer than B.
+        assert totals["A"] < totals["B"]
+
+
+class TestConfig:
+    def test_invalid_prune_factor(self):
+        with pytest.raises(GraphError):
+            DenseSubgraphConfig(prune_factor=0)
+
+    def test_invalid_enumeration_limit(self):
+        with pytest.raises(GraphError):
+            DenseSubgraphConfig(enumeration_limit=0)
+
+
+class TestGreedyDenseSubgraph:
+    def test_coherence_overrides_local_weight(self):
+        solver = GreedyDenseSubgraph()
+        assignment = solver.solve(_coherent_graph())
+        assert assignment[0] == "A"
+        assert assignment[1] == "C"
+
+    def test_single_candidate_kept(self):
+        g = MentionEntityGraph(_mentions(1))
+        g.add_mention_entity_edge(0, "A", 0.1)
+        assignment = GreedyDenseSubgraph().solve(g)
+        assert assignment == {0: "A"}
+
+    def test_empty_graph(self):
+        g = MentionEntityGraph([])
+        assert GreedyDenseSubgraph().solve(g) == {}
+
+    def test_mention_without_candidates_absent(self):
+        g = MentionEntityGraph(_mentions(2))
+        g.add_mention_entity_edge(0, "A", 0.5)
+        assignment = GreedyDenseSubgraph().solve(g)
+        assert 1 not in assignment
+
+    def test_one_entity_per_mention(self):
+        g = _coherent_graph()
+        assignment = GreedyDenseSubgraph().solve(g)
+        assert set(assignment) == {0, 1}
+
+    def test_pruning_keeps_result_valid(self):
+        g = MentionEntityGraph(_mentions(2))
+        # 12 candidates per mention; prune factor 1 keeps only ~2 entities.
+        for index in range(2):
+            for candidate in range(12):
+                g.add_mention_entity_edge(
+                    index, f"E{index}_{candidate}", 0.1 + 0.05 * candidate
+                )
+        config = DenseSubgraphConfig(prune_factor=1)
+        assignment = GreedyDenseSubgraph(config).solve(g)
+        assert set(assignment) == {0, 1}
+
+    def test_local_search_path(self):
+        # Force the local-search post-processing by a tiny enumeration
+        # limit; the result must still assign every mention.
+        g = _coherent_graph()
+        config = DenseSubgraphConfig(
+            enumeration_limit=1, local_search_iterations=200, seed=5
+        )
+        assignment = GreedyDenseSubgraph(config).solve(g)
+        assert set(assignment) == {0, 1}
+
+    def test_deterministic(self):
+        a = GreedyDenseSubgraph().solve(_coherent_graph())
+        b = GreedyDenseSubgraph().solve(_coherent_graph())
+        assert a == b
+
+    def test_shared_entity_across_mentions(self):
+        # The same entity can serve two mentions (metonymy-style).
+        g = MentionEntityGraph(_mentions(2))
+        g.add_mention_entity_edge(0, "Gov", 0.5)
+        g.add_mention_entity_edge(1, "Gov", 0.5)
+        g.add_mention_entity_edge(1, "City", 0.4)
+        assignment = GreedyDenseSubgraph().solve(g)
+        assert assignment[0] == "Gov"
+        assert assignment[1] in {"Gov", "City"}

@@ -1,0 +1,126 @@
+"""Tests for the KB builder (article dump ingestion)."""
+
+import pytest
+
+from repro.kb.builder import (
+    ArticleRecord,
+    KnowledgeBaseBuilder,
+    build_knowledge_base,
+)
+from repro.kb.entity import Entity
+
+
+def _records():
+    band = ArticleRecord(
+        entity=Entity(
+            entity_id="Led_Zeppelin",
+            canonical_name="Led Zeppelin",
+            types=("band",),
+        ),
+        anchors={
+            ("Page", "Jimmy_Page"): 5,
+            ("Kashmir", "Kashmir_Song"): 3,
+        },
+        categories=["english rock band"],
+        citations=["hard rock pioneers"],
+    )
+    page = ArticleRecord(
+        entity=Entity(
+            entity_id="Jimmy_Page",
+            canonical_name="Jimmy Page",
+            types=("guitarist",),
+        ),
+        redirects=["James Page"],
+        disambiguation_names=["Page"],
+        anchors={("Led Zeppelin", "Led_Zeppelin"): 4},
+        citations=["gibson guitar"],
+    )
+    song = ArticleRecord(
+        entity=Entity(
+            entity_id="Kashmir_Song",
+            canonical_name="Kashmir",
+            types=("song",),
+        ),
+        anchors={("Led Zeppelin", "Led_Zeppelin"): 2},
+        facts=[("released_in", "1975")],
+    )
+    return [band, page, song]
+
+
+@pytest.fixture
+def kb():
+    return build_knowledge_base(_records())
+
+
+class TestEntities:
+    def test_all_entities_registered(self, kb):
+        assert len(kb) == 3
+
+    def test_titles_in_dictionary(self, kb):
+        assert "Led_Zeppelin" in kb.candidates("Led Zeppelin")
+
+    def test_redirects_registered(self, kb):
+        assert kb.candidates("James Page") == ["Jimmy_Page"]
+
+    def test_disambiguation_names_registered(self, kb):
+        assert "Jimmy_Page" in kb.candidates("Page")
+
+
+class TestLinksAndAnchors:
+    def test_links_from_anchors(self, kb):
+        assert kb.links.has_link("Led_Zeppelin", "Jimmy_Page")
+        assert kb.links.has_link("Jimmy_Page", "Led_Zeppelin")
+
+    def test_anchor_counts_feed_prior(self, kb):
+        assert kb.prior("Page", "Jimmy_Page") == pytest.approx(1.0)
+
+    def test_anchor_to_unknown_target_skipped(self):
+        record = ArticleRecord(
+            entity=Entity(entity_id="A", canonical_name="A"),
+            anchors={("Ghost", "Ghost_Entity"): 1},
+        )
+        kb = build_knowledge_base([record])
+        assert kb.candidates("Ghost") == []
+        assert kb.links.edge_count == 0
+
+
+class TestKeyphrases:
+    def test_anchor_texts_become_keyphrases(self, kb):
+        assert ("kashmir",) in kb.entity_keyphrases("Led_Zeppelin")
+
+    def test_categories_become_keyphrases(self, kb):
+        assert ("english", "rock", "band") in kb.entity_keyphrases(
+            "Led_Zeppelin"
+        )
+
+    def test_citations_become_keyphrases(self, kb):
+        assert ("gibson", "guitar") in kb.entity_keyphrases("Jimmy_Page")
+
+    def test_linking_titles_become_keyphrases(self, kb):
+        # Led Zeppelin links to Kashmir_Song, so the band's title is a
+        # keyphrase of the song.
+        assert ("led", "zeppelin") in kb.entity_keyphrases("Kashmir_Song")
+
+
+class TestFacts:
+    def test_categories_recorded_as_triples(self, kb):
+        assert kb.triples.objects("Led_Zeppelin", "category") == [
+            "english rock band"
+        ]
+
+    def test_extra_facts_recorded(self, kb):
+        assert kb.triples.objects("Kashmir_Song", "released_in") == ["1975"]
+
+
+class TestBuilderApi:
+    def test_article_count(self):
+        builder = KnowledgeBaseBuilder()
+        builder.add_articles(_records())
+        assert builder.article_count == 3
+
+    def test_re_adding_same_entity_overwrites(self):
+        builder = KnowledgeBaseBuilder()
+        records = _records()
+        builder.add_articles(records)
+        builder.add_article(records[0])
+        assert builder.article_count == 3

@@ -1,0 +1,116 @@
+"""Tests for the name dictionary and AIDA's matching rules."""
+
+import pytest
+
+from repro.errors import DictionaryError
+from repro.kb.dictionary import (
+    CASE_SENSITIVE_MAX_LEN,
+    Dictionary,
+    match_key,
+)
+
+
+@pytest.fixture
+def dictionary():
+    d = Dictionary()
+    d.add_name("Apple Inc", "Apple_Inc", source="title")
+    d.add_name("Apple", "Apple_Inc", source="anchor", anchor_count=90)
+    d.add_name("Apple", "Apple_Records", source="anchor", anchor_count=10)
+    d.add_name("US", "United_States", source="anchor", anchor_count=5)
+    d.add_name("Kashmir", "Kashmir_Region", source="anchor", anchor_count=91)
+    d.add_name("Kashmir", "Kashmir_Song", source="anchor", anchor_count=9)
+    return d
+
+
+class TestMatchKey:
+    def test_short_names_case_sensitive(self):
+        assert match_key("US") == "US"
+        assert match_key("us") == "us"
+        assert match_key("US") != match_key("us")
+
+    def test_long_names_upper_cased(self):
+        assert match_key("Apple") == match_key("APPLE") == "APPLE"
+
+    def test_boundary_length(self):
+        boundary = "a" * CASE_SENSITIVE_MAX_LEN
+        assert match_key(boundary) == boundary
+        longer = "a" * (CASE_SENSITIVE_MAX_LEN + 1)
+        assert match_key(longer) == longer.upper()
+
+
+class TestCandidates:
+    def test_exact_match(self, dictionary):
+        assert dictionary.candidates("Apple") == [
+            "Apple_Inc",
+            "Apple_Records",
+        ]
+
+    def test_all_caps_mention_matches(self, dictionary):
+        # Section 3.3.2: "APPLE" must retrieve Apple Inc.
+        assert "Apple_Inc" in dictionary.candidates("APPLE")
+
+    def test_short_name_case_matters(self, dictionary):
+        assert dictionary.candidates("US") == ["United_States"]
+        assert dictionary.candidates("us") == []
+
+    def test_unknown_name_gives_empty(self, dictionary):
+        assert dictionary.candidates("Unknown Thing") == []
+
+    def test_ambiguity_count(self, dictionary):
+        assert dictionary.ambiguity("Apple") == 2
+        assert dictionary.ambiguity("US") == 1
+
+
+class TestPrior:
+    def test_prior_from_anchor_counts(self, dictionary):
+        assert dictionary.prior("Kashmir", "Kashmir_Region") == pytest.approx(
+            0.91
+        )
+        assert dictionary.prior("Kashmir", "Kashmir_Song") == pytest.approx(
+            0.09
+        )
+
+    def test_prior_distribution_sums_to_one(self, dictionary):
+        dist = dictionary.prior_distribution("Apple")
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_prior_without_anchors_is_uniform(self):
+        d = Dictionary()
+        d.add_name("Thing", "E1", source="title")
+        d.add_name("Thing", "E2", source="disambiguation")
+        assert d.prior("Thing", "E1") == pytest.approx(0.5)
+
+    def test_prior_of_unknown_name(self, dictionary):
+        assert dictionary.prior("Nothing", "E1") == 0.0
+
+
+class TestValidation:
+    def test_unknown_source_rejected(self):
+        with pytest.raises(DictionaryError):
+            Dictionary().add_name("A", "E1", source="guess")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DictionaryError):
+            Dictionary().add_name("  ", "E1", source="title")
+
+    def test_negative_anchor_count_rejected(self):
+        with pytest.raises(DictionaryError):
+            Dictionary().add_name(
+                "A", "E1", source="anchor", anchor_count=-1
+            )
+
+
+class TestReverseLookup:
+    def test_names_of_entity(self, dictionary):
+        assert dictionary.names_of("Apple_Inc") == ["Apple", "Apple Inc"]
+
+    def test_merge_counts(self, dictionary):
+        dictionary.merge_counts({("Apple", "Apple_Inc"): 10})
+        # 100 total before merge, now 110 with 100 for Apple_Inc.
+        assert dictionary.prior("Apple", "Apple_Inc") == pytest.approx(
+            100 / 110
+        )
+
+    def test_all_names_sorted(self, dictionary):
+        names = dictionary.all_names()
+        assert names == sorted(names)

@@ -1,0 +1,124 @@
+"""Tests for Entity and the KnowledgeBase facade."""
+
+import pytest
+
+from repro.errors import UnknownEntityError
+from repro.kb.entity import Entity, EntitySet
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+def _kb():
+    kb = KnowledgeBase()
+    kb.add_entity(
+        Entity(
+            entity_id="Bob_Dylan",
+            canonical_name="Bob Dylan",
+            types=("singer",),
+            popularity=100.0,
+        )
+    )
+    kb.add_entity(
+        Entity(
+            entity_id="Dylan_Thomas",
+            canonical_name="Dylan Thomas",
+            types=("writer",),
+            popularity=10.0,
+        )
+    )
+    kb.dictionary.add_name(
+        "Dylan", "Bob_Dylan", source="anchor", anchor_count=80
+    )
+    kb.dictionary.add_name(
+        "Dylan", "Dylan_Thomas", source="anchor", anchor_count=20
+    )
+    return kb
+
+
+class TestEntity:
+    def test_valid_entity(self):
+        e = Entity(entity_id="X", canonical_name="X", types=("person",))
+        assert e.has_type("person")
+        assert not e.has_type("city")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Entity(entity_id="", canonical_name="X")
+
+    def test_non_positive_popularity_rejected(self):
+        with pytest.raises(ValueError):
+            Entity(entity_id="X", canonical_name="X", popularity=0.0)
+
+
+class TestEntitySet:
+    def test_membership_and_iteration(self):
+        s = EntitySet.of("B", "A")
+        assert "A" in s
+        assert list(s) == ["A", "B"]
+
+    def test_union_intersection(self):
+        a = EntitySet.of("A", "B")
+        b = EntitySet.of("B", "C")
+        assert set(a.union(b)) == {"A", "B", "C"}
+        assert set(a.intersection(b)) == {"B"}
+
+
+class TestKnowledgeBase:
+    def test_entity_lookup(self):
+        kb = _kb()
+        assert kb.entity("Bob_Dylan").canonical_name == "Bob Dylan"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(UnknownEntityError):
+            _kb().entity("Nobody")
+
+    def test_maybe_entity(self):
+        kb = _kb()
+        assert kb.maybe_entity("Nobody") is None
+        assert kb.maybe_entity("Bob_Dylan") is not None
+
+    def test_canonical_name_in_dictionary(self):
+        kb = _kb()
+        assert "Bob_Dylan" in kb.candidates("Bob Dylan")
+
+    def test_candidates_for_shared_name(self):
+        kb = _kb()
+        assert kb.candidates("Dylan") == ["Bob_Dylan", "Dylan_Thomas"]
+
+    def test_prior(self):
+        kb = _kb()
+        assert kb.prior("Dylan", "Bob_Dylan") == pytest.approx(0.8)
+
+    def test_types_expanded_through_taxonomy(self):
+        kb = _kb()
+        types = kb.types_of("Bob_Dylan")
+        assert {"singer", "musician", "person"} <= types
+
+    def test_entities_of_type(self):
+        kb = _kb()
+        assert kb.entities_of_type("person") == [
+            "Bob_Dylan",
+            "Dylan_Thomas",
+        ]
+        assert kb.entities_of_type("musician") == ["Bob_Dylan"]
+
+    def test_coarse_class(self):
+        kb = _kb()
+        assert kb.coarse_class("Bob_Dylan") == "person"
+
+    def test_type_triples_recorded(self):
+        kb = _kb()
+        assert kb.triples.objects("Bob_Dylan", "type") == ["singer"]
+
+    def test_with_keyphrases_view_shares_entities(self):
+        kb = _kb()
+        other_store = kb.keyphrases.copy()
+        other_store.add_keyphrase("Bob_Dylan", ("extra", "phrase"))
+        view = kb.with_keyphrases(other_store)
+        assert view.entity("Bob_Dylan") is kb.entity("Bob_Dylan")
+        assert ("extra", "phrase") in view.entity_keyphrases("Bob_Dylan")
+        assert ("extra", "phrase") not in kb.entity_keyphrases("Bob_Dylan")
+
+    def test_describe(self):
+        stats = _kb().describe()
+        assert stats["entities"] == 2
+        assert stats["triples"] >= 2

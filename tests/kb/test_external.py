@@ -1,0 +1,146 @@
+"""Tests for out-of-encyclopedia entity import (the Nick Cave scenario)."""
+
+import pytest
+
+from repro.errors import KnowledgeBaseError
+from repro.kb.entity import Entity
+from repro.kb.external import ExternalDescription, ExternalEntityImporter
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.relatedness.kore import KoreRelatedness
+from repro.relatedness.milne_witten import MilneWittenRelatedness
+from repro.weights.model import WeightModel
+
+
+@pytest.fixture
+def base_kb():
+    kb = KnowledgeBase()
+    kb.add_entity(
+        Entity(
+            entity_id="Nick_Cave",
+            canonical_name="Nick Cave",
+            types=("singer",),
+        )
+    )
+    kb.add_entity(
+        Entity(
+            entity_id="Hallelujah_Chorus",
+            canonical_name="Hallelujah Chorus",
+            types=("song",),
+        )
+    )
+    kb.keyphrases.add_keyphrase("Nick_Cave", ("australian", "singer"), 3)
+    kb.keyphrases.add_keyphrase("Nick_Cave", ("bad", "seeds"), 2)
+    kb.keyphrases.add_keyphrase(
+        "Hallelujah_Chorus", ("baroque", "oratorio"), 2
+    )
+    kb.dictionary.add_name(
+        "Hallelujah", "Hallelujah_Chorus", source="anchor", anchor_count=9
+    )
+    return kb
+
+
+@pytest.fixture
+def cave_song():
+    # The last.fm-style description of Section 4.1: the song has no
+    # encyclopedia article, only a community page.
+    return ExternalDescription(
+        entity_id="Hallelujah_Cave_Song",
+        canonical_name="Hallelujah",
+        text=(
+            "A haunting song by the australian singer Nick Cave , from "
+            "the album No More Shall We Part , featuring an eerie cello "
+            "and the Bad Seeds ."
+        ),
+        types=("song",),
+        aliases=("Hallelujah (Cave song)",),
+        extra_phrases=("bad seeds",),
+    )
+
+
+class TestImporter:
+    def test_view_contains_imported_entity(self, base_kb, cave_song):
+        importer = ExternalEntityImporter(base_kb)
+        importer.add(cave_song)
+        view = importer.build_view()
+        assert "Hallelujah_Cave_Song" in view
+        assert "Hallelujah_Cave_Song" not in base_kb
+
+    def test_dictionary_gains_names(self, base_kb, cave_song):
+        importer = ExternalEntityImporter(base_kb)
+        importer.add(cave_song)
+        view = importer.build_view()
+        candidates = view.candidates("Hallelujah")
+        assert "Hallelujah_Cave_Song" in candidates
+        assert "Hallelujah_Chorus" in candidates
+        # The base KB's dictionary is untouched.
+        assert base_kb.candidates("Hallelujah") == ["Hallelujah_Chorus"]
+
+    def test_keyphrases_extracted(self, base_kb, cave_song):
+        importer = ExternalEntityImporter(base_kb)
+        phrases = importer.extract_phrases(cave_song)
+        assert ("australian", "singer") in phrases
+        assert ("bad", "seeds") in phrases
+        # Proper-name phrases from the text are captured too.
+        assert any("nick" in phrase for phrase in phrases)
+
+    def test_own_name_excluded_from_phrases(self, base_kb, cave_song):
+        importer = ExternalEntityImporter(base_kb)
+        phrases = importer.extract_phrases(cave_song)
+        assert ("hallelujah",) not in phrases
+
+    def test_kore_works_for_imported_entity(self, base_kb, cave_song):
+        importer = ExternalEntityImporter(base_kb)
+        importer.add(cave_song)
+        view = importer.build_view()
+        weights = WeightModel(view.keyphrases, view.links)
+        kore = KoreRelatedness(view.keyphrases, weights)
+        related = kore.relatedness("Hallelujah_Cave_Song", "Nick_Cave")
+        unrelated = kore.relatedness(
+            "Hallelujah_Cave_Song", "Hallelujah_Chorus"
+        )
+        assert related > unrelated
+
+    def test_mw_is_blind_to_imported_entity(self, base_kb, cave_song):
+        # The contrast of Section 4.1: link-based relatedness has no
+        # chance on an out-of-encyclopedia entity.
+        importer = ExternalEntityImporter(base_kb)
+        importer.add(cave_song)
+        view = importer.build_view()
+        mw = MilneWittenRelatedness(view.links, max(view.entity_count, 2))
+        assert mw.relatedness("Hallelujah_Cave_Song", "Nick_Cave") == 0.0
+
+    def test_type_triples_added_to_view_only(self, base_kb, cave_song):
+        importer = ExternalEntityImporter(base_kb)
+        importer.add(cave_song)
+        view = importer.build_view()
+        assert view.triples.objects("Hallelujah_Cave_Song", "type") == [
+            "song"
+        ]
+        assert base_kb.triples.objects("Hallelujah_Cave_Song", "type") == []
+
+    def test_duplicate_import_rejected(self, base_kb, cave_song):
+        importer = ExternalEntityImporter(base_kb)
+        importer.add(cave_song)
+        with pytest.raises(KnowledgeBaseError):
+            importer.add(cave_song)
+
+    def test_existing_entity_id_rejected(self, base_kb):
+        importer = ExternalEntityImporter(base_kb)
+        with pytest.raises(KnowledgeBaseError):
+            importer.add(
+                ExternalDescription(
+                    entity_id="Nick_Cave",
+                    canonical_name="Nick Cave",
+                    text="whatever",
+                )
+            )
+
+    def test_invalid_min_phrase_count(self, base_kb):
+        with pytest.raises(KnowledgeBaseError):
+            ExternalEntityImporter(base_kb, min_phrase_count=0)
+
+    def test_pending_count(self, base_kb, cave_song):
+        importer = ExternalEntityImporter(base_kb)
+        assert importer.pending_count == 0
+        importer.add(cave_song)
+        assert importer.pending_count == 1

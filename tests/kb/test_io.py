@@ -1,0 +1,117 @@
+"""Tests for KB TSV serialization (round-trip fidelity)."""
+
+import os
+
+import pytest
+
+from repro.errors import KnowledgeBaseError
+from repro.kb.io import load_knowledge_base, save_knowledge_base
+
+
+@pytest.fixture
+def kb_dir(kb, tmp_path):
+    directory = str(tmp_path / "kb")
+    save_knowledge_base(kb, directory)
+    return directory
+
+
+class TestSave:
+    def test_all_files_written(self, kb_dir):
+        for filename in (
+            "entities.tsv",
+            "names.tsv",
+            "links.tsv",
+            "keyphrases.tsv",
+            "triples.tsv",
+            "taxonomy.tsv",
+        ):
+            assert os.path.exists(os.path.join(kb_dir, filename))
+
+    def test_files_nonempty(self, kb_dir):
+        assert os.path.getsize(os.path.join(kb_dir, "entities.tsv")) > 0
+        assert os.path.getsize(os.path.join(kb_dir, "keyphrases.tsv")) > 0
+
+
+class TestRoundTrip:
+    @pytest.fixture
+    def loaded(self, kb_dir):
+        return load_knowledge_base(kb_dir)
+
+    def test_entity_count(self, kb, loaded):
+        assert len(loaded) == len(kb)
+
+    def test_entity_fields(self, kb, loaded):
+        for entity_id in kb.entity_ids()[:20]:
+            original = kb.entity(entity_id)
+            restored = loaded.entity(entity_id)
+            assert restored.canonical_name == original.canonical_name
+            assert restored.types == original.types
+            assert restored.domain == original.domain
+            assert restored.popularity == pytest.approx(
+                original.popularity
+            )
+
+    def test_dictionary_candidates(self, kb, loaded):
+        for name in kb.dictionary.all_names()[:40]:
+            assert loaded.candidates(name) == kb.candidates(name)
+
+    def test_priors_preserved(self, kb, loaded):
+        for name in kb.dictionary.all_names()[:40]:
+            for entity_id in kb.candidates(name):
+                assert loaded.prior(name, entity_id) == pytest.approx(
+                    kb.prior(name, entity_id)
+                )
+
+    def test_links_preserved(self, kb, loaded):
+        assert loaded.links.edge_count == kb.links.edge_count
+        for entity_id in kb.entity_ids()[:20]:
+            assert loaded.inlinks(entity_id) == kb.inlinks(entity_id)
+
+    def test_keyphrases_preserved(self, kb, loaded):
+        for entity_id in kb.entity_ids()[:20]:
+            assert loaded.keyphrases.keyphrase_counts(
+                entity_id
+            ) == kb.keyphrases.keyphrase_counts(entity_id)
+
+    def test_triples_preserved(self, kb, loaded):
+        assert len(loaded.triples) == len(kb.triples)
+
+    def test_taxonomy_preserved(self, kb, loaded):
+        assert set(loaded.taxonomy.types) == set(kb.taxonomy.types)
+        assert loaded.taxonomy.ancestors("singer") == kb.taxonomy.ancestors(
+            "singer"
+        )
+
+    def test_disambiguation_equivalent(self, kb, loaded, sample_docs):
+        from repro.core.config import AidaConfig
+        from repro.core.pipeline import AidaDisambiguator
+
+        original = AidaDisambiguator(
+            kb, config=AidaConfig.robust_prior_sim()
+        )
+        restored = AidaDisambiguator(
+            loaded, config=AidaConfig.robust_prior_sim()
+        )
+        document = sample_docs[0].document
+        assert (
+            original.disambiguate(document).as_map()
+            == restored.disambiguate(document).as_map()
+        )
+
+
+class TestErrors:
+    def test_missing_file_rejected(self, kb_dir):
+        os.remove(os.path.join(kb_dir, "links.tsv"))
+        with pytest.raises(KnowledgeBaseError):
+            load_knowledge_base(kb_dir)
+
+    def test_malformed_row_rejected(self, kb_dir):
+        path = os.path.join(kb_dir, "links.tsv")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("only_one_column\n")
+        with pytest.raises(KnowledgeBaseError):
+            load_knowledge_base(kb_dir)
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(KnowledgeBaseError):
+            load_knowledge_base(str(tmp_path / "nothing"))

@@ -1,0 +1,99 @@
+"""Tests for the keyphrase store."""
+
+import pytest
+
+from repro.kb.keyphrases import KeyphraseStore
+
+
+@pytest.fixture
+def store():
+    s = KeyphraseStore()
+    s.add_keyphrase("E1", ("hard", "rock"), count=3)
+    s.add_keyphrase("E1", ("guitar",))
+    s.add_keyphrase("E2", ("hard", "rock"))
+    s.add_keyphrase("E2", ("folk", "song"), count=2)
+    return s
+
+
+class TestCounts:
+    def test_entity_count(self, store):
+        assert store.entity_count == 2
+
+    def test_keyphrases_sorted(self, store):
+        assert store.keyphrases("E1") == [("guitar",), ("hard", "rock")]
+
+    def test_keyphrase_counts(self, store):
+        assert store.keyphrase_counts("E1")[("hard", "rock")] == 3
+
+    def test_keywords_derived(self, store):
+        assert store.keywords("E1") == ["guitar", "hard", "rock"]
+
+    def test_keyword_counts_accumulate(self, store):
+        store.add_keyphrase("E1", ("rock", "anthem"))
+        assert store.keyword_counts("E1")["rock"] == 4  # 3 + 1
+
+    def test_empty_phrase_ignored(self, store):
+        store.add_keyphrase("E1", ())
+        assert len(store.keyphrases("E1")) == 2
+
+    def test_zero_count_ignored(self, store):
+        store.add_keyphrase("E1", ("new",), count=0)
+        assert ("new",) not in store.keyphrase_counts("E1")
+
+
+class TestDocumentFrequencies:
+    def test_phrase_df(self, store):
+        assert store.phrase_df(("hard", "rock")) == 2
+        assert store.phrase_df(("guitar",)) == 1
+        assert store.phrase_df(("missing",)) == 0
+
+    def test_word_df(self, store):
+        assert store.word_df("rock") == 2
+        assert store.word_df("folk") == 1
+
+    def test_df_counts_entities_not_occurrences(self, store):
+        # E1 already has "rock"; another phrase with "rock" must not bump df.
+        store.add_keyphrase("E1", ("rock", "band"))
+        assert store.word_df("rock") == 2
+
+    def test_entities_with_word(self, store):
+        assert store.entities_with_word("rock") == frozenset({"E1", "E2"})
+
+    def test_entities_with_phrase(self, store):
+        assert store.entities_with_phrase(("folk", "song")) == frozenset(
+            {"E2"}
+        )
+
+
+class TestViews:
+    def test_copy_is_independent(self, store):
+        clone = store.copy()
+        clone.add_keyphrase("E1", ("new", "phrase"))
+        assert ("new", "phrase") not in store.keyphrases("E1")
+        assert ("new", "phrase") in clone.keyphrases("E1")
+
+    def test_copy_preserves_counts(self, store):
+        clone = store.copy()
+        assert clone.keyphrase_counts("E1") == store.keyphrase_counts("E1")
+        assert clone.word_df("rock") == store.word_df("rock")
+
+    def test_restricted_to(self, store):
+        restricted = store.restricted_to(["E1"])
+        assert restricted.entity_count == 1
+        assert restricted.word_df("folk") == 0
+
+    def test_top_keyphrases_ordering(self, store):
+        top = store.top_keyphrases("E1", limit=1)
+        assert top == [("hard", "rock")]  # count 3 beats count 1
+
+    def test_top_keyphrases_unlimited(self, store):
+        assert len(store.top_keyphrases("E1")) == 2
+
+    def test_ensure_entity_registers_empty(self, store):
+        store.ensure_entity("E3")
+        assert "E3" in store
+        assert store.keyphrases("E3") == []
+
+    def test_vocabulary(self, store):
+        assert "rock" in store.vocabulary()
+        assert "folk" in store.vocabulary()

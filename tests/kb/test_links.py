@@ -1,0 +1,74 @@
+"""Tests for the entity link graph."""
+
+import pytest
+
+from repro.kb.links import LinkGraph
+
+
+@pytest.fixture
+def graph():
+    g = LinkGraph()
+    g.add_links(
+        [
+            ("A", "B"),
+            ("A", "C"),
+            ("B", "C"),
+            ("D", "C"),
+            ("D", "B"),
+        ]
+    )
+    return g
+
+
+class TestConstruction:
+    def test_edge_count(self, graph):
+        assert graph.edge_count == 5
+
+    def test_duplicate_edges_ignored(self, graph):
+        assert not graph.add_link("A", "B")
+        assert graph.edge_count == 5
+
+    def test_self_links_ignored(self, graph):
+        assert not graph.add_link("A", "A")
+
+    def test_node_count(self, graph):
+        assert graph.node_count() == 4
+
+
+class TestLookups:
+    def test_outlinks(self, graph):
+        assert graph.outlinks("A") == frozenset({"B", "C"})
+
+    def test_inlinks(self, graph):
+        assert graph.inlinks("C") == frozenset({"A", "B", "D"})
+
+    def test_inlink_count(self, graph):
+        assert graph.inlink_count("C") == 3
+        assert graph.inlink_count("A") == 0
+
+    def test_has_link_directed(self, graph):
+        assert graph.has_link("A", "B")
+        assert not graph.has_link("B", "A")
+
+    def test_shared_inlinks(self, graph):
+        # B's inlinks {A, D}; C's inlinks {A, B, D} -> shared {A, D}.
+        assert graph.shared_inlinks("B", "C") == 2
+
+    def test_inlinks_of_unknown_node(self, graph):
+        assert graph.inlinks("Z") == frozenset()
+
+    def test_inlink_cache_invalidation(self, graph):
+        before = graph.inlinks("C")
+        graph.add_link("E", "C")
+        after = graph.inlinks("C")
+        assert "E" in after and "E" not in before
+
+
+class TestStatistics:
+    def test_degree_histogram(self, graph):
+        hist = graph.degree_histogram()
+        assert hist[0] == 2  # A and D have no inlinks
+        assert hist[3] == 1  # C has three
+
+    def test_nodes_sorted(self, graph):
+        assert graph.nodes() == ["A", "B", "C", "D"]

@@ -1,0 +1,82 @@
+"""Tests for the type taxonomy."""
+
+import pytest
+
+from repro.errors import KnowledgeBaseError
+from repro.kb.schema import DEFAULT_TYPE_HIERARCHY, ROOT_TYPE, Taxonomy
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return Taxonomy()
+
+
+class TestStructure:
+    def test_default_hierarchy_loads(self, taxonomy):
+        assert len(taxonomy) == len(DEFAULT_TYPE_HIERARCHY) + 1  # + root
+
+    def test_contains(self, taxonomy):
+        assert "musician" in taxonomy
+        assert "nonexistent" not in taxonomy
+
+    def test_parents(self, taxonomy):
+        assert taxonomy.parents("singer") == ("musician",)
+        assert taxonomy.parents(ROOT_TYPE) == ()
+
+    def test_children(self, taxonomy):
+        assert "singer" in taxonomy.children("musician")
+        assert "guitarist" in taxonomy.children("musician")
+
+    def test_unknown_type_raises(self, taxonomy):
+        with pytest.raises(KnowledgeBaseError):
+            taxonomy.parents("nope")
+
+    def test_unknown_super_type_rejected(self):
+        with pytest.raises(KnowledgeBaseError):
+            Taxonomy({"a": ("missing",)})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(KnowledgeBaseError):
+            Taxonomy({"a": ("b",), "b": ("a",)})
+
+
+class TestClosure:
+    def test_ancestors_transitive(self, taxonomy):
+        ancestors = taxonomy.ancestors("singer")
+        assert {"musician", "person", ROOT_TYPE} <= ancestors
+        assert "singer" not in ancestors
+
+    def test_descendants_transitive(self, taxonomy):
+        descendants = taxonomy.descendants("person")
+        assert "singer" in descendants
+        assert "footballer" in descendants
+        assert "city" not in descendants
+
+    def test_is_subtype_reflexive(self, taxonomy):
+        assert taxonomy.is_subtype("singer", "singer")
+
+    def test_is_subtype_transitive(self, taxonomy):
+        assert taxonomy.is_subtype("singer", "person")
+        assert not taxonomy.is_subtype("person", "singer")
+
+    def test_expand_includes_self_and_ancestors(self, taxonomy):
+        expanded = taxonomy.expand(["footballer"])
+        assert {"footballer", "athlete", "person", ROOT_TYPE} <= expanded
+
+    def test_expand_multiple_leaves(self, taxonomy):
+        expanded = taxonomy.expand(["singer", "city"])
+        assert "musician" in expanded
+        assert "location" in expanded
+
+
+class TestCoarseClass:
+    def test_leaf_maps_to_coarse(self, taxonomy):
+        assert taxonomy.coarse_class("singer") == "person"
+        assert taxonomy.coarse_class("football_club") == "organization"
+        assert taxonomy.coarse_class("stadium") == "location"
+
+    def test_coarse_of_root(self, taxonomy):
+        assert taxonomy.coarse_class(ROOT_TYPE) == ROOT_TYPE
+
+    def test_coarse_of_direct_child(self, taxonomy):
+        assert taxonomy.coarse_class("person") == "person"

@@ -1,0 +1,83 @@
+"""Tests for the SPO triple store."""
+
+import pytest
+
+from repro.errors import KnowledgeBaseError
+from repro.kb.triples import ANY, Triple, TripleStore
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    s.add("Bob_Dylan", "created", "Desire")
+    s.add("Bob_Dylan", "type", "musician")
+    s.add("Desire", "type", "album")
+    s.add("Jimmy_Page", "type", "musician")
+    return s
+
+
+class TestInsertion:
+    def test_add_and_len(self, store):
+        assert len(store) == 4
+
+    def test_idempotent_add(self, store):
+        assert not store.add("Bob_Dylan", "created", "Desire")
+        assert len(store) == 4
+
+    def test_contains(self, store):
+        assert Triple("Bob_Dylan", "created", "Desire") in store
+        assert Triple("Bob_Dylan", "created", "Nothing") not in store
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(KnowledgeBaseError):
+            Triple("", "p", "o")
+
+    def test_remove(self, store):
+        assert store.remove("Bob_Dylan", "created", "Desire")
+        assert Triple("Bob_Dylan", "created", "Desire") not in store
+        assert len(store) == 3
+
+    def test_remove_missing_returns_false(self, store):
+        assert not store.remove("a", "b", "c")
+
+
+class TestPatternQueries:
+    def test_fully_bound(self, store):
+        matches = list(store.match("Bob_Dylan", "created", "Desire"))
+        assert len(matches) == 1
+
+    def test_subject_bound(self, store):
+        matches = list(store.match("Bob_Dylan", ANY, ANY))
+        assert len(matches) == 2
+
+    def test_predicate_bound(self, store):
+        matches = list(store.match(ANY, "type", ANY))
+        assert len(matches) == 3
+
+    def test_object_bound(self, store):
+        matches = list(store.match(ANY, ANY, "musician"))
+        assert {m.subject for m in matches} == {"Bob_Dylan", "Jimmy_Page"}
+
+    def test_unbound_returns_everything(self, store):
+        assert len(list(store.match())) == 4
+
+    def test_no_match(self, store):
+        assert list(store.match("Nobody", ANY, ANY)) == []
+
+    def test_results_are_sorted(self, store):
+        matches = list(store.match(ANY, "type", ANY))
+        assert matches == sorted(matches, key=lambda t: t.as_tuple())
+
+
+class TestConvenience:
+    def test_objects(self, store):
+        assert store.objects("Bob_Dylan", "type") == ["musician"]
+
+    def test_subjects(self, store):
+        assert store.subjects("type", "musician") == [
+            "Bob_Dylan",
+            "Jimmy_Page",
+        ]
+
+    def test_predicates_of(self, store):
+        assert store.predicates_of("Bob_Dylan") == ["created", "type"]

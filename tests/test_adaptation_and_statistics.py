@@ -1,0 +1,152 @@
+"""Tests for domain adaptation (Section 7.2.3) and KB statistics."""
+
+import pytest
+
+from repro.core.adaptation import DomainAdaptiveDisambiguator
+from repro.core.config import AidaConfig
+from repro.datagen.documents import DocumentSpec
+from repro.eval.runner import run_disambiguator
+from repro.kb.statistics import (
+    DistributionSummary,
+    ambiguity_histogram,
+    describe,
+    inlink_summary,
+    keyphrase_length_summary,
+    link_poor_fraction,
+    mean_ambiguity,
+    type_distribution,
+)
+
+
+class TestDomainAdaptation:
+    @pytest.fixture(scope="class")
+    def adaptive(self, kb):
+        return DomainAdaptiveDisambiguator(
+            kb, config=AidaConfig.full(), boost=0.3
+        )
+
+    def test_profiles_cover_domains(self, world, adaptive):
+        profiles = adaptive.domain_profiles()
+        domains = {
+            world.entity(eid).domain for eid in world.in_kb_ids()
+        }
+        assert set(profiles) == domains
+
+    def test_profiles_normalized(self, adaptive):
+        for profile in adaptive.domain_profiles().values():
+            if profile:
+                assert sum(profile.values()) == pytest.approx(1.0)
+
+    def test_posterior_matches_document_domain(
+        self, world, doc_generator, adaptive
+    ):
+        # A single-cluster document's inferred domain should usually be
+        # the cluster's domain.
+        hits = 0
+        total = 0
+        for cluster_id in sorted(world.clusters)[:8]:
+            spec = DocumentSpec(
+                doc_id=f"adapt-{cluster_id}",
+                cluster_ids=[cluster_id],
+                num_mentions=5,
+                context_prob=0.9,
+            )
+            annotated = doc_generator.generate(spec)
+            posterior = adaptive.domain_posterior(annotated.document)
+            if not posterior:
+                continue
+            inferred = max(sorted(posterior), key=lambda d: posterior[d])
+            total += 1
+            if inferred == world.clusters[cluster_id].domain:
+                hits += 1
+        assert total > 0
+        assert hits / total >= 0.6
+
+    def test_accuracy_not_degraded(self, kb, world, doc_generator):
+        docs = [
+            doc_generator.generate(
+                DocumentSpec(
+                    doc_id=f"adapt-acc-{i}",
+                    cluster_ids=[i % len(world.clusters)],
+                    num_mentions=5,
+                )
+            )
+            for i in range(10)
+        ]
+        from repro.core.pipeline import AidaDisambiguator
+
+        plain = run_disambiguator(
+            AidaDisambiguator(kb, config=AidaConfig.full()), docs, kb=kb
+        )
+        adaptive = run_disambiguator(
+            DomainAdaptiveDisambiguator(
+                kb, config=AidaConfig.full(), boost=0.3
+            ),
+            docs,
+            kb=kb,
+        )
+        assert adaptive.micro >= plain.micro - 0.03
+
+    def test_negative_boost_rejected(self, kb):
+        with pytest.raises(ValueError):
+            DomainAdaptiveDisambiguator(kb, boost=-1.0)
+
+    def test_zero_boost_equals_plain(self, kb, sample_docs):
+        from repro.core.pipeline import AidaDisambiguator
+
+        plain = AidaDisambiguator(kb, config=AidaConfig.full())
+        adaptive = DomainAdaptiveDisambiguator(
+            kb, config=AidaConfig.full(), boost=0.0
+        )
+        document = sample_docs[0].document
+        assert (
+            plain.disambiguate(document).as_map()
+            == adaptive.disambiguate(document).as_map()
+        )
+
+
+class TestStatistics:
+    def test_distribution_summary(self):
+        summary = DistributionSummary.of([3, 1, 2, 10])
+        assert summary.count == 4
+        assert summary.minimum == 1
+        assert summary.maximum == 10
+        assert summary.mean == pytest.approx(4.0)
+
+    def test_distribution_summary_empty(self):
+        summary = DistributionSummary.of([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_ambiguity_histogram(self, kb):
+        histogram = ambiguity_histogram(kb)
+        assert sum(histogram.values()) == len(kb.dictionary)
+        assert any(count >= 2 for count in histogram)  # ambiguity exists
+
+    def test_mean_ambiguity_at_least_one(self, kb):
+        assert mean_ambiguity(kb) >= 1.0
+
+    def test_inlink_summary(self, kb):
+        summary = inlink_summary(kb)
+        assert summary.count == len(kb)
+        assert summary.maximum > summary.minimum
+
+    def test_link_poor_fraction_monotone(self, kb):
+        assert link_poor_fraction(kb, 2) <= link_poor_fraction(kb, 10)
+        assert 0.0 <= link_poor_fraction(kb, 2) <= 1.0
+
+    def test_keyphrase_length_near_paper(self, kb):
+        # The paper reports an average keyphrase length of ~2.5 words;
+        # the synthetic encyclopedia is built to the same ballpark.
+        summary = keyphrase_length_summary(kb)
+        assert 1.0 <= summary.mean <= 3.5
+
+    def test_type_distribution_covers_entities(self, kb):
+        counts = type_distribution(kb)
+        assert sum(counts.values()) == len(kb)
+
+    def test_describe_keys(self, kb):
+        overview = describe(kb)
+        assert overview["entities"] == len(kb)
+        assert "mean_ambiguity" in overview
+        assert "type_distribution" in overview

@@ -1,0 +1,170 @@
+"""Additional coverage: generic world domains, analytics edge cases,
+corpus composition, and evaluation internals."""
+
+import pytest
+
+from repro.apps.analytics.store import AnalyticsStore
+from repro.apps.analytics.trends import TrendAnalyzer
+from repro.datagen.conll import ConllConfig, generate_conll
+from repro.datagen.world import World, WorldConfig
+from repro.eval.measures import (
+    DocumentOutcome,
+    mean_average_precision,
+    precision_recall_points,
+)
+from repro.types import (
+    DisambiguationResult,
+    Document,
+    Mention,
+    MentionAssignment,
+)
+
+
+class TestGenericDomainWorld:
+    """Domains without a dedicated cluster builder fall back to the
+    generic person-cluster shape."""
+
+    @pytest.fixture(scope="class")
+    def custom_world(self):
+        return World.generate(
+            WorldConfig(
+                seed=19,
+                clusters_per_domain=2,
+                domains=("music", "folklore"),
+            )
+        )
+
+    def test_custom_domain_clusters_built(self, custom_world):
+        folklore = [
+            c
+            for c in custom_world.clusters.values()
+            if c.domain == "folklore"
+        ]
+        assert len(folklore) == 2
+        for cluster in folklore:
+            assert cluster.members
+
+    def test_generic_members_are_persons(self, custom_world):
+        folklore = [
+            c
+            for c in custom_world.clusters.values()
+            if c.domain == "folklore"
+        ][0]
+        for member in folklore.members:
+            assert custom_world.entity(member).types == ("person",)
+
+    def test_kb_builds_over_custom_world(self, custom_world):
+        from repro.datagen.wikipedia import build_world_kb
+
+        kb, _wiki = build_world_kb(custom_world, seed=5)
+        assert len(kb) > 0
+
+
+class TestAnalyticsEdgeCases:
+    def _result(self, doc_id, entities):
+        mentions = [
+            Mention(surface=f"m{i}", start=i, end=i + 1)
+            for i in range(len(entities))
+        ]
+        return DisambiguationResult(
+            doc_id=doc_id,
+            assignments=[
+                MentionAssignment(mention=m, entity=e)
+                for m, e in zip(mentions, entities)
+            ],
+        )
+
+    def test_empty_store(self, kb):
+        store = AnalyticsStore()
+        analyzer = TrendAnalyzer(store, kb)
+        assert store.days() == []
+        assert analyzer.trending(day=0) == []
+        assert analyzer.category_counts(day=0) == {}
+        assert analyzer.top_entities(0, 10) == []
+
+    def test_out_of_kb_assignments_ignored(self, kb):
+        from repro.types import OUT_OF_KB
+
+        store = AnalyticsStore()
+        doc = Document(doc_id="d", tokens=("a",), timestamp=0)
+        store.ingest(doc, self._result("d", [OUT_OF_KB]))
+        assert store.entities_on(0) == {}
+
+    def test_same_entity_once_per_document(self, kb):
+        store = AnalyticsStore()
+        doc = Document(doc_id="d", tokens=("a", "b"), timestamp=0)
+        store.ingest(doc, self._result("d", ["E1", "E1"]))
+        assert store.count_on("E1", 0) == 1
+
+    def test_frequency_series_covers_gaps(self, kb):
+        store = AnalyticsStore()
+        doc = Document(doc_id="d", tokens=("a",), timestamp=2)
+        store.ingest(doc, self._result("d", ["E1"]))
+        series = store.frequency_series("E1", 0, 3)
+        assert series == [(0, 0), (1, 0), (2, 1), (3, 0)]
+
+    def test_trending_unknown_entities_tolerated(self, kb):
+        # Entities not in the KB must not break category roll-ups.
+        store = AnalyticsStore()
+        doc = Document(doc_id="d", tokens=("a",), timestamp=0)
+        store.ingest(doc, self._result("d", ["Ghost_Entity"]))
+        analyzer = TrendAnalyzer(store, kb)
+        assert analyzer.category_counts(0) == {}
+
+
+class TestCorpusComposition:
+    def test_heterogeneous_fraction_zero(self, world):
+        corpus = generate_conll(
+            world,
+            ConllConfig(seed=11, scale=0.02, heterogeneous_fraction=0.0),
+        )
+        # Every document draws from exactly one cluster: all in-KB gold
+        # entities of a doc share a cluster (modulo distractors, disabled
+        # implicitly by checking majority).
+        for annotated in corpus.testb:
+            clusters = [
+                world.entity(ann.entity).cluster_id
+                for ann in annotated.in_kb_gold()
+            ]
+            if len(clusters) >= 3:
+                majority = max(set(clusters), key=clusters.count)
+                assert clusters.count(majority) >= len(clusters) - 1
+
+    def test_split_document_ids_unique(self, world):
+        corpus = generate_conll(world, ConllConfig(seed=11, scale=0.02))
+        ids = [d.doc_id for d in corpus.all_documents()]
+        assert len(ids) == len(set(ids))
+
+
+class TestEvalInternals:
+    def test_map_steps_parameter(self):
+        outcomes = [
+            DocumentOutcome(
+                doc_id="a",
+                pairs=[("E", "E", 0.9), ("F", "F", 0.5), ("G", "X", 0.1)],
+            )
+        ]
+        coarse = mean_average_precision(outcomes, steps=2)
+        fine = mean_average_precision(outcomes, steps=200)
+        assert 0.0 <= coarse <= 1.0
+        assert 0.0 <= fine <= 1.0
+
+    def test_pr_points_final_recall_is_one(self):
+        outcomes = [
+            DocumentOutcome(
+                doc_id="a", pairs=[("E", "E", 0.9), ("F", "X", 0.1)]
+            )
+        ]
+        points = precision_recall_points(outcomes)
+        assert points[-1][0] == pytest.approx(1.0)
+
+    def test_missing_confidence_ranks_last(self):
+        outcomes = [
+            DocumentOutcome(
+                doc_id="a",
+                pairs=[("E", "E", None), ("F", "F", 0.9)],
+            )
+        ]
+        points = precision_recall_points(outcomes)
+        # The confident pair comes first in the ranking.
+        assert points[0][1] == 1.0

@@ -1,0 +1,158 @@
+"""Tests for the search and analytics applications (Chapter 6)."""
+
+import pytest
+
+from repro.apps.analytics.store import AnalyticsStore
+from repro.apps.analytics.trends import TrendAnalyzer
+from repro.apps.search.index import EntitySearchIndex
+from repro.apps.search.query import Query, execute
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.documents import DocumentSpec
+
+
+@pytest.fixture(scope="module")
+def annotated_stream(world, kb, doc_generator):
+    """Documents annotated by AIDA, over three 'days'."""
+    aida = AidaDisambiguator(kb, config=AidaConfig.robust_prior_sim())
+    stream = []
+    cluster_ids = sorted(world.clusters)
+    for index in range(12):
+        spec = DocumentSpec(
+            doc_id=f"app-{index}",
+            cluster_ids=[cluster_ids[index % 4]],
+            num_mentions=5,
+            timestamp=index % 3,
+            context_prob=0.9,
+        )
+        annotated = doc_generator.generate(spec)
+        result = aida.disambiguate(annotated.document)
+        stream.append((annotated.document, result))
+    return stream
+
+
+@pytest.fixture(scope="module")
+def index(kb, annotated_stream):
+    idx = EntitySearchIndex(kb)
+    for document, result in annotated_stream:
+        idx.add_document(document, result)
+    return idx
+
+
+@pytest.fixture(scope="module")
+def analytics(kb, annotated_stream):
+    store = AnalyticsStore()
+    for document, result in annotated_stream:
+        store.ingest(document, result)
+    return store
+
+
+class TestSearchIndex:
+    def test_documents_indexed(self, index, annotated_stream):
+        assert len(index) == len(annotated_stream)
+
+    def test_word_lookup(self, index, annotated_stream):
+        document, _result = annotated_stream[0]
+        some_word = next(
+            tok.lower()
+            for tok in document.tokens
+            if tok.isalpha() and tok.islower()
+        )
+        assert document.doc_id in index.documents_with_word(some_word)
+
+    def test_entity_lookup(self, index, annotated_stream):
+        _document, result = annotated_stream[0]
+        linked = [a.entity for a in result.assignments if not a.is_out_of_kb]
+        if not linked:
+            pytest.skip("no linked entities in first document")
+        postings = index.documents_with_entity(linked[0])
+        assert annotated_stream[0][0].doc_id in postings
+
+    def test_category_lookup_through_taxonomy(self, kb, index):
+        # Any document mentioning a person-entity must match "person".
+        postings = index.documents_with_category("person")
+        assert postings
+
+    def test_query_execution_entity_and_category(
+        self, kb, index, annotated_stream
+    ):
+        _document, result = annotated_stream[0]
+        linked = [a.entity for a in result.assignments if not a.is_out_of_kb]
+        if not linked:
+            pytest.skip("no linked entities")
+        results = execute(index, Query.of(entities=[linked[0]]))
+        assert any(
+            r.doc_id == annotated_stream[0][0].doc_id for r in results
+        )
+
+    def test_empty_query(self, index):
+        assert execute(index, Query.of()) == []
+
+    def test_conjunction_narrows(self, kb, index, annotated_stream):
+        _document, result = annotated_stream[0]
+        linked = [a.entity for a in result.assignments if not a.is_out_of_kb]
+        if len(linked) < 2:
+            pytest.skip("need two linked entities")
+        single = execute(index, Query.of(entities=[linked[0]]), limit=100)
+        both = execute(
+            index, Query.of(entities=[linked[0], linked[1]]), limit=100
+        )
+        assert len(both) <= len(single)
+
+    def test_autocomplete(self, kb, index):
+        frequencies = index.entity_frequencies()
+        if not frequencies:
+            pytest.skip("nothing indexed")
+        entity_id = sorted(frequencies)[0]
+        prefix = kb.entity(entity_id).canonical_name[:3]
+        assert entity_id in index.autocomplete_entity(prefix, limit=50)
+
+
+class TestAnalytics:
+    def test_document_count(self, analytics, annotated_stream):
+        assert analytics.document_count() == len(annotated_stream)
+
+    def test_days_recorded(self, analytics):
+        assert analytics.days() == [0, 1, 2]
+
+    def test_frequency_series_shape(self, analytics):
+        entity = next(iter(analytics.entities_on(0)), None)
+        if entity is None:
+            pytest.skip("no entities on day 0")
+        series = analytics.frequency_series(entity, 0, 2)
+        assert [day for day, _count in series] == [0, 1, 2]
+
+    def test_co_occurring_excludes_self(self, analytics):
+        entity = next(iter(analytics.entities_on(0)), None)
+        if entity is None:
+            pytest.skip("no entities on day 0")
+        for other, _count in analytics.co_occurring(entity):
+            assert other != entity
+
+
+class TestTrendAnalyzer:
+    def test_trending_scores_positive(self, kb, analytics):
+        analyzer = TrendAnalyzer(analytics, kb)
+        trending = analyzer.trending(day=2, baseline_days=2, limit=5)
+        assert all(score > 0 for _eid, score in trending)
+
+    def test_category_counts(self, kb, analytics):
+        analyzer = TrendAnalyzer(analytics, kb)
+        counts = analyzer.category_counts(day=0)
+        assert counts
+        assert all(isinstance(k, str) for k in counts)
+
+    def test_top_entities_with_category_filter(self, kb, analytics):
+        analyzer = TrendAnalyzer(analytics, kb)
+        top_people = analyzer.top_entities(0, 2, category="person")
+        for entity_id, _count in top_people:
+            assert "person" in kb.types_of(entity_id)
+
+    def test_co_occurrence_profile_readable(self, kb, analytics):
+        analyzer = TrendAnalyzer(analytics, kb)
+        entity = next(iter(analytics.entities_on(0)), None)
+        if entity is None:
+            pytest.skip("no entities")
+        profile = analyzer.co_occurrence_profile(entity)
+        for name, count in profile:
+            assert isinstance(name, str) and count > 0

@@ -1,0 +1,146 @@
+"""Tests for the baseline disambiguators."""
+
+import pytest
+
+from repro.baselines.cucerzan import CucerzanDisambiguator
+from repro.baselines.kulkarni import KulkarniDisambiguator, KulkarniMode
+from repro.baselines.prior_only import PriorOnlyDisambiguator
+from repro.baselines.tagme import TagmeDisambiguator
+from repro.baselines.threshold_ee import (
+    ThresholdEeWrapper,
+    tune_threshold,
+)
+from repro.baselines.wikifier import WikifierDisambiguator
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.documents import DocumentSpec
+from repro.eval.runner import run_disambiguator
+from repro.types import OUT_OF_KB
+
+
+@pytest.fixture(scope="module")
+def corpus(world, doc_generator):
+    docs = []
+    cluster_ids = sorted(world.clusters)
+    for index in range(8):
+        spec = DocumentSpec(
+            doc_id=f"bl-{index}",
+            cluster_ids=[cluster_ids[index % len(cluster_ids)]],
+            num_mentions=5,
+            context_prob=0.8,
+        )
+        docs.append(doc_generator.generate(spec))
+    return docs
+
+
+class TestPriorOnly:
+    def test_runs_and_scores(self, kb, corpus):
+        run = run_disambiguator(PriorOnlyDisambiguator(kb), corpus, kb=kb)
+        assert 0.0 < run.micro <= 1.0
+
+    def test_unknown_name_out_of_kb(self, kb):
+        from repro.types import Document, Mention
+
+        doc = Document(
+            doc_id="x",
+            tokens=("Qqqzzz", "spoke"),
+            mentions=(Mention(surface="Qqqzzz", start=0, end=1),),
+        )
+        result = PriorOnlyDisambiguator(kb).disambiguate(doc)
+        assert result.assignments[0].entity == OUT_OF_KB
+
+    def test_fixed_hook(self, kb, corpus):
+        doc = corpus[0].document
+        result = PriorOnlyDisambiguator(kb).disambiguate(
+            doc, fixed={0: "Whatever"}
+        )
+        assert result.assignments[0].entity == "Whatever"
+
+
+class TestCucerzan:
+    def test_runs(self, kb, corpus):
+        run = run_disambiguator(CucerzanDisambiguator(kb), corpus, kb=kb)
+        assert 0.0 <= run.micro <= 1.0
+
+    def test_candidate_scores_populated(self, kb, corpus):
+        result = CucerzanDisambiguator(kb).disambiguate(corpus[0].document)
+        scored = [a for a in result.assignments if a.candidate_scores]
+        assert scored
+
+    def test_restrict_to(self, kb, corpus):
+        doc = corpus[0].document
+        result = CucerzanDisambiguator(kb).disambiguate(
+            doc, restrict_to=[0]
+        )
+        assert len(result.assignments) == 1
+
+
+class TestKulkarni:
+    def test_similarity_mode(self, kb, corpus):
+        pipeline = KulkarniDisambiguator(kb, mode=KulkarniMode.SIMILARITY)
+        run = run_disambiguator(pipeline, corpus, kb=kb)
+        assert 0.0 <= run.micro <= 1.0
+
+    def test_collective_beats_or_matches_similarity(self, kb, corpus):
+        sim = run_disambiguator(
+            KulkarniDisambiguator(kb, mode=KulkarniMode.SIMILARITY),
+            corpus,
+            kb=kb,
+        )
+        collective = run_disambiguator(
+            KulkarniDisambiguator(kb, mode=KulkarniMode.COLLECTIVE),
+            corpus,
+            kb=kb,
+        )
+        # Coherence should stay in the same ballpark on coherent
+        # single-cluster documents (the tiny test corpus sits near the
+        # ceiling, so a small drop from coherence noise is tolerated).
+        assert collective.micro >= sim.micro - 0.10
+
+    def test_deterministic(self, kb, corpus):
+        pipeline = KulkarniDisambiguator(kb, mode=KulkarniMode.COLLECTIVE)
+        doc = corpus[0].document
+        assert (
+            pipeline.disambiguate(doc).as_map()
+            == pipeline.disambiguate(doc).as_map()
+        )
+
+
+class TestTagme:
+    def test_runs(self, kb, corpus):
+        run = run_disambiguator(TagmeDisambiguator(kb), corpus, kb=kb)
+        assert 0.0 < run.micro <= 1.0
+
+
+class TestWikifier:
+    def test_runs(self, kb, corpus):
+        run = run_disambiguator(WikifierDisambiguator(kb), corpus, kb=kb)
+        assert 0.0 < run.micro <= 1.0
+
+    def test_linker_score_nonnegative(self, kb, corpus):
+        pipeline = WikifierDisambiguator(kb)
+        result = pipeline.disambiguate(corpus[0].document)
+        for assignment in result.assignments:
+            if assignment.candidate_scores:
+                assert pipeline.linker_score(assignment) >= 0.0
+
+
+class TestThresholdWrapper:
+    def test_high_threshold_relabels_everything(self, kb, corpus):
+        base = AidaDisambiguator(kb, config=AidaConfig.robust_prior_sim())
+        wrapper = ThresholdEeWrapper(base, threshold=10.0)
+        result = wrapper.disambiguate(corpus[0].document)
+        assert all(a.entity == OUT_OF_KB for a in result.assignments)
+
+    def test_zero_threshold_changes_nothing(self, kb, corpus):
+        base = AidaDisambiguator(kb, config=AidaConfig.robust_prior_sim())
+        wrapper = ThresholdEeWrapper(base, threshold=0.0)
+        assert (
+            wrapper.disambiguate(corpus[0].document).as_map()
+            == base.disambiguate(corpus[0].document).as_map()
+        )
+
+    def test_tuned_threshold_in_grid(self, kb, corpus):
+        base = AidaDisambiguator(kb, config=AidaConfig.robust_prior_sim())
+        threshold = tune_threshold(base, corpus[:4])
+        assert 0.0 <= threshold < 1.0

@@ -1,0 +1,160 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.kb.io import load_knowledge_base
+
+
+@pytest.fixture(scope="module")
+def kb_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("cli") / "kb")
+    exit_code = main(
+        ["generate-kb", "--out", directory, "--seed", "7",
+         "--clusters", "2"]
+    )
+    assert exit_code == 0
+    return directory
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_variant_choices(self):
+        args = build_parser().parse_args(
+            ["disambiguate", "--kb", "x", "--text", "y",
+             "--variant", "sim"]
+        )
+        assert args.variant == "sim"
+
+
+class TestGenerateKb:
+    def test_kb_loadable(self, kb_dir):
+        kb = load_knowledge_base(kb_dir)
+        assert len(kb) > 0
+
+
+class TestDisambiguate:
+    def test_known_name_resolved(self, kb_dir, capsys):
+        kb = load_knowledge_base(kb_dir)
+        entity = kb.entities()[0]
+        text = f"{entity.canonical_name} did something ."
+        exit_code = main(
+            ["disambiguate", "--kb", kb_dir, "--text", text]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert entity.canonical_name in out
+
+    def test_file_input(self, kb_dir, tmp_path, capsys):
+        kb = load_knowledge_base(kb_dir)
+        entity = kb.entities()[0]
+        path = tmp_path / "input.txt"
+        path.write_text(f"{entity.canonical_name} spoke .")
+        exit_code = main(
+            ["disambiguate", "--kb", kb_dir, "--file", str(path)]
+        )
+        assert exit_code == 0
+        assert entity.entity_id in capsys.readouterr().out
+
+    def test_no_mentions(self, kb_dir, capsys):
+        exit_code = main(
+            ["disambiguate", "--kb", kb_dir, "--text",
+             "nothing capitalized here ."]
+        )
+        assert exit_code == 0
+        assert "no entity mentions" in capsys.readouterr().out
+
+    def test_missing_text_and_file(self, kb_dir):
+        with pytest.raises(SystemExit):
+            main(["disambiguate", "--kb", kb_dir])
+
+
+class TestRelatedness:
+    def test_pair_scored(self, kb_dir, capsys):
+        kb = load_knowledge_base(kb_dir)
+        a, b = kb.entity_ids()[:2]
+        exit_code = main(
+            ["relatedness", "--kb", kb_dir, "--measure", "kore", a, b]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert a in out and b in out
+
+    def test_unknown_entity_fails(self, kb_dir, capsys):
+        exit_code = main(
+            ["relatedness", "--kb", kb_dir, "Nobody", "Nothing"]
+        )
+        assert exit_code == 1
+
+    def test_mw_measure(self, kb_dir, capsys):
+        kb = load_knowledge_base(kb_dir)
+        a, b = kb.entity_ids()[:2]
+        exit_code = main(
+            ["relatedness", "--kb", kb_dir, "--measure", "mw", a, b]
+        )
+        assert exit_code == 0
+
+
+class TestClassify:
+    def test_classifies_mentions(self, kb_dir, capsys):
+        kb = load_knowledge_base(kb_dir)
+        person = next(
+            e for e in kb.entities() if kb.coarse_class(e.entity_id) == "person"
+        )
+        exit_code = main(
+            ["classify", "--kb", kb_dir, "--text",
+             f"{person.canonical_name} spoke ."]
+        )
+        assert exit_code == 0
+        assert "person" in capsys.readouterr().out
+
+
+class TestCorpusAndEvaluate:
+    @pytest.fixture(scope="class")
+    def corpus_file(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli-corpus") / "c.jsonl")
+        exit_code = main(
+            ["corpus", "--seed", "7", "--clusters", "2", "--kind",
+             "conll", "--scale", "0.02", "--out", path]
+        )
+        assert exit_code == 0
+        return path
+
+    def test_corpus_loadable(self, corpus_file):
+        from repro.datagen.io import load_corpus
+
+        documents = load_corpus(corpus_file)
+        assert documents
+        assert all(doc.gold for doc in documents)
+
+    def test_kore50_kind(self, tmp_path):
+        path = str(tmp_path / "k50.jsonl")
+        assert main(
+            ["corpus", "--seed", "7", "--clusters", "2",
+             "--kind", "kore50", "--out", path]
+        ) == 0
+        from repro.datagen.io import load_corpus
+
+        assert len(load_corpus(path)) == 50
+
+    def test_evaluate_against_matching_kb(
+        self, tmp_path_factory, corpus_file, capsys
+    ):
+        kb_dir = str(tmp_path_factory.mktemp("cli-eval") / "kb")
+        assert main(
+            ["generate-kb", "--out", kb_dir, "--seed", "7",
+             "--clusters", "2"]
+        ) == 0
+        assert main(
+            ["evaluate", "--kb", kb_dir, "--corpus", corpus_file,
+             "--variant", "r-prior-sim"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "micro accuracy" in out

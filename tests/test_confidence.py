@@ -1,0 +1,141 @@
+"""Tests for the confidence assessors (Section 5.4)."""
+
+import pytest
+
+from repro.confidence.combined import ConfAssessor
+from repro.confidence.normalization import (
+    normalization_confidence,
+    normalized_scores,
+)
+from repro.confidence.perturb_entities import EntityPerturbationConfidence
+from repro.confidence.perturb_mentions import MentionPerturbationConfidence
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.documents import DocumentSpec
+from repro.types import Mention, MentionAssignment
+
+
+class TestNormalization:
+    def test_distribution_sums_to_one(self):
+        scores = normalized_scores({"A": 3.0, "B": 1.0})
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert scores["A"] == pytest.approx(0.75)
+
+    def test_negative_scores_shifted(self):
+        scores = normalized_scores({"A": -1.0, "B": 1.0})
+        assert scores["A"] == 0.0
+        assert scores["B"] == 1.0
+
+    def test_all_zero_uniform(self):
+        scores = normalized_scores({"A": 0.0, "B": 0.0})
+        assert scores["A"] == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert normalized_scores({}) == {}
+
+    def test_assignment_confidence(self):
+        mention = Mention(surface="x", start=0, end=1)
+        assignment = MentionAssignment(
+            mention=mention,
+            entity="A",
+            candidate_scores={"A": 4.0, "B": 1.0},
+        )
+        assert normalization_confidence(assignment) == pytest.approx(0.8)
+
+    def test_confidence_of_unscored_assignment(self):
+        mention = Mention(surface="x", start=0, end=1)
+        assignment = MentionAssignment(mention=mention, entity="A")
+        assert normalization_confidence(assignment) == 0.0
+
+
+@pytest.fixture(scope="module")
+def pipeline(kb):
+    return AidaDisambiguator(kb, config=AidaConfig.robust_prior_sim())
+
+
+@pytest.fixture(scope="module")
+def clear_doc(world, doc_generator):
+    """A document with strong context for every mention."""
+    spec = DocumentSpec(
+        doc_id="conf-clear",
+        cluster_ids=[0],
+        num_mentions=5,
+        context_prob=1.0,
+        ambiguous_prob=0.4,
+    )
+    return doc_generator.generate(spec).document
+
+
+class TestMentionPerturbation:
+    def test_confidences_in_unit_interval(self, pipeline, clear_doc):
+        assessor = MentionPerturbationConfidence(pipeline, rounds=6, seed=1)
+        confidences = assessor.assess(clear_doc)
+        assert set(confidences) == set(clear_doc.mentions)
+        for value in confidences.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_deterministic(self, pipeline, clear_doc):
+        a = MentionPerturbationConfidence(pipeline, rounds=4, seed=9)
+        b = MentionPerturbationConfidence(pipeline, rounds=4, seed=9)
+        assert a.assess(clear_doc) == b.assess(clear_doc)
+
+    def test_invalid_params(self, pipeline):
+        with pytest.raises(ValueError):
+            MentionPerturbationConfidence(pipeline, rounds=0)
+        with pytest.raises(ValueError):
+            MentionPerturbationConfidence(pipeline, keep_probability=0.0)
+
+    def test_empty_document(self, pipeline):
+        from repro.types import Document
+
+        doc = Document(doc_id="empty", tokens=("nothing",), mentions=())
+        assessor = MentionPerturbationConfidence(pipeline, rounds=2)
+        assert assessor.assess(doc) == {}
+
+
+class TestEntityPerturbation:
+    def test_confidences_in_unit_interval(self, pipeline, clear_doc):
+        assessor = EntityPerturbationConfidence(pipeline, rounds=6, seed=2)
+        confidences = assessor.assess(clear_doc)
+        for value in confidences.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_strong_context_high_confidence(self, pipeline, clear_doc):
+        assessor = EntityPerturbationConfidence(pipeline, rounds=8, seed=2)
+        confidences = assessor.assess(clear_doc)
+        # With own context for every mention, most should be stable.
+        stable = sum(1 for v in confidences.values() if v >= 0.5)
+        assert stable >= len(confidences) / 2
+
+    def test_invalid_params(self, pipeline):
+        with pytest.raises(ValueError):
+            EntityPerturbationConfidence(pipeline, rounds=0)
+        with pytest.raises(ValueError):
+            EntityPerturbationConfidence(pipeline, flip_probability=1.0)
+
+
+class TestConfAssessor:
+    def test_confidence_attached_to_result(self, pipeline, clear_doc):
+        assessor = ConfAssessor(pipeline, rounds=4, seed=3)
+        result = assessor.disambiguate_with_confidence(clear_doc)
+        for assignment in result.assignments:
+            assert assignment.confidence is not None
+            assert 0.0 <= assignment.confidence <= 1.0
+
+    def test_assess_view(self, pipeline, clear_doc):
+        assessor = ConfAssessor(pipeline, rounds=4, seed=3)
+        confidences = assessor.assess(clear_doc)
+        assert set(confidences) == set(clear_doc.mentions)
+
+    def test_norm_weight_extremes(self, pipeline, clear_doc):
+        norm_only = ConfAssessor(
+            pipeline, rounds=2, norm_weight=1.0, seed=3
+        )
+        result = norm_only.disambiguate_with_confidence(clear_doc)
+        for assignment in result.assignments:
+            expected = normalization_confidence(assignment)
+            assert assignment.confidence == pytest.approx(expected)
+
+    def test_invalid_norm_weight(self, pipeline):
+        with pytest.raises(ValueError):
+            ConfAssessor(pipeline, norm_weight=1.5)

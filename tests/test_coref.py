@@ -1,0 +1,179 @@
+"""Tests for within-document name coreference."""
+
+import pytest
+
+from repro.ner.coref import (
+    CoreferenceChains,
+    NameCoreferenceResolver,
+    coreference_candidate_restriction,
+    is_short_form_of,
+)
+from repro.types import Document, Mention
+
+
+def _doc(tokens, surfaces):
+    mentions = tuple(
+        Mention(surface=surface, start=start, end=end)
+        for surface, start, end in surfaces
+    )
+    return Document(doc_id="c", tokens=tuple(tokens), mentions=mentions)
+
+
+class TestShortForm:
+    def test_suffix(self):
+        assert is_short_form_of("Page", "Jimmy Page")
+
+    def test_prefix(self):
+        assert is_short_form_of("Kashmir", "Kashmir Region")
+
+    def test_not_infix(self):
+        assert not is_short_form_of("von", "Johann von Neumann Institute")
+
+    def test_equal_is_not_short_form(self):
+        assert not is_short_form_of("Page", "Page")
+
+    def test_longer_is_not_short_form(self):
+        assert not is_short_form_of("Jimmy Page", "Page")
+
+    def test_case_rules_applied(self):
+        # Long-name matching is case-normalized like the dictionary.
+        assert is_short_form_of("PAGE", "Jimmy Page")
+
+
+class TestResolver:
+    def test_short_mention_chains_to_long(self):
+        doc = _doc(
+            ["Jimmy", "Page", "played", ".", "Page", "smiled", "."],
+            [("Jimmy Page", 0, 2), ("Page", 4, 5)],
+        )
+        chains = NameCoreferenceResolver().resolve(doc)
+        short = doc.mentions[1]
+        assert chains.chain_of(short) == doc.mentions[0]
+
+    def test_cataphora_also_resolves(self):
+        # The long form appearing later still anchors the short one.
+        doc = _doc(
+            ["Page", "played", ".", "Jimmy", "Page", "smiled", "."],
+            [("Page", 0, 1), ("Jimmy Page", 3, 5)],
+        )
+        chains = NameCoreferenceResolver().resolve(doc)
+        assert chains.chain_of(doc.mentions[0]) == doc.mentions[1]
+
+    def test_unrelated_mentions_unchained(self):
+        doc = _doc(
+            ["Page", "met", "Plant", "."],
+            [("Page", 0, 1), ("Plant", 2, 3)],
+        )
+        chains = NameCoreferenceResolver().resolve(doc)
+        assert chains.chain_of(doc.mentions[0]) == doc.mentions[0]
+        assert chains.chain_of(doc.mentions[1]) == doc.mentions[1]
+
+    def test_longest_antecedent_preferred(self):
+        doc = _doc(
+            ["Jimmy", "Page", "Junior", "and", "Jimmy", "Page", "met",
+             "Page", "."],
+            [
+                ("Jimmy Page Junior", 0, 3),
+                ("Jimmy Page", 4, 6),
+                ("Page", 7, 8),
+            ],
+        )
+        chains = NameCoreferenceResolver().resolve(doc)
+        assert chains.chain_of(doc.mentions[2]) == doc.mentions[0]
+
+    def test_chains_grouping(self):
+        doc = _doc(
+            ["Jimmy", "Page", ".", "Page", ".", "Page", "."],
+            [("Jimmy Page", 0, 2), ("Page", 3, 4), ("Page", 5, 6)],
+        )
+        chains = NameCoreferenceResolver().resolve(doc)
+        grouped = chains.chains()
+        assert len(grouped) == 1
+        assert len(grouped[doc.mentions[0]]) == 2
+
+
+class TestCandidateRestriction:
+    def _kb_candidates(self, surface):
+        table = {
+            "Jimmy Page": ["Jimmy_Page"],
+            "Page": ["Jimmy_Page", "Larry_Page", "Page_Arizona"],
+        }
+        return table.get(surface, [])
+
+    def test_restriction_collapses_ambiguity(self):
+        doc = _doc(
+            ["Jimmy", "Page", "played", ".", "Page", "smiled", "."],
+            [("Jimmy Page", 0, 2), ("Page", 4, 5)],
+        )
+        restricted = coreference_candidate_restriction(
+            doc, self._kb_candidates
+        )
+        assert restricted == {1: ["Jimmy_Page"]}
+
+    def test_no_restriction_without_chain(self):
+        doc = _doc(["Page", "spoke", "."], [("Page", 0, 1)])
+        assert (
+            coreference_candidate_restriction(doc, self._kb_candidates)
+            == {}
+        )
+
+    def test_head_without_candidates_ignored(self):
+        doc = _doc(
+            ["Edward", "Snowden", ".", "Snowden", "."],
+            [("Edward Snowden", 0, 2), ("Snowden", 3, 4)],
+        )
+
+        def candidates(surface):
+            return ["Snowden_WA"] if surface == "Snowden" else []
+
+        assert coreference_candidate_restriction(doc, candidates) == {}
+
+
+class TestPipelineIntegration:
+    def test_coreference_improves_short_mention(self, kb, world):
+        from repro.core.config import AidaConfig
+        from repro.core.pipeline import AidaDisambiguator
+
+        # Find a person with an ambiguous family name.
+        target = None
+        for eid in world.in_kb_ids():
+            entity = world.entity(eid)
+            if "person" not in {
+                kb.coarse_class(eid)
+            }:
+                continue
+            family = (
+                entity.names.short_forms[0]
+                if entity.names.short_forms
+                else None
+            )
+            if (
+                family
+                and len(kb.candidates(family)) >= 2
+                and kb.candidates(entity.names.canonical) == [eid]
+            ):
+                target = entity
+                break
+        if target is None:
+            pytest.skip("no ambiguous family name in test world")
+        full = target.names.canonical
+        family = target.names.short_forms[0]
+        tokens = tuple(full.split()) + ("spoke", ".") + (family, "left", ".")
+        doc = Document(
+            doc_id="coref-int",
+            tokens=tokens,
+            mentions=(
+                Mention(surface=full, start=0, end=len(full.split())),
+                Mention(
+                    surface=family,
+                    start=len(full.split()) + 2,
+                    end=len(full.split()) + 3,
+                ),
+            ),
+        )
+        config = AidaConfig.sim_only()
+        config.use_name_coreference = True
+        aida = AidaDisambiguator(kb, config=config)
+        result = aida.disambiguate(doc)
+        # Both mentions resolve to the same entity thanks to the chain.
+        assert result.assignments[1].entity == target.entity_id

@@ -1,0 +1,191 @@
+"""Tests for the evaluation measures."""
+
+import pytest
+
+from repro.eval.ee_measures import EeDocumentOutcome, EeResult
+from repro.eval.measures import (
+    DocumentOutcome,
+    EvaluationResult,
+    document_accuracy,
+    macro_average_accuracy,
+    mean_average_precision,
+    micro_average_accuracy,
+    precision_at_confidence,
+    precision_recall_points,
+)
+from repro.eval.ranking import (
+    cumulative_accuracy_by_links,
+    link_averaged_accuracy,
+    precision_recall_curve,
+    spearman,
+)
+from repro.types import OUT_OF_KB
+
+
+def _outcome(doc_id, pairs):
+    return DocumentOutcome(doc_id=doc_id, pairs=list(pairs))
+
+
+class TestAccuracy:
+    def test_micro_pools_mentions(self):
+        outcomes = [
+            _outcome("a", [("E1", "E1", None), ("E2", "E3", None)]),
+            _outcome("b", [("E1", "E1", None)]),
+        ]
+        assert micro_average_accuracy(outcomes) == pytest.approx(2 / 3)
+
+    def test_macro_averages_documents(self):
+        outcomes = [
+            _outcome("a", [("E1", "E1", None), ("E2", "E3", None)]),
+            _outcome("b", [("E1", "E1", None)]),
+        ]
+        assert macro_average_accuracy(outcomes) == pytest.approx(0.75)
+
+    def test_document_accuracy(self):
+        outcome = _outcome("a", [("E1", "E1", None), ("E2", None, None)])
+        assert document_accuracy(outcome) == pytest.approx(0.5)
+
+    def test_empty_outcomes(self):
+        assert micro_average_accuracy([]) == 0.0
+        assert macro_average_accuracy([]) == 0.0
+
+    def test_empty_document_skipped_in_macro(self):
+        outcomes = [_outcome("a", []), _outcome("b", [("E", "E", None)])]
+        assert macro_average_accuracy(outcomes) == 1.0
+
+
+class TestMap:
+    def test_perfect_ranking(self):
+        outcomes = [
+            _outcome(
+                "a",
+                [("E1", "E1", 0.9), ("E2", "E2", 0.8), ("E3", "X", 0.1)],
+            )
+        ]
+        # Correct answers ranked above the wrong one: MAP close to 1 until
+        # the last recall levels.
+        value = mean_average_precision(outcomes)
+        assert value > 0.85
+
+    def test_inverted_ranking_lower(self):
+        good = [_outcome("a", [("E", "E", 0.9), ("F", "X", 0.1)])]
+        bad = [_outcome("a", [("E", "E", 0.1), ("F", "X", 0.9)])]
+        assert mean_average_precision(good) > mean_average_precision(bad)
+
+    def test_empty(self):
+        assert mean_average_precision([]) == 0.0
+
+    def test_pr_points_monotone_recall(self):
+        outcomes = [
+            _outcome("a", [("E", "E", 0.9), ("F", "X", 0.5), ("G", "G", 0.1)])
+        ]
+        points = precision_recall_points(outcomes)
+        recalls = [r for r, _p in points]
+        assert recalls == sorted(recalls)
+
+
+class TestPrecisionAtConfidence:
+    def test_cutoff_filters(self):
+        outcomes = [
+            _outcome(
+                "a",
+                [("E1", "E1", 0.96), ("E2", "X", 0.5), ("E3", "E3", 0.97)],
+            )
+        ]
+        precision, count = precision_at_confidence(outcomes, 0.95)
+        assert precision == 1.0
+        assert count == 2
+
+    def test_no_qualifying(self):
+        outcomes = [_outcome("a", [("E1", "E1", 0.5)])]
+        assert precision_at_confidence(outcomes, 0.95) == (0.0, 0)
+
+
+class TestEeMeasures:
+    def _outcome(self, pairs):
+        return EeDocumentOutcome(doc_id="d", pairs=list(pairs))
+
+    def test_precision_recall(self):
+        outcome = self._outcome(
+            [
+                (OUT_OF_KB, OUT_OF_KB),  # true EE found
+                ("E1", OUT_OF_KB),       # false EE
+                (OUT_OF_KB, "E2"),       # missed EE
+                ("E3", "E3"),            # correct in-KB
+            ]
+        )
+        assert outcome.precision == pytest.approx(0.5)
+        assert outcome.recall == pytest.approx(0.5)
+        assert outcome.f1 == pytest.approx(0.5)
+
+    def test_undefined_when_no_ee(self):
+        outcome = self._outcome([("E1", "E1")])
+        assert outcome.precision is None
+        assert outcome.recall is None
+
+    def test_result_averages_skip_undefined(self):
+        result = EeResult(
+            outcomes=[
+                self._outcome([(OUT_OF_KB, OUT_OF_KB)]),
+                self._outcome([("E1", "E1")]),  # no EE at all
+            ]
+        )
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+
+    def test_micro_macro_accuracy(self):
+        result = EeResult(
+            outcomes=[
+                self._outcome([("E1", "E1"), ("E2", "X")]),
+                self._outcome([(OUT_OF_KB, OUT_OF_KB)]),
+            ]
+        )
+        assert result.micro_accuracy == pytest.approx(2 / 3)
+        assert result.macro_accuracy == pytest.approx(0.75)
+
+    def test_f1_zero_when_all_wrong(self):
+        outcome = self._outcome([(OUT_OF_KB, "E1"), ("E2", OUT_OF_KB)])
+        assert outcome.f1 == 0.0
+
+
+class TestRanking:
+    def test_spearman_perfect(self):
+        assert spearman(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_spearman_reversed(self):
+        assert spearman(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+
+    def test_spearman_requires_same_items(self):
+        with pytest.raises(ValueError):
+            spearman(["a"], ["b"])
+
+    def test_spearman_single_item(self):
+        assert spearman(["a"], ["a"]) == 1.0
+
+    def test_pr_curve_downsampled(self):
+        points = [(i / 100, 1.0) for i in range(1, 101)]
+        sampled = precision_recall_curve(points, num_points=10)
+        assert len(sampled) == 10
+
+    def test_pr_curve_short_input(self):
+        points = [(0.5, 1.0)]
+        assert precision_recall_curve(points, num_points=10) == points
+
+    def test_cumulative_accuracy(self):
+        records = [(1, True), (1, False), (5, True), (10, False)]
+        curve = cumulative_accuracy_by_links(records)
+        assert curve[0] == (1, 0.5)
+        assert curve[1] == (5, pytest.approx(2 / 3))
+
+    def test_cumulative_accuracy_max_links(self):
+        records = [(1, True), (500, False)]
+        curve = cumulative_accuracy_by_links(records, max_links=100)
+        assert curve == [(1, 1.0)]
+
+    def test_link_averaged_accuracy(self):
+        records = [(1, True), (1, True), (5, False)]
+        # Groups: links=1 -> 1.0; links=5 -> 0.0; average = 0.5.
+        assert link_averaged_accuracy(records) == pytest.approx(0.5)
+
+    def test_link_averaged_empty(self):
+        assert link_averaged_accuracy([]) == 0.0

@@ -1,0 +1,117 @@
+"""Tests for min-hash sketches and LSH banding."""
+
+import pytest
+
+from repro.hashing.lsh import LshIndex, band_signature
+from repro.hashing.minhash import MinHasher, jaccard_estimate
+
+
+class TestMinHash:
+    def test_sketch_length(self):
+        hasher = MinHasher(num_hashes=8, seed=1)
+        assert len(hasher.sketch({"a", "b"})) == 8
+
+    def test_determinism(self):
+        hasher = MinHasher(num_hashes=8, seed=1)
+        assert hasher.sketch({"a", "b"}) == hasher.sketch({"b", "a"})
+
+    def test_different_seeds_differ(self):
+        a = MinHasher(num_hashes=8, seed=1).sketch({"a", "b"})
+        b = MinHasher(num_hashes=8, seed=2).sketch({"a", "b"})
+        assert a != b
+
+    def test_identical_sets_full_agreement(self):
+        hasher = MinHasher(num_hashes=16, seed=1)
+        s1 = hasher.sketch({"x", "y", "z"})
+        s2 = hasher.sketch({"x", "y", "z"})
+        assert jaccard_estimate(s1, s2) == 1.0
+
+    def test_disjoint_sets_near_zero(self):
+        hasher = MinHasher(num_hashes=64, seed=1)
+        s1 = hasher.sketch({f"a{i}" for i in range(20)})
+        s2 = hasher.sketch({f"b{i}" for i in range(20)})
+        assert jaccard_estimate(s1, s2) < 0.15
+
+    def test_estimate_tracks_jaccard(self):
+        # J = 10/30 = 1/3; the estimate should land in a wide band around.
+        hasher = MinHasher(num_hashes=256, seed=3)
+        common = {f"c{i}" for i in range(10)}
+        s1 = hasher.sketch(common | {f"a{i}" for i in range(10)})
+        s2 = hasher.sketch(common | {f"b{i}" for i in range(10)})
+        estimate = jaccard_estimate(s1, s2)
+        assert 0.15 < estimate < 0.55
+
+    def test_empty_set_sentinel(self):
+        hasher = MinHasher(num_hashes=4, seed=1)
+        sketch = hasher.sketch(set())
+        assert len(sketch) == 4
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_hashes=0)
+
+    def test_estimate_length_mismatch(self):
+        with pytest.raises(ValueError):
+            jaccard_estimate((1, 2), (1,))
+
+
+class TestBandSignature:
+    def test_band_count(self):
+        keys = band_signature((1, 2, 3, 4), bands=2, rows=2)
+        assert keys == ((0, 3), (1, 7))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            band_signature((1, 2, 3), bands=2, rows=2)
+
+
+class TestLshIndex:
+    def test_similar_items_collide(self):
+        hasher = MinHasher(num_hashes=16, seed=1)
+        index = LshIndex(bands=16, rows=1)
+        base = {f"w{i}" for i in range(20)}
+        index.add("A", hasher.sketch(base))
+        index.add("B", hasher.sketch(base | {"extra"}))
+        assert ("A", "B") in index.candidate_pairs()
+
+    def test_dissimilar_items_do_not_collide(self):
+        hasher = MinHasher(num_hashes=8, seed=1)
+        index = LshIndex(bands=4, rows=2)
+        index.add("A", hasher.sketch({f"a{i}" for i in range(30)}))
+        index.add("B", hasher.sketch({f"b{i}" for i in range(30)}))
+        assert ("A", "B") not in index.candidate_pairs()
+
+    def test_duplicate_add_ignored(self):
+        index = LshIndex(bands=1, rows=2)
+        index.add("A", (1, 2))
+        index.add("A", (1, 2))
+        assert len(index) == 1
+
+    def test_buckets_nontrivial_only(self):
+        index = LshIndex(bands=1, rows=1)
+        index.add("A", (7,))
+        index.add("B", (7,))
+        index.add("C", (9,))
+        buckets = index.buckets()
+        assert ["A", "B"] in buckets
+        assert all(len(bucket) > 1 for bucket in buckets)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            LshIndex(bands=0, rows=1)
+
+    def test_more_rows_prune_more(self):
+        # The F-geometry (2 rows/band) must admit no more pairs than the
+        # G-geometry (1 row/band) on the same sketches.
+        hasher = MinHasher(num_hashes=32, seed=5)
+        sets = {
+            name: {f"c{i}" for i in range(8)} | {f"{name}{i}" for i in range(8)}
+            for name in ("A", "B", "C", "D")
+        }
+        g_index = LshIndex(bands=32, rows=1)
+        f_index = LshIndex(bands=16, rows=2)
+        for name, items in sets.items():
+            sketch = hasher.sketch(items)
+            g_index.add(name, sketch)
+            f_index.add(name, sketch)
+        assert f_index.candidate_pairs() <= g_index.candidate_pairs()

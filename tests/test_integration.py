@@ -1,0 +1,107 @@
+"""End-to-end integration tests: corpus generation → NED → evaluation.
+
+These tests assert the *shape-level* findings of the paper on small
+corpora: similarity beats prior, the full AIDA configuration is at least as
+good as its ablations, keyphrase relatedness helps on long-tail stress
+corpora, and explicit EE modeling yields high EE precision.
+"""
+
+import pytest
+
+from repro.baselines.prior_only import PriorOnlyDisambiguator
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.conll import ConllConfig, generate_conll
+from repro.datagen.kore50 import Kore50Config, generate_kore50
+from repro.eval.runner import run_disambiguator
+from repro.ner.recognizer import NamedEntityRecognizer
+from repro.relatedness.kore import KoreRelatedness
+from repro.weights.model import WeightModel
+
+
+@pytest.fixture(scope="module")
+def conll_testb(world):
+    corpus = generate_conll(world, ConllConfig(scale=0.05))
+    return corpus.testb
+
+
+class TestAidaOnConll:
+    def test_full_aida_beats_prior(self, world, kb, conll_testb):
+        full = run_disambiguator(
+            AidaDisambiguator(kb, config=AidaConfig.full()),
+            conll_testb,
+            kb=kb,
+        )
+        prior = run_disambiguator(
+            AidaDisambiguator(kb, config=AidaConfig.prior_only()),
+            conll_testb,
+            kb=kb,
+        )
+        assert full.micro > prior.micro
+
+    def test_full_aida_at_least_sim(self, world, kb, conll_testb):
+        full = run_disambiguator(
+            AidaDisambiguator(kb, config=AidaConfig.full()),
+            conll_testb,
+            kb=kb,
+        )
+        sim = run_disambiguator(
+            AidaDisambiguator(kb, config=AidaConfig.sim_only()),
+            conll_testb,
+            kb=kb,
+        )
+        assert full.micro >= sim.micro - 0.02
+
+    def test_accuracy_is_high(self, kb, conll_testb):
+        full = run_disambiguator(
+            AidaDisambiguator(kb, config=AidaConfig.full()),
+            conll_testb,
+            kb=kb,
+        )
+        assert full.micro > 0.7
+
+
+class TestKoreOnHardSentences:
+    def test_kore_coherence_runs_on_kore50(self, world, kb):
+        docs = generate_kore50(world, Kore50Config(num_sentences=15))
+        weights = WeightModel(kb.keyphrases, kb.links)
+        kore = KoreRelatedness(kb.keyphrases, weights)
+        pipeline = AidaDisambiguator(
+            kb, relatedness=kore, config=AidaConfig.full()
+        )
+        run = run_disambiguator(pipeline, docs, kb=kb)
+        assert run.micro > 0.3  # hard corpus, but far above random
+
+
+class TestNerIntegration:
+    def test_ner_recovers_most_gold_mentions(self, kb, conll_testb):
+        ner = NamedEntityRecognizer(kb.dictionary)
+        recovered = 0
+        total = 0
+        for annotated in conll_testb[:10]:
+            bare = annotated.document.with_mentions([])
+            recognized = ner.recognize(bare)
+            found = {(m.start, m.end) for m in recognized.mentions}
+            for gold in annotated.gold:
+                total += 1
+                if (gold.mention.start, gold.mention.end) in found:
+                    recovered += 1
+        assert total > 0
+        assert recovered / total > 0.6
+
+
+class TestBaselineOrdering:
+    def test_prior_only_wrapper_equals_baseline_class(
+        self, kb, conll_testb
+    ):
+        # The PriorOnly baseline class and AIDA's prior-only config must
+        # produce identical decisions on in-KB mentions.
+        config_run = run_disambiguator(
+            AidaDisambiguator(kb, config=AidaConfig.prior_only()),
+            conll_testb[:5],
+            kb=kb,
+        )
+        class_run = run_disambiguator(
+            PriorOnlyDisambiguator(kb), conll_testb[:5], kb=kb
+        )
+        assert config_run.micro == pytest.approx(class_run.micro)

@@ -1,0 +1,79 @@
+"""Tests for the named entity recognizer."""
+
+import pytest
+
+from repro.kb.dictionary import Dictionary
+from repro.ner.recognizer import NamedEntityRecognizer
+from repro.types import Document
+
+
+@pytest.fixture
+def dictionary():
+    d = Dictionary()
+    d.add_name("Bob Dylan", "Bob_Dylan", source="title")
+    d.add_name("Dylan", "Bob_Dylan", source="anchor", anchor_count=1)
+    d.add_name("Kashmir", "Kashmir_Song", source="anchor", anchor_count=1)
+    return d
+
+
+def _doc(text_tokens):
+    return Document(doc_id="d", tokens=tuple(text_tokens))
+
+
+class TestRecognition:
+    def test_multi_token_dictionary_match(self, dictionary):
+        ner = NamedEntityRecognizer(dictionary)
+        doc = ner.recognize(_doc(["we", "saw", "Bob", "Dylan", "."]))
+        surfaces = [m.surface for m in doc.mentions]
+        assert "Bob Dylan" in surfaces
+
+    def test_longest_match_wins(self, dictionary):
+        ner = NamedEntityRecognizer(dictionary)
+        mentions = ner.find_mentions(["we", "saw", "Bob", "Dylan"])
+        assert [m.surface for m in mentions] == ["Bob Dylan"]
+
+    def test_lowercase_words_ignored(self, dictionary):
+        ner = NamedEntityRecognizer(dictionary)
+        assert ner.find_mentions(["the", "record", "played"]) == []
+
+    def test_unknown_capitalized_run_emitted(self, dictionary):
+        ner = NamedEntityRecognizer(dictionary)
+        mentions = ner.find_mentions(["we", "met", "Edward", "Snowden"])
+        assert [m.surface for m in mentions] == ["Edward Snowden"]
+
+    def test_unknown_names_suppressed_when_disabled(self, dictionary):
+        ner = NamedEntityRecognizer(dictionary, emit_unknown_names=False)
+        assert ner.find_mentions(["we", "met", "Zzz"]) == []
+
+    def test_sentence_initial_known_name(self, dictionary):
+        ner = NamedEntityRecognizer(dictionary)
+        mentions = ner.find_mentions(["Kashmir", "is", "a", "song"])
+        assert [m.surface for m in mentions] == ["Kashmir"]
+
+    def test_sentence_initial_unknown_single_word_skipped(self, dictionary):
+        # "The" capitalized at sentence start must not become a mention.
+        ner = NamedEntityRecognizer(dictionary)
+        assert ner.find_mentions(["Great", "music", "played"]) == []
+
+    def test_mention_offsets(self, dictionary):
+        ner = NamedEntityRecognizer(dictionary)
+        mentions = ner.find_mentions(["x", "Bob", "Dylan", "y"])
+        assert mentions[0].start == 1
+        assert mentions[0].end == 3
+
+    def test_no_overlapping_mentions(self, dictionary):
+        ner = NamedEntityRecognizer(dictionary)
+        mentions = ner.find_mentions(
+            ["Bob", "Dylan", "met", "Bob", "Dylan"]
+        )
+        spans = [(m.start, m.end) for m in mentions]
+        for i, (s1, e1) in enumerate(spans):
+            for s2, e2 in spans[i + 1 :]:
+                assert e1 <= s2 or e2 <= s1
+
+    def test_recognize_preserves_document_fields(self, dictionary):
+        ner = NamedEntityRecognizer(dictionary)
+        doc = Document(doc_id="x", tokens=("Bob", "Dylan"), timestamp=4)
+        out = ner.recognize(doc)
+        assert out.doc_id == "x"
+        assert out.timestamp == 4

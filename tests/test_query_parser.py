@@ -1,0 +1,105 @@
+"""Tests for the strings/things/cats query parser."""
+
+import pytest
+
+from repro.apps.search.parser import QueryParseError, parse_query
+from repro.kb.entity import Entity
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+@pytest.fixture
+def small_kb():
+    kb = KnowledgeBase()
+    kb.add_entity(
+        Entity(
+            entity_id="Bob_Dylan",
+            canonical_name="Bob Dylan",
+            types=("singer",),
+            popularity=100.0,
+        )
+    )
+    kb.add_entity(
+        Entity(
+            entity_id="Dylan_Thomas",
+            canonical_name="Dylan Thomas",
+            types=("writer",),
+            popularity=10.0,
+        )
+    )
+    kb.dictionary.add_name("Dylan", "Bob_Dylan", source="anchor",
+                           anchor_count=8)
+    kb.dictionary.add_name("Dylan", "Dylan_Thomas", source="anchor",
+                           anchor_count=2)
+    return kb
+
+
+class TestBareWords:
+    def test_single_word(self):
+        query = parse_query("guitar")
+        assert query.words == ("guitar",)
+
+    def test_multiple_words_lowercased(self):
+        query = parse_query("Guitar ROCK")
+        assert query.words == ("guitar", "rock")
+
+    def test_explicit_word_prefix(self):
+        query = parse_query("word:guitar")
+        assert query.words == ("guitar",)
+
+    def test_empty_query(self):
+        query = parse_query("   ")
+        assert query.is_empty
+
+
+class TestEntityTerms:
+    def test_entity_by_id(self, small_kb):
+        query = parse_query("thing:Bob_Dylan", small_kb)
+        assert query.entities == ("Bob_Dylan",)
+
+    def test_entity_by_quoted_name(self, small_kb):
+        query = parse_query('thing:"Bob Dylan"', small_kb)
+        assert query.entities == ("Bob_Dylan",)
+
+    def test_ambiguous_name_resolves_to_popular(self, small_kb):
+        query = parse_query("thing:Dylan", small_kb)
+        assert query.entities == ("Bob_Dylan",)
+
+    def test_unknown_entity_rejected(self, small_kb):
+        with pytest.raises(QueryParseError):
+            parse_query("thing:Nobody_Here", small_kb)
+
+    def test_entity_verbatim_without_kb(self):
+        query = parse_query("thing:Whatever_Id")
+        assert query.entities == ("Whatever_Id",)
+
+
+class TestCategoryTerms:
+    def test_valid_category(self, small_kb):
+        query = parse_query("cat:singer", small_kb)
+        assert query.categories == ("singer",)
+
+    def test_unknown_category_rejected(self, small_kb):
+        with pytest.raises(QueryParseError):
+            parse_query("cat:astronaut", small_kb)
+
+    def test_category_verbatim_without_kb(self):
+        query = parse_query("cat:anything")
+        assert query.categories == ("anything",)
+
+
+class TestMixedQueries:
+    def test_all_three_dimensions(self, small_kb):
+        query = parse_query(
+            'word:guitar thing:"Bob Dylan" cat:singer', small_kb
+        )
+        assert query.words == ("guitar",)
+        assert query.entities == ("Bob_Dylan",)
+        assert query.categories == ("singer",)
+
+    def test_quoted_value_with_spaces(self, small_kb):
+        query = parse_query('thing:"Dylan Thomas"', small_kb)
+        assert query.entities == ("Dylan_Thomas",)
+
+    def test_empty_quoted_value_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query('word:""')

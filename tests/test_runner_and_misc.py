@@ -1,0 +1,176 @@
+"""Tests for the corpus runner and assorted smaller behaviours."""
+
+import pytest
+
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.documents import DocumentSpec
+from repro.eval.runner import run_disambiguator
+from repro.types import Document, Mention, OUT_OF_KB
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def pipeline(self, kb):
+        return AidaDisambiguator(kb, config=AidaConfig.robust_prior_sim())
+
+    def test_in_kb_only_filters_ooe_gold(self, pipeline, kb, sample_docs):
+        with_filter = run_disambiguator(
+            pipeline, sample_docs, kb=kb, in_kb_only=True
+        )
+        without_filter = run_disambiguator(
+            pipeline, sample_docs, kb=kb, in_kb_only=False
+        )
+        pairs_with = sum(
+            o.total for o in with_filter.evaluation.outcomes
+        )
+        pairs_without = sum(
+            o.total for o in without_filter.evaluation.outcomes
+        )
+        ooe = sum(len(d.out_of_kb_gold()) for d in sample_docs)
+        assert pairs_without - pairs_with == ooe
+
+    def test_link_records_per_mention(self, pipeline, kb, sample_docs):
+        run = run_disambiguator(pipeline, sample_docs, kb=kb)
+        pairs = sum(o.total for o in run.evaluation.outcomes)
+        assert len(run.link_records) == pairs
+        for links, correct in run.link_records:
+            assert links >= 0
+            assert isinstance(correct, bool)
+
+    def test_confidence_fn_used(self, pipeline, kb, sample_docs):
+        def constant_confidence(document, result):
+            return {a.mention: 0.42 for a in result.assignments}
+
+        run = run_disambiguator(
+            pipeline,
+            sample_docs[:2],
+            kb=kb,
+            confidence_fn=constant_confidence,
+        )
+        for outcome in run.evaluation.outcomes:
+            for _gold, _pred, confidence in outcome.pairs:
+                assert confidence == 0.42
+
+    def test_results_align_with_documents(self, pipeline, kb, sample_docs):
+        run = run_disambiguator(pipeline, sample_docs, kb=kb)
+        assert len(run.results) == len(sample_docs)
+        for annotated, result in zip(sample_docs, run.results):
+            assert result.doc_id == annotated.doc_id
+
+    def test_without_kb_link_counts_zero(self, pipeline, sample_docs):
+        run = run_disambiguator(pipeline, sample_docs, kb=None)
+        assert all(links == 0 for links, _c in run.link_records)
+
+
+class TestPipelineEdgeCases:
+    def test_document_without_mentions(self, kb):
+        doc = Document(doc_id="empty", tokens=("just", "words"))
+        aida = AidaDisambiguator(kb, config=AidaConfig.full())
+        result = aida.disambiguate(doc)
+        assert result.assignments == []
+
+    def test_all_mentions_unknown(self, kb):
+        doc = Document(
+            doc_id="unk",
+            tokens=("Qqqa", "met", "Qqqb", "."),
+            mentions=(
+                Mention(surface="Qqqa", start=0, end=1),
+                Mention(surface="Qqqb", start=2, end=3),
+            ),
+        )
+        aida = AidaDisambiguator(kb, config=AidaConfig.full())
+        result = aida.disambiguate(doc)
+        assert all(a.entity == OUT_OF_KB for a in result.assignments)
+
+    def test_restrict_to_empty(self, kb, sample_docs):
+        aida = AidaDisambiguator(kb)
+        result = aida.disambiguate(
+            sample_docs[0].document, restrict_to=[]
+        )
+        assert result.assignments == []
+
+    def test_fixed_and_restrict_combined(self, kb, sample_docs):
+        doc = sample_docs[0].document
+        aida = AidaDisambiguator(kb)
+        result = aida.disambiguate(
+            doc, restrict_to=[0, 1], fixed={0: "Pinned_Entity"}
+        )
+        assert len(result.assignments) == 2
+        assert result.assignments[0].entity == "Pinned_Entity"
+
+    def test_zero_context_falls_back_gracefully(self, kb, world):
+        # A known ambiguous name with no context at all still yields an
+        # assignment from the candidate set.
+        name = next(
+            n
+            for n in kb.dictionary.all_names()
+            if len(kb.candidates(n)) >= 2
+        )
+        tokens = tuple(name.split()) + (".",)
+        doc = Document(
+            doc_id="bare",
+            tokens=tokens,
+            mentions=(
+                Mention(surface=name, start=0, end=len(name.split())),
+            ),
+        )
+        aida = AidaDisambiguator(kb, config=AidaConfig.sim_only())
+        result = aida.disambiguate(doc)
+        assert result.assignments[0].entity in kb.candidates(name)
+
+
+class TestDocumentGeneratorBehaviours:
+    def test_popularity_bias_raises_average_popularity(
+        self, world, doc_generator
+    ):
+        def average(bias):
+            total = 0.0
+            count = 0
+            for index in range(15):
+                spec = DocumentSpec(
+                    doc_id=f"popbias-{bias}-{index}",
+                    cluster_ids=[index % len(world.clusters)],
+                    num_mentions=4,
+                    popularity_bias=bias,
+                    distractor_prob=0.0,
+                    metonymy_bias=0.0,
+                )
+                annotated = doc_generator.generate(spec)
+                for ann in annotated.gold:
+                    if ann.entity != OUT_OF_KB:
+                        total += world.entity(ann.entity).popularity
+                        count += 1
+            return total / count
+
+        assert average(1.2) > average(0.0) * 0.8
+
+    def test_metonymy_replaces_location_with_org(self, world):
+        from repro.datagen.documents import DocumentGenerator
+
+        # Find a sports cluster (has city/team name sharing).
+        sports = [
+            c for c in world.clusters.values() if c.domain == "sports"
+        ]
+        if not sports:
+            pytest.skip("no sports clusters")
+        cluster = sports[0]
+        generator = DocumentGenerator(world, seed=31)
+        org_types = {"football_club", "government", "sports_team"}
+        saw_team_for_city_name = False
+        for index in range(20):
+            spec = DocumentSpec(
+                doc_id=f"met-{index}",
+                cluster_ids=[cluster.cluster_id],
+                num_mentions=6,
+                metonymy_bias=1.0,
+                ambiguous_prob=1.0,
+            )
+            annotated = generator.generate(spec)
+            for ann in annotated.gold:
+                if ann.entity == OUT_OF_KB:
+                    continue
+                entity = world.entity(ann.entity)
+                if set(entity.types) & org_types:
+                    saw_team_for_city_name = True
+        assert saw_team_for_city_name

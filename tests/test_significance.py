@@ -1,0 +1,88 @@
+"""Tests for the significance-testing utilities."""
+
+import pytest
+
+from repro.eval.measures import DocumentOutcome, EvaluationResult
+from repro.eval.significance import (
+    document_accuracies,
+    paired_bootstrap,
+    paired_t_test,
+)
+
+
+class TestPairedTTest:
+    def test_clear_difference_significant(self):
+        a = [0.9, 0.85, 0.92, 0.88, 0.95, 0.91, 0.89, 0.93]
+        b = [0.5, 0.55, 0.48, 0.52, 0.51, 0.49, 0.53, 0.50]
+        result = paired_t_test(a, b)
+        assert result.significant(0.01)
+        assert result.mean_difference > 0.3
+
+    def test_identical_scores_not_significant(self):
+        a = [0.8, 0.7, 0.9, 0.6]
+        result = paired_t_test(a, list(a))
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_noise_not_significant(self):
+        a = [0.80, 0.81, 0.79, 0.80, 0.81, 0.79]
+        b = [0.81, 0.80, 0.80, 0.79, 0.80, 0.81]
+        result = paired_t_test(a, b)
+        assert not result.significant(0.05)
+
+    def test_symmetry(self):
+        a = [0.9, 0.8, 0.85, 0.95]
+        b = [0.6, 0.7, 0.65, 0.55]
+        forward = paired_t_test(a, b)
+        backward = paired_t_test(b, a)
+        assert forward.p_value == pytest.approx(backward.p_value)
+        assert forward.statistic == pytest.approx(-backward.statistic)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0, 2.0])
+
+    def test_too_few_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [0.5])
+
+    def test_p_value_bounded(self):
+        a = [0.5, 0.6, 0.55]
+        b = [0.52, 0.58, 0.56]
+        result = paired_t_test(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestPairedBootstrap:
+    def test_clear_difference(self):
+        a = [0.9] * 10
+        b = [0.5] * 10
+        result = paired_bootstrap(a, b, iterations=200, seed=1)
+        assert result.p_value < 0.05
+
+    def test_no_difference(self):
+        a = [0.8] * 10
+        result = paired_bootstrap(a, list(a), iterations=200, seed=1)
+        assert result.p_value == 1.0
+
+    def test_deterministic(self):
+        a = [0.9, 0.7, 0.8, 0.95, 0.6]
+        b = [0.7, 0.75, 0.7, 0.8, 0.65]
+        first = paired_bootstrap(a, b, iterations=300, seed=9)
+        second = paired_bootstrap(a, b, iterations=300, seed=9)
+        assert first.p_value == second.p_value
+
+
+class TestDocumentAccuracies:
+    def test_extraction(self):
+        evaluation = EvaluationResult(
+            outcomes=[
+                DocumentOutcome(
+                    doc_id="a",
+                    pairs=[("E", "E", None), ("F", "X", None)],
+                ),
+                DocumentOutcome(doc_id="empty", pairs=[]),
+                DocumentOutcome(doc_id="b", pairs=[("E", "E", None)]),
+            ]
+        )
+        assert document_accuracies(evaluation) == [0.5, 1.0]

@@ -1,0 +1,123 @@
+"""Tests for the core value types."""
+
+import pytest
+
+from repro.types import (
+    AnnotatedDocument,
+    Annotation,
+    DisambiguationResult,
+    Document,
+    Mention,
+    MentionAssignment,
+    OUT_OF_KB,
+    is_out_of_kb,
+)
+
+
+def _doc(tokens, mentions=()):
+    return Document(doc_id="d", tokens=tuple(tokens), mentions=tuple(mentions))
+
+
+class TestMention:
+    def test_valid_span(self):
+        mention = Mention(surface="Dylan", start=2, end=3)
+        assert mention.length == 1
+
+    def test_empty_span_rejected(self):
+        with pytest.raises(ValueError):
+            Mention(surface="x", start=3, end=3)
+
+    def test_inverted_span_rejected(self):
+        with pytest.raises(ValueError):
+            Mention(surface="x", start=4, end=2)
+
+    def test_mentions_are_hashable_and_comparable(self):
+        a = Mention(surface="Page", start=0, end=1)
+        b = Mention(surface="Page", start=0, end=1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDocument:
+    def test_text_joins_tokens(self):
+        doc = _doc(["Dylan", "played", "."])
+        assert doc.text == "Dylan played ."
+
+    def test_mention_surface_recomputed(self):
+        mention = Mention(surface="Bob Dylan", start=0, end=2)
+        doc = _doc(["Bob", "Dylan", "sang"], [mention])
+        assert doc.mention_surface(mention) == "Bob Dylan"
+
+    def test_with_mentions_returns_new_document(self):
+        doc = _doc(["a", "b"])
+        mention = Mention(surface="a", start=0, end=1)
+        updated = doc.with_mentions([mention])
+        assert updated.mentions == (mention,)
+        assert doc.mentions == ()
+        assert updated.doc_id == doc.doc_id
+
+
+class TestOutOfKb:
+    def test_marker_is_detected(self):
+        assert is_out_of_kb(OUT_OF_KB)
+
+    def test_regular_entity_is_not(self):
+        assert not is_out_of_kb("Bob_Dylan")
+
+    def test_none_is_not_out_of_kb(self):
+        assert not is_out_of_kb(None)
+
+    def test_annotation_flag(self):
+        mention = Mention(surface="x", start=0, end=1)
+        assert Annotation(mention=mention, entity=OUT_OF_KB).is_out_of_kb
+        assert not Annotation(mention=mention, entity="E1").is_out_of_kb
+
+
+class TestAnnotatedDocument:
+    def _annotated(self):
+        m1 = Mention(surface="A", start=0, end=1)
+        m2 = Mention(surface="B", start=1, end=2)
+        doc = _doc(["A", "B"], [m1, m2])
+        return AnnotatedDocument(
+            document=doc,
+            gold=(
+                Annotation(mention=m1, entity="E1"),
+                Annotation(mention=m2, entity=OUT_OF_KB),
+            ),
+        )
+
+    def test_gold_map(self):
+        annotated = self._annotated()
+        assert annotated.gold_map()[annotated.gold[0].mention] == "E1"
+
+    def test_in_kb_and_out_of_kb_split(self):
+        annotated = self._annotated()
+        assert len(annotated.in_kb_gold()) == 1
+        assert len(annotated.out_of_kb_gold()) == 1
+
+    def test_doc_id_passthrough(self):
+        assert self._annotated().doc_id == "d"
+
+
+class TestDisambiguationResult:
+    def test_as_map_and_lookup(self):
+        mention = Mention(surface="A", start=0, end=1)
+        result = DisambiguationResult(
+            doc_id="d",
+            assignments=[
+                MentionAssignment(mention=mention, entity="E1", score=0.5)
+            ],
+        )
+        assert result.as_map() == {mention: "E1"}
+        assert result.assignment_for(mention).entity == "E1"
+        assert result.entities == ["E1"]
+
+    def test_lookup_missing_mention_returns_none(self):
+        result = DisambiguationResult(doc_id="d", assignments=[])
+        missing = Mention(surface="x", start=0, end=1)
+        assert result.assignment_for(missing) is None
+
+    def test_out_of_kb_assignment_flag(self):
+        mention = Mention(surface="A", start=0, end=1)
+        assignment = MentionAssignment(mention=mention, entity=OUT_OF_KB)
+        assert assignment.is_out_of_kb

@@ -1,0 +1,126 @@
+"""Tests for rng, text normalization, and timing utilities."""
+
+import pytest
+
+from repro.utils.rng import SeededRng, derive_seed
+from repro.utils.text import (
+    is_all_upper,
+    ngrams,
+    normalize_phrase,
+    normalize_token,
+    phrase_tokens,
+    upper_case_ratio,
+)
+from repro.utils.timing import Stopwatch, TimingStats
+
+
+class TestSeededRng:
+    def test_determinism(self):
+        a = [SeededRng(5).random() for _ in range(3)]
+        b = [SeededRng(5).random() for _ in range(3)]
+        assert a == b
+
+    def test_fork_independence(self):
+        parent = SeededRng(5)
+        fork_a = parent.fork("a")
+        fork_b = parent.fork("b")
+        assert fork_a.random() != fork_b.random()
+
+    def test_fork_is_stable(self):
+        assert SeededRng(5).fork("x").seed == SeededRng(5).fork("x").seed
+
+    def test_derive_seed_distinct_labels(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_weighted_choice_respects_weights(self):
+        rng = SeededRng(1)
+        picks = [
+            rng.weighted_choice(["a", "b"], [0.999, 0.001])
+            for _ in range(100)
+        ]
+        assert picks.count("a") > 90
+
+    def test_weighted_choice_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).weighted_choice(["a"], [1.0, 2.0])
+
+    def test_zipf_weights(self):
+        weights = SeededRng(1).zipf_weights(3, exponent=1.0)
+        assert weights == [1.0, 0.5, pytest.approx(1 / 3)]
+
+    def test_zipf_invalid_n(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).zipf_weights(0)
+
+    def test_sample_caps_at_population(self):
+        assert len(SeededRng(1).sample([1, 2], 10)) == 2
+
+    def test_pick_k_weighted_unique(self):
+        rng = SeededRng(1)
+        picks = rng.pick_k_weighted(
+            ["a", "b", "c"], [1.0, 1.0, 1.0], 3
+        )
+        assert sorted(picks) == ["a", "b", "c"]
+
+    def test_pick_k_weighted_more_than_available(self):
+        picks = SeededRng(1).pick_k_weighted(["a"], [1.0], 5)
+        assert picks == ["a"]
+
+    def test_shuffled_preserves_elements(self):
+        items = list(range(10))
+        shuffled = SeededRng(1).shuffled(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(10))  # original untouched
+
+
+class TestTextUtils:
+    def test_normalize_token(self):
+        assert normalize_token("Hello,") == "hello"
+        assert normalize_token("(Dylan)") == "dylan"
+
+    def test_normalize_phrase(self):
+        assert normalize_phrase("Hard  Rock!") == "hard rock"
+
+    def test_phrase_tokens_drops_empty(self):
+        assert phrase_tokens("Led   Zeppelin") == ("led", "zeppelin")
+
+    def test_upper_case_ratio(self):
+        assert upper_case_ratio("ABc") == pytest.approx(2 / 3)
+        assert upper_case_ratio("123") == 0.0
+
+    def test_is_all_upper(self):
+        assert is_all_upper("NASA")
+        assert not is_all_upper("NaSA")
+        assert not is_all_upper("123")
+
+    def test_ngrams(self):
+        spans = ngrams(["a", "b", "c"], max_len=2)
+        assert (0, 1) in spans and (0, 2) in spans and (1, 3) in spans
+        assert (0, 3) not in spans
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure("phase"):
+            pass
+        with watch.measure("phase"):
+            pass
+        assert watch.count("phase") == 2
+        assert watch.total("phase") >= 0.0
+        assert watch.phases() == ["phase"]
+
+    def test_timing_stats(self):
+        stats = TimingStats()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            stats.add(value)
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.stddev == pytest.approx(1.29099, rel=1e-4)
+        assert stats.quantile(0.0) == 1.0
+        assert stats.quantile(0.99) == 4.0
+
+    def test_timing_stats_empty(self):
+        stats = TimingStats()
+        assert stats.mean == 0.0
+        assert stats.stddev == 0.0
+        assert stats.quantile(0.5) == 0.0

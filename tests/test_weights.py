@@ -1,0 +1,161 @@
+"""Tests for the keyterm weight model (IDF, NPMI, µ)."""
+
+import math
+
+import pytest
+
+from repro.kb.keyphrases import KeyphraseStore
+from repro.kb.links import LinkGraph
+from repro.weights.model import WeightModel, binary_entropy, joint_entropy
+
+
+@pytest.fixture
+def setup():
+    store = KeyphraseStore()
+    # Four entities; "common" appears everywhere, "rare" only with E1.
+    store.add_keyphrase("E1", ("rare", "term"))
+    store.add_keyphrase("E1", ("common", "word"))
+    store.add_keyphrase("E2", ("common", "word"))
+    store.add_keyphrase("E3", ("common", "thing"))
+    store.add_keyphrase("E4", ("common", "item"))
+    links = LinkGraph()
+    links.add_link("E2", "E1")  # E1's superdocument includes E2's article
+    return store, links
+
+
+class TestEntropyHelpers:
+    def test_binary_entropy_bounds(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == pytest.approx(math.log(2))
+
+    def test_binary_entropy_symmetry(self):
+        assert binary_entropy(0.3) == pytest.approx(binary_entropy(0.7))
+
+    def test_joint_entropy_uniform(self):
+        assert joint_entropy(1, 1, 1, 1) == pytest.approx(math.log(4))
+
+    def test_joint_entropy_degenerate(self):
+        assert joint_entropy(0, 0, 0, 0) == 0.0
+        assert joint_entropy(4, 0, 0, 0) == 0.0
+
+
+class TestIdf:
+    def test_rare_word_higher_idf(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        assert model.idf_word("rare") > model.idf_word("common")
+
+    def test_ubiquitous_word_zero_idf(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        # "common" appears in all 4 entities: idf = log2(4/4) = 0.
+        assert model.idf_word("common") == pytest.approx(0.0)
+
+    def test_unknown_word_zero(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        assert model.idf_word("missing") == 0.0
+
+    def test_phrase_idf(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        assert model.idf_phrase(("rare", "term")) > 0.0
+        assert model.idf_phrase(("nope",)) == 0.0
+
+
+class TestNpmi:
+    def test_specific_word_positive(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        assert model.npmi_word("E1", "rare") > 0.0
+
+    def test_absent_word_negative(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        assert model.npmi_word("E2", "rare") == -1.0
+
+    def test_superdocument_includes_linking_articles(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        # E2 links to E1, so E2's words join E1's superdocument: the word
+        # "word" (from E2) co-occurs with E1 even though E1 also has it.
+        assert model.npmi_word("E1", "word") > -1.0
+
+    def test_npmi_bounded(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        for entity in ("E1", "E2", "E3"):
+            for word in store.keywords(entity):
+                assert -1.0 <= model.npmi_word(entity, word) <= 1.0
+
+
+class TestMuPhrase:
+    def test_specific_phrase_positive(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        assert model.mi_phrase("E1", ("rare", "term")) > 0.0
+
+    def test_mu_in_unit_interval(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        for entity in store.entity_ids():
+            for phrase in store.keyphrases(entity):
+                assert 0.0 <= model.mi_phrase(entity, phrase) <= 1.0
+
+    def test_specific_beats_shared(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        specific = model.mi_phrase("E1", ("rare", "term"))
+        shared = model.mi_phrase("E3", ("common", "thing"))
+        # Both are entity-specific phrases, but E1's has no competition
+        # from the superdocument; sanity: both positive.
+        assert specific > 0.0 and shared > 0.0
+
+
+class TestWeightMaps:
+    def test_keyword_weights_drop_nonpositive(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        weights = model.keyword_weights("E1")
+        assert all(value > 0.0 for value in weights.values())
+
+    def test_keyword_weights_idf_scheme(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        weights = model.keyword_weights("E1", scheme="idf")
+        assert weights["rare"] == model.idf_word("rare")
+
+    def test_unknown_scheme_rejected(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        with pytest.raises(ValueError):
+            model.keyword_weights("E1", scheme="magic")
+
+    def test_keyphrase_weights_nonnegative(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        for value in model.keyphrase_weights("E1").values():
+            assert value > 0.0
+
+    def test_invalidate_refreshes(self, setup):
+        store, links = setup
+        model = WeightModel(store, links)
+        before = model.keyword_weights("E1")
+        store.add_keyphrase("E1", ("fresh", "phrase"))
+        model.invalidate(["E1"])
+        after = model.keyword_weights("E1")
+        assert "fresh" in after
+        assert "fresh" not in before
+
+    def test_no_links_model(self, setup):
+        store, _links = setup
+        model = WeightModel(store, links=None)
+        # Without links every superdocument is the entity's own article.
+        assert model.npmi_word("E1", "rare") > 0.0
+
+    def test_collection_size_override(self, setup):
+        store, links = setup
+        model = WeightModel(store, links, collection_size=100)
+        assert model.collection_size == 100
+        assert model.idf_word("rare") == pytest.approx(math.log2(100))

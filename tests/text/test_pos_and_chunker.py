@@ -1,0 +1,85 @@
+"""Tests for the POS tagger and the Appendix-A keyphrase chunker."""
+
+import pytest
+
+from repro.text.chunker import KeyphraseChunker
+from repro.text.pos import PosTagger
+
+
+@pytest.fixture(scope="module")
+def tagger():
+    return PosTagger()
+
+
+@pytest.fixture(scope="module")
+def chunker():
+    return KeyphraseChunker()
+
+
+class TestPosTagger:
+    def test_proper_nouns_mid_sentence(self, tagger):
+        tags = {t.token: t.tag for t in tagger.tag(
+            ["the", "singer", "Bob", "Dylan", "played", "."]
+        )}
+        assert tags["Bob"] == "NNP"
+        assert tags["Dylan"] == "NNP"
+
+    def test_closed_classes(self, tagger):
+        tags = [t.tag for t in tagger.tag(["the", "of", "and", "he"])]
+        assert tags == ["DT", "IN", "CC", "PRP"]
+
+    def test_verbs_from_lexicon(self, tagger):
+        tags = {t.token: t.tag for t in tagger.tag(["he", "played", "it"])}
+        assert tags["played"] == "VB"
+
+    def test_numbers(self, tagger):
+        assert tagger.tag(["1976"])[0].tag == "CD"
+
+    def test_punctuation(self, tagger):
+        assert tagger.tag(["."])[0].tag == "PUNCT"
+
+    def test_common_noun_default(self, tagger):
+        tags = {t.token: t.tag for t in tagger.tag(["a", "guitar"])}
+        assert tags["guitar"] == "NN"
+
+    def test_all_caps_sentence_initial_is_nnp(self, tagger):
+        assert tagger.tag(["NASA", "launched"])[0].tag == "NNP"
+
+    def test_adverb_suffix(self, tagger):
+        tags = {t.token: t.tag for t in tagger.tag(["he", "ran", "quickly"])}
+        assert tags["quickly"] == "RB"
+
+
+class TestChunker:
+    def test_proper_noun_run_extracted(self, chunker):
+        phrases = chunker.extract(
+            ["the", "singer", "Bob", "Dylan", "played", "."]
+        )
+        assert ("bob", "dylan") in phrases
+
+    def test_nominal_compound_extracted(self, chunker):
+        phrases = chunker.extract(
+            ["the", "surveillance", "program", "was", "revealed", "."]
+        )
+        assert ("surveillance", "program") in phrases
+
+    def test_single_common_noun_not_extracted(self, chunker):
+        phrases = chunker.extract(["the", "guitar", "played", "."])
+        assert ("guitar",) not in phrases
+
+    def test_phrases_lower_cased(self, chunker):
+        phrases = chunker.extract(["Interfax", "said", "."])
+        assert ("interfax",) in phrases
+
+    def test_long_run_clipped(self):
+        chunker = KeyphraseChunker(max_phrase_len=2)
+        phrases = chunker.extract(["Aaa", "Bbb", "Ccc", "said", "."])
+        assert all(len(p) <= 2 for p in phrases)
+
+    def test_invalid_max_len_rejected(self):
+        with pytest.raises(ValueError):
+            KeyphraseChunker(max_phrase_len=0)
+
+    def test_no_duplicates(self, chunker):
+        phrases = chunker.extract(["Bob", "Dylan", "met", "Bob", "Dylan"])
+        assert len(phrases) == len(set(phrases))

@@ -1,0 +1,35 @@
+"""Tests for sentence splitting."""
+
+from repro.text.sentences import sentence_containing, split_sentences
+
+
+class TestSplitSentences:
+    def test_single_sentence(self):
+        assert split_sentences(["a", "b", "."]) == [(0, 3)]
+
+    def test_multiple_sentences(self):
+        tokens = ["a", ".", "b", "c", "!", "d", "?"]
+        assert split_sentences(tokens) == [(0, 2), (2, 5), (5, 7)]
+
+    def test_trailing_fragment(self):
+        assert split_sentences(["a", ".", "b"]) == [(0, 2), (2, 3)]
+
+    def test_empty(self):
+        assert split_sentences([]) == []
+
+    def test_no_terminator(self):
+        assert split_sentences(["a", "b"]) == [(0, 2)]
+
+
+class TestSentenceContaining:
+    def test_lookup(self):
+        spans = [(0, 3), (3, 6)]
+        assert sentence_containing(spans, 1) == (0, 3)
+        assert sentence_containing(spans, 4) == (3, 6)
+
+    def test_out_of_range_returns_last(self):
+        spans = [(0, 3)]
+        assert sentence_containing(spans, 99) == (0, 3)
+
+    def test_empty_spans(self):
+        assert sentence_containing([], 0) == (0, 0)

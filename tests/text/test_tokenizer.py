@@ -1,0 +1,36 @@
+"""Tests for the tokenizer."""
+
+from repro.text.tokenizer import tokenize
+
+
+class TestTokenize:
+    def test_simple_sentence(self):
+        assert tokenize("Dylan played guitar") == [
+            "Dylan",
+            "played",
+            "guitar",
+        ]
+
+    def test_punctuation_separated(self):
+        assert tokenize("He left.") == ["He", "left", "."]
+
+    def test_possessive_clitic(self):
+        assert tokenize("Dylan's record") == ["Dylan", "'s", "record"]
+
+    def test_numbers(self):
+        assert tokenize("in 1976 and 2.5 times") == [
+            "in",
+            "1976",
+            "and",
+            "2.5",
+            "times",
+        ]
+
+    def test_hyphenated_word_kept_together(self):
+        assert tokenize("state-of-the-art") == ["state-of-the-art"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_commas_and_parens(self):
+        assert tokenize("(a, b)") == ["(", "a", ",", "b", ")"]
