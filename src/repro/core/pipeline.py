@@ -41,6 +41,7 @@ from repro.types import (
     MentionAssignment,
     OUT_OF_KB,
 )
+from repro.utils.timing import PipelineStats, Stopwatch
 from repro.weights.model import WeightModel
 
 
@@ -78,6 +79,9 @@ class AidaDisambiguator:
             max_keyphrases=max_kp,
         )
         self._solver = GreedyDenseSubgraph(self.config.graph)
+        #: Per-stage timing and counters of the most recent
+        #: :meth:`disambiguate` call.
+        self.last_stats: Optional[PipelineStats] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -112,26 +116,58 @@ class AidaDisambiguator:
         active = self._active_indices(mentions, restrict_to)
         fixed = dict(fixed) if fixed else {}
         extra_candidates = dict(extra_candidates) if extra_candidates else {}
+        watch = Stopwatch()
 
-        candidates = self._collect_candidates(
-            document, mentions, active, fixed, extra_candidates
-        )
-        features = self._compute_features(document, mentions, active, candidates)
-        edge_weights = self._edge_weights(features)
-        if entity_edge_factor:
-            self._apply_entity_factors(edge_weights, entity_edge_factor)
-        pool = self._apply_coherence_test(features, edge_weights, candidates)
-
-        if self.config.use_coherence:
-            assignment = self._solve_graph(
-                mentions, active, pool, edge_weights, entity_edge_factor
+        with watch.measure("candidate_retrieval"):
+            candidates = self._collect_candidates(
+                document, mentions, active, fixed, extra_candidates
             )
-        else:
-            assignment = self._solve_local(active, pool, edge_weights)
+        with watch.measure("feature_computation"):
+            features = self._compute_features(
+                document, mentions, active, candidates
+            )
+            edge_weights = self._edge_weights(features)
+            if entity_edge_factor:
+                self._apply_entity_factors(edge_weights, entity_edge_factor)
+            pool = self._apply_coherence_test(
+                features, edge_weights, candidates
+            )
 
-        return self._build_result(
-            document, mentions, active, candidates, edge_weights, assignment
-        )
+        counters: Dict[str, object] = {
+            "mentions": len(active),
+            "candidates": sum(len(pool[index]) for index in active),
+        }
+        if self.config.use_coherence:
+            with watch.measure("graph_build"):
+                graph = self._build_graph(
+                    mentions, active, pool, edge_weights, entity_edge_factor
+                )
+            counters["graph_entities"] = graph.entity_count()
+            with watch.measure("solve"):
+                local_assignment = self._solver.solve(graph)
+            assignment = {
+                active[local]: entity_id
+                for local, entity_id in local_assignment.items()
+            }
+            for key, value in self._solver.last_stats.as_dict().items():
+                counters[f"solver_{key}"] = value
+        else:
+            with watch.measure("solve"):
+                assignment = self._solve_local(active, pool, edge_weights)
+
+        with watch.measure("post_process"):
+            result = self._build_result(
+                document,
+                mentions,
+                active,
+                candidates,
+                edge_weights,
+                assignment,
+            )
+        stats = PipelineStats.from_stopwatch(watch, counters)
+        self.last_stats = stats
+        result.stats = stats
+        return result
 
     # ------------------------------------------------------------------
     # Candidate retrieval
@@ -306,14 +342,14 @@ class AidaDisambiguator:
             )
         return assignment
 
-    def _solve_graph(
+    def _build_graph(
         self,
         mentions: Sequence[Mention],
         active: Sequence[int],
         pool: Mapping[int, List[EntityId]],
         edge_weights: Mapping[int, Dict[EntityId, float]],
         entity_edge_factor: Optional[Mapping[EntityId, float]],
-    ) -> Dict[int, EntityId]:
+    ) -> MentionEntityGraph:
         graph = MentionEntityGraph([mentions[i] for i in active])
         index_of = {original: local for local, original in enumerate(active)}
         entity_mentions: Dict[EntityId, Set[int]] = {}
@@ -342,11 +378,7 @@ class AidaDisambiguator:
         graph.rescale_and_balance(self.config.gamma)
         if entity_edge_factor:
             self._dampen_entities(graph, entity_edge_factor)
-        local_assignment = self._solver.solve(graph)
-        return {
-            active[local]: entity_id
-            for local, entity_id in local_assignment.items()
-        }
+        return graph
 
     @staticmethod
     def _dampen_entities(
@@ -355,8 +387,9 @@ class AidaDisambiguator:
         """Dampen coherence edges of selected entities.  Mention-entity
         weights were already dampened before graph construction, so only
         the entity-entity family is touched here."""
+        active = set(graph.active_entities())
         for entity_id, factor in sorted(factors.items()):
-            if entity_id not in set(graph.active_entities()):
+            if entity_id not in active:
                 continue
             for other in graph.ee_neighbors(entity_id):
                 graph.add_entity_entity_edge(

@@ -90,14 +90,21 @@ def _ranked_correctness(
     outcomes: Sequence[DocumentOutcome],
 ) -> List[bool]:
     """Mention pairs ordered by descending confidence (missing confidences
-    rank last); True where the prediction is correct."""
+    rank last); True where the prediction is correct.
+
+    Ties are broken *pessimistically*: at equal confidence, incorrect
+    predictions rank before correct ones.  This makes MAP and the
+    precision-recall points independent of document/corpus insertion
+    order (a stable sort on confidence alone would silently preserve it)
+    and reports the lower bound over all orderings of tied pairs.
+    """
     rows: List[Tuple[float, bool]] = []
     for outcome in outcomes:
         for gold, pred, conf in outcome.pairs:
             rows.append(
                 (conf if conf is not None else float("-inf"), gold == pred)
             )
-    rows.sort(key=lambda item: -item[0])
+    rows.sort(key=lambda item: (-item[0], item[1]))
     return [correct for _conf, correct in rows]
 
 
@@ -106,7 +113,8 @@ def mean_average_precision(
 ) -> float:
     """Interpolated MAP over the confidence ranking (Eq. 5.1): the average
     of precision@recall-level over *steps* evenly spaced recall levels —
-    the area under the precision-recall curve."""
+    the area under the precision-recall curve.  Equal-confidence ties are
+    broken pessimistically (see :func:`_ranked_correctness`)."""
     ranked = _ranked_correctness(outcomes)
     if not ranked:
         return 0.0
@@ -133,7 +141,8 @@ def mean_average_precision(
 def precision_recall_points(
     outcomes: Sequence[DocumentOutcome],
 ) -> List[Tuple[float, float]]:
-    """(recall, precision) points along the confidence ranking."""
+    """(recall, precision) points along the confidence ranking
+    (equal-confidence ties broken pessimistically)."""
     ranked = _ranked_correctness(outcomes)
     points: List[Tuple[float, float]] = []
     correct = 0

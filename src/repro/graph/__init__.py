@@ -4,10 +4,15 @@ from repro.graph.mention_entity_graph import MentionEntityGraph
 from repro.graph.dense_subgraph import (
     DenseSubgraphConfig,
     GreedyDenseSubgraph,
+    SolverStats,
 )
+from repro.graph.synthetic import SyntheticGraphSpec, synthetic_graph
 
 __all__ = [
     "MentionEntityGraph",
     "DenseSubgraphConfig",
     "GreedyDenseSubgraph",
+    "SolverStats",
+    "SyntheticGraphSpec",
+    "synthetic_graph",
 ]

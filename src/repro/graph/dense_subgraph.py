@@ -14,11 +14,27 @@ Three phases:
    assignment with the largest total edge weight (mention-entity edges of
    the chosen pairs plus coherence edges among chosen entities); otherwise
    run a degree-proportional randomized local search.
+
+The main loop runs in O(E log V) using two lazy-deletion min-heaps keyed by
+``(weighted degree, entity id)``:
+
+* a **victim heap** over non-taboo entities — degree changes push fresh
+  entries, and entries whose recorded degree no longer matches the live
+  degree (or whose entity was removed / became taboo) are discarded on pop;
+* a **minimum heap** over all active entities, peeked to evaluate the
+  density objective incrementally.
+
+Best iterations are recorded as O(1) graph checkpoints (removal-prefix
+indices) instead of frozenset snapshots.  The heap path and the reference
+O(V²)-scan path (``DenseSubgraphConfig.exact_reference``) pick identical
+victims — both use the exact argmin of ``(degree, entity id)`` — so their
+results are bit-identical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.errors import GraphError
@@ -39,12 +55,17 @@ class DenseSubgraphConfig:
     ``local_search_iterations`` — iterations of the randomized local search
     used when enumeration is infeasible.
     ``seed`` — seed for the local search.
+    ``exact_reference`` — run the original O(V²·M log V) full-rescan main
+    loop instead of the incremental heap loop.  Both produce identical
+    assignments; the reference path exists for cross-checking and
+    benchmarking.
     """
 
     prune_factor: int = 5
     enumeration_limit: int = 20000
     local_search_iterations: int = 500
     seed: int = 42
+    exact_reference: bool = False
 
     def __post_init__(self) -> None:
         if self.prune_factor < 1:
@@ -53,20 +74,64 @@ class DenseSubgraphConfig:
             raise GraphError("enumeration_limit must be >= 1")
 
 
+@dataclass
+class SolverStats:
+    """Counters of one :meth:`GreedyDenseSubgraph.solve` run."""
+
+    #: Entities alive when the main loop started (after pre-pruning).
+    initial_entities: int = 0
+    #: Entities in the best (densest) subgraph.
+    best_entities: int = 0
+    #: Main-loop iterations (= entity removals).
+    iterations: int = 0
+    #: Heap pops, including discarded stale entries (0 on the reference
+    #: scan path).
+    heap_pops: int = 0
+    #: Best value of the min-weighted-degree density objective.
+    best_objective: float = 0.0
+    #: Post-processing strategy used: "enumerate", "local_search" or "".
+    postprocess: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (for PipelineStats counters and benchmarks)."""
+        return {
+            "initial_entities": self.initial_entities,
+            "best_entities": self.best_entities,
+            "iterations": self.iterations,
+            "heap_pops": self.heap_pops,
+            "best_objective": self.best_objective,
+            "postprocess": self.postprocess,
+        }
+
+
 class GreedyDenseSubgraph:
     """Runs Algorithm 1 on a prepared mention-entity graph."""
 
     def __init__(self, config: Optional[DenseSubgraphConfig] = None):
         self.config = config if config is not None else DenseSubgraphConfig()
+        #: Counters of the most recent :meth:`solve` call.
+        self.last_stats = SolverStats()
 
     def solve(self, graph: MentionEntityGraph) -> Dict[int, EntityId]:
         """Disambiguate: one entity per mention (mentions without any
         candidate are absent from the result)."""
+        stats = SolverStats()
+        self.last_stats = stats
         if graph.mention_count == 0:
             return {}
         self._preprocess(graph)
-        best = self._main_loop(graph)
-        graph.restore(best)
+        stats.initial_entities = graph.entity_count()
+        if self.config.exact_reference:
+            best = self._main_loop_reference(graph, stats)
+            graph.restore(best)
+        else:
+            best_checkpoint = self._main_loop(graph, stats)
+            graph.rollback(best_checkpoint)
+            # The reference path's restore() recomputes degrees from
+            # scratch; canonicalize here so both paths hand bit-identical
+            # degrees to the post-processing local search.
+            graph.canonicalize_degrees()
+        stats.best_entities = graph.entity_count()
         return self._postprocess(graph)
 
     # ------------------------------------------------------------------
@@ -84,18 +149,100 @@ class GreedyDenseSubgraph:
     # ------------------------------------------------------------------
     # Phase 2: greedy removal maximizing min-weighted-degree density
     # ------------------------------------------------------------------
-    def _main_loop(self, graph: MentionEntityGraph) -> FrozenSet[EntityId]:
+    def _main_loop(
+        self, graph: MentionEntityGraph, stats: SolverStats
+    ) -> int:
+        """Incremental heap loop; returns the best graph checkpoint."""
+        best_checkpoint = graph.checkpoint()
+        victim_heap: List[Tuple[float, EntityId]] = []
+        min_heap: List[Tuple[float, EntityId]] = []
+        for entity_id in graph.active_entities():
+            degree = graph.weighted_degree(entity_id)
+            min_heap.append((degree, entity_id))
+            if not graph.is_taboo(entity_id):
+                victim_heap.append((degree, entity_id))
+        heapq.heapify(victim_heap)
+        heapq.heapify(min_heap)
+        best_objective = self._peek_objective(graph, min_heap, stats)
+        stats.best_objective = best_objective
+        while True:
+            victim = self._pop_victim(graph, victim_heap, stats)
+            if victim is None:
+                break
+            stats.iterations += 1
+            for entity_id, degree in graph.remove_entity(victim):
+                heapq.heappush(min_heap, (degree, entity_id))
+                if not graph.is_taboo(entity_id):
+                    heapq.heappush(victim_heap, (degree, entity_id))
+            objective = self._peek_objective(graph, min_heap, stats)
+            if objective > best_objective:
+                best_objective = objective
+                best_checkpoint = graph.checkpoint()
+        stats.best_objective = best_objective
+        return best_checkpoint
+
+    @staticmethod
+    def _pop_victim(
+        graph: MentionEntityGraph,
+        victim_heap: List[Tuple[float, EntityId]],
+        stats: SolverStats,
+    ) -> Optional[EntityId]:
+        """Lowest (degree, entity id) among active non-taboo entities.
+
+        Lazy deletion: entries whose degree is stale are discarded (a
+        fresh entry was pushed when the degree changed); taboo status is
+        monotone during removal, so taboo entries are discarded too.
+        """
+        while victim_heap:
+            degree, entity_id = heapq.heappop(victim_heap)
+            stats.heap_pops += 1
+            if not graph.is_active(entity_id):
+                continue
+            if graph.weighted_degree(entity_id) != degree:
+                continue
+            if graph.is_taboo(entity_id):
+                continue
+            return entity_id
+        return None
+
+    @staticmethod
+    def _peek_objective(
+        graph: MentionEntityGraph,
+        min_heap: List[Tuple[float, EntityId]],
+        stats: SolverStats,
+    ) -> float:
+        """``min weighted degree / entity count`` without a full rescan."""
+        count = graph.entity_count()
+        if count == 0:
+            return 0.0
+        while min_heap:
+            degree, entity_id = min_heap[0]
+            if (
+                graph.is_active(entity_id)
+                and graph.weighted_degree(entity_id) == degree
+            ):
+                return degree / count
+            heapq.heappop(min_heap)
+            stats.heap_pops += 1
+        return 0.0
+
+    def _main_loop_reference(
+        self, graph: MentionEntityGraph, stats: SolverStats
+    ) -> FrozenSet[EntityId]:
+        """The original full-rescan loop (kept for cross-checking)."""
         best_snapshot = graph.snapshot()
         best_objective = self._objective(graph)
         while True:
             victim = self._lowest_degree_non_taboo(graph)
             if victim is None:
                 break
+            stats.iterations += 1
             graph.remove_entity(victim)
             objective = self._objective(graph)
             if objective > best_objective:
                 best_objective = objective
                 best_snapshot = graph.snapshot()
+        stats.best_objective = best_objective
         return best_snapshot
 
     @staticmethod
@@ -109,19 +256,17 @@ class GreedyDenseSubgraph:
     def _lowest_degree_non_taboo(
         graph: MentionEntityGraph,
     ) -> Optional[EntityId]:
-        best: Optional[EntityId] = None
-        best_degree = float("inf")
+        # Argmin of the (degree, entity id) tuple — the same key the heap
+        # path orders by, so victim choice is deterministic even when
+        # different float summation orders produce near-equal degrees.
+        best_key: Optional[Tuple[float, EntityId]] = None
         for entity_id in graph.active_entities():
             if graph.is_taboo(entity_id):
                 continue
-            degree = graph.weighted_degree(entity_id)
-            if degree < best_degree or (
-                degree == best_degree
-                and (best is None or entity_id < best)
-            ):
-                best = entity_id
-                best_degree = degree
-        return best
+            key = (graph.weighted_degree(entity_id), entity_id)
+            if best_key is None or key < best_key:
+                best_key = key
+        return best_key[1] if best_key is not None else None
 
     # ------------------------------------------------------------------
     # Phase 3: final one-entity-per-mention selection
@@ -142,8 +287,10 @@ class GreedyDenseSubgraph:
                 feasible = False
                 break
         if feasible:
+            self.last_stats.postprocess = "enumerate"
             assignment = self._enumerate(graph, per_mention)
         else:
+            self.last_stats.postprocess = "local_search"
             assignment = self._local_search(graph, per_mention)
         return assignment
 

@@ -7,8 +7,23 @@ entity-entity edge carries coherence.  Both edge families are scaled to
 parameter (coherence weight) — exactly the construction of Section 3.6.1:
 entity-entity weights are multiplied by γ, mention-entity weights by (1-γ).
 
-The graph supports incremental entity removal with weighted-degree
-maintenance, which Algorithm 1 needs.
+The graph supports incremental entity removal with the bookkeeping
+Algorithm 1 needs to run in O(E log V):
+
+* **weighted degrees** are maintained under removal; ``remove_entity``
+  returns the live neighbours whose degree changed so callers can keep
+  priority queues fresh;
+* **taboo status** ("last remaining candidate of some mention") is answered
+  in O(1) from per-mention live-candidate counters instead of re-sorting
+  candidate lists;
+* **checkpoints** — removals are logged in order, so recording the current
+  state is O(1) (``checkpoint`` returns the removal count) and
+  ``rollback`` undoes removals in reverse, restoring degrees and counters
+  incrementally.
+
+The frozenset-based ``snapshot``/``restore`` API is kept for callers that
+need arbitrary (non-prefix) state resets; it recomputes counters from
+scratch and invalidates outstanding checkpoints.
 """
 
 from __future__ import annotations
@@ -34,6 +49,25 @@ class MentionEntityGraph:
         self._ee: Dict[EntityId, Dict[EntityId, float]] = {}
         self._degree: Dict[EntityId, float] = {}
         self._removed: Set[EntityId] = set()
+        #: Live (non-removed) candidate count per mention.
+        self._live_candidates: Dict[MentionIndex, int] = {
+            index: 0 for index in range(len(mentions))
+        }
+        #: Number of mentions for which the entity is the sole live
+        #: candidate; > 0 means the entity is taboo.
+        self._taboo_count: Dict[EntityId, int] = {}
+        #: Ordered removal log: (entity, ((mention, survivor), ...),
+        #: ((neighbour, degree before the removal), ...)).  The survivors
+        #: became sole candidates through this removal; the recorded
+        #: neighbour degrees make ``rollback`` a bit-exact inverse (adding
+        #: the edge weight back would drift by float rounding).
+        self._removal_log: List[
+            Tuple[
+                EntityId,
+                Tuple[Tuple[MentionIndex, EntityId], ...],
+                Tuple[Tuple[EntityId, float], ...],
+            ]
+        ] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -44,6 +78,7 @@ class MentionEntityGraph:
         """Set the weight of a mention-entity edge."""
         if mention_index not in self._me:
             raise GraphError(f"unknown mention index {mention_index}")
+        is_new = entity_id not in self._me[mention_index]
         previous = self._me[mention_index].get(entity_id, 0.0)
         self._me[mention_index][entity_id] = weight
         self._entity_mentions.setdefault(entity_id, set()).add(mention_index)
@@ -51,6 +86,18 @@ class MentionEntityGraph:
         self._degree[entity_id] = (
             self._degree.get(entity_id, 0.0) - previous + weight
         )
+        if is_new and entity_id not in self._removed:
+            count = self._live_candidates[mention_index] + 1
+            self._live_candidates[mention_index] = count
+            if count == 1:
+                self._bump_taboo(entity_id, +1)
+            elif count == 2:
+                # The previously sole candidate is no longer critical.
+                other = self._sole_live_candidate(
+                    mention_index, excluding=entity_id
+                )
+                if other is not None:
+                    self._bump_taboo(other, -1)
 
     def add_entity_entity_edge(
         self, a: EntityId, b: EntityId, weight: float
@@ -154,6 +201,41 @@ class MentionEntityGraph:
             self._degree[b] = self._degree.get(b, 0.0) + weight
 
     # ------------------------------------------------------------------
+    # Incremental bookkeeping helpers
+    # ------------------------------------------------------------------
+    def _bump_taboo(self, entity_id: EntityId, delta: int) -> None:
+        count = self._taboo_count.get(entity_id, 0) + delta
+        if count:
+            self._taboo_count[entity_id] = count
+        else:
+            self._taboo_count.pop(entity_id, None)
+
+    def _sole_live_candidate(
+        self, mention_index: MentionIndex, excluding: EntityId
+    ):
+        for eid in self._me[mention_index]:
+            if eid != excluding and eid not in self._removed:
+                return eid
+        return None
+
+    def _recompute_candidate_state(self) -> None:
+        """Rebuild live-candidate and taboo counters from scratch (used
+        after non-incremental state resets)."""
+        self._live_candidates = {
+            index: sum(
+                1 for eid in cands if eid not in self._removed
+            )
+            for index, cands in self._me.items()
+        }
+        self._taboo_count = {}
+        for index, count in self._live_candidates.items():
+            if count == 1:
+                survivor = self._sole_live_candidate(index, excluding=None)
+                if survivor is not None:
+                    self._bump_taboo(survivor, +1)
+        self._removal_log = []
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     @property
@@ -171,6 +253,13 @@ class MentionEntityGraph:
         """Number of active entity nodes."""
         return len(self._entity_mentions) - len(self._removed)
 
+    def is_active(self, entity_id: EntityId) -> bool:
+        """Whether the entity is a known, non-removed node."""
+        return (
+            entity_id in self._entity_mentions
+            and entity_id not in self._removed
+        )
+
     def candidates_of(self, mention_index: MentionIndex) -> List[EntityId]:
         """Active candidate entities of a mention."""
         return sorted(
@@ -178,6 +267,10 @@ class MentionEntityGraph:
             for eid in self._me[mention_index]
             if eid not in self._removed
         )
+
+    def live_candidate_count(self, mention_index: MentionIndex) -> int:
+        """Number of active candidates of a mention (O(1))."""
+        return self._live_candidates[mention_index]
 
     def mentions_of(self, entity_id: EntityId) -> FrozenSet[MentionIndex]:
         """Mentions the (active) entity is a candidate for."""
@@ -219,30 +312,61 @@ class MentionEntityGraph:
 
     def is_taboo(self, entity_id: EntityId) -> bool:
         """An entity is taboo if it is the last remaining candidate for any
-        mention it is connected to."""
-        for index in self.mentions_of(entity_id):
-            if len(self.candidates_of(index)) <= 1:
-                return True
-        return False
+        mention it is connected to.  Answered in O(1) from counters."""
+        if entity_id in self._removed:
+            return False
+        return self._taboo_count.get(entity_id, 0) > 0
 
     # ------------------------------------------------------------------
     # Mutation (used by the greedy algorithm)
     # ------------------------------------------------------------------
-    def remove_entity(self, entity_id: EntityId) -> None:
-        """Remove a non-taboo entity node and update degrees."""
+    def remove_entity(
+        self, entity_id: EntityId
+    ) -> List[Tuple[EntityId, float]]:
+        """Remove a non-taboo entity node and update degrees and taboo
+        counters incrementally.
+
+        Returns the live coherence neighbours whose weighted degree
+        changed, as (entity, new degree) pairs, so callers maintaining a
+        priority queue can push fresh entries.
+        """
         if entity_id in self._removed:
-            return
+            return []
         if self.is_taboo(entity_id):
             raise GraphError(
                 f"cannot remove taboo entity {entity_id!r}: it is the last "
                 "candidate of a mention"
             )
         self._removed.add(entity_id)
+        # Live-candidate counters: every mention of this entity loses one
+        # candidate; a mention dropping to a single candidate makes the
+        # survivor taboo.
+        new_critical: List[Tuple[MentionIndex, EntityId]] = []
+        for index in self._entity_mentions.get(entity_id, ()):
+            count = self._live_candidates[index] - 1
+            self._live_candidates[index] = count
+            if count == 1:
+                survivor = self._sole_live_candidate(
+                    index, excluding=entity_id
+                )
+                if survivor is not None:
+                    self._bump_taboo(survivor, +1)
+                    new_critical.append((index, survivor))
         # Degrees of entity neighbours shrink by the shared edge weight;
         # mention nodes carry no tracked degree.
+        affected: List[Tuple[EntityId, float]] = []
+        previous_degrees: List[Tuple[EntityId, float]] = []
         for other, weight in self._ee.get(entity_id, {}).items():
             if other not in self._removed:
-                self._degree[other] = self._degree.get(other, 0.0) - weight
+                before = self._degree.get(other, 0.0)
+                previous_degrees.append((other, before))
+                degree = before - weight
+                self._degree[other] = degree
+                affected.append((other, degree))
+        self._removal_log.append(
+            (entity_id, tuple(new_critical), tuple(previous_degrees))
+        )
+        return affected
 
     def restrict_to_entities(self, keep: Iterable[EntityId]) -> None:
         """Remove all entities not in *keep* (pre-processing phase)."""
@@ -251,16 +375,76 @@ class MentionEntityGraph:
             if entity_id not in keep_set and not self.is_taboo(entity_id):
                 self.remove_entity(entity_id)
 
+    # ------------------------------------------------------------------
+    # Checkpoints (O(1) state recording for Algorithm 1's main loop)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """O(1) marker for the current state: the number of removals so
+        far.  Valid until a non-prefix reset (``restore``) happens."""
+        return len(self._removal_log)
+
+    def rollback(self, checkpoint: int) -> None:
+        """Undo removals in reverse order until only the first
+        *checkpoint* removals remain, restoring degrees and taboo
+        counters incrementally."""
+        if checkpoint > len(self._removal_log):
+            raise GraphError(
+                f"checkpoint {checkpoint} is ahead of the removal log "
+                f"({len(self._removal_log)} entries)"
+            )
+        while len(self._removal_log) > checkpoint:
+            entity_id, new_critical, previous_degrees = (
+                self._removal_log.pop()
+            )
+            for _index, survivor in new_critical:
+                self._bump_taboo(survivor, -1)
+            for index in self._entity_mentions.get(entity_id, ()):
+                self._live_candidates[index] += 1
+            self._removed.discard(entity_id)
+            # Undoing in exact reverse order means the live set now equals
+            # the one at removal time, so the entity's own stored degree
+            # is valid again; neighbours get their recorded pre-removal
+            # degrees back bit-exactly.
+            for other, before in previous_degrees:
+                self._degree[other] = before
+
+    def canonicalize_degrees(self) -> None:
+        """Recompute every active entity's degree from scratch in sorted
+        summation order.
+
+        Incremental decrements (and the graph-construction accumulation
+        order) can leave degrees a few ulps away from a canonical
+        recomputation; calling this gives a summation-order-independent
+        state, so downstream consumers (e.g. the local search's
+        degree-proportional sampling) see identical values no matter how
+        the current active set was reached.  Outstanding
+        :meth:`checkpoint` markers become invalid.
+        """
+        degrees: Dict[EntityId, float] = {}
+        for entity_id, mention_set in self._entity_mentions.items():
+            if entity_id in self._removed:
+                continue
+            total = 0.0
+            for index in sorted(mention_set):
+                total += self._me[index].get(entity_id, 0.0)
+            for other in sorted(self._ee.get(entity_id, {})):
+                if other not in self._removed:
+                    total += self._ee[entity_id][other]
+            degrees[entity_id] = total
+        self._degree = degrees
+        self._removal_log = []
+
     def snapshot(self) -> FrozenSet[EntityId]:
         """The current active entity set (used to record best solutions)."""
         return frozenset(self.active_entities())
 
     def restore(self, snapshot: FrozenSet[EntityId]) -> None:
-        """Reset the removed set so exactly *snapshot* is active."""
+        """Reset the removed set so exactly *snapshot* is active.
+
+        This is a full (non-incremental) reset: counters are recomputed
+        and outstanding :meth:`checkpoint` markers become invalid.
+        """
         all_entities = set(self._entity_mentions)
         self._removed = all_entities - set(snapshot)
-        self._recompute_degrees()
-        for entity_id in self._removed:
-            for other, weight in self._ee.get(entity_id, {}).items():
-                if other not in self._removed:
-                    self._degree[other] -= weight
+        self.canonicalize_degrees()
+        self._recompute_candidate_state()

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.utils.timing import PipelineStats
+
 #: Canonical identifier of an entity in the knowledge base.  Entity ids are
 #: opaque strings such as ``"Bob_Dylan"``; uniqueness is enforced by the KB.
 EntityId = str
@@ -149,10 +151,17 @@ class MentionAssignment:
 
 @dataclass
 class DisambiguationResult:
-    """Disambiguation output for one document."""
+    """Disambiguation output for one document.
+
+    ``stats`` carries per-stage timing and effort counters when the
+    producing pipeline instruments its run (see
+    :class:`repro.utils.timing.PipelineStats`); baselines may leave it
+    unset.
+    """
 
     doc_id: str
     assignments: List[MentionAssignment]
+    stats: Optional[PipelineStats] = None
 
     def as_map(self) -> Dict[Mention, EntityId]:
         """Mention -> chosen entity mapping."""

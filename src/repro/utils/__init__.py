@@ -2,12 +2,13 @@
 
 from repro.utils.rng import SeededRng, derive_seed
 from repro.utils.text import normalize_token, normalize_phrase
-from repro.utils.timing import Stopwatch
+from repro.utils.timing import PipelineStats, Stopwatch
 
 __all__ = [
     "SeededRng",
     "derive_seed",
     "normalize_token",
     "normalize_phrase",
+    "PipelineStats",
     "Stopwatch",
 ]

@@ -1,10 +1,11 @@
-"""Simple wall-clock timing used by the efficiency experiments (Table 4.4)."""
+"""Wall-clock timing used by the efficiency experiments (Table 4.4) and
+the per-stage pipeline instrumentation."""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional, Union
 
 
 class Stopwatch:
@@ -56,6 +57,49 @@ class _Measurement:
 
     def __exit__(self, *exc_info: object) -> None:
         self._watch.record(self._phase, time.perf_counter() - self._start)
+
+
+@dataclass
+class PipelineStats:
+    """Per-stage instrumentation of one disambiguation run.
+
+    ``phase_seconds`` maps stage name (``candidate_retrieval``,
+    ``feature_computation``, ``graph_build``, ``solve``, ``post_process``)
+    to accumulated wall-clock seconds; ``counters`` carries volume/effort
+    numbers (mention and candidate counts, solver iterations, heap pops,
+    …).  Attached to :class:`repro.types.DisambiguationResult` and kept as
+    ``last_stats`` on the disambiguator.
+    """
+
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, Union[int, float, str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_stopwatch(
+        cls,
+        watch: "Stopwatch",
+        counters: Optional[Mapping[str, Union[int, float, str]]] = None,
+    ) -> "PipelineStats":
+        """Collect every phase of *watch* plus optional counters."""
+        return cls(
+            phase_seconds={
+                phase: watch.total(phase) for phase in watch.phases()
+            },
+            counters=dict(counters) if counters else {},
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all recorded phase durations."""
+        return sum(self.phase_seconds.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (benchmark output, logging)."""
+        return {
+            "phase_seconds": dict(self.phase_seconds),
+            "total_seconds": self.total_seconds,
+            "counters": dict(self.counters),
+        }
 
 
 @dataclass

@@ -223,3 +223,51 @@ class TestHooks:
         first = aida.disambiguate(doc).as_map()
         second = aida.disambiguate(doc).as_map()
         assert first == second
+
+
+class TestPipelineStats:
+    def test_stats_attached_with_coherence(self, kb):
+        aida = AidaDisambiguator(kb, config=AidaConfig.full())
+        doc = _doc(
+            ["Kashmir", "played", "by", "Page", "on", "gibson", "guitar",
+             "."],
+            [("Kashmir", 0), ("Page", 3)],
+        )
+        result = aida.disambiguate(doc)
+        stats = result.stats
+        assert stats is not None
+        assert aida.last_stats is stats
+        for phase in (
+            "candidate_retrieval",
+            "feature_computation",
+            "graph_build",
+            "solve",
+            "post_process",
+        ):
+            assert stats.phase_seconds[phase] >= 0.0
+        assert stats.counters["mentions"] == 2
+        assert stats.counters["candidates"] >= 2
+        assert stats.counters["graph_entities"] >= 2
+        assert stats.counters["solver_iterations"] >= 0
+        assert stats.counters["solver_heap_pops"] >= 0
+        assert stats.total_seconds == pytest.approx(
+            sum(stats.phase_seconds.values())
+        )
+        assert set(stats.as_dict()) == {
+            "phase_seconds",
+            "total_seconds",
+            "counters",
+        }
+
+    def test_stats_without_coherence(self, kb):
+        aida = AidaDisambiguator(kb, config=AidaConfig.sim_only())
+        doc = _doc(
+            ["Page", "played", "gibson", "guitar", "."],
+            [("Page", 0)],
+        )
+        result = aida.disambiguate(doc)
+        stats = result.stats
+        assert stats is not None
+        assert "solve" in stats.phase_seconds
+        assert "graph_build" not in stats.phase_seconds
+        assert "solver_iterations" not in stats.counters
