@@ -1,0 +1,325 @@
+"""Corpus-throughput of the batch layer: serial vs cached vs parallel.
+
+Measures the batch execution layer of :mod:`repro.core.batch` on the
+synthetic CoNLL-style benchmark corpus, with the KORE-coherence pipeline
+whose graph build dominates corpus cost (Chapter 3/4 coherence edges):
+
+* ``serial`` — a fresh pipeline per document, nothing shared: the
+  stateless per-request baseline where every document recomputes its
+  relatedness pairs from scratch;
+* ``shared-pipeline`` — one pipeline for the whole corpus (the plain
+  ``run_disambiguator`` loop): the measure's own per-instance cache grows
+  unbounded across documents;
+* ``cached`` — a fresh pipeline per document, all sharing one
+  thread-safe :class:`~repro.relatedness.caching.CachingRelatedness`:
+  stateless pipelines, shared pair work;
+* ``parallel`` — :class:`~repro.core.batch.BatchRunner` fanning documents
+  over a worker pool; thread workers share the relatedness cache,
+  process workers each hold their own (processes share no memory but
+  scale across cores).
+
+Every mode must produce bit-identical assignments; the interesting
+number is documents/second.  Runs two ways:
+
+* under pytest with the rest of the benchmark suite (a scaled-down
+  smoke that checks identity, not wall-clock);
+* as a script writing ``BENCH_batch.json``::
+
+      PYTHONPATH=src:. python benchmarks/bench_batch.py \
+          --out BENCH_batch.json --check
+
+  ``--check`` exits non-zero unless all modes agree bit-for-bit and the
+  parallel mode clears a 2x corpus-throughput improvement over the
+  serial baseline (the CI batch smoke gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from benchmarks.common import bench_kb, bench_weights, conll_corpus
+from repro.core.batch import BatchConfig, BatchRunner
+from repro.core.pipeline import AidaDisambiguator
+from repro.relatedness import (
+    CachingRelatedness,
+    KoreRelatedness,
+    MilneWittenRelatedness,
+)
+from repro.types import DisambiguationResult, Document
+
+DEFAULT_WORKERS = 4
+CHECK_SPEEDUP = 2.0
+
+
+def _make_relatedness(measure: str):
+    kb = bench_kb()
+    if measure == "mw":
+        return MilneWittenRelatedness(kb.links, kb.entity_count)
+    return KoreRelatedness(kb.keyphrases, bench_weights())
+
+
+def _fresh_pipeline(measure: str, shared=None) -> AidaDisambiguator:
+    relatedness = shared if shared is not None else _make_relatedness(measure)
+    return AidaDisambiguator(bench_kb(), relatedness=relatedness)
+
+
+def _documents(limit: Optional[int]) -> List[Document]:
+    documents = [
+        annotated.document
+        for annotated in conll_corpus().all_documents()
+    ]
+    return documents[:limit] if limit else documents
+
+
+def _signature(results: List[DisambiguationResult]):
+    """The bit-exact comparison key: every mention, entity, and score."""
+    return [
+        [
+            (a.mention, a.entity, a.score)
+            for a in result.assignments
+        ]
+        for result in results
+    ]
+
+
+# ----------------------------------------------------------------------
+# The four modes
+# ----------------------------------------------------------------------
+def run_serial(documents: List[Document], measure: str):
+    results = [
+        _fresh_pipeline(measure).disambiguate(document)
+        for document in documents
+    ]
+    return results, None
+
+
+def run_shared_pipeline(documents: List[Document], measure: str):
+    pipeline = _fresh_pipeline(measure)
+    return [pipeline.disambiguate(d) for d in documents], None
+
+
+def run_cached(documents: List[Document], measure: str):
+    shared = CachingRelatedness(_make_relatedness(measure))
+    results = [
+        _fresh_pipeline(measure, shared).disambiguate(document)
+        for document in documents
+    ]
+    return results, shared.cache_stats().as_dict()
+
+
+def run_parallel(
+    documents: List[Document],
+    measure: str,
+    workers: int,
+    executor: str,
+):
+    if executor == "process":
+        runner = BatchRunner(
+            pipeline_factory=_ProcessFactory(measure),
+            config=BatchConfig(workers=workers, executor="process"),
+        )
+        outcome = runner.run(documents)
+        outcome.raise_on_failure()
+        return outcome.results, None
+    shared = CachingRelatedness(_make_relatedness(measure))
+    runner = BatchRunner(
+        pipeline_factory=lambda: _fresh_pipeline(measure, shared),
+        config=BatchConfig(workers=workers, executor="thread"),
+    )
+    outcome = runner.run(documents)
+    outcome.raise_on_failure()
+    return outcome.results, shared.cache_stats().as_dict()
+
+
+class _ProcessFactory:
+    """Picklable per-process pipeline builder (rebuilds the bench KB from
+    its seeds; each process keeps its own relatedness cache)."""
+
+    def __init__(self, measure: str):
+        self.measure = measure
+
+    def __call__(self) -> AidaDisambiguator:
+        return _fresh_pipeline(
+            self.measure, CachingRelatedness(_make_relatedness(self.measure))
+        )
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def run_modes(
+    documents: List[Document],
+    measure: str = "kore",
+    workers: int = DEFAULT_WORKERS,
+    executor: str = "thread",
+) -> List[Dict[str, object]]:
+    """Time every mode on the same documents; mark output identity."""
+    modes = [
+        ("serial", lambda: run_serial(documents, measure)),
+        ("shared-pipeline", lambda: run_shared_pipeline(documents, measure)),
+        ("cached", lambda: run_cached(documents, measure)),
+        (
+            f"parallel-{executor}-{workers}",
+            lambda: run_parallel(documents, measure, workers, executor),
+        ),
+    ]
+    cases: List[Dict[str, object]] = []
+    reference_signature = None
+    serial_seconds = 0.0
+    for name, runner in modes:
+        start = time.perf_counter()
+        results, cache_stats = runner()
+        elapsed = time.perf_counter() - start
+        signature = _signature(results)
+        if reference_signature is None:
+            reference_signature = signature
+            serial_seconds = elapsed
+        cases.append(
+            {
+                "mode": name,
+                "documents": len(documents),
+                "seconds": elapsed,
+                "docs_per_second": (
+                    len(documents) / elapsed if elapsed > 0 else 0.0
+                ),
+                "speedup_vs_serial": (
+                    serial_seconds / elapsed if elapsed > 0 else 0.0
+                ),
+                "identical": signature == reference_signature,
+                "cache": cache_stats,
+            }
+        )
+    return cases
+
+
+def _render(cases: List[Dict[str, object]]) -> Tuple[List[str], List[List[str]]]:
+    headers = [
+        "mode",
+        "docs",
+        "seconds",
+        "docs/s",
+        "speedup",
+        "identical",
+        "cache hit rate",
+    ]
+    rows = []
+    for case in cases:
+        cache = case["cache"]
+        rows.append(
+            [
+                str(case["mode"]),
+                str(case["documents"]),
+                f"{case['seconds']:.3f}",
+                f"{case['docs_per_second']:.1f}",
+                f"{case['speedup_vs_serial']:.2f}x",
+                "yes" if case["identical"] else "NO",
+                f"{100 * cache['hit_rate']:.1f}%" if cache else "-",
+            ]
+        )
+    return headers, rows
+
+
+def test_batch_throughput(benchmark):
+    """Pytest smoke: all modes bit-identical on a scaled-down corpus.
+
+    Wall-clock assertions live in the scripted ``--check`` run only —
+    shared CI runners are too noisy for a hard 2x gate here; identity is
+    what must never regress.
+    """
+    from benchmarks.common import render_table
+    from benchmarks.conftest import report
+
+    documents = _documents(limit=40)
+    cases = benchmark.pedantic(
+        lambda: run_modes(documents, workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    headers, rows = _render(cases)
+    report(
+        "Batch corpus runner - serial vs cached vs parallel",
+        render_table(headers, rows),
+    )
+    assert all(case["identical"] for case in cases)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--measure", choices=("kore", "mw"), default="kore",
+        help="relatedness measure for the coherence edges",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=DEFAULT_WORKERS,
+        help="worker count of the parallel mode",
+    )
+    parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="pool kind of the parallel mode (threads share the cache; "
+        "processes scale across cores)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=0,
+        help="cap the corpus at N documents (0 = full corpus)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_batch.json", help="JSON output path"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless all modes are bit-identical and the "
+        f"parallel mode clears a {CHECK_SPEEDUP}x speedup over serial",
+    )
+    args = parser.parse_args(argv)
+    documents = _documents(args.limit or None)
+    cases = run_modes(
+        documents,
+        measure=args.measure,
+        workers=args.workers,
+        executor=args.executor,
+    )
+    headers, rows = _render(cases)
+    widths = [
+        max(len(h), *(len(row[i]) for row in rows))
+        for i, h in enumerate(headers)
+    ]
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in rows:
+        print("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    record = {
+        "benchmark": "batch_corpus_runner",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "measure": args.measure,
+        "workers": args.workers,
+        "executor": args.executor,
+        "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "0.5"),
+        "cases": cases,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    if args.check:
+        if not all(case["identical"] for case in cases):
+            print("FAIL: batch modes disagree", file=sys.stderr)
+            return 1
+        parallel = cases[-1]
+        if parallel["speedup_vs_serial"] < CHECK_SPEEDUP:
+            print(
+                f"FAIL: parallel speedup {parallel['speedup_vs_serial']:.2f}x "
+                f"< {CHECK_SPEEDUP}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

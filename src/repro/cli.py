@@ -136,6 +136,24 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--variant", choices=sorted(AIDA_VARIANTS), default="full"
     )
+    evaluate.add_argument(
+        "--workers", type=int, default=1,
+        help="fan documents out over this many workers (1 = serial)",
+    )
+    evaluate.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker pool kind for --workers > 1 (process workers "
+        "each load their own KB copy)",
+    )
+    evaluate.add_argument(
+        "--cache-relatedness", action="store_true",
+        help="share a thread-safe relatedness LRU across documents "
+        "and print its hit/miss statistics",
+    )
+    evaluate.add_argument(
+        "--cache-size", type=int, default=0,
+        help="LRU capacity for --cache-relatedness (0 = unbounded)",
+    )
 
     return parser
 
@@ -244,20 +262,66 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+class _PipelineFactory:
+    """Picklable pipeline builder for process-pool evaluation.
+
+    Each worker process loads its own KB copy (processes cannot share the
+    in-memory relatedness cache).
+    """
+
+    def __init__(self, kb_dir: str, variant: str):
+        self.kb_dir = kb_dir
+        self.variant = variant
+
+    def __call__(self) -> AidaDisambiguator:
+        kb = load_knowledge_base(self.kb_dir)
+        return AidaDisambiguator(kb, config=AIDA_VARIANTS[self.variant]())
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """Handle ``evaluate``: score a pipeline on a saved corpus."""
+    from repro.core.batch import BatchConfig, BatchRunner
     from repro.datagen.io import load_corpus
     from repro.eval.runner import run_disambiguator
+    from repro.relatedness.caching import CachingRelatedness
 
     kb = load_knowledge_base(args.kb)
     documents = load_corpus(args.corpus)
     config = AIDA_VARIANTS[args.variant]()
-    pipeline = AidaDisambiguator(kb, config=config)
-    run = run_disambiguator(pipeline, documents, kb=kb)
+    relatedness = None
+    if args.cache_relatedness:
+        relatedness = CachingRelatedness(
+            MilneWittenRelatedness(kb.links, max(kb.entity_count, 2)),
+            maxsize=args.cache_size or None,
+        )
+    pipeline = AidaDisambiguator(kb, relatedness=relatedness, config=config)
+    batch = None
+    if args.workers > 1 and args.executor == "process":
+        batch = BatchRunner(
+            pipeline_factory=_PipelineFactory(args.kb, args.variant),
+            config=BatchConfig(
+                workers=args.workers, executor="process"
+            ),
+        )
+    run = run_disambiguator(
+        pipeline, documents, kb=kb, workers=args.workers, batch=batch
+    )
     print(f"documents: {len(documents)}")
+    if run.failures:
+        print(f"failed documents: {len(run.failures)}")
+        for failure in run.failures:
+            print(f"  {failure.doc_id}: {failure.error}", file=sys.stderr)
     print(f"micro accuracy: {100 * run.micro:.2f}%")
     print(f"macro accuracy: {100 * run.macro:.2f}%")
     print(f"MAP:            {100 * run.map:.2f}%")
+    if relatedness is not None:
+        stats = relatedness.cache_stats()
+        print(
+            "relatedness cache: "
+            f"{stats.hits} hits, {stats.misses} misses, "
+            f"{stats.evictions} evictions "
+            f"({100 * stats.hit_rate:.1f}% hit rate)"
+        )
     return 0
 
 

@@ -7,12 +7,22 @@ from repro.core.robustness import (
 )
 from repro.core.pipeline import AidaDisambiguator
 from repro.core.adaptation import DomainAdaptiveDisambiguator
+from repro.core.batch import (
+    BatchConfig,
+    BatchOutcome,
+    BatchRunner,
+    DocumentFailure,
+)
 
 __all__ = [
     "AidaConfig",
     "PriorMode",
     "AidaDisambiguator",
     "DomainAdaptiveDisambiguator",
+    "BatchConfig",
+    "BatchOutcome",
+    "BatchRunner",
+    "DocumentFailure",
     "passes_prior_test",
     "coherence_robustness_distance",
 ]

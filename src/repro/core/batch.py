@@ -1,0 +1,314 @@
+"""Batch execution of a disambiguation pipeline over a document corpus.
+
+The per-document solver is fast (PR 1); at corpus scale the hot path is
+fanning documents out and not recomputing shared work.  This module
+provides the batch layer:
+
+* :class:`BatchRunner` runs any pipeline (an object with
+  ``disambiguate(document) -> DisambiguationResult``) over a sequence of
+  documents on a ``concurrent.futures`` pool — threads, processes, or a
+  plain serial loop — with **deterministic result ordering** (results come
+  back in input order regardless of completion order) and **per-document
+  error isolation** (a failing document yields a recorded
+  :class:`DocumentFailure`, never a crashed run).
+* Worker pipelines share pairwise relatedness work through a
+  :class:`~repro.relatedness.caching.CachingRelatedness` passed to the
+  ``pipeline_factory`` closure (thread mode) — see
+  :func:`repro.eval.runner.run_disambiguator` and
+  ``benchmarks/bench_batch.py`` for the canonical wiring.
+
+Pipeline sharing rules:
+
+* ``executor="serial"`` and ``executor="thread"`` can reuse one
+  ``pipeline`` instance.  A shared pipeline is safe for *results* under
+  threads only if its relatedness measure is thread-safe — wrap it in
+  :class:`CachingRelatedness` — and has no per-task ``prepare`` state
+  (the LSH measures are not shareable across concurrent documents).
+  Prefer ``pipeline_factory``: each worker thread lazily builds its own
+  pipeline, and the factory closes over whatever should be shared (the
+  KB, a caching relatedness wrapper).
+* ``executor="process"`` requires a *picklable* ``pipeline_factory``
+  (a module-level callable); each worker process builds its pipeline
+  once in the pool initializer.  Processes cannot share a relatedness
+  cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.errors import ReproError
+from repro.types import DisambiguationResult, Document
+
+#: Builds a fresh pipeline; must be picklable for ``executor="process"``.
+PipelineFactory = Callable[[], object]
+
+_EXECUTORS = ("serial", "thread", "process")
+
+
+class BatchError(ReproError):
+    """Misconfiguration of the batch layer (not a document failure)."""
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """How to fan a corpus out over workers.
+
+    ``workers <= 1`` always degrades to the serial loop, whatever the
+    ``executor`` says, so callers can scale a single knob.
+    ``max_pending`` bounds the number of in-flight documents (back-
+    pressure for very large corpora); ``None`` submits everything at
+    once.
+    """
+
+    workers: int = 1
+    executor: str = "thread"
+    max_pending: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise BatchError("workers must be >= 1")
+        if self.executor not in _EXECUTORS:
+            raise BatchError(
+                f"executor must be one of {_EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
+        if self.max_pending is not None and self.max_pending < 1:
+            raise BatchError("max_pending must be None or >= 1")
+
+    @property
+    def effective_workers(self) -> int:
+        """Worker count after the serial degradation rule."""
+        return self.workers if self.executor != "serial" else 1
+
+
+@dataclass(frozen=True)
+class DocumentFailure:
+    """One document that raised instead of disambiguating."""
+
+    index: int
+    doc_id: str
+    error: str
+    traceback: str = ""
+
+
+@dataclass
+class BatchOutcome:
+    """Everything one batch pass produces.
+
+    ``results[i]`` corresponds to ``documents[i]`` — ``None`` exactly when
+    ``documents[i]`` appears in ``failures``.
+    """
+
+    results: List[Optional[DisambiguationResult]] = field(
+        default_factory=list
+    )
+    failures: List[DocumentFailure] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    #: Snapshot of the shared relatedness cache, when one was observable.
+    cache_stats: Optional[Dict[str, object]] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every document disambiguated."""
+        return not self.failures
+
+    @property
+    def successes(self) -> List[DisambiguationResult]:
+        """The non-failed results, still in input order."""
+        return [result for result in self.results if result is not None]
+
+    def raise_on_failure(self) -> None:
+        """Raise a :class:`BatchError` summarizing any failures."""
+        if self.failures:
+            summary = "; ".join(
+                f"{failure.doc_id}: {failure.error}"
+                for failure in self.failures[:5]
+            )
+            raise BatchError(
+                f"{len(self.failures)} document(s) failed: {summary}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing: a per-process pipeline built by the initializer.
+# ----------------------------------------------------------------------
+_process_pipeline: Optional[object] = None
+
+
+def _process_init(factory: PipelineFactory) -> None:
+    global _process_pipeline
+    _process_pipeline = factory()
+
+
+def _process_task(index: int, document: Document):
+    """Runs in the worker process; never raises across the pickle wall."""
+    try:
+        result = _process_pipeline.disambiguate(document)
+        return index, result, None
+    except Exception as exc:  # noqa: BLE001 — isolation is the point
+        failure = DocumentFailure(
+            index=index,
+            doc_id=document.doc_id,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        )
+        return index, None, failure
+
+
+class BatchRunner:
+    """Fan a pipeline over documents with ordered, isolated results.
+
+    Exactly one of ``pipeline`` / ``pipeline_factory`` drives each worker:
+    a factory wins when both are given (the explicit pipeline then only
+    serves introspection).  See the module docstring for the sharing
+    rules per executor kind.
+    """
+
+    def __init__(
+        self,
+        pipeline: Optional[object] = None,
+        pipeline_factory: Optional[PipelineFactory] = None,
+        config: Optional[BatchConfig] = None,
+    ):
+        if pipeline is None and pipeline_factory is None:
+            raise BatchError(
+                "BatchRunner needs a pipeline or a pipeline_factory"
+            )
+        self.config = config if config is not None else BatchConfig()
+        if self.config.executor == "process" and pipeline_factory is None:
+            raise BatchError(
+                "process executor requires a picklable pipeline_factory"
+            )
+        self._pipeline = pipeline
+        self._factory = pipeline_factory
+        self._thread_local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Worker-side pipeline resolution
+    # ------------------------------------------------------------------
+    def _worker_pipeline(self) -> object:
+        """The pipeline this worker thread should use.
+
+        With a factory, each thread builds (and keeps) its own pipeline;
+        otherwise the single shared instance is returned.
+        """
+        if self._factory is None:
+            return self._pipeline
+        pipeline = getattr(self._thread_local, "pipeline", None)
+        if pipeline is None:
+            pipeline = self._factory()
+            self._thread_local.pipeline = pipeline
+        return pipeline
+
+    def _run_one(self, index: int, document: Document):
+        try:
+            result = self._worker_pipeline().disambiguate(document)
+            return index, result, None
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            failure = DocumentFailure(
+                index=index,
+                doc_id=document.doc_id,
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback.format_exc(),
+            )
+            return index, None, failure
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, documents: Sequence[Document]) -> BatchOutcome:
+        """Disambiguate every document; results in input order."""
+        start = time.perf_counter()
+        outcome = BatchOutcome(results=[None] * len(documents))
+        if documents:
+            if self.config.effective_workers <= 1:
+                self._run_serial(documents, outcome)
+            elif self.config.executor == "process":
+                self._run_pool(
+                    documents,
+                    outcome,
+                    ProcessPoolExecutor(
+                        max_workers=self.config.workers,
+                        initializer=_process_init,
+                        initargs=(self._factory,),
+                    ),
+                    submit=lambda pool, index, doc: pool.submit(
+                        _process_task, index, doc
+                    ),
+                )
+            else:
+                self._run_pool(
+                    documents,
+                    outcome,
+                    ThreadPoolExecutor(max_workers=self.config.workers),
+                    submit=lambda pool, index, doc: pool.submit(
+                        self._run_one, index, doc
+                    ),
+                )
+        outcome.failures.sort(key=lambda failure: failure.index)
+        outcome.wall_seconds = time.perf_counter() - start
+        outcome.cache_stats = self._observe_cache()
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self, documents: Sequence[Document], outcome: BatchOutcome
+    ) -> None:
+        for index, document in enumerate(documents):
+            _, result, failure = self._run_one(index, document)
+            if failure is not None:
+                outcome.failures.append(failure)
+            else:
+                outcome.results[index] = result
+
+    def _run_pool(
+        self,
+        documents: Sequence[Document],
+        outcome: BatchOutcome,
+        pool,
+        submit,
+    ) -> None:
+        window = self.config.max_pending or len(documents)
+        with pool:
+            pending: Set[Future] = set()
+            queue = iter(enumerate(documents))
+            exhausted = False
+            while pending or not exhausted:
+                while not exhausted and len(pending) < window:
+                    try:
+                        index, document = next(queue)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.add(submit(pool, index, document))
+                if not pending:
+                    continue
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, result, failure = future.result()
+                    if failure is not None:
+                        outcome.failures.append(failure)
+                    else:
+                        outcome.results[index] = result
+
+    def _observe_cache(self) -> Optional[Dict[str, object]]:
+        """Cache counters of the explicit pipeline's measure, if caching."""
+        relatedness = getattr(self._pipeline, "relatedness", None)
+        stats = getattr(relatedness, "cache_stats", None)
+        if callable(stats):
+            return stats().as_dict()
+        return None

@@ -164,10 +164,20 @@ class AidaDisambiguator:
                 edge_weights,
                 assignment,
             )
+        self._record_cache_counters(counters)
         stats = PipelineStats.from_stopwatch(watch, counters)
         self.last_stats = stats
         result.stats = stats
         return result
+
+    def _record_cache_counters(self, counters: Dict[str, object]) -> None:
+        """Surface shared relatedness-cache counters (cumulative across
+        documents when the measure is a ``CachingRelatedness``)."""
+        stats = getattr(self.relatedness, "cache_stats", None)
+        if not callable(stats):
+            return
+        for key, value in stats().as_dict().items():
+            counters[f"relatedness_cache_{key}"] = value
 
     # ------------------------------------------------------------------
     # Candidate retrieval

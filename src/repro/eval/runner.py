@@ -6,6 +6,14 @@ documents, restricts evaluation to mentions whose gold entity is in the KB
 when asked to (Chapter 3/4 protocol, Section 3.6.1), records per-mention
 correctness with the gold entity's inlink count (for the link-bucketed
 analyses), and optionally attaches per-mention confidences.
+
+Disambiguation can be fanned out over a worker pool: pass ``workers > 1``
+(or an explicit :class:`~repro.core.batch.BatchRunner` as ``batch``) and
+the corpus is dispatched through :mod:`repro.core.batch` while scoring
+stays serial in input order — the evaluation is bit-identical to the
+serial path for any worker count.  A document that fails inside a batch
+run is recorded on ``CorpusRun.failures`` and scored as all-incorrect
+(prediction ``None``) rather than aborting the corpus pass.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.batch import BatchConfig, BatchRunner, DocumentFailure
 from repro.eval.measures import (
     DocumentOutcome,
     EvaluationResult,
@@ -39,7 +48,12 @@ class CorpusRun:
     evaluation: EvaluationResult
     #: (gold entity inlink count, prediction correct) per evaluated mention.
     link_records: List[Tuple[int, bool]] = field(default_factory=list)
-    results: List[DisambiguationResult] = field(default_factory=list)
+    results: List[Optional[DisambiguationResult]] = field(
+        default_factory=list
+    )
+    #: Documents that raised during a batch run (empty on the serial path,
+    #: which propagates exceptions as before).
+    failures: List[DocumentFailure] = field(default_factory=list)
 
     @property
     def micro(self) -> float:
@@ -63,22 +77,46 @@ def run_disambiguator(
     kb: Optional[KnowledgeBase] = None,
     in_kb_only: bool = True,
     confidence_fn: Optional[ConfidenceFn] = None,
+    workers: int = 1,
+    batch: Optional[BatchRunner] = None,
 ) -> CorpusRun:
     """Disambiguate every document and evaluate against the gold standard.
 
     With ``in_kb_only`` (the Chapter 3/4 protocol) mentions whose gold
     entity is out-of-KB are excluded from scoring.  ``kb`` enables the
     inlink-count records; without it, link counts are recorded as 0.
+
+    ``workers > 1`` fans the disambiguation out over a thread pool sharing
+    *pipeline* (wrap its relatedness in ``CachingRelatedness`` for thread-
+    safe sharing); an explicit ``batch`` runner overrides both ``pipeline``
+    and ``workers`` for full control (process pools, per-worker pipeline
+    factories).  Scoring is always serial and in input order, so the
+    evaluation is bit-identical across worker counts.
     """
+    if batch is None and workers > 1:
+        batch = BatchRunner(
+            pipeline=pipeline,
+            config=BatchConfig(workers=workers, executor="thread"),
+        )
     evaluation = EvaluationResult()
     run = CorpusRun(evaluation=evaluation)
-    for annotated in documents:
-        result = pipeline.disambiguate(annotated.document)
+    if batch is not None:
+        batch_outcome = batch.run(
+            [annotated.document for annotated in documents]
+        )
+        results = batch_outcome.results
+        run.failures = list(batch_outcome.failures)
+    else:
+        results = [
+            pipeline.disambiguate(annotated.document)
+            for annotated in documents
+        ]
+    for annotated, result in zip(documents, results):
         run.results.append(result)
         confidences: Dict[Mention, float] = {}
-        if confidence_fn is not None:
+        if confidence_fn is not None and result is not None:
             confidences = confidence_fn(annotated.document, result)
-        predicted = result.as_map()
+        predicted = result.as_map() if result is not None else {}
         outcome = DocumentOutcome(doc_id=annotated.doc_id)
         for annotation in annotated.gold:
             if in_kb_only and annotation.is_out_of_kb:
@@ -86,7 +124,7 @@ def run_disambiguator(
             mention = annotation.mention
             prediction = predicted.get(mention)
             confidence = confidences.get(mention)
-            if confidence is None:
+            if confidence is None and result is not None:
                 assignment = result.assignment_for(mention)
                 if assignment is not None and assignment.confidence is not None:
                     confidence = assignment.confidence

@@ -134,7 +134,11 @@ class MentionEntityGraph:
         for index, entity_id, weight in list(self._iter_me()):
             self._set_me(index, entity_id, weight * (1.0 - gamma))
         for a, b, weight in list(self._iter_ee()):
-            self._set_ee(a, b, weight * gamma)
+            # The average-equalization factor can exceed 1/γ when the
+            # coherence family is dominated by a few strong edges, so the
+            # balanced weight is clamped to keep the documented [0, 1]
+            # invariant of both edge families.
+            self._set_ee(a, b, min(weight * gamma, 1.0))
         self._recompute_degrees()
 
     def _scale_me_to_unit(self) -> None:

@@ -1,17 +1,19 @@
-"""Seeded synthetic mention-entity graphs.
+"""Seeded synthetic mention-entity graphs and link worlds.
 
-Used by the solver-equivalence tests and the solver performance benchmark:
-both need families of graphs of controlled size (mentions × candidates per
-mention, coherence density) that are bit-identical across runs and across
-the reference/incremental solver paths.
+Used by the solver-equivalence tests, the solver performance benchmark,
+and the relatedness differential tests: all need families of inputs of
+controlled size that are bit-identical across runs and across the
+reference/optimized code paths being compared.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
 from repro.graph.mention_entity_graph import MentionEntityGraph
-from repro.types import Mention
+from repro.kb.links import LinkGraph
+from repro.types import EntityId, Mention
 from repro.utils.rng import SeededRng
 
 
@@ -67,3 +69,43 @@ def synthetic_graph(spec: SyntheticGraphSpec) -> MentionEntityGraph:
                 )
     graph.rescale_and_balance(spec.gamma)
     return graph
+
+
+@dataclass(frozen=True)
+class SyntheticLinkWorldSpec:
+    """Shape of a synthetic entity-link world.
+
+    ``entities`` nodes named ``E000`` … receive roughly ``mean_outlinks``
+    outgoing links each, drawn toward a Zipf-weighted target distribution
+    so some entities are link-rich hubs and others link-poor — the regime
+    split the link-based relatedness measures care about.
+    """
+
+    entities: int = 40
+    mean_outlinks: int = 8
+    zipf_exponent: float = 1.0
+    seed: int = 0
+
+
+def synthetic_entity_ids(count: int) -> List[EntityId]:
+    """The canonical entity-id vocabulary of the synthetic worlds."""
+    return [f"E{index:03d}" for index in range(count)]
+
+
+def synthetic_link_world(spec: SyntheticLinkWorldSpec) -> LinkGraph:
+    """Build a seeded random link graph; identical spec → identical graph.
+
+    Used by the relatedness differential tests, which need many small,
+    structurally varied link worlds to compare a measure against its
+    cached wrapper pair-for-pair.
+    """
+    rng = SeededRng(spec.seed)
+    entities = synthetic_entity_ids(spec.entities)
+    weights = rng.zipf_weights(len(entities), spec.zipf_exponent)
+    links = LinkGraph()
+    for source in entities:
+        fanout = rng.randint(0, max(2 * spec.mean_outlinks, 1))
+        for target in rng.pick_k_weighted(entities, weights, fanout):
+            if target != source:
+                links.add_link(source, target)
+    return links

@@ -7,9 +7,12 @@
 * :class:`KoreRelatedness` — keyphrase overlap relatedness (Eq. 4.3–4.4).
 * :class:`KoreLshRelatedness` — KORE accelerated by two-stage min-hash/LSH
   pre-clustering (Section 4.4.2), in recall-geared (G) and fast (F) settings.
+* :class:`CachingRelatedness` — thread-safe shared LRU memoization of any
+  measure, for batch/corpus runs (see :mod:`repro.core.batch`).
 """
 
 from repro.relatedness.base import EntityRelatedness
+from repro.relatedness.caching import CacheStats, CachingRelatedness
 from repro.relatedness.milne_witten import MilneWittenRelatedness
 from repro.relatedness.jaccard import InlinkJaccardRelatedness
 from repro.relatedness.keyterm_cosine import (
@@ -21,6 +24,8 @@ from repro.relatedness.lsh import KoreLshRelatedness, LshSettings
 
 __all__ = [
     "EntityRelatedness",
+    "CacheStats",
+    "CachingRelatedness",
     "MilneWittenRelatedness",
     "InlinkJaccardRelatedness",
     "KeywordCosineRelatedness",

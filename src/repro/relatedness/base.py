@@ -41,26 +41,53 @@ class EntityRelatedness(ABC):
         """
         return True
 
+    @staticmethod
+    def canonical_pair(
+        a: EntityId, b: EntityId
+    ) -> Tuple[EntityId, EntityId]:
+        """The unique ordered form of an unordered entity pair.
+
+        All measures are symmetric, so every cache lookup, comparison
+        count, and ``_compute`` call goes through this single
+        canonicalization — subclasses never see a ``(b, a)`` variant of a
+        pair they already answered as ``(a, b)``.
+        """
+        return (a, b) if a <= b else (b, a)
+
+    def compute_pair(self, a: EntityId, b: EntityId) -> float:
+        """Uncached relatedness of a pair, order-insensitive.
+
+        Canonicalizes the pair, applies ``should_compare`` pruning, counts
+        the comparison, and clamps the subclass value into [0, 1].  This is
+        the single computation path shared by :meth:`relatedness` and by
+        external memoizers such as
+        :class:`repro.relatedness.caching.CachingRelatedness`, which must
+        be observationally identical to the wrapped measure.
+        """
+        if a == b:
+            return 1.0
+        first, second = self.canonical_pair(a, b)
+        if not self.should_compare(first, second):
+            return 0.0
+        self.comparisons += 1
+        value = float(self._compute(first, second))
+        return min(max(value, 0.0), 1.0)
+
     def relatedness(self, a: EntityId, b: EntityId) -> float:
         """Relatedness of the pair; identical ids are fully related."""
         if a == b:
             return 1.0
-        key = (a, b) if a <= b else (b, a)
+        key = self.canonical_pair(a, b)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        if not self.should_compare(key[0], key[1]):
-            value = 0.0
-        else:
-            self.comparisons += 1
-            value = float(self._compute(key[0], key[1]))
-            value = min(max(value, 0.0), 1.0)
+        value = self.compute_pair(key[0], key[1])
         self._cache[key] = value
         return value
 
     @abstractmethod
     def _compute(self, a: EntityId, b: EntityId) -> float:
-        """Compute the raw measure for an ordered (a <= b) pair."""
+        """Compute the raw measure for a canonical (a <= b) pair."""
 
     def reset_stats(self) -> None:
         """Clear the cache and the comparison counter."""

@@ -1,0 +1,186 @@
+"""Shared, thread-safe memoization of entity relatedness.
+
+Every measure already memoizes within one instance (the base-class cache),
+but a corpus run that builds one pipeline per document — or fans documents
+out over a worker pool — recomputes the same Milne–Witten/KORE pairs from
+scratch for every document.  :class:`CachingRelatedness` wraps any
+:class:`~repro.relatedness.base.EntityRelatedness` in a symmetric-key LRU
+that several pipelines (and several threads) can share, with hit/miss/
+eviction counters that the pipeline surfaces through
+:class:`~repro.utils.timing.PipelineStats`.
+
+The wrapper is observationally identical to the wrapped measure: values go
+through the same :meth:`~repro.relatedness.base.EntityRelatedness
+.compute_pair` canonicalization/pruning/clamping path, so a cached corpus
+run is bit-identical to an uncached one.
+
+Thread-safety notes: the LRU itself is guarded by a lock; the wrapped
+measure's ``_compute`` runs *outside* the lock, so concurrent first
+requests for the same pair may compute it twice (both arriving at the same
+value — every measure is deterministic).  After warm-up no pair is ever
+recomputed.  Measures with per-task ``prepare`` state (LSH pre-clustering)
+mutate that state in ``prepare`` and must not be shared across concurrent
+tasks; stateless-prepare measures (MW, Jaccard, KORE, cosine) are safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.relatedness.base import EntityRelatedness
+from repro.types import EntityId
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of the cache counters.
+
+    ``hits + misses`` equals the number of non-identical-pair lookups;
+    ``computations`` is the wrapped measure's comparison counter (it can
+    exceed ``misses`` only through benign concurrent double-computation of
+    a pair's very first request).
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: Optional[int]
+    computations: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups answered (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (pipeline counters, benchmark records)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "maxsize": self.maxsize,
+            "computations": self.computations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class CachingRelatedness(EntityRelatedness):
+    """Memoizing, thread-safe LRU wrapper around a relatedness measure.
+
+    Parameters
+    ----------
+    inner:
+        The measure to memoize.  Its ``prepare``/``should_compare``
+        behaviour is delegated unchanged.
+    maxsize:
+        Upper bound on cached pairs; least-recently-used pairs are evicted
+        beyond it.  ``None`` (the default) means unbounded — the right
+        setting for batch runs over a closed candidate universe.
+    """
+
+    def __init__(
+        self, inner: EntityRelatedness, maxsize: Optional[int] = None
+    ):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be None or >= 1")
+        super().__init__()
+        self._inner = inner
+        self._maxsize = maxsize
+        self._lru: "OrderedDict[Tuple[EntityId, EntityId], float]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self.name = f"cached({inner.name})"
+
+    # ------------------------------------------------------------------
+    # Delegation
+    # ------------------------------------------------------------------
+    @property
+    def inner(self) -> EntityRelatedness:
+        """The wrapped measure."""
+        return self._inner
+
+    @property
+    def maxsize(self) -> Optional[int]:
+        """The configured LRU capacity (``None`` = unbounded)."""
+        return self._maxsize
+
+    def prepare(self, entities: Iterable[EntityId]) -> None:
+        self._inner.prepare(entities)
+
+    def should_compare(self, a: EntityId, b: EntityId) -> bool:
+        return self._inner.should_compare(a, b)
+
+    def _compute(self, a: EntityId, b: EntityId) -> float:
+        # Only reachable through the inherited ``relatedness`` (which this
+        # class overrides); kept for the abstract contract.
+        return self._inner.compute_pair(a, b)
+
+    # ------------------------------------------------------------------
+    # The memoized lookup
+    # ------------------------------------------------------------------
+    def relatedness(self, a: EntityId, b: EntityId) -> float:
+        """Relatedness of the pair, served from the shared LRU."""
+        if a == b:
+            return 1.0
+        key = self.canonical_pair(a, b)
+        with self._lock:
+            value = self._lru.get(key)
+            if value is not None:
+                self._lru.move_to_end(key)
+                self._hits += 1
+                return value
+            self._misses += 1
+        # Compute outside the lock: a slow KORE pair must not serialize
+        # every other thread's lookups.
+        value = self._inner.compute_pair(key[0], key[1])
+        with self._lock:
+            if key not in self._lru:
+                self._lru[key] = value
+                if (
+                    self._maxsize is not None
+                    and len(self._lru) > self._maxsize
+                ):
+                    self._lru.popitem(last=False)
+                    self._evictions += 1
+            else:
+                self._lru.move_to_end(key)
+        return value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> CacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._lru),
+                maxsize=self._maxsize,
+                computations=self._inner.comparisons,
+            )
+
+    def reset_stats(self) -> None:
+        """Clear the LRU, the counters, and the wrapped measure's stats."""
+        with self._lock:
+            self._lru.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+        super().reset_stats()
+        self._inner.reset_stats()

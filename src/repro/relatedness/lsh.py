@@ -142,8 +142,7 @@ class KoreLshRelatedness(EntityRelatedness):
         """Whether the pair shares a stage-two bucket."""
         if not self._prepared:
             return True  # without preparation, behave like exact KORE
-        key = (a, b) if a <= b else (b, a)
-        return key in self._allowed_pairs
+        return self.canonical_pair(a, b) in self._allowed_pairs
 
     def _compute(self, a: EntityId, b: EntityId) -> float:
         return self._kore.relatedness(a, b)

@@ -1,0 +1,250 @@
+"""Unit tests for the batch execution layer (:mod:`repro.core.batch`).
+
+These tests exercise the runner's contracts in isolation with toy
+pipelines: deterministic input-order results whatever the completion
+order, per-document error isolation, executor selection/degradation, and
+the back-pressure window.  The end-to-end equivalence against the serial
+evaluation path lives in ``tests/test_differential_batch.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.batch import (
+    BatchConfig,
+    BatchError,
+    BatchOutcome,
+    BatchRunner,
+    DocumentFailure,
+)
+from repro.types import (
+    DisambiguationResult,
+    Document,
+    Mention,
+    MentionAssignment,
+)
+
+
+def _doc(index: int) -> Document:
+    return Document(doc_id=f"doc-{index}", tokens=("tok", str(index)))
+
+
+def _result_for(document: Document) -> DisambiguationResult:
+    mention = Mention(surface=document.tokens[1], start=1, end=2)
+    return DisambiguationResult(
+        doc_id=document.doc_id,
+        assignments=[
+            MentionAssignment(
+                mention=mention, entity=f"E_{document.doc_id}", score=1.0
+            )
+        ],
+    )
+
+
+class EchoPipeline:
+    """Deterministic toy pipeline; picklable for process pools."""
+
+    def disambiguate(self, document: Document) -> DisambiguationResult:
+        return _result_for(document)
+
+
+class ReversedLatencyPipeline(EchoPipeline):
+    """Earlier documents take *longer*, forcing out-of-order completion."""
+
+    def __init__(self, total: int):
+        self.total = total
+
+    def disambiguate(self, document: Document) -> DisambiguationResult:
+        index = int(document.doc_id.split("-")[1])
+        time.sleep(0.002 * (self.total - index))
+        return super().disambiguate(document)
+
+
+class FlakyPipeline(EchoPipeline):
+    """Raises for configured doc ids; picklable for process pools."""
+
+    def __init__(self, bad_ids):
+        self.bad_ids = set(bad_ids)
+
+    def disambiguate(self, document: Document) -> DisambiguationResult:
+        if document.doc_id in self.bad_ids:
+            raise RuntimeError(f"boom on {document.doc_id}")
+        return super().disambiguate(document)
+
+
+def _make_flaky_for_process():
+    return FlakyPipeline({"doc-2"})
+
+
+def _make_echo_for_process():
+    return EchoPipeline()
+
+
+class TestBatchConfig:
+    def test_defaults_are_serial_single_worker(self):
+        config = BatchConfig()
+        assert config.workers == 1
+        assert config.effective_workers == 1
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(BatchError):
+            BatchConfig(workers=0)
+        with pytest.raises(BatchError):
+            BatchConfig(executor="fibers")
+        with pytest.raises(BatchError):
+            BatchConfig(max_pending=0)
+
+    def test_serial_executor_caps_effective_workers(self):
+        config = BatchConfig(workers=8, executor="serial")
+        assert config.effective_workers == 1
+
+
+class TestRunnerConstruction:
+    def test_requires_some_pipeline(self):
+        with pytest.raises(BatchError):
+            BatchRunner()
+
+    def test_process_requires_factory(self):
+        with pytest.raises(BatchError):
+            BatchRunner(
+                pipeline=EchoPipeline(),
+                config=BatchConfig(workers=2, executor="process"),
+            )
+
+
+class TestDeterministicOrdering:
+    def test_results_in_input_order_despite_completion_order(self):
+        documents = [_doc(i) for i in range(8)]
+        runner = BatchRunner(
+            pipeline=ReversedLatencyPipeline(len(documents)),
+            config=BatchConfig(workers=4, executor="thread"),
+        )
+        outcome = runner.run(documents)
+        assert outcome.ok
+        assert [r.doc_id for r in outcome.results] == [
+            d.doc_id for d in documents
+        ]
+
+    @pytest.mark.parametrize("workers", [1, 2, 5])
+    def test_thread_results_match_serial(self, workers):
+        documents = [_doc(i) for i in range(10)]
+        serial = BatchRunner(pipeline=EchoPipeline()).run(documents)
+        threaded = BatchRunner(
+            pipeline=EchoPipeline(),
+            config=BatchConfig(workers=workers, executor="thread"),
+        ).run(documents)
+        assert [r.assignments for r in serial.results] == [
+            r.assignments for r in threaded.results
+        ]
+
+    def test_empty_corpus(self):
+        outcome = BatchRunner(pipeline=EchoPipeline()).run([])
+        assert outcome.ok
+        assert outcome.results == []
+        assert outcome.wall_seconds >= 0.0
+
+
+class TestErrorIsolation:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            BatchConfig(),
+            BatchConfig(workers=3, executor="thread"),
+        ],
+    )
+    def test_failures_recorded_not_raised(self, config):
+        documents = [_doc(i) for i in range(6)]
+        runner = BatchRunner(
+            pipeline=FlakyPipeline({"doc-1", "doc-4"}), config=config
+        )
+        outcome = runner.run(documents)
+        assert not outcome.ok
+        assert [f.index for f in outcome.failures] == [1, 4]
+        assert [f.doc_id for f in outcome.failures] == ["doc-1", "doc-4"]
+        for failure in outcome.failures:
+            assert "RuntimeError: boom" in failure.error
+            assert "RuntimeError" in failure.traceback
+        # Result slots line up: None exactly at the failed indexes.
+        assert [i for i, r in enumerate(outcome.results) if r is None] == [
+            1,
+            4,
+        ]
+        assert len(outcome.successes) == 4
+
+    def test_raise_on_failure(self):
+        outcome = BatchOutcome(
+            results=[None],
+            failures=[
+                DocumentFailure(index=0, doc_id="d", error="E: nope")
+            ],
+        )
+        with pytest.raises(BatchError, match="d: E: nope"):
+            outcome.raise_on_failure()
+        BatchOutcome(results=[]).raise_on_failure()  # no-op when ok
+
+
+class TestFactoriesAndSharing:
+    def test_thread_factory_builds_one_pipeline_per_worker(self):
+        built = []
+        lock = threading.Lock()
+
+        def factory():
+            pipeline = EchoPipeline()
+            with lock:
+                built.append(pipeline)
+            return pipeline
+
+        runner = BatchRunner(
+            pipeline_factory=factory,
+            config=BatchConfig(workers=3, executor="thread"),
+        )
+        documents = [_doc(i) for i in range(12)]
+        outcome = runner.run(documents)
+        assert outcome.ok
+        # Lazily built: at most one pipeline per worker thread, and the
+        # pool reuses them across documents.
+        assert 1 <= len(built) <= 3
+
+    def test_max_pending_backpressure_still_complete_and_ordered(self):
+        documents = [_doc(i) for i in range(9)]
+        runner = BatchRunner(
+            pipeline=ReversedLatencyPipeline(len(documents)),
+            config=BatchConfig(
+                workers=3, executor="thread", max_pending=2
+            ),
+        )
+        outcome = runner.run(documents)
+        assert outcome.ok
+        assert [r.doc_id for r in outcome.results] == [
+            d.doc_id for d in documents
+        ]
+
+
+class TestProcessExecutor:
+    def test_process_results_ordered(self):
+        documents = [_doc(i) for i in range(5)]
+        runner = BatchRunner(
+            pipeline_factory=_make_echo_for_process,
+            config=BatchConfig(workers=2, executor="process"),
+        )
+        outcome = runner.run(documents)
+        assert outcome.ok
+        assert [r.doc_id for r in outcome.results] == [
+            d.doc_id for d in documents
+        ]
+        assert outcome.results[3].assignments[0].entity == "E_doc-3"
+
+    def test_process_error_isolation(self):
+        documents = [_doc(i) for i in range(4)]
+        runner = BatchRunner(
+            pipeline_factory=_make_flaky_for_process,
+            config=BatchConfig(workers=2, executor="process"),
+        )
+        outcome = runner.run(documents)
+        assert [f.doc_id for f in outcome.failures] == ["doc-2"]
+        assert outcome.results[2] is None
+        assert len(outcome.successes) == 3

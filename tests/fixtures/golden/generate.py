@@ -1,0 +1,102 @@
+"""Regenerate the golden regression fixture.
+
+The golden fixture freezes (a) a small annotated corpus and (b) the full
+AIDA pipeline's per-mention assignments on it.  ``test_golden_regression``
+replays the corpus through a freshly built pipeline and diffs against the
+frozen expectations — the seed against which every future refactor is
+checked.
+
+Regenerate ONLY when an intentional behaviour change is being made, and
+say so in the commit message::
+
+    PYTHONPATH=src python tests/fixtures/golden/generate.py
+
+The KB is derived from the same world seed as ``tests/conftest.py``
+(seed 7, 4 clusters per domain), so the fixture needs no KB files of its
+own — the world generator is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.conll import ConllConfig, generate_conll
+from repro.datagen.io import save_corpus
+from repro.datagen.wikipedia import build_world_kb
+from repro.datagen.world import World, WorldConfig
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CORPUS_PATH = os.path.join(HERE, "corpus.jsonl")
+EXPECTED_PATH = os.path.join(HERE, "expected.json")
+
+#: Must match tests/conftest.py so the test suite reuses its session KB.
+WORLD_SEED = 7
+CLUSTERS_PER_DOMAIN = 4
+KB_SEED = 101
+CONLL_SCALE = 0.05
+
+#: Pipeline variants frozen in the fixture.
+VARIANTS = {
+    "full": AidaConfig.full,
+    "sim": AidaConfig.sim_only,
+}
+
+
+def build_corpus(world: World):
+    """The frozen corpus: the testb split of a small CoNLL-style world."""
+    corpus = generate_conll(world, ConllConfig(scale=CONLL_SCALE))
+    return corpus.testb
+
+
+def expected_assignments(kb, documents) -> dict:
+    """variant -> doc_id -> ordered per-mention assignment records."""
+    expected = {}
+    for variant, make_config in sorted(VARIANTS.items()):
+        pipeline = AidaDisambiguator(kb, config=make_config())
+        per_doc = {}
+        for annotated in documents:
+            result = pipeline.disambiguate(annotated.document)
+            per_doc[annotated.doc_id] = [
+                {
+                    "surface": assignment.mention.surface,
+                    "start": assignment.mention.start,
+                    "end": assignment.mention.end,
+                    "entity": assignment.entity,
+                    "score": assignment.score,
+                }
+                for assignment in result.assignments
+            ]
+        expected[variant] = per_doc
+    return expected
+
+
+def main() -> None:
+    world = World.generate(
+        WorldConfig(seed=WORLD_SEED, clusters_per_domain=CLUSTERS_PER_DOMAIN)
+    )
+    kb, _wiki = build_world_kb(world, seed=KB_SEED)
+    documents = build_corpus(world)
+    save_corpus(documents, CORPUS_PATH)
+    record = {
+        "world_seed": WORLD_SEED,
+        "clusters_per_domain": CLUSTERS_PER_DOMAIN,
+        "kb_seed": KB_SEED,
+        "conll_scale": CONLL_SCALE,
+        "documents": len(documents),
+        "expected": expected_assignments(kb, documents),
+    }
+    with open(EXPECTED_PATH, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    mentions = sum(len(doc.gold) for doc in documents)
+    print(
+        f"wrote {len(documents)} documents ({mentions} gold mentions) "
+        f"and {len(VARIANTS)} variants"
+    )
+
+
+if __name__ == "__main__":
+    main()

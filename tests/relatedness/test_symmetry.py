@@ -1,0 +1,112 @@
+"""Regression: pair canonicalization happens once, at the base class.
+
+Every relatedness measure is a symmetric function, and the base class is
+the single place where ``(b, a)`` is folded onto ``(a, b)`` — for the
+cache key, the comparison counter, ``should_compare`` pruning, and the
+``_compute`` call.  Milne–Witten and KORE must never see a non-canonical
+pair or store a pair twice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.synthetic import (
+    SyntheticLinkWorldSpec,
+    synthetic_entity_ids,
+    synthetic_link_world,
+)
+from repro.relatedness import (
+    InlinkJaccardRelatedness,
+    KoreRelatedness,
+    MilneWittenRelatedness,
+)
+from repro.relatedness.base import EntityRelatedness
+from repro.weights.model import WeightModel
+
+N = 20
+
+
+class OrderSpy(EntityRelatedness):
+    """Records the argument order of every ``_compute`` call."""
+
+    name = "spy"
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def _compute(self, a, b):
+        self.seen.append((a, b))
+        return 0.5
+
+
+def test_canonical_pair_is_order_insensitive():
+    assert EntityRelatedness.canonical_pair("A", "B") == ("A", "B")
+    assert EntityRelatedness.canonical_pair("B", "A") == ("A", "B")
+    assert EntityRelatedness.canonical_pair("X", "X") == ("X", "X")
+
+
+def test_compute_only_ever_sees_canonical_pairs():
+    spy = OrderSpy()
+    spy.relatedness("Z", "A")
+    spy.relatedness("A", "Z")
+    spy.compute_pair("Z", "A")
+    assert spy.seen == [("A", "Z"), ("A", "Z")]
+    # One cached entry, one counted comparison for the cached path plus
+    # one for the explicit uncached call.
+    assert len(spy._cache) == 1
+    assert spy.comparisons == 2
+
+
+def test_reversed_lookup_hits_the_same_cache_entry():
+    spy = OrderSpy()
+    first = spy.relatedness("M", "K")
+    second = spy.relatedness("K", "M")
+    assert first == second
+    assert spy.comparisons == 1
+    assert len(spy._cache) == 1
+
+
+@pytest.fixture(scope="module")
+def links():
+    return synthetic_link_world(
+        SyntheticLinkWorldSpec(entities=N, seed=21)
+    )
+
+
+def test_milne_witten_symmetry_regression(links):
+    measure = MilneWittenRelatedness(links, N)
+    entities = synthetic_entity_ids(N)
+    for i, a in enumerate(entities):
+        for b in entities[i + 1 :]:
+            forward = measure.relatedness(a, b)
+            backward = measure.relatedness(b, a)
+            assert forward == backward
+    # Each unordered pair computed at most once despite both orders.
+    assert measure.comparisons <= N * (N - 1) // 2
+
+
+def test_jaccard_symmetry_regression(links):
+    measure = InlinkJaccardRelatedness(links)
+    entities = synthetic_entity_ids(N)
+    for a in entities[:10]:
+        for b in entities[:10]:
+            assert measure.relatedness(a, b) == measure.relatedness(b, a)
+
+
+def test_kore_symmetry_regression(kb):
+    weights = WeightModel(kb.keyphrases, kb.links)
+    measure = KoreRelatedness(kb.keyphrases, weights)
+    entities = sorted(kb.entity_ids())[:10]
+    for i, a in enumerate(entities):
+        for b in entities[i + 1 :]:
+            assert measure.relatedness(a, b) == measure.relatedness(b, a)
+    assert measure.comparisons <= len(entities) * (len(entities) - 1) // 2
+
+
+def test_compute_pair_matches_relatedness_and_identity():
+    spy = OrderSpy()
+    assert spy.compute_pair("Q", "Q") == 1.0
+    assert spy.relatedness("Q", "Q") == 1.0
+    assert spy.compute_pair("A", "B") == spy.relatedness("B", "A")

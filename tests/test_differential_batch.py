@@ -1,0 +1,113 @@
+"""Differential: batch evaluation is bit-identical to the serial path.
+
+``run_disambiguator`` with a :class:`BatchRunner` (any worker count, any
+executor) must produce exactly the per-mention assignments, scores, and
+evaluation metrics of the plain serial loop — parallelism and the shared
+relatedness cache are pure throughput optimizations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BatchConfig, BatchRunner
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.wikipedia import build_world_kb
+from repro.datagen.world import World, WorldConfig
+from repro.eval.runner import run_disambiguator
+from repro.relatedness import CachingRelatedness, MilneWittenRelatedness
+
+
+def _comparable(result):
+    """Everything order- and value-relevant, minus the timing stats."""
+    return [
+        (
+            assignment.mention,
+            assignment.entity,
+            assignment.score,
+            sorted(assignment.candidate_scores.items()),
+        )
+        for assignment in result.assignments
+    ]
+
+
+def _cached_pipeline(kb):
+    return AidaDisambiguator(
+        kb,
+        relatedness=CachingRelatedness(
+            MilneWittenRelatedness(kb.links, max(kb.entity_count, 2))
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_run(kb, sample_docs):
+    return run_disambiguator(AidaDisambiguator(kb), sample_docs, kb=kb)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 8])
+def test_batch_bit_identical_to_serial(kb, sample_docs, serial_run, workers):
+    """Thread-pool evaluation equals the serial loop for 1, 2, 8 workers."""
+    batch_run = run_disambiguator(
+        _cached_pipeline(kb), sample_docs, kb=kb, workers=workers
+    )
+    assert not batch_run.failures
+    assert len(batch_run.results) == len(serial_run.results)
+    for serial_result, batch_result in zip(
+        serial_run.results, batch_run.results
+    ):
+        assert serial_result.doc_id == batch_result.doc_id
+        assert _comparable(serial_result) == _comparable(batch_result)
+    assert batch_run.micro == serial_run.micro
+    assert batch_run.macro == serial_run.macro
+    assert batch_run.map == serial_run.map
+    assert batch_run.link_records == serial_run.link_records
+
+
+def test_explicit_batch_runner_equals_workers_argument(
+    kb, sample_docs, serial_run
+):
+    """Passing a pre-built BatchRunner behaves like the workers knob."""
+    runner = BatchRunner(
+        pipeline=_cached_pipeline(kb),
+        config=BatchConfig(workers=4, executor="thread", max_pending=3),
+    )
+    batch_run = run_disambiguator(
+        None, sample_docs, kb=kb, batch=runner
+    )
+    for serial_result, batch_result in zip(
+        serial_run.results, batch_run.results
+    ):
+        assert _comparable(serial_result) == _comparable(batch_result)
+    assert batch_run.micro == serial_run.micro
+
+
+def _small_world_pipeline():
+    """Module-level factory: picklable for the process-pool differential.
+
+    Rebuilds the conftest world/KB (same seeds) inside each worker
+    process — processes share nothing, so determinism must come from the
+    seeds alone.
+    """
+    world = World.generate(WorldConfig(seed=7, clusters_per_domain=4))
+    kb, _wiki = build_world_kb(world, seed=101)
+    return AidaDisambiguator(kb)
+
+
+def test_process_pool_bit_identical_to_serial(kb, sample_docs, serial_run):
+    """Process workers rebuild the KB from seeds yet agree bit-for-bit."""
+    runner = BatchRunner(
+        pipeline_factory=_small_world_pipeline,
+        config=BatchConfig(workers=2, executor="process"),
+    )
+    batch_run = run_disambiguator(
+        None, sample_docs, kb=kb, batch=runner
+    )
+    assert not batch_run.failures
+    for serial_result, batch_result in zip(
+        serial_run.results, batch_run.results
+    ):
+        assert serial_result.doc_id == batch_result.doc_id
+        assert _comparable(serial_result) == _comparable(batch_result)
+    assert batch_run.micro == serial_run.micro
+    assert batch_run.macro == serial_run.macro

@@ -1,0 +1,125 @@
+"""Golden regression: the frozen corpus must reproduce bit-for-bit.
+
+``tests/fixtures/golden/`` freezes a small CoNLL-style corpus and the full
+AIDA pipeline's per-mention assignments on it (see ``generate.py`` there).
+These tests replay the corpus through a freshly built pipeline — serial,
+cached, and batched — and diff against the frozen expectations.  Any
+refactor that changes an entity assignment, a mention span, or (beyond
+float tolerance) a score fails here first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.batch import BatchConfig, BatchRunner
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.io import load_corpus
+from repro.relatedness import CachingRelatedness, MilneWittenRelatedness
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "fixtures", "golden")
+CORPUS_PATH = os.path.join(GOLDEN_DIR, "corpus.jsonl")
+EXPECTED_PATH = os.path.join(GOLDEN_DIR, "expected.json")
+
+#: Scores pass through libm (log/exp), so allow last-ulp platform drift;
+#: entity assignments and spans are compared exactly.
+SCORE_TOLERANCE = 1e-9
+
+VARIANTS = {
+    "full": AidaConfig.full,
+    "sim": AidaConfig.sim_only,
+}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(EXPECTED_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def golden_corpus():
+    return load_corpus(CORPUS_PATH)
+
+
+def _check_fixture_matches_conftest(golden):
+    # The test-session KB (tests/conftest.py) and the fixture must be
+    # derived from the same seeds, or the diff below compares apples to
+    # oranges.  Fails loudly if someone changes one side only.
+    assert golden["world_seed"] == 7
+    assert golden["clusters_per_domain"] == 4
+    assert golden["kb_seed"] == 101
+
+
+def _assert_matches(result, expected_records, context):
+    assert len(result.assignments) == len(expected_records), context
+    for assignment, record in zip(result.assignments, expected_records):
+        where = (
+            f"{context}: mention {record['surface']!r} "
+            f"[{record['start']}, {record['end']})"
+        )
+        assert assignment.mention.surface == record["surface"], where
+        assert assignment.mention.start == record["start"], where
+        assert assignment.mention.end == record["end"], where
+        assert assignment.entity == record["entity"], where
+        assert assignment.score == pytest.approx(
+            record["score"], abs=SCORE_TOLERANCE
+        ), where
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_golden_assignments_reproduce(kb, golden, golden_corpus, variant):
+    """The frozen per-mention assignments reproduce exactly, per variant."""
+    _check_fixture_matches_conftest(golden)
+    expected = golden["expected"][variant]
+    assert len(golden_corpus) == golden["documents"]
+    pipeline = AidaDisambiguator(kb, config=VARIANTS[variant]())
+    for annotated in golden_corpus:
+        result = pipeline.disambiguate(annotated.document)
+        _assert_matches(
+            result,
+            expected[annotated.doc_id],
+            f"variant {variant}, doc {annotated.doc_id}",
+        )
+
+
+def test_golden_under_caching_wrapper(kb, golden, golden_corpus):
+    """A shared relatedness cache must not move a single assignment."""
+    expected = golden["expected"]["full"]
+    pipeline = AidaDisambiguator(
+        kb,
+        relatedness=CachingRelatedness(
+            MilneWittenRelatedness(kb.links, max(kb.entity_count, 2))
+        ),
+    )
+    for annotated in golden_corpus:
+        result = pipeline.disambiguate(annotated.document)
+        _assert_matches(
+            result, expected[annotated.doc_id], f"doc {annotated.doc_id}"
+        )
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_golden_under_batch_runner(kb, golden, golden_corpus, workers):
+    """The batch runner reproduces the frozen assignments in order."""
+    expected = golden["expected"]["full"]
+    pipeline = AidaDisambiguator(
+        kb,
+        relatedness=CachingRelatedness(
+            MilneWittenRelatedness(kb.links, max(kb.entity_count, 2))
+        ),
+    )
+    runner = BatchRunner(
+        pipeline=pipeline,
+        config=BatchConfig(workers=workers, executor="thread"),
+    )
+    outcome = runner.run([doc.document for doc in golden_corpus])
+    assert outcome.ok, outcome.failures
+    for annotated, result in zip(golden_corpus, outcome.results):
+        _assert_matches(
+            result, expected[annotated.doc_id], f"doc {annotated.doc_id}"
+        )

@@ -1,0 +1,114 @@
+"""Edge cases for the tokenizer and the keyphrase chunker.
+
+Degenerate inputs a corpus runner will eventually feed them: empty
+documents, whitespace-only text, unicode punctuation, and keyphrase
+candidates flush against the document boundaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.chunker import KeyphraseChunker
+from repro.text.pos import PosTagger, TaggedToken
+from repro.text.tokenizer import tokenize
+
+
+class TestTokenizerEdgeCases:
+    def test_empty_document(self):
+        assert tokenize("") == []
+
+    @pytest.mark.parametrize(
+        "text", [" ", "   ", "\t", "\n\n", " \t \n  \r "]
+    )
+    def test_whitespace_only(self, text):
+        assert tokenize(text) == []
+
+    def test_ascii_curly_quotes_kept_as_punctuation_tokens(self):
+        tokens = tokenize("He said “Kashmir” loudly.")
+        assert tokens == ["He", "said", "“", "Kashmir", "”", "loudly", "."]
+
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            # Unicode punctuation outside the tokenizer's class is
+            # dropped, never crashes, and never glues words together.
+            ("Dylan—Desire", ["Dylan", "Desire"]),
+            ("wait…", ["wait"]),
+            ("«Kashmir»", ["Kashmir"]),
+            ("naïve", ["na", "ve"]),
+        ],
+    )
+    def test_unicode_punctuation_never_crashes(self, text, expected):
+        tokens = tokenize(text)
+        assert tokens == expected
+        assert all(isinstance(token, str) for token in tokens)
+
+    def test_punctuation_only_document(self):
+        assert tokenize("… — «»") == []
+        assert tokenize(".,;") == [".", ",", ";"]
+
+    def test_mention_flush_at_document_boundaries(self):
+        """A name as the very first/last token keeps exact offsets."""
+        tokens = tokenize("Dylan recorded Desire")
+        assert tokens[0] == "Dylan"
+        assert tokens[-1] == "Desire"
+        assert len(tokens) == 3
+
+    def test_possessive_clitic_still_split(self):
+        assert tokenize("Dylan's") == ["Dylan", "'s"]
+
+
+class TestChunkerEdgeCases:
+    @pytest.fixture(scope="class")
+    def chunker(self):
+        return KeyphraseChunker()
+
+    def test_empty_token_list(self, chunker):
+        assert chunker.extract([]) == []
+        assert chunker.extract_spans([]) == []
+
+    def test_whitespace_only_document_has_no_tokens_to_chunk(self, chunker):
+        assert chunker.extract(tokenize("   \n\t ")) == []
+
+    def test_single_proper_noun_at_both_boundaries(self, chunker):
+        # One token that is the whole document: span [0, 1).
+        spans = chunker.extract_spans([TaggedToken("Dylan", "NNP")])
+        assert spans == [(0, 1)]
+
+    def test_proper_noun_span_at_document_start(self, chunker):
+        tagged = PosTagger().tag(["Bob", "Dylan", "played", "there"])
+        spans = chunker.extract_spans(tagged)
+        assert (0, 2) in spans
+
+    def test_proper_noun_span_at_document_end(self, chunker):
+        tagged = [
+            TaggedToken("heard", "VB"),
+            TaggedToken("Bob", "NNP"),
+            TaggedToken("Dylan", "NNP"),
+        ]
+        spans = chunker.extract_spans(tagged)
+        assert (1, 3) in spans
+
+    def test_nominal_run_covering_whole_document(self, chunker):
+        tagged = [
+            TaggedToken("studio", "NN"),
+            TaggedToken("album", "NN"),
+        ]
+        assert (0, 2) in chunker.extract_spans(tagged)
+
+    def test_over_long_run_clipped_to_head_final_suffix(self):
+        chunker = KeyphraseChunker(max_phrase_len=2)
+        tagged = [TaggedToken(f"W{i}", "NNP") for i in range(5)]
+        # Clipping keeps the suffix (head noun side) of the run.
+        assert chunker.extract_spans(tagged) == [(3, 5)]
+
+    def test_unicode_tokens_chunk_without_crashing(self, chunker):
+        phrases = chunker.extract(tokenize("Bob Dylan’s Zürich concert"))
+        assert all(
+            isinstance(phrase, tuple) and phrase for phrase in phrases
+        )
+
+    def test_invalid_max_phrase_len_rejected(self):
+        with pytest.raises(ValueError):
+            KeyphraseChunker(max_phrase_len=0)
