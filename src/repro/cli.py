@@ -30,6 +30,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -39,6 +40,15 @@ from repro.datagen.wikipedia import build_world_kb
 from repro.datagen.world import World, WorldConfig
 from repro.kb.io import load_knowledge_base, save_knowledge_base
 from repro.ner.classifier import NamedEntityClassifier
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    get_metrics,
+    get_tracer,
+    set_metrics,
+    set_tracer,
+)
 from repro.ner.recognizer import NamedEntityRecognizer
 from repro.relatedness import (
     InlinkJaccardRelatedness,
@@ -89,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="full",
         help="AIDA configuration",
     )
+    _add_obs_arguments(dis)
 
     rel = subparsers.add_parser(
         "relatedness", help="score the relatedness of entity pairs"
@@ -154,8 +165,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=0,
         help="LRU capacity for --cache-relatedness (0 = unbounded)",
     )
+    _add_obs_arguments(evaluate)
 
     return parser
+
+
+def _add_obs_arguments(sub: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``disambiguate`` and ``evaluate``."""
+    group = sub.add_argument_group("observability")
+    group.add_argument(
+        "--trace-out", metavar="FILE",
+        help="record spans and write a trace file: Chrome trace_event "
+        "JSON (open in chrome://tracing or Perfetto) unless FILE ends "
+        "in .jsonl, which writes one span object per line",
+    )
+    group.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="collect counters/gauges/histograms and write the registry "
+        "snapshot as JSON",
+    )
+    group.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        help="configure repro.* structured logging on stderr at this "
+        "level (debug emits one event per pipeline stage)",
+    )
+    group.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines instead of key=value text",
+    )
+
+
+class _ObsSession:
+    """Per-command observability: enable on entry, export on exit."""
+
+    def __init__(self, args: argparse.Namespace):
+        self.trace_out = getattr(args, "trace_out", None)
+        self.metrics_out = getattr(args, "metrics_out", None)
+        log_level = getattr(args, "log_level", None)
+        log_json = getattr(args, "log_json", False)
+        if log_level or log_json:
+            configure_logging(log_level or "info", json=log_json)
+        self._prev_tracer = None
+        self._prev_metrics = None
+        if self.trace_out:
+            self._prev_tracer = set_tracer(Tracer())
+        if self.metrics_out:
+            self._prev_metrics = set_metrics(MetricsRegistry())
+
+    def finish(self) -> None:
+        """Write the requested artifacts and restore global state."""
+        if self.trace_out:
+            tracer = get_tracer()
+            if self.trace_out.endswith(".jsonl"):
+                count = tracer.export_jsonl(self.trace_out)
+            else:
+                count = tracer.export_chrome(self.trace_out) // 2
+            print(f"wrote {count} spans to {self.trace_out}")
+            set_tracer(self._prev_tracer)
+        if self.metrics_out:
+            snapshot = get_metrics().snapshot()
+            with open(self.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote metrics to {self.metrics_out}")
+            set_metrics(self._prev_metrics)
 
 
 def _input_text(args: argparse.Namespace) -> str:
@@ -187,23 +261,27 @@ def cmd_generate_kb(args: argparse.Namespace) -> int:
 
 def cmd_disambiguate(args: argparse.Namespace) -> int:
     """Handle ``disambiguate``: NER + AIDA over the input text."""
-    kb = load_knowledge_base(args.kb)
-    document = _document(_input_text(args), kb)
-    if not document.mentions:
-        print("no entity mentions recognized")
+    obs = _ObsSession(args)
+    try:
+        kb = load_knowledge_base(args.kb)
+        document = _document(_input_text(args), kb)
+        if not document.mentions:
+            print("no entity mentions recognized")
+            return 0
+        config = AIDA_VARIANTS[args.variant]()
+        aida = AidaDisambiguator(kb, config=config)
+        result = aida.disambiguate(document)
+        for assignment in result.assignments:
+            target = (
+                "<out of KB>"
+                if assignment.is_out_of_kb
+                else f"{assignment.entity} "
+                f"({kb.entity(assignment.entity).canonical_name})"
+            )
+            print(f"{assignment.mention.surface!r} -> {target}")
         return 0
-    config = AIDA_VARIANTS[args.variant]()
-    aida = AidaDisambiguator(kb, config=config)
-    result = aida.disambiguate(document)
-    for assignment in result.assignments:
-        target = (
-            "<out of KB>"
-            if assignment.is_out_of_kb
-            else f"{assignment.entity} "
-            f"({kb.entity(assignment.entity).canonical_name})"
-        )
-        print(f"{assignment.mention.surface!r} -> {target}")
-    return 0
+    finally:
+        obs.finish()
 
 
 def cmd_relatedness(args: argparse.Namespace) -> int:
@@ -285,44 +363,53 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.eval.runner import run_disambiguator
     from repro.relatedness.caching import CachingRelatedness
 
-    kb = load_knowledge_base(args.kb)
-    documents = load_corpus(args.corpus)
-    config = AIDA_VARIANTS[args.variant]()
-    relatedness = None
-    if args.cache_relatedness:
-        relatedness = CachingRelatedness(
-            MilneWittenRelatedness(kb.links, max(kb.entity_count, 2)),
-            maxsize=args.cache_size or None,
+    obs = _ObsSession(args)
+    try:
+        kb = load_knowledge_base(args.kb)
+        documents = load_corpus(args.corpus)
+        config = AIDA_VARIANTS[args.variant]()
+        relatedness = None
+        if args.cache_relatedness:
+            relatedness = CachingRelatedness(
+                MilneWittenRelatedness(kb.links, max(kb.entity_count, 2)),
+                maxsize=args.cache_size or None,
+            )
+        pipeline = AidaDisambiguator(
+            kb, relatedness=relatedness, config=config
         )
-    pipeline = AidaDisambiguator(kb, relatedness=relatedness, config=config)
-    batch = None
-    if args.workers > 1 and args.executor == "process":
-        batch = BatchRunner(
-            pipeline_factory=_PipelineFactory(args.kb, args.variant),
-            config=BatchConfig(
-                workers=args.workers, executor="process"
-            ),
+        batch = None
+        if args.workers > 1 and args.executor == "process":
+            batch = BatchRunner(
+                pipeline_factory=_PipelineFactory(args.kb, args.variant),
+                config=BatchConfig(
+                    workers=args.workers, executor="process"
+                ),
+            )
+        run = run_disambiguator(
+            pipeline, documents, kb=kb, workers=args.workers, batch=batch
         )
-    run = run_disambiguator(
-        pipeline, documents, kb=kb, workers=args.workers, batch=batch
-    )
-    print(f"documents: {len(documents)}")
-    if run.failures:
-        print(f"failed documents: {len(run.failures)}")
-        for failure in run.failures:
-            print(f"  {failure.doc_id}: {failure.error}", file=sys.stderr)
-    print(f"micro accuracy: {100 * run.micro:.2f}%")
-    print(f"macro accuracy: {100 * run.macro:.2f}%")
-    print(f"MAP:            {100 * run.map:.2f}%")
-    if relatedness is not None:
-        stats = relatedness.cache_stats()
-        print(
-            "relatedness cache: "
-            f"{stats.hits} hits, {stats.misses} misses, "
-            f"{stats.evictions} evictions "
-            f"({100 * stats.hit_rate:.1f}% hit rate)"
-        )
-    return 0
+        print(f"documents: {len(documents)}")
+        if run.failures:
+            print(f"failed documents: {len(run.failures)}")
+            for failure in run.failures:
+                print(
+                    f"  {failure.doc_id}: {failure.error}",
+                    file=sys.stderr,
+                )
+        print(f"micro accuracy: {100 * run.micro:.2f}%")
+        print(f"macro accuracy: {100 * run.macro:.2f}%")
+        print(f"MAP:            {100 * run.map:.2f}%")
+        if relatedness is not None:
+            stats = relatedness.cache_stats()
+            print(
+                "relatedness cache: "
+                f"{stats.hits} hits, {stats.misses} misses, "
+                f"{stats.evictions} evictions "
+                f"({100 * stats.hit_rate:.1f}% hit rate)"
+            )
+        return 0
+    finally:
+        obs.finish()
 
 
 _COMMANDS = {

@@ -35,6 +35,7 @@ Pipeline sharing rules:
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 import traceback
@@ -49,7 +50,17 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.errors import ReproError
+from repro.obs import (
+    MetricsRegistry,
+    get_metrics,
+    get_tracer,
+    log_event,
+    set_metrics,
+)
 from repro.types import DisambiguationResult, Document
+from repro.utils.timing import PipelineStats
+
+_LOG = logging.getLogger("repro.batch")
 
 #: Builds a fresh pipeline; must be picklable for ``executor="process"``.
 PipelineFactory = Callable[[], object]
@@ -118,6 +129,10 @@ class BatchOutcome:
     wall_seconds: float = 0.0
     #: Snapshot of the shared relatedness cache, when one was observable.
     cache_stats: Optional[Dict[str, object]] = None
+    #: Merged per-document :class:`~repro.utils.timing.PipelineStats`
+    #: totals across every worker — thread *and* process executors (the
+    #: per-worker counters ride back on each pickled result).
+    stats: Optional[PipelineStats] = None
 
     @property
     def ok(self) -> bool:
@@ -147,24 +162,37 @@ class BatchOutcome:
 _process_pipeline: Optional[object] = None
 
 
-def _process_init(factory: PipelineFactory) -> None:
+def _process_init(factory: PipelineFactory, metrics_enabled: bool) -> None:
     global _process_pipeline
+    if metrics_enabled:
+        # Give the child its own registry (robust under both fork and
+        # spawn); each task drains it and ships the delta back for the
+        # parent to merge.
+        set_metrics(MetricsRegistry())
     _process_pipeline = factory()
 
 
 def _process_task(index: int, document: Document):
-    """Runs in the worker process; never raises across the pickle wall."""
+    """Runs in the worker process; never raises across the pickle wall.
+
+    Returns ``(index, result, failure, obs_delta)`` — the fourth element
+    is this task's drained metrics snapshot (``None`` while metrics are
+    disabled), merged into the parent registry on arrival.
+    """
     try:
         result = _process_pipeline.disambiguate(document)
-        return index, result, None
+        failure = None
     except Exception as exc:  # noqa: BLE001 — isolation is the point
+        result = None
         failure = DocumentFailure(
             index=index,
             doc_id=document.doc_id,
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(),
         )
-        return index, None, failure
+    metrics = get_metrics()
+    obs_delta = metrics.drain() if metrics.enabled else None
+    return index, result, failure, obs_delta
 
 
 class BatchRunner:
@@ -213,9 +241,11 @@ class BatchRunner:
         return pipeline
 
     def _run_one(self, index: int, document: Document):
+        # Thread workers share the process-wide metrics registry, so the
+        # fourth (obs delta) slot is always None here.
         try:
             result = self._worker_pipeline().disambiguate(document)
-            return index, result, None
+            return index, result, None, None
         except Exception as exc:  # noqa: BLE001 — isolation is the point
             failure = DocumentFailure(
                 index=index,
@@ -223,7 +253,7 @@ class BatchRunner:
                 error=f"{type(exc).__name__}: {exc}",
                 traceback=traceback.format_exc(),
             )
-            return index, None, failure
+            return index, None, failure, None
 
     # ------------------------------------------------------------------
     # Public API
@@ -232,35 +262,76 @@ class BatchRunner:
         """Disambiguate every document; results in input order."""
         start = time.perf_counter()
         outcome = BatchOutcome(results=[None] * len(documents))
-        if documents:
-            if self.config.effective_workers <= 1:
-                self._run_serial(documents, outcome)
-            elif self.config.executor == "process":
-                self._run_pool(
-                    documents,
-                    outcome,
-                    ProcessPoolExecutor(
-                        max_workers=self.config.workers,
-                        initializer=_process_init,
-                        initargs=(self._factory,),
-                    ),
-                    submit=lambda pool, index, doc: pool.submit(
-                        _process_task, index, doc
-                    ),
-                )
-            else:
-                self._run_pool(
-                    documents,
-                    outcome,
-                    ThreadPoolExecutor(max_workers=self.config.workers),
-                    submit=lambda pool, index, doc: pool.submit(
-                        self._run_one, index, doc
-                    ),
-                )
+        with get_tracer().span(
+            "batch.run",
+            category="batch",
+            documents=len(documents),
+            executor=self.config.executor,
+            workers=self.config.effective_workers,
+        ):
+            if documents:
+                if self.config.effective_workers <= 1:
+                    self._run_serial(documents, outcome)
+                elif self.config.executor == "process":
+                    self._run_pool(
+                        documents,
+                        outcome,
+                        ProcessPoolExecutor(
+                            max_workers=self.config.workers,
+                            initializer=_process_init,
+                            initargs=(
+                                self._factory,
+                                get_metrics().enabled,
+                            ),
+                        ),
+                        submit=lambda pool, index, doc: pool.submit(
+                            _process_task, index, doc
+                        ),
+                    )
+                else:
+                    self._run_pool(
+                        documents,
+                        outcome,
+                        ThreadPoolExecutor(
+                            max_workers=self.config.workers
+                        ),
+                        submit=lambda pool, index, doc: pool.submit(
+                            self._run_one, index, doc
+                        ),
+                    )
         outcome.failures.sort(key=lambda failure: failure.index)
         outcome.wall_seconds = time.perf_counter() - start
         outcome.cache_stats = self._observe_cache()
+        outcome.stats = PipelineStats.merge(
+            result.stats
+            for result in outcome.results
+            if result is not None and result.stats is not None
+        )
+        self._publish_observations(outcome, len(documents))
         return outcome
+
+    def _publish_observations(
+        self, outcome: BatchOutcome, document_count: int
+    ) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("batch.runs").inc()
+            metrics.counter("batch.documents").inc(document_count)
+            metrics.counter("batch.failures").inc(len(outcome.failures))
+            metrics.histogram("batch.run.seconds").observe(
+                outcome.wall_seconds
+            )
+        if _LOG.isEnabledFor(logging.INFO):
+            log_event(
+                _LOG,
+                "batch.run",
+                _level=logging.INFO,
+                documents=document_count,
+                failures=len(outcome.failures),
+                executor=self.config.executor,
+                workers=self.config.effective_workers,
+                seconds=outcome.wall_seconds,
+            )
 
     # ------------------------------------------------------------------
     # Execution strategies
@@ -269,7 +340,7 @@ class BatchRunner:
         self, documents: Sequence[Document], outcome: BatchOutcome
     ) -> None:
         for index, document in enumerate(documents):
-            _, result, failure = self._run_one(index, document)
+            _, result, failure, _obs = self._run_one(index, document)
             if failure is not None:
                 outcome.failures.append(failure)
             else:
@@ -283,6 +354,8 @@ class BatchRunner:
         submit,
     ) -> None:
         window = self.config.max_pending or len(documents)
+        metrics = get_metrics()
+        queue_depth = metrics.gauge("batch.queue_depth")
         with pool:
             pending: Set[Future] = set()
             queue = iter(enumerate(documents))
@@ -295,15 +368,21 @@ class BatchRunner:
                         exhausted = True
                         break
                     pending.add(submit(pool, index, document))
+                queue_depth.set(len(pending))
                 if not pending:
                     continue
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                queue_depth.set(len(pending))
                 for future in done:
-                    index, result, failure = future.result()
+                    index, result, failure, obs_delta = future.result()
+                    if obs_delta:
+                        # A process worker's drained registry snapshot.
+                        metrics.merge(obs_delta)
                     if failure is not None:
                         outcome.failures.append(failure)
                     else:
                         outcome.results[index] = result
+        queue_depth.set(0)
 
     def _observe_cache(self) -> Optional[Dict[str, object]]:
         """Cache counters of the explicit pipeline's measure, if caching."""

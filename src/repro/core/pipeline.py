@@ -21,6 +21,9 @@ emerging-entity placeholders) and damping edge weights of selected entities
 
 from __future__ import annotations
 
+import logging
+import time
+from contextlib import contextmanager
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.config import AidaConfig, PriorMode
@@ -29,6 +32,7 @@ from repro.graph.dense_subgraph import GreedyDenseSubgraph
 from repro.graph.mention_entity_graph import MentionEntityGraph
 from repro.kb.keyphrases import KeyphraseStore
 from repro.kb.knowledge_base import KnowledgeBase
+from repro.obs import get_metrics, get_tracer, log_event
 from repro.relatedness.base import EntityRelatedness
 from repro.relatedness.milne_witten import MilneWittenRelatedness
 from repro.similarity.context import DocumentContext
@@ -43,6 +47,8 @@ from repro.types import (
 )
 from repro.utils.timing import PipelineStats, Stopwatch
 from repro.weights.model import WeightModel
+
+_LOG = logging.getLogger("repro.pipeline")
 
 
 class AidaDisambiguator:
@@ -117,58 +123,137 @@ class AidaDisambiguator:
         fixed = dict(fixed) if fixed else {}
         extra_candidates = dict(extra_candidates) if extra_candidates else {}
         watch = Stopwatch()
+        tracer = get_tracer()
+        debug = _LOG.isEnabledFor(logging.DEBUG)
 
-        with watch.measure("candidate_retrieval"):
-            candidates = self._collect_candidates(
-                document, mentions, active, fixed, extra_candidates
-            )
-        with watch.measure("feature_computation"):
-            features = self._compute_features(
-                document, mentions, active, candidates
-            )
-            edge_weights = self._edge_weights(features)
-            if entity_edge_factor:
-                self._apply_entity_factors(edge_weights, entity_edge_factor)
-            pool = self._apply_coherence_test(
-                features, edge_weights, candidates
+        def stage(name: str):
+            return self._stage(
+                watch, tracer, name, debug, document.doc_id
             )
 
-        counters: Dict[str, object] = {
-            "mentions": len(active),
-            "candidates": sum(len(pool[index]) for index in active),
-        }
-        if self.config.use_coherence:
-            with watch.measure("graph_build"):
-                graph = self._build_graph(
-                    mentions, active, pool, edge_weights, entity_edge_factor
+        with tracer.span(
+            "document",
+            category="pipeline",
+            doc_id=document.doc_id,
+            mentions=len(active),
+        ):
+            with stage("candidate_retrieval"):
+                candidates = self._collect_candidates(
+                    document, mentions, active, fixed, extra_candidates
                 )
-            counters["graph_entities"] = graph.entity_count()
-            with watch.measure("solve"):
-                local_assignment = self._solver.solve(graph)
-            assignment = {
-                active[local]: entity_id
-                for local, entity_id in local_assignment.items()
-            }
-            for key, value in self._solver.last_stats.as_dict().items():
-                counters[f"solver_{key}"] = value
-        else:
-            with watch.measure("solve"):
-                assignment = self._solve_local(active, pool, edge_weights)
+            with stage("feature_computation"):
+                features = self._compute_features(
+                    document, mentions, active, candidates
+                )
+                edge_weights = self._edge_weights(features)
+                if entity_edge_factor:
+                    self._apply_entity_factors(
+                        edge_weights, entity_edge_factor
+                    )
+            with stage("coherence_test"):
+                pool = self._apply_coherence_test(
+                    features, edge_weights, candidates
+                )
 
-        with watch.measure("post_process"):
-            result = self._build_result(
-                document,
-                mentions,
-                active,
-                candidates,
-                edge_weights,
-                assignment,
-            )
+            counters: Dict[str, object] = {
+                "mentions": len(active),
+                "candidates": sum(len(pool[index]) for index in active),
+            }
+            if self.config.use_coherence:
+                with stage("graph_build"):
+                    graph = self._build_graph(
+                        mentions,
+                        active,
+                        pool,
+                        edge_weights,
+                        entity_edge_factor,
+                    )
+                counters["graph_entities"] = graph.entity_count()
+                with stage("solve"):
+                    local_assignment = self._solver.solve(graph)
+                assignment = {
+                    active[local]: entity_id
+                    for local, entity_id in local_assignment.items()
+                }
+                for key, value in self._solver.last_stats.as_dict().items():
+                    counters[f"solver_{key}"] = value
+            else:
+                with stage("solve"):
+                    assignment = self._solve_local(
+                        active, pool, edge_weights
+                    )
+
+            with stage("post_process"):
+                result = self._build_result(
+                    document,
+                    mentions,
+                    active,
+                    candidates,
+                    edge_weights,
+                    assignment,
+                )
         self._record_cache_counters(counters)
         stats = PipelineStats.from_stopwatch(watch, counters)
         self.last_stats = stats
         result.stats = stats
+        self._publish_observations(stats, document.doc_id, debug)
         return result
+
+    @staticmethod
+    @contextmanager
+    def _stage(
+        watch: Stopwatch,
+        tracer,
+        name: str,
+        debug: bool,
+        doc_id: str,
+    ):
+        """One pipeline stage: a single clock read feeds the Stopwatch
+        (``PipelineStats.phase_seconds``), the tracer span, and the
+        per-stage debug event."""
+        start = time.perf_counter()
+        with tracer.span(name, category="stage"):
+            yield
+        elapsed = time.perf_counter() - start
+        watch.record(name, elapsed)
+        if debug:
+            log_event(
+                _LOG,
+                "pipeline.stage",
+                stage=name,
+                doc_id=doc_id,
+                seconds=elapsed,
+            )
+
+    def _publish_observations(
+        self, stats: PipelineStats, doc_id: str, debug: bool
+    ) -> None:
+        """Fold this document's stats into the global metrics registry."""
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("pipeline.documents").inc()
+            metrics.counter("pipeline.mentions").inc(
+                int(stats.counters.get("mentions", 0))
+            )
+            metrics.counter("pipeline.candidates").inc(
+                int(stats.counters.get("candidates", 0))
+            )
+            metrics.histogram("pipeline.document.seconds").observe(
+                stats.total_seconds
+            )
+            for phase, seconds in stats.phase_seconds.items():
+                metrics.histogram(
+                    f"pipeline.stage.{phase}.seconds"
+                ).observe(seconds)
+        if debug:
+            log_event(
+                _LOG,
+                "pipeline.document",
+                doc_id=doc_id,
+                mentions=stats.counters.get("mentions", 0),
+                candidates=stats.counters.get("candidates", 0),
+                seconds=stats.total_seconds,
+            )
 
     def _record_cache_counters(self, counters: Dict[str, object]) -> None:
         """Surface shared relatedness-cache counters (cumulative across

@@ -18,6 +18,7 @@ run is recorded on ``CorpusRun.failures`` and scored as all-incorrect
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,7 @@ from repro.eval.measures import (
     EvaluationResult,
 )
 from repro.kb.knowledge_base import KnowledgeBase
+from repro.obs import get_metrics, get_tracer, log_event
 from repro.types import (
     AnnotatedDocument,
     DisambiguationResult,
@@ -34,6 +36,9 @@ from repro.types import (
     EntityId,
     Mention,
 )
+from repro.utils.timing import PipelineStats
+
+_LOG = logging.getLogger("repro.eval")
 
 #: Optional hook computing mention -> confidence for one document's result.
 ConfidenceFn = Callable[
@@ -54,6 +59,9 @@ class CorpusRun:
     #: Documents that raised during a batch run (empty on the serial path,
     #: which propagates exceptions as before).
     failures: List[DocumentFailure] = field(default_factory=list)
+    #: Merged per-document pipeline stats (corpus totals) — phase seconds
+    #: and numeric counters summed across every worker, serial or batch.
+    stats: Optional[PipelineStats] = None
 
     @property
     def micro(self) -> float:
@@ -100,17 +108,43 @@ def run_disambiguator(
         )
     evaluation = EvaluationResult()
     run = CorpusRun(evaluation=evaluation)
-    if batch is not None:
-        batch_outcome = batch.run(
-            [annotated.document for annotated in documents]
+    with get_tracer().span(
+        "corpus.evaluate", category="corpus", documents=len(documents)
+    ):
+        if batch is not None:
+            batch_outcome = batch.run(
+                [annotated.document for annotated in documents]
+            )
+            results = batch_outcome.results
+            run.failures = list(batch_outcome.failures)
+            run.stats = batch_outcome.stats
+        else:
+            results = [
+                pipeline.disambiguate(annotated.document)
+                for annotated in documents
+            ]
+            run.stats = PipelineStats.merge(
+                result.stats
+                for result in results
+                if result is not None and result.stats is not None
+            )
+        _score_run(
+            run, documents, results, kb, in_kb_only, confidence_fn
         )
-        results = batch_outcome.results
-        run.failures = list(batch_outcome.failures)
-    else:
-        results = [
-            pipeline.disambiguate(annotated.document)
-            for annotated in documents
-        ]
+    _publish_observations(run, documents)
+    return run
+
+
+def _score_run(
+    run: CorpusRun,
+    documents: Sequence[AnnotatedDocument],
+    results: Sequence[Optional[DisambiguationResult]],
+    kb: Optional[KnowledgeBase],
+    in_kb_only: bool,
+    confidence_fn: Optional[ConfidenceFn],
+) -> None:
+    """Serial, input-ordered scoring of a corpus pass."""
+    evaluation = run.evaluation
     for annotated, result in zip(documents, results):
         run.results.append(result)
         confidences: Dict[Mention, float] = {}
@@ -140,7 +174,30 @@ def run_disambiguator(
                 )
             )
         evaluation.outcomes.append(outcome)
-    return run
+
+
+def _publish_observations(
+    run: CorpusRun, documents: Sequence[AnnotatedDocument]
+) -> None:
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("eval.corpus_runs").inc()
+        metrics.counter("eval.documents").inc(len(documents))
+        metrics.counter("eval.mentions_scored").inc(
+            len(run.link_records)
+        )
+        metrics.counter("eval.failures").inc(len(run.failures))
+    if _LOG.isEnabledFor(logging.INFO):
+        log_event(
+            _LOG,
+            "eval.corpus",
+            _level=logging.INFO,
+            documents=len(documents),
+            mentions_scored=len(run.link_records),
+            failures=len(run.failures),
+            micro=run.micro,
+            macro=run.macro,
+        )
 
 
 def _inlink_count(

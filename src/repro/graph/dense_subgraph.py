@@ -34,14 +34,18 @@ results are bit-identical.
 from __future__ import annotations
 
 import heapq
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.errors import GraphError
 from repro.graph.mention_entity_graph import MentionEntityGraph
 from repro.graph.shortest_paths import entity_mention_distances
+from repro.obs import get_metrics, get_tracer, log_event
 from repro.types import EntityId
 from repro.utils.rng import SeededRng
+
+_LOG = logging.getLogger("repro.solver")
 
 
 @dataclass(frozen=True)
@@ -87,6 +91,9 @@ class SolverStats:
     #: Heap pops, including discarded stale entries (0 on the reference
     #: scan path).
     heap_pops: int = 0
+    #: Best-subgraph checkpoints taken (times the density objective
+    #: improved, including the initial state).
+    checkpoints: int = 0
     #: Best value of the min-weighted-degree density objective.
     best_objective: float = 0.0
     #: Post-processing strategy used: "enumerate", "local_search" or "".
@@ -99,6 +106,7 @@ class SolverStats:
             "best_entities": self.best_entities,
             "iterations": self.iterations,
             "heap_pops": self.heap_pops,
+            "checkpoints": self.checkpoints,
             "best_objective": self.best_objective,
             "postprocess": self.postprocess,
         }
@@ -119,20 +127,51 @@ class GreedyDenseSubgraph:
         self.last_stats = stats
         if graph.mention_count == 0:
             return {}
-        self._preprocess(graph)
+        tracer = get_tracer()
+        with tracer.span("solver.preprocess", category="solver"):
+            self._preprocess(graph)
         stats.initial_entities = graph.entity_count()
-        if self.config.exact_reference:
-            best = self._main_loop_reference(graph, stats)
-            graph.restore(best)
-        else:
-            best_checkpoint = self._main_loop(graph, stats)
-            graph.rollback(best_checkpoint)
-            # The reference path's restore() recomputes degrees from
-            # scratch; canonicalize here so both paths hand bit-identical
-            # degrees to the post-processing local search.
-            graph.canonicalize_degrees()
+        with tracer.span("solver.main_loop", category="solver"):
+            if self.config.exact_reference:
+                best = self._main_loop_reference(graph, stats)
+                graph.restore(best)
+            else:
+                best_checkpoint = self._main_loop(graph, stats)
+                graph.rollback(best_checkpoint)
+                # The reference path's restore() recomputes degrees from
+                # scratch; canonicalize here so both paths hand
+                # bit-identical degrees to the post-processing local
+                # search.
+                graph.canonicalize_degrees()
         stats.best_entities = graph.entity_count()
-        return self._postprocess(graph)
+        with tracer.span("solver.postprocess", category="solver"):
+            assignment = self._postprocess(graph)
+        self._publish_observations(stats)
+        return assignment
+
+    @staticmethod
+    def _publish_observations(stats: SolverStats) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("solver.solves").inc()
+            metrics.counter("solver.iterations").inc(stats.iterations)
+            metrics.counter("solver.heap_pops").inc(stats.heap_pops)
+            metrics.counter("solver.checkpoints").inc(stats.checkpoints)
+            if stats.postprocess:
+                metrics.counter(
+                    f"solver.postprocess.{stats.postprocess}"
+                ).inc()
+        if _LOG.isEnabledFor(logging.DEBUG):
+            log_event(
+                _LOG,
+                "solver.solve",
+                initial_entities=stats.initial_entities,
+                best_entities=stats.best_entities,
+                iterations=stats.iterations,
+                heap_pops=stats.heap_pops,
+                checkpoints=stats.checkpoints,
+                postprocess=stats.postprocess,
+            )
 
     # ------------------------------------------------------------------
     # Phase 1: distance-based pruning
@@ -154,6 +193,7 @@ class GreedyDenseSubgraph:
     ) -> int:
         """Incremental heap loop; returns the best graph checkpoint."""
         best_checkpoint = graph.checkpoint()
+        stats.checkpoints += 1
         victim_heap: List[Tuple[float, EntityId]] = []
         min_heap: List[Tuple[float, EntityId]] = []
         for entity_id in graph.active_entities():
@@ -178,6 +218,7 @@ class GreedyDenseSubgraph:
             if objective > best_objective:
                 best_objective = objective
                 best_checkpoint = graph.checkpoint()
+                stats.checkpoints += 1
         stats.best_objective = best_objective
         return best_checkpoint
 
@@ -231,6 +272,7 @@ class GreedyDenseSubgraph:
     ) -> FrozenSet[EntityId]:
         """The original full-rescan loop (kept for cross-checking)."""
         best_snapshot = graph.snapshot()
+        stats.checkpoints += 1
         best_objective = self._objective(graph)
         while True:
             victim = self._lowest_degree_non_taboo(graph)
@@ -242,6 +284,7 @@ class GreedyDenseSubgraph:
             if objective > best_objective:
                 best_objective = objective
                 best_snapshot = graph.snapshot()
+                stats.checkpoints += 1
         stats.best_objective = best_objective
         return best_snapshot
 

@@ -1,0 +1,75 @@
+"""Observability: hierarchical tracing, metrics, structured logging.
+
+Three pillars, each with a near-free disabled default so the pipeline
+carries zero configuration burden and ≈zero overhead until a caller opts
+in (gated by ``benchmarks/bench_obs_overhead.py``):
+
+* **Tracing** (:mod:`repro.obs.tracing`) — hierarchical spans
+  (corpus → document → pipeline stage → solver phase) with thread-local
+  span stacks, exported as JSON Lines or Chrome ``trace_event`` files
+  loadable in ``chrome://tracing``/Perfetto.  Enable with
+  ``set_tracer(Tracer())``.
+* **Metrics** (:mod:`repro.obs.metrics`) — a thread-safe registry of
+  counters, gauges and fixed-bucket histograms (p50/p90/p99) whose
+  snapshots are picklable and mergeable, so ``BatchRunner`` fans numbers
+  in from thread *and* process workers.  Enable with
+  ``set_metrics(MetricsRegistry())``.
+* **Logging** (:mod:`repro.obs.logging`) — the ``repro.*`` stdlib logger
+  hierarchy with one ``configure_logging(level, json=False)`` entry
+  point and key=value / JSON-line event records via ``log_event``.
+
+See ``docs/observability.md`` for the span taxonomy and metric naming
+convention.
+"""
+
+from repro.obs.logging import (
+    JsonFormatter,
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+    log_event,
+    parse_level,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "get_metrics",
+    "get_tracer",
+    "log_event",
+    "parse_level",
+    "set_metrics",
+    "set_tracer",
+]

@@ -1,0 +1,174 @@
+"""Structured stdlib logging for the ``repro.*`` logger hierarchy.
+
+One entry point configures the whole tree::
+
+    from repro.obs import configure_logging
+    configure_logging("debug")              # key=value lines on stderr
+    configure_logging("info", json=True)    # one JSON object per line
+
+Modules emit *events* — a dotted event name plus key=value fields — via
+:func:`log_event`::
+
+    log_event(logger, "pipeline.stage", stage="solve", seconds=0.012)
+
+which renders as ``... event=pipeline.stage stage=solve seconds=0.012``
+in text mode and as ``{"event": "pipeline.stage", "stage": "solve",
+...}`` in JSON mode.  Plain ``logger.info("...")`` calls pass through
+both formatters unchanged, so no caller is forced onto the event API.
+
+Nothing here configures logging at import time: until
+:func:`configure_logging` runs, ``repro`` loggers obey whatever the host
+application set up (library-friendly default).
+"""
+
+from __future__ import annotations
+
+import json as _json
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+#: Root of the hierarchy: ``repro.pipeline``, ``repro.solver``, …
+ROOT_LOGGER_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+#: Marker attribute identifying handlers installed by configure_logging.
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (prefix added if absent)."""
+    if name != ROOT_LOGGER_NAME and not name.startswith(
+        ROOT_LOGGER_NAME + "."
+    ):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def parse_level(level: Any) -> int:
+    """``"debug"``/``"INFO"``/``10`` → a stdlib logging level int."""
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[str(level).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of "
+            f"{sorted(_LEVELS)}"
+        ) from None
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts level logger event=... key=value ...`` single-line records."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        timestamp = time.strftime(
+            "%H:%M:%S", time.localtime(record.created)
+        )
+        parts = [
+            f"{timestamp}.{int(record.msecs):03d}",
+            record.levelname.lower(),
+            record.name,
+        ]
+        event = getattr(record, "event", None)
+        if event is not None:
+            parts.append(f"event={event}")
+            fields: Dict[str, Any] = getattr(record, "event_fields", {})
+            parts.extend(
+                f"{key}={_scalar(value)}" for key, value in fields.items()
+            )
+        else:
+            parts.append(record.getMessage())
+        line = " ".join(parts)
+        if record.exc_info:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record (machine-ingestible log stream)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+        }
+        event = getattr(record, "event", None)
+        if event is not None:
+            payload["event"] = event
+            for key, value in getattr(record, "event_fields", {}).items():
+                if key not in payload:
+                    payload[key] = value
+        else:
+            payload["message"] = record.getMessage()
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return _json.dumps(payload, default=str)
+
+
+def _scalar(value: Any) -> str:
+    """Render one field value for the key=value formatter."""
+    if isinstance(value, float):
+        return format(value, ".6g")
+    text = str(value)
+    if " " in text or "=" in text:
+        return repr(text)
+    return text
+
+
+def configure_logging(
+    level: Any = "info",
+    json: bool = False,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the root logger.
+
+    Installs exactly one stream handler (stderr by default) with either
+    the key=value or the JSON formatter; calling again reconfigures
+    idempotently.  ``repro`` loggers stop propagating to the stdlib root
+    so host applications don't double-print.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(parse_level(level))
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    handler.setFormatter(JsonFormatter() if json else KeyValueFormatter())
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    _level: int = logging.DEBUG,
+    **fields: Any,
+) -> None:
+    """Emit one structured event record at ``_level`` (DEBUG default).
+
+    Cheap when disabled: the level check happens before any record is
+    built, so hot paths may call this unguarded (guarding with
+    ``logger.isEnabledFor`` is still slightly cheaper when computing
+    field values costs anything).
+    """
+    if logger.isEnabledFor(_level):
+        logger.log(
+            _level,
+            "%s",
+            event,
+            extra={"event": event, "event_fields": fields},
+        )

@@ -1,0 +1,434 @@
+"""Thread-safe metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` names and owns every metric::
+
+    metrics = MetricsRegistry()
+    metrics.counter("pipeline.documents").inc()
+    metrics.gauge("batch.queue_depth").set(7)
+    metrics.histogram("pipeline.stage.solve.seconds").observe(0.012)
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain picklable dicts, so
+worker *processes* can ship their numbers across the pickle wall and the
+parent merges them with :meth:`MetricsRegistry.merge`;
+:meth:`MetricsRegistry.drain` atomically snapshots-and-resets, which is
+how ``BatchRunner`` process workers report deltas per task.  Worker
+*threads* simply share one registry — every mutation takes the owning
+metric's lock.
+
+Histograms use fixed bucket boundaries (default: a log-spaced
+seconds-oriented ladder), recording per-bucket counts plus count / sum /
+min / max; p50/p90/p99 are nearest-rank estimates that resolve to the
+upper bound of the bucket holding the rank (clamped to the observed max).
+
+The disabled path is near-free: :data:`NULL_METRICS` hands out shared
+no-op metric objects.  The process-wide registry defaults to it; enable
+with :func:`set_metrics`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Log-spaced ladder for durations in seconds (overflow bucket above).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+#: The quantiles every histogram snapshot reports.
+SNAPSHOT_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (default 1)."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A point-in-time value (queue depth, cache size, …)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Shift the current value by *amount*."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Shift the current value by ``-amount``."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with nearest-rank quantile estimates."""
+
+    __slots__ = (
+        "name",
+        "bounds",
+        "_lock",
+        "_bucket_counts",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+    )
+
+    def __init__(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ):
+        self.name = name
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                "histogram buckets must be strictly increasing and "
+                "non-empty"
+            )
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        # One slot per bound plus the overflow bucket.
+        self._bucket_counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        slot = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._bucket_counts[slot] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of recorded samples."""
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate from the bucket counts.
+
+        Resolves to the upper bound of the bucket containing the rank,
+        clamped to the observed maximum (exact for the overflow bucket).
+        """
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
+        if self._count == 0:
+            return 0.0
+        # Nearest-rank: ceil(q*n); the epsilon guards against float
+        # products like q*n = 9.000000000000002 ceiling one rank too far.
+        rank = min(
+            self._count, max(1, math.ceil(q * self._count - 1e-9))
+        )
+        cumulative = 0
+        for slot, bucket_count in enumerate(self._bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if slot < len(self.bounds):
+                    return min(self.bounds[slot], self._max)
+                return self._max
+        return self._max
+
+    def _snapshot_locked(self) -> Dict[str, object]:
+        snap: Dict[str, object] = {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else 0.0,
+            "max": self._max if self._count else 0.0,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self._bucket_counts),
+        }
+        for label, q in SNAPSHOT_QUANTILES:
+            snap[label] = self._quantile_locked(q)
+        return snap
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view: counts, sum, min/max, buckets, p50/p90/p99."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._bucket_counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
+
+
+class MetricsRegistry:
+    """Names and owns every metric; snapshots merge across workers."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Metric accessors (create on first use)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called *name*, created on first use."""
+        metric = self._counters.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(name, Counter(name))
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called *name*, created on first use."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(name, Gauge(name))
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram called *name*, created on first use."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(
+                    name, Histogram(name, buckets)
+                )
+        return metric
+
+    # ------------------------------------------------------------------
+    # Snapshots and merging
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A picklable, consistent-per-metric copy of every metric."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        return {
+            "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: g.value for g in gauges},
+            "histograms": {h.name: h.snapshot() for h in histograms},
+        }
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Alias of :meth:`snapshot` (JSON output, ``--metrics-out``)."""
+        return self.snapshot()
+
+    def reset(self) -> None:
+        """Zero every metric (names and bucket layouts are kept)."""
+        with self._lock:
+            metrics: List[object] = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for metric in metrics:
+            metric._reset()
+
+    def drain(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot then reset — the per-task delta a process worker
+        ships back to the parent for :meth:`merge`."""
+        snap = self.snapshot()
+        self.reset()
+        return snap
+
+    def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters add; gauges keep the larger value (the interesting
+        direction for queue depths and cache sizes); histograms add
+        bucket counts (bucket layouts must match) and widen min/max.
+        """
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            with gauge._lock:
+                if value > gauge._value:
+                    gauge._value = value
+        for name, snap in snapshot.get("histograms", {}).items():
+            if not snap.get("count"):
+                continue
+            histogram = self.histogram(
+                name, buckets=snap.get("bounds") or None
+            )
+            if list(histogram.bounds) != list(snap["bounds"]):
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bucket bounds "
+                    "differ"
+                )
+            with histogram._lock:
+                for slot, bucket_count in enumerate(snap["bucket_counts"]):
+                    histogram._bucket_counts[slot] += bucket_count
+                histogram._count += snap["count"]
+                histogram._sum += snap["sum"]
+                histogram._min = min(histogram._min, snap["min"])
+                histogram._max = max(histogram._max, snap["max"])
+
+
+class _NullMetric:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    count = 0
+    sum = 0.0
+    bounds: Tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetricsRegistry:
+    """API-compatible registry that records nothing."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        return self.snapshot()
+
+    def reset(self) -> None:
+        pass
+
+    def drain(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+    def merge(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        pass
+
+
+#: The process-wide disabled registry (shared singleton).
+NULL_METRICS = NullMetricsRegistry()
+
+_metrics: object = NULL_METRICS
+
+
+def get_metrics():
+    """The process-wide metrics registry (``NULL_METRICS`` by default)."""
+    return _metrics
+
+
+def set_metrics(registry) -> object:
+    """Install *registry* process-wide; returns the previous one.
+
+    Pass ``None`` (or :data:`NULL_METRICS`) to disable metrics again.
+    """
+    global _metrics
+    previous = _metrics
+    _metrics = registry if registry is not None else NULL_METRICS
+    return previous

@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.obs import get_metrics
 from repro.relatedness.base import EntityRelatedness
 from repro.types import EntityId
 
@@ -103,6 +104,10 @@ class CachingRelatedness(EntityRelatedness):
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        # Last values pushed to the global metrics registry (delta base),
+        # guarded by its own lock so publishing never blocks lookups.
+        self._publish_lock = threading.Lock()
+        self._published: Dict[str, int] = {}
         self.name = f"cached({inner.name})"
 
     # ------------------------------------------------------------------
@@ -164,9 +169,16 @@ class CachingRelatedness(EntityRelatedness):
     # Introspection
     # ------------------------------------------------------------------
     def cache_stats(self) -> CacheStats:
-        """A consistent snapshot of the counters."""
+        """A consistent snapshot of the counters.
+
+        Snapshot points double as the metrics publication points: the
+        deltas since the previous snapshot are folded into the global
+        :mod:`repro.obs` registry as ``relatedness.cache.*`` counters
+        (no-ops while observability is disabled), keeping the lookup hot
+        path free of any metrics work.
+        """
         with self._lock:
-            return CacheStats(
+            stats = CacheStats(
                 hits=self._hits,
                 misses=self._misses,
                 evictions=self._evictions,
@@ -174,6 +186,26 @@ class CachingRelatedness(EntityRelatedness):
                 maxsize=self._maxsize,
                 computations=self._inner.comparisons,
             )
+        self._publish_metrics(stats)
+        return stats
+
+    def _publish_metrics(self, stats: CacheStats) -> None:
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        totals = {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "computations": stats.computations,
+        }
+        with self._publish_lock:
+            for key, total in totals.items():
+                delta = total - self._published.get(key, 0)
+                if delta > 0:
+                    metrics.counter(f"relatedness.cache.{key}").inc(delta)
+                    self._published[key] = total
+            metrics.gauge("relatedness.cache.size").set(stats.size)
 
     def reset_stats(self) -> None:
         """Clear the LRU, the counters, and the wrapped measure's stats."""
@@ -182,5 +214,7 @@ class CachingRelatedness(EntityRelatedness):
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+        with self._publish_lock:
+            self._published.clear()
         super().reset_stats()
         self._inner.reset_stats()

@@ -3,9 +3,10 @@ the per-stage pipeline instrumentation."""
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 
 class Stopwatch:
@@ -64,8 +65,8 @@ class PipelineStats:
     """Per-stage instrumentation of one disambiguation run.
 
     ``phase_seconds`` maps stage name (``candidate_retrieval``,
-    ``feature_computation``, ``graph_build``, ``solve``, ``post_process``)
-    to accumulated wall-clock seconds; ``counters`` carries volume/effort
+    ``feature_computation``, ``coherence_test``, ``graph_build``,
+    ``solve``, ``post_process``) to accumulated wall-clock seconds; ``counters`` carries volume/effort
     numbers (mention and candidate counts, solver iterations, heap pops,
     …).  Attached to :class:`repro.types.DisambiguationResult` and kept as
     ``last_stats`` on the disambiguator.
@@ -87,6 +88,61 @@ class PipelineStats:
             },
             counters=dict(counters) if counters else {},
         )
+
+    @classmethod
+    def from_registry(
+        cls, registry, stage_prefix: str = "pipeline.stage."
+    ) -> "PipelineStats":
+        """View a :class:`repro.obs.metrics.MetricsRegistry` as stats.
+
+        ``phase_seconds`` comes from the ``{stage_prefix}<name>.seconds``
+        histogram sums; ``counters`` from every registry counter.  This
+        is the cross-document aggregate view — per-document stats stay on
+        each :class:`~repro.types.DisambiguationResult`.
+        """
+        snapshot = registry.snapshot()
+        suffix = ".seconds"
+        phase_seconds: Dict[str, float] = {}
+        for name, hist in snapshot.get("histograms", {}).items():
+            if name.startswith(stage_prefix) and name.endswith(suffix):
+                phase = name[len(stage_prefix):-len(suffix)]
+                phase_seconds[phase] = float(hist.get("sum", 0.0))
+        return cls(
+            phase_seconds=phase_seconds,
+            counters=dict(snapshot.get("counters", {})),
+        )
+
+    @classmethod
+    def merge(cls, stats: Iterable["PipelineStats"]) -> "PipelineStats":
+        """Fold per-document stats into corpus totals.
+
+        Phase seconds and numeric counters add up; ``relatedness_cache_*``
+        counters are *cumulative snapshots* (each document reports the
+        shared cache's running totals), so the merged value keeps the
+        maximum seen rather than a meaningless sum.  Non-numeric counters
+        (e.g. the solver's post-process strategy string) are dropped.
+        """
+        merged = cls()
+        for item in stats:
+            if item is None:
+                continue
+            for phase, seconds in item.phase_seconds.items():
+                merged.phase_seconds[phase] = (
+                    merged.phase_seconds.get(phase, 0.0) + seconds
+                )
+            for key, value in item.counters.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                if key.startswith("relatedness_cache_"):
+                    previous = merged.counters.get(key, value)
+                    merged.counters[key] = max(previous, value)
+                else:
+                    merged.counters[key] = (
+                        merged.counters.get(key, 0) + value
+                    )
+        return merged
 
     @property
     def total_seconds(self) -> float:
@@ -127,9 +183,18 @@ class TimingStats:
         return (sum((x - mean) ** 2 for x in self.samples) / (n - 1)) ** 0.5
 
     def quantile(self, q: float) -> float:
-        """Empirical quantile by nearest-rank (q in [0, 1])."""
+        """Empirical quantile by nearest-rank (q in [0, 1]).
+
+        Nearest-rank is ``ceil(q*n) - 1`` (0-based): q=0.9 over 10
+        samples is the 9th ordered sample, not the maximum.  The epsilon
+        guards against float products like ``q*n = 9.000000000000002``
+        ceiling one rank too far.
+        """
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
-        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        rank = min(
+            len(ordered) - 1,
+            max(0, math.ceil(q * len(ordered) - 1e-9) - 1),
+        )
         return ordered[rank]

@@ -21,6 +21,8 @@ from repro.core.batch import (
     BatchRunner,
     DocumentFailure,
 )
+from repro.obs import MetricsRegistry, get_metrics, set_metrics
+from repro.utils.timing import PipelineStats
 from repro.types import (
     DisambiguationResult,
     Document,
@@ -76,12 +78,47 @@ class FlakyPipeline(EchoPipeline):
         return super().disambiguate(document)
 
 
+class StatsPipeline(EchoPipeline):
+    """Attaches per-document PipelineStats; picklable for process pools."""
+
+    def disambiguate(self, document: Document) -> DisambiguationResult:
+        index = int(document.doc_id.split("-")[1])
+        result = _result_for(document)
+        result.stats = PipelineStats(
+            phase_seconds={"solve": 0.25, "graph_build": 0.5},
+            counters={
+                "mentions": 2,
+                "relatedness_cache_hits": 10 * (index + 1),
+                "post_process": "keep",
+            },
+        )
+        return result
+
+
+class MeteredPipeline(EchoPipeline):
+    """Records to whatever registry is live in its (worker) process."""
+
+    def disambiguate(self, document: Document) -> DisambiguationResult:
+        metrics = get_metrics()
+        metrics.counter("toy.documents").inc()
+        metrics.histogram("toy.seconds").observe(0.001)
+        return super().disambiguate(document)
+
+
 def _make_flaky_for_process():
     return FlakyPipeline({"doc-2"})
 
 
 def _make_echo_for_process():
     return EchoPipeline()
+
+
+def _make_stats_for_process():
+    return StatsPipeline()
+
+
+def _make_metered_for_process():
+    return MeteredPipeline()
 
 
 class TestBatchConfig:
@@ -222,6 +259,77 @@ class TestFactoriesAndSharing:
         assert [r.doc_id for r in outcome.results] == [
             d.doc_id for d in documents
         ]
+
+
+class TestMergedStats:
+    @pytest.mark.parametrize(
+        "config,factory",
+        [
+            (BatchConfig(), None),
+            (BatchConfig(workers=3, executor="thread"), None),
+            (
+                BatchConfig(workers=2, executor="process"),
+                _make_stats_for_process,
+            ),
+        ],
+        ids=["serial", "thread", "process"],
+    )
+    def test_outcome_carries_corpus_totals(self, config, factory):
+        documents = [_doc(i) for i in range(6)]
+        runner = BatchRunner(
+            pipeline=None if factory else StatsPipeline(),
+            pipeline_factory=factory,
+            config=config,
+        )
+        outcome = runner.run(documents)
+        assert outcome.ok
+        merged = outcome.stats
+        assert merged is not None
+        assert merged.phase_seconds["solve"] == pytest.approx(6 * 0.25)
+        assert merged.phase_seconds["graph_build"] == pytest.approx(3.0)
+        assert merged.counters["mentions"] == 12
+        # Cache counters are cumulative snapshots: max, not sum.
+        assert merged.counters["relatedness_cache_hits"] == 60
+        # Non-numeric counters are dropped from corpus totals.
+        assert "post_process" not in merged.counters
+
+    def test_stats_skip_failed_and_statless_documents(self):
+        outcome = BatchRunner(
+            pipeline=FlakyPipeline({"doc-1"}),
+        ).run([_doc(i) for i in range(3)])
+        assert outcome.stats is not None
+        assert outcome.stats.phase_seconds == {}
+        assert outcome.stats.counters == {}
+
+
+class TestProcessMetricsMerge:
+    @pytest.fixture
+    def live_registry(self):
+        registry = MetricsRegistry()
+        set_metrics(registry)
+        yield registry
+        set_metrics(None)
+
+    def test_worker_deltas_merge_into_parent(self, live_registry):
+        documents = [_doc(i) for i in range(8)]
+        outcome = BatchRunner(
+            pipeline_factory=_make_metered_for_process,
+            config=BatchConfig(workers=2, executor="process"),
+        ).run(documents)
+        assert outcome.ok
+        assert live_registry.counter("toy.documents").value == 8
+        assert live_registry.histogram("toy.seconds").count == 8
+        assert live_registry.counter("batch.documents").value == 8
+        assert live_registry.gauge("batch.queue_depth").value == 0
+
+    def test_disabled_metrics_stay_disabled(self):
+        assert not get_metrics().enabled
+        outcome = BatchRunner(
+            pipeline_factory=_make_metered_for_process,
+            config=BatchConfig(workers=2, executor="process"),
+        ).run([_doc(i) for i in range(3)])
+        assert outcome.ok
+        assert not get_metrics().enabled
 
 
 class TestProcessExecutor:

@@ -1,0 +1,137 @@
+"""Chrome ``trace_event`` exporter schema tests.
+
+The exported file must round-trip ``json.load``, contain only duration
+events (B/E) with monotonically non-decreasing ``ts``, and pair every B
+with a same-thread, same-name E in stack order — otherwise Perfetto and
+chrome://tracing render garbage or refuse the file outright.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List
+
+import pytest
+
+from repro.obs import Tracer
+
+
+def _load(path) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _check_stream(events: List[dict]) -> Dict[int, List[str]]:
+    """Assert monotonic ts + matched B/E pairs; return final stacks."""
+    last_ts = float("-inf")
+    stacks: Dict[int, List[str]] = {}
+    for event in events:
+        assert event["ph"] in ("B", "E")
+        assert event["ts"] >= last_ts, "ts went backwards"
+        last_ts = event["ts"]
+        stack = stacks.setdefault(event["tid"], [])
+        if event["ph"] == "B":
+            stack.append(event["name"])
+        else:
+            assert stack, f"E without B: {event['name']}"
+            assert stack[-1] == event["name"], "mis-nested B/E pair"
+            stack.pop()
+    return stacks
+
+
+@pytest.fixture
+def nested_trace(tmp_path):
+    tracer = Tracer()
+    with tracer.span("document", category="pipeline", doc_id="d1"):
+        for stage in ("graph_build", "solve"):
+            with tracer.span(stage, category="stage"):
+                with tracer.span("solver.main_loop", category="solver"):
+                    pass
+    path = tmp_path / "trace.json"
+    tracer.export_chrome(str(path))
+    return _load(path)
+
+
+class TestSchema:
+    def test_top_level_shape(self, nested_trace):
+        assert set(nested_trace) >= {"traceEvents", "displayTimeUnit"}
+        assert nested_trace["displayTimeUnit"] == "ms"
+        assert isinstance(nested_trace["traceEvents"], list)
+
+    def test_event_fields(self, nested_trace):
+        for event in nested_trace["traceEvents"]:
+            assert set(event) >= {"name", "ph", "ts", "pid", "tid"}
+            assert isinstance(event["ts"], float)
+            assert event["ts"] >= 0.0
+            if event["ph"] == "B":
+                assert "cat" in event
+
+    def test_matched_pairs_and_monotonic_ts(self, nested_trace):
+        events = nested_trace["traceEvents"]
+        # 5 spans -> 5 B + 5 E events.
+        assert len(events) == 10
+        stacks = _check_stream(events)
+        assert all(not stack for stack in stacks.values())
+
+    def test_nesting_preserved_in_event_order(self, nested_trace):
+        names = [
+            (e["ph"], e["name"]) for e in nested_trace["traceEvents"]
+        ]
+        assert names[0] == ("B", "document")
+        assert names[-1] == ("E", "document")
+        assert names.index(("B", "solve")) > names.index(
+            ("E", "graph_build")
+        )
+
+    def test_args_attached_to_begin_event(self, nested_trace):
+        begin = next(
+            e
+            for e in nested_trace["traceEvents"]
+            if e["ph"] == "B" and e["name"] == "document"
+        )
+        assert begin["args"] == {"doc_id": "d1"}
+        assert begin["cat"] == "pipeline"
+
+
+class TestThreadedExport:
+    def test_interleaved_threads_stay_valid(self, tmp_path):
+        """Concurrent spans from several threads interleave in ts order
+        yet remain correctly paired per tid."""
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def work(i: int) -> None:
+            with tracer.span(f"outer-{i}"):
+                barrier.wait(timeout=10)
+                for j in range(5):
+                    with tracer.span(f"inner-{i}-{j}"):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        path = tmp_path / "threads.json"
+        tracer.export_chrome(str(path))
+        events = _load(path)["traceEvents"]
+        assert len(events) == 2 * 4 * 6
+        stacks = _check_stream(events)
+        assert len(stacks) == 4
+        assert all(not stack for stack in stacks.values())
+
+    def test_zero_duration_spans_keep_pair_order(self, tmp_path):
+        """Back-to-back instant spans must not emit an E before its B
+        when ts values collide."""
+        tracer = Tracer()
+        for _ in range(200):
+            with tracer.span("tick"):
+                pass
+        path = tmp_path / "ticks.json"
+        tracer.export_chrome(str(path))
+        events = _load(path)["traceEvents"]
+        assert len(events) == 400
+        _check_stream(events)

@@ -1,0 +1,160 @@
+"""Structured logging tests (:mod:`repro.obs.logging`) including the
+per-stage pipeline event smoke the CI log-capture job mirrors."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.obs import configure_logging, get_logger, log_event, parse_level
+from repro.obs.logging import ROOT_LOGGER_NAME
+from repro.types import Document, Mention
+
+
+@pytest.fixture
+def restore_logging():
+    """Snapshot and restore the repro root logger around each test."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    state = (root.level, list(root.handlers), root.propagate)
+    yield root
+    root.level, root.propagate = state[0], state[2]
+    root.handlers[:] = state[1]
+
+
+class TestConfiguration:
+    def test_levels_parse(self):
+        assert parse_level("debug") == logging.DEBUG
+        assert parse_level("INFO") == logging.INFO
+        assert parse_level(logging.ERROR) == logging.ERROR
+        with pytest.raises(ValueError):
+            parse_level("loud")
+
+    def test_get_logger_prefixes_hierarchy(self):
+        assert get_logger("pipeline").name == "repro.pipeline"
+        assert get_logger("repro.solver").name == "repro.solver"
+        assert get_logger("repro").name == "repro"
+
+    def test_configure_is_idempotent(self, restore_logging):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        configure_logging("debug", stream=stream)
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        ours = [
+            h for h in root.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(ours) == 1
+        assert root.level == logging.DEBUG
+        assert root.propagate is False
+
+
+class TestFormats:
+    def test_key_value_lines(self, restore_logging):
+        stream = io.StringIO()
+        configure_logging("debug", stream=stream)
+        log_event(
+            get_logger("pipeline"),
+            "pipeline.stage",
+            stage="solve",
+            seconds=0.012,
+            note="two words",
+        )
+        line = stream.getvalue().strip()
+        assert "event=pipeline.stage" in line
+        assert "stage=solve" in line
+        assert "seconds=0.012" in line
+        assert "note='two words'" in line
+        assert "repro.pipeline" in line
+
+    def test_plain_logging_calls_pass_through(self, restore_logging):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("kb").info("loaded %d entities", 42)
+        assert "loaded 42 entities" in stream.getvalue()
+
+    def test_json_lines(self, restore_logging):
+        stream = io.StringIO()
+        configure_logging("debug", json=True, stream=stream)
+        log_event(
+            get_logger("solver"),
+            "solver.solve",
+            iterations=7,
+            _level=logging.INFO,
+        )
+        get_logger("solver").warning("plain %s", "message")
+        records = [
+            json.loads(line)
+            for line in stream.getvalue().splitlines()
+        ]
+        assert records[0]["event"] == "solver.solve"
+        assert records[0]["iterations"] == 7
+        assert records[0]["level"] == "info"
+        assert records[0]["logger"] == "repro.solver"
+        assert records[1]["message"] == "plain message"
+
+    def test_exceptions_are_rendered(self, restore_logging):
+        stream = io.StringIO()
+        configure_logging("debug", json=True, stream=stream)
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger("x").exception("failed")
+        payload = json.loads(stream.getvalue())
+        assert "ValueError: boom" in payload["exception"]
+
+    def test_log_event_is_lazy_below_level(self, restore_logging):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        log_event(get_logger("pipeline"), "pipeline.stage", stage="x")
+        assert stream.getvalue() == ""
+
+
+class TestPipelineStageEvents:
+    """The CI log-capture smoke: debug logging on one document emits at
+    least one record per pipeline stage and raises nothing."""
+
+    STAGES = (
+        "candidate_retrieval",
+        "feature_computation",
+        "coherence_test",
+        "graph_build",
+        "solve",
+        "post_process",
+    )
+
+    def test_debug_run_emits_every_stage(self, kb, restore_logging):
+        stream = io.StringIO()
+        configure_logging("debug", json=True, stream=stream)
+        doc = Document(
+            doc_id="log-smoke",
+            tokens=(
+                "Kashmir", "played", "by", "Page", "on", "gibson", ".",
+            ),
+            mentions=(
+                Mention(surface="Kashmir", start=0, end=1),
+                Mention(surface="Page", start=3, end=4),
+            ),
+        )
+        aida = AidaDisambiguator(kb, config=AidaConfig.full())
+        aida.disambiguate(doc)
+        records = [
+            json.loads(line)
+            for line in stream.getvalue().splitlines()
+        ]
+        stage_records = [
+            r for r in records if r.get("event") == "pipeline.stage"
+        ]
+        seen = {r["stage"] for r in stage_records}
+        for stage in self.STAGES:
+            assert stage in seen, f"no debug record for stage {stage}"
+        assert any(
+            r.get("event") == "pipeline.document" for r in records
+        )
+        assert any(
+            r.get("event") == "solver.solve" for r in records
+        )

@@ -1,0 +1,167 @@
+"""Unit tests for the hierarchical span tracer (:mod:`repro.obs.tracing`)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+
+class TestSpans:
+    def test_span_records_name_category_and_args(self):
+        tracer = Tracer()
+        with tracer.span("work", category="stage", doc_id="d1"):
+            pass
+        (record,) = tracer.records()
+        assert record.name == "work"
+        assert record.category == "stage"
+        assert record.args == {"doc_id": "d1"}
+        assert record.duration > 0.0
+        assert record.parent_id is None
+        assert record.depth == 0
+
+    def test_nesting_sets_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["middle"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].parent_id == by_name["middle"].span_id
+        assert by_name["inner"].depth == 2
+        # Children close before parents; durations nest.
+        assert by_name["outer"].duration >= by_name["middle"].duration
+        assert by_name["middle"].duration >= by_name["inner"].duration
+
+    def test_current_span_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span() is None
+        with tracer.span("a"):
+            assert tracer.current_span().name == "a"
+            with tracer.span("b"):
+                assert tracer.current_span().name == "b"
+            assert tracer.current_span().name == "a"
+        assert tracer.current_span() is None
+
+    def test_add_args_on_open_span(self):
+        tracer = Tracer()
+        with tracer.span("a") as span:
+            span.add_args(entities=5)
+        (record,) = tracer.records()
+        assert record.args["entities"] == 5
+
+    def test_span_closed_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.current_span() is None
+        (record,) = tracer.records()
+        assert record.name == "boom"
+
+    def test_decorator_traces_calls(self):
+        tracer = Tracer()
+
+        @tracer.traced("fn", category="test")
+        def add(a, b):
+            return a + b
+
+        assert add(1, 2) == 3
+        assert add(3, 4) == 7
+        names = [r.name for r in tracer.records()]
+        assert names == ["fn", "fn"]
+
+    def test_clear_drops_records(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.records() == []
+
+
+class TestThreadLocalStacks:
+    def test_threads_get_independent_stacks(self):
+        """Spans opened concurrently in two threads never become each
+        other's parents."""
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(f"outer-{name}"):
+                barrier.wait(timeout=10)
+                with tracer.span(f"inner-{name}"):
+                    barrier.wait(timeout=10)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = {r.name: r for r in tracer.records()}
+        assert len(records) == 4
+        for i in range(2):
+            inner = records[f"inner-{i}"]
+            outer = records[f"outer-{i}"]
+            assert inner.parent_id == outer.span_id
+            assert inner.tid == outer.tid
+        assert records["outer-0"].tid != records["outer-1"].tid
+
+
+class TestJsonlExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", category="c", k="v"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        count = tracer.export_jsonl(str(path))
+        assert count == 2
+        lines = path.read_text().splitlines()
+        spans = [json.loads(line) for line in lines]
+        assert [s["name"] for s in spans] == ["outer", "inner"]
+        assert spans[0]["args"] == {"k": "v"}
+        assert spans[1]["parent_id"] == spans[0]["span_id"]
+
+
+class TestNullTracer:
+    def test_null_tracer_is_default(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_is_shared_noop(self):
+        a = NULL_TRACER.span("x", category="y", k=1)
+        b = NULL_TRACER.span("z")
+        assert a is b
+        with a:
+            a.add_args(ignored=True)
+        assert NULL_TRACER.records() == []
+        assert NULL_TRACER.current_span() is None
+
+    def test_null_decorator_returns_function_unchanged(self):
+        def fn():
+            return 42
+
+        assert NullTracer().traced("fn")(fn) is fn
+
+    def test_set_tracer_swaps_and_restores(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert previous is NULL_TRACER
+            assert get_tracer() is tracer
+        finally:
+            assert set_tracer(None) is tracer
+        assert get_tracer() is NULL_TRACER

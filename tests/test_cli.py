@@ -1,9 +1,14 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.kb.io import load_knowledge_base
+from repro.obs import NULL_METRICS, NULL_TRACER, get_metrics, get_tracer
+from repro.obs.logging import ROOT_LOGGER_NAME
 
 
 @pytest.fixture(scope="module")
@@ -114,6 +119,83 @@ class TestClassify:
         )
         assert exit_code == 0
         assert "person" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    @pytest.fixture(autouse=True)
+    def restore_logging(self):
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        state = (root.level, list(root.handlers), root.propagate)
+        yield
+        root.level, root.propagate = state[0], state[2]
+        root.handlers[:] = state[1]
+
+    def _text(self, kb_dir):
+        kb = load_knowledge_base(kb_dir)
+        return f"{kb.entities()[0].canonical_name} did something ."
+
+    def test_parser_accepts_obs_flags(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--kb", "k", "--corpus", "c",
+             "--trace-out", "t.json", "--metrics-out", "m.json",
+             "--log-level", "debug", "--log-json"]
+        )
+        assert args.trace_out == "t.json"
+        assert args.metrics_out == "m.json"
+        assert args.log_level == "debug"
+        assert args.log_json is True
+
+    def test_trace_and_metrics_written(self, kb_dir, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        exit_code = main(
+            ["disambiguate", "--kb", kb_dir, "--text",
+             self._text(kb_dir), "--trace-out", str(trace),
+             "--metrics-out", str(metrics)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert str(trace) in out and str(metrics) in out
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "document" in names and "solve" in names
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["pipeline.documents"] == 1
+        assert "pipeline.stage.solve.seconds" in snapshot["histograms"]
+        # Globals restored: the next command pays the null path again.
+        assert get_tracer() is NULL_TRACER
+        assert get_metrics() is NULL_METRICS
+
+    def test_jsonl_trace_suffix_switches_exporter(
+        self, kb_dir, tmp_path
+    ):
+        trace = tmp_path / "spans.jsonl"
+        assert main(
+            ["disambiguate", "--kb", kb_dir, "--text",
+             self._text(kb_dir), "--trace-out", str(trace)]
+        ) == 0
+        spans = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+        ]
+        assert any(span["name"] == "document" for span in spans)
+
+    def test_log_level_debug_emits_stage_events(
+        self, kb_dir, capsys
+    ):
+        exit_code = main(
+            ["disambiguate", "--kb", kb_dir, "--text",
+             self._text(kb_dir), "--log-level", "debug", "--log-json"]
+        )
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        events = [
+            json.loads(line)["event"]
+            for line in err.splitlines()
+            if line.startswith("{")
+        ]
+        assert "pipeline.stage" in events
+        assert "pipeline.document" in events
 
 
 class TestCorpusAndEvaluate:

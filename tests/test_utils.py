@@ -124,3 +124,24 @@ class TestTiming:
         assert stats.mean == 0.0
         assert stats.stddev == 0.0
         assert stats.quantile(0.5) == 0.0
+
+    def test_quantile_nearest_rank_ten_samples(self):
+        """Nearest-rank regression: rank = ceil(q*n), 1-based.
+
+        With samples 1..10, p90 must pick the 9th smallest (9.0) — the
+        old ``int(q * n)`` rounding selected index 9 (the maximum).
+        """
+        stats = TimingStats()
+        for value in range(1, 11):
+            stats.add(float(value))
+        assert stats.quantile(0.9) == 9.0
+        assert stats.quantile(0.5) == 5.0
+        assert stats.quantile(0.1) == 1.0
+        assert stats.quantile(0.91) == 10.0
+        assert stats.quantile(1.0) == 10.0
+
+    def test_quantile_single_sample(self):
+        stats = TimingStats()
+        stats.add(3.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert stats.quantile(q) == 3.0
