@@ -37,6 +37,14 @@ from typing import List, Optional, Sequence
 from repro.core.config import AidaConfig
 from repro.core.pipeline import AidaDisambiguator
 from repro.datagen.wikipedia import build_world_kb
+from repro.faults import (
+    FaultInjector,
+    RetryPolicy,
+    RobustnessConfig,
+    make_resilient,
+    parse_fault_spec,
+    set_injector,
+)
 from repro.datagen.world import World, WorldConfig
 from repro.kb.io import load_knowledge_base, save_knowledge_base
 from repro.ner.classifier import NamedEntityClassifier
@@ -100,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="AIDA configuration",
     )
     _add_obs_arguments(dis)
+    _add_robustness_arguments(dis)
 
     rel = subparsers.add_parser(
         "relatedness", help="score the relatedness of entity pairs"
@@ -166,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU capacity for --cache-relatedness (0 = unbounded)",
     )
     _add_obs_arguments(evaluate)
+    _add_robustness_arguments(evaluate)
 
     return parser
 
@@ -194,6 +204,71 @@ def _add_obs_arguments(sub: argparse.ArgumentParser) -> None:
         "--log-json", action="store_true",
         help="emit log records as JSON lines instead of key=value text",
     )
+
+
+def _add_robustness_arguments(sub: argparse.ArgumentParser) -> None:
+    """Robustness flags shared by ``disambiguate`` and ``evaluate``."""
+    group = sub.add_argument_group("robustness")
+    group.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a document up to N extra times on transient "
+        "failures (exponential backoff with seeded jitter)",
+    )
+    group.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="soft per-attempt deadline; checked cooperatively at "
+        "pipeline stage boundaries and solver iterations",
+    )
+    group.add_argument(
+        "--degrade", action="store_true",
+        help="on failure, walk the degradation ladder (full joint AIDA "
+        "-> coherence-off -> prior-only) instead of failing the document",
+    )
+    group.add_argument(
+        "--inject", action="append", default=[], metavar="SPEC",
+        help="chaos-inject faults: site[:rate[:kind[:max|ms]]] with "
+        "sites kb.lookup, similarity, relatedness, solver.iteration, "
+        "worker and kinds transient, permanent, latency (repeatable)",
+    )
+    group.add_argument(
+        "--inject-seed", type=int, default=0,
+        help="seed of the fault injector's decision streams",
+    )
+
+
+def _robustness_config(
+    args: argparse.Namespace,
+) -> Optional[RobustnessConfig]:
+    """The RobustnessConfig the flags describe, or None when inert."""
+    config = RobustnessConfig(
+        retries=args.retries,
+        deadline_ms=args.deadline_ms,
+        degrade=args.degrade,
+        backoff=RetryPolicy(seed=args.inject_seed),
+    )
+    return None if config.inert else config
+
+
+class _InjectorSession:
+    """Install the chaos injector the ``--inject`` flags describe."""
+
+    def __init__(self, args: argparse.Namespace):
+        self.injector = None
+        specs = [parse_fault_spec(text) for text in args.inject]
+        if specs:
+            self.injector = FaultInjector(specs, seed=args.inject_seed)
+            self._previous = set_injector(self.injector)
+
+    def finish(self) -> None:
+        """Restore the previous injector and report what fired."""
+        if self.injector is None:
+            return
+        set_injector(self._previous)
+        for site, counts in self.injector.stats().items():
+            print(
+                f"chaos: {site}: {counts['injected']} faults "
+                f"in {counts['calls']} calls"
+            )
 
 
 class _ObsSession:
@@ -262,6 +337,7 @@ def cmd_generate_kb(args: argparse.Namespace) -> int:
 def cmd_disambiguate(args: argparse.Namespace) -> int:
     """Handle ``disambiguate``: NER + AIDA over the input text."""
     obs = _ObsSession(args)
+    chaos = _InjectorSession(args)
     try:
         kb = load_knowledge_base(args.kb)
         document = _document(_input_text(args), kb)
@@ -269,7 +345,10 @@ def cmd_disambiguate(args: argparse.Namespace) -> int:
             print("no entity mentions recognized")
             return 0
         config = AIDA_VARIANTS[args.variant]()
-        aida = AidaDisambiguator(kb, config=config)
+        aida = make_resilient(
+            AidaDisambiguator(kb, config=config),
+            _robustness_config(args),
+        )
         result = aida.disambiguate(document)
         for assignment in result.assignments:
             target = (
@@ -279,8 +358,14 @@ def cmd_disambiguate(args: argparse.Namespace) -> int:
                 f"({kb.entity(assignment.entity).canonical_name})"
             )
             print(f"{assignment.mention.surface!r} -> {target}")
+        if result.degradation_rung != "full" or result.attempts > 1:
+            print(
+                f"robustness: rung={result.degradation_rung} "
+                f"attempts={result.attempts}"
+            )
         return 0
     finally:
+        chaos.finish()
         obs.finish()
 
 
@@ -361,13 +446,16 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.core.batch import BatchConfig, BatchRunner
     from repro.datagen.io import load_corpus
     from repro.eval.runner import run_disambiguator
+    from repro.faults import ResilientFactory
     from repro.relatedness.caching import CachingRelatedness
 
     obs = _ObsSession(args)
+    chaos = _InjectorSession(args)
     try:
         kb = load_knowledge_base(args.kb)
         documents = load_corpus(args.corpus)
         config = AIDA_VARIANTS[args.variant]()
+        robustness = _robustness_config(args)
         relatedness = None
         if args.cache_relatedness:
             relatedness = CachingRelatedness(
@@ -379,23 +467,38 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         )
         batch = None
         if args.workers > 1 and args.executor == "process":
+            factory = _PipelineFactory(args.kb, args.variant)
+            if robustness is not None:
+                factory = ResilientFactory(factory, robustness)
             batch = BatchRunner(
-                pipeline_factory=_PipelineFactory(args.kb, args.variant),
+                pipeline_factory=factory,
                 config=BatchConfig(
                     workers=args.workers, executor="process"
                 ),
             )
         run = run_disambiguator(
-            pipeline, documents, kb=kb, workers=args.workers, batch=batch
+            pipeline,
+            documents,
+            kb=kb,
+            workers=args.workers,
+            batch=batch,
+            robustness=robustness,
         )
         print(f"documents: {len(documents)}")
         if run.failures:
             print(f"failed documents: {len(run.failures)}")
             for failure in run.failures:
                 print(
-                    f"  {failure.doc_id}: {failure.error}",
+                    f"  {failure.doc_id}: [{failure.kind}] "
+                    f"{failure.error}",
                     file=sys.stderr,
                 )
+        rungs = run.rung_counts
+        if any(rung != "full" for rung in rungs):
+            summary = " ".join(
+                f"{rung}={count}" for rung, count in sorted(rungs.items())
+            )
+            print(f"degradation rungs: {summary}")
         print(f"micro accuracy: {100 * run.micro:.2f}%")
         print(f"macro accuracy: {100 * run.macro:.2f}%")
         print(f"MAP:            {100 * run.map:.2f}%")
@@ -409,6 +512,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             )
         return 0
     finally:
+        chaos.finish()
         obs.finish()
 
 

@@ -49,7 +49,8 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
-from repro.errors import ReproError
+from repro.errors import ReproError, classify_error, describe_error
+from repro.faults.injector import get_injector
 from repro.obs import (
     MetricsRegistry,
     get_metrics,
@@ -106,12 +107,39 @@ class BatchConfig:
 
 @dataclass(frozen=True)
 class DocumentFailure:
-    """One document that raised instead of disambiguating."""
+    """One document that raised instead of disambiguating.
+
+    ``kind`` buckets the error under the robustness taxonomy of
+    :mod:`repro.errors` (``transient`` / ``permanent`` / ``deadline``);
+    ``attempts`` counts pipeline attempts the document consumed before
+    failing (> 1 when a robustness layer retried or degraded).
+    """
 
     index: int
     doc_id: str
     error: str
     traceback: str = ""
+    kind: str = "permanent"
+    attempts: int = 1
+
+    @classmethod
+    def from_exception(
+        cls, index: int, doc_id: str, exc: Exception
+    ) -> "DocumentFailure":
+        """Build a failure record routed through the error taxonomy.
+
+        Only ``Exception`` is accepted: control-flow exceptions
+        (``KeyboardInterrupt``, ``SystemExit``) must propagate and never
+        become document failures.
+        """
+        return cls(
+            index=index,
+            doc_id=doc_id,
+            error=describe_error(exc),
+            traceback=traceback.format_exc(),
+            kind=classify_error(exc),
+            attempts=int(getattr(exc, "robust_attempts", 1)),
+        )
 
 
 @dataclass
@@ -138,6 +166,26 @@ class BatchOutcome:
     def ok(self) -> bool:
         """True when every document disambiguated."""
         return not self.failures
+
+    @property
+    def rung_counts(self) -> Dict[str, int]:
+        """Documents per degradation rung (``{"full": n, ...}``) —
+        which configuration of the graceful-degradation ladder produced
+        each successful result."""
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            if result is not None:
+                rung = getattr(result, "degradation_rung", "full")
+                counts[rung] = counts.get(rung, 0) + 1
+        return counts
+
+    @property
+    def failure_kinds(self) -> Dict[str, int]:
+        """Failures per taxonomy bucket (transient/permanent/deadline)."""
+        counts: Dict[str, int] = {}
+        for failure in self.failures:
+            counts[failure.kind] = counts.get(failure.kind, 0) + 1
+        return counts
 
     @property
     def successes(self) -> List[DisambiguationResult]:
@@ -178,17 +226,21 @@ def _process_task(index: int, document: Document):
     Returns ``(index, result, failure, obs_delta)`` — the fourth element
     is this task's drained metrics snapshot (``None`` while metrics are
     disabled), merged into the parent registry on arrival.
+
+    Isolation catches ``Exception`` only and routes it through the error
+    taxonomy (:func:`repro.errors.classify_error`); ``KeyboardInterrupt``
+    and ``SystemExit`` propagate and tear the task down.
     """
     try:
+        injector = get_injector()
+        if injector.enabled:
+            injector.fire("worker")
         result = _process_pipeline.disambiguate(document)
         failure = None
-    except Exception as exc:  # noqa: BLE001 — isolation is the point
+    except Exception as exc:
         result = None
-        failure = DocumentFailure(
-            index=index,
-            doc_id=document.doc_id,
-            error=f"{type(exc).__name__}: {exc}",
-            traceback=traceback.format_exc(),
+        failure = DocumentFailure.from_exception(
+            index, document.doc_id, exc
         )
     metrics = get_metrics()
     obs_delta = metrics.drain() if metrics.enabled else None
@@ -242,16 +294,18 @@ class BatchRunner:
 
     def _run_one(self, index: int, document: Document):
         # Thread workers share the process-wide metrics registry, so the
-        # fourth (obs delta) slot is always None here.
+        # fourth (obs delta) slot is always None here.  Isolation catches
+        # ``Exception`` only, routed through the error taxonomy —
+        # ``KeyboardInterrupt``/``SystemExit`` propagate out of the run.
         try:
+            injector = get_injector()
+            if injector.enabled:
+                injector.fire("worker")
             result = self._worker_pipeline().disambiguate(document)
             return index, result, None, None
-        except Exception as exc:  # noqa: BLE001 — isolation is the point
-            failure = DocumentFailure(
-                index=index,
-                doc_id=document.doc_id,
-                error=f"{type(exc).__name__}: {exc}",
-                traceback=traceback.format_exc(),
+        except Exception as exc:
+            failure = DocumentFailure.from_exception(
+                index, document.doc_id, exc
             )
             return index, None, failure, None
 
@@ -314,10 +368,18 @@ class BatchRunner:
         self, outcome: BatchOutcome, document_count: int
     ) -> None:
         metrics = get_metrics()
+        rungs = outcome.rung_counts
+        degraded = sum(
+            count for rung, count in rungs.items() if rung != "full"
+        )
         if metrics.enabled:
             metrics.counter("batch.runs").inc()
             metrics.counter("batch.documents").inc(document_count)
             metrics.counter("batch.failures").inc(len(outcome.failures))
+            for kind, count in outcome.failure_kinds.items():
+                metrics.counter(f"batch.failures.{kind}").inc(count)
+            if degraded:
+                metrics.counter("batch.degraded_documents").inc(degraded)
             metrics.histogram("batch.run.seconds").observe(
                 outcome.wall_seconds
             )
@@ -328,6 +390,7 @@ class BatchRunner:
                 _level=logging.INFO,
                 documents=document_count,
                 failures=len(outcome.failures),
+                degraded=degraded,
                 executor=self.config.executor,
                 workers=self.config.effective_workers,
                 seconds=outcome.wall_seconds,

@@ -28,6 +28,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.config import AidaConfig, PriorMode
 from repro.core.robustness import passes_prior_test, should_fix_mention
+from repro.faults.deadline import check_budget
+from repro.faults.injector import get_injector
 from repro.graph.dense_subgraph import GreedyDenseSubgraph
 from repro.graph.mention_entity_graph import MentionEntityGraph
 from repro.kb.keyphrases import KeyphraseStore
@@ -210,7 +212,9 @@ class AidaDisambiguator:
     ):
         """One pipeline stage: a single clock read feeds the Stopwatch
         (``PipelineStats.phase_seconds``), the tracer span, and the
-        per-stage debug event."""
+        per-stage debug event.  Stage entry is a cooperative deadline
+        checkpoint (see :mod:`repro.faults.deadline`)."""
+        check_budget(f"stage:{name}")
         start = time.perf_counter()
         with tracer.span(name, category="stage"):
             yield
@@ -290,11 +294,14 @@ class AidaDisambiguator:
             restrictions = coreference_candidate_restriction(
                 document, self.kb.candidates
             )
+        injector = get_injector()
         candidates: Dict[int, List[EntityId]] = {}
         for index in active:
             if index in fixed:
                 candidates[index] = [fixed[index]]
                 continue
+            if injector.enabled:
+                injector.fire("kb.lookup")
             surface = mentions[index].surface
             if index in restrictions:
                 found = list(restrictions[index])
@@ -321,7 +328,18 @@ class AidaDisambiguator:
         Similarity is normalized per mention by its maximum so it becomes
         commensurable with the prior probability inside the linear edge
         combination; the graph rescales both families again afterwards.
+
+        Under the pure prior baseline (``PriorMode.ONLY`` without
+        coherence) similarity scores are never consumed — neither by the
+        edge weights nor by the coherence test — so their computation is
+        skipped entirely.  That makes the ``prior_only`` degradation rung
+        genuinely cheaper and independent of the similarity subsystem.
         """
+        injector = get_injector()
+        needs_similarity = (
+            self.config.prior_mode is not PriorMode.ONLY
+            or self.config.use_coherence
+        )
         features: Dict[
             int, Tuple[Dict[EntityId, float], Dict[EntityId, float]]
         ] = {}
@@ -330,14 +348,20 @@ class AidaDisambiguator:
             if not pool:
                 features[index] = ({}, {})
                 continue
-            context = DocumentContext(
-                document, exclude_mention=mentions[index]
-            )
-            sims = self.similarity.simscores(context, pool)
-            if self.config.normalize_similarity:
-                max_sim = max(sims.values()) if sims else 0.0
-                if max_sim > 0.0:
-                    sims = {eid: s / max_sim for eid, s in sims.items()}
+            sims: Dict[EntityId, float] = {}
+            if needs_similarity:
+                if injector.enabled:
+                    injector.fire("similarity")
+                context = DocumentContext(
+                    document, exclude_mention=mentions[index]
+                )
+                sims = self.similarity.simscores(context, pool)
+                if self.config.normalize_similarity:
+                    max_sim = max(sims.values()) if sims else 0.0
+                    if max_sim > 0.0:
+                        sims = {
+                            eid: s / max_sim for eid, s in sims.items()
+                        }
             priors = {
                 eid: self.kb.prior(mentions[index].surface, eid)
                 for eid in pool

@@ -27,6 +27,7 @@ from repro.eval.measures import (
     DocumentOutcome,
     EvaluationResult,
 )
+from repro.faults.resilient import RobustnessConfig, make_resilient
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.obs import get_metrics, get_tracer, log_event
 from repro.types import (
@@ -64,6 +65,18 @@ class CorpusRun:
     stats: Optional[PipelineStats] = None
 
     @property
+    def rung_counts(self) -> Dict[str, int]:
+        """Documents per degradation rung — every document reports the
+        ladder rung that produced its result (``full`` outside the
+        robustness layer)."""
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            if result is not None:
+                rung = getattr(result, "degradation_rung", "full")
+                counts[rung] = counts.get(rung, 0) + 1
+        return counts
+
+    @property
     def micro(self) -> float:
         """Micro average accuracy of the run."""
         return self.evaluation.micro
@@ -87,6 +100,7 @@ def run_disambiguator(
     confidence_fn: Optional[ConfidenceFn] = None,
     workers: int = 1,
     batch: Optional[BatchRunner] = None,
+    robustness: Optional[RobustnessConfig] = None,
 ) -> CorpusRun:
     """Disambiguate every document and evaluate against the gold standard.
 
@@ -100,7 +114,13 @@ def run_disambiguator(
     and ``workers`` for full control (process pools, per-worker pipeline
     factories).  Scoring is always serial and in input order, so the
     evaluation is bit-identical across worker counts.
+
+    ``robustness`` wraps the pipeline in the retry / deadline /
+    degradation layer (:mod:`repro.faults.resilient`) before anything
+    runs; an explicit ``batch`` runner is used as given — wrap its
+    pipeline or factory yourself for full control.
     """
+    pipeline = make_resilient(pipeline, robustness)
     if batch is None and workers > 1:
         batch = BatchRunner(
             pipeline=pipeline,
@@ -180,6 +200,10 @@ def _publish_observations(
     run: CorpusRun, documents: Sequence[AnnotatedDocument]
 ) -> None:
     metrics = get_metrics()
+    rungs = run.rung_counts
+    degraded = sum(
+        count for rung, count in rungs.items() if rung != "full"
+    )
     if metrics.enabled:
         metrics.counter("eval.corpus_runs").inc()
         metrics.counter("eval.documents").inc(len(documents))
@@ -187,6 +211,8 @@ def _publish_observations(
             len(run.link_records)
         )
         metrics.counter("eval.failures").inc(len(run.failures))
+        if degraded:
+            metrics.counter("eval.degraded_documents").inc(degraded)
     if _LOG.isEnabledFor(logging.INFO):
         log_event(
             _LOG,
@@ -195,6 +221,7 @@ def _publish_observations(
             documents=len(documents),
             mentions_scored=len(run.link_records),
             failures=len(run.failures),
+            degraded=degraded,
             micro=run.micro,
             macro=run.macro,
         )

@@ -1,0 +1,275 @@
+"""Deterministic, seedable fault injection.
+
+The execution stack exposes named *injection sites* — places where a
+production deployment would meet an unreliable dependency or a slow
+worker:
+
+========================  ====================================================
+site                      fired by
+========================  ====================================================
+``kb.lookup``             candidate retrieval, once per mention lookup
+``similarity``            keyphrase similarity, once per scored mention
+``relatedness``           every uncached pairwise relatedness computation
+``solver.iteration``      every main-loop iteration of the dense-subgraph
+                          solver
+``worker``                the batch layer, once per document attempt
+========================  ====================================================
+
+A :class:`FaultInjector` holds :class:`FaultSpec` rules — *at this site,
+with this probability, raise a transient/permanent error or inject this
+much latency, at most this many times* — and is installed process-wide
+with :func:`set_injector` (or scoped with :func:`injected`).  The default
+is :data:`NULL_INJECTOR`, a shared no-op whose only cost at every site is
+one attribute check, so production and fault-free test paths are
+bit-identical to a build without the framework.
+
+Determinism: every site gets its own :class:`~repro.utils.rng.SeededRng`
+stream forked from the injector seed and the site name, so the fire/skip
+pattern at a site depends only on the seed and the number of prior calls
+to that site — not on other sites, wall clock, or thread scheduling of
+*other* sites.  (Concurrent callers of the *same* site interleave one
+stream; chaos tests that need exact per-call patterns run serially or use
+``rate=1.0`` specs.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PermanentError, TransientError
+from repro.obs import get_metrics
+from repro.utils.rng import SeededRng, derive_seed
+
+#: The injection sites wired through the execution stack.
+SITES: Tuple[str, ...] = (
+    "kb.lookup",
+    "similarity",
+    "relatedness",
+    "solver.iteration",
+    "worker",
+)
+
+_KINDS = ("transient", "permanent", "latency")
+
+
+class InjectedTransientFault(TransientError):
+    """A chaos fault configured as transient (retry-worthy)."""
+
+
+class InjectedPermanentFault(PermanentError):
+    """A chaos fault configured as permanent (degrade-worthy)."""
+
+
+class FaultSpecError(ValueError):
+    """A :class:`FaultSpec` is out of its valid range."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: *what* to inject, *where*, *how often*.
+
+    ``kind`` selects the effect: ``transient``/``permanent`` raise the
+    corresponding injected-fault exception, ``latency`` sleeps for
+    ``latency_ms``.  ``rate`` is the per-call firing probability at the
+    site; ``max_faults`` caps the total number of firings (``None`` =
+    unlimited) — a capped transient spec models a dependency that is
+    down for exactly N requests and then recovers, which is what the
+    retry-equivalence chaos tests rely on.
+    """
+
+    site: str
+    rate: float = 1.0
+    kind: str = "transient"
+    latency_ms: float = 0.0
+    max_faults: Optional[int] = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise FaultSpecError(
+                f"unknown site {self.site!r}; expected one of {SITES}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultSpecError("rate must be in [0, 1]")
+        if self.kind not in _KINDS:
+            raise FaultSpecError(
+                f"kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.latency_ms < 0.0:
+            raise FaultSpecError("latency_ms must be >= 0")
+        if self.kind == "latency" and self.latency_ms == 0.0:
+            raise FaultSpecError("latency faults need latency_ms > 0")
+        if self.max_faults is not None and self.max_faults < 1:
+            raise FaultSpecError("max_faults must be None or >= 1")
+
+
+class NullFaultInjector:
+    """The disabled injector: every site is a no-op.
+
+    ``enabled`` is checked by the instrumented call sites before calling
+    :meth:`fire`, keeping the fault-free hot path to one attribute read.
+    """
+
+    enabled = False
+
+    def fire(self, site: str) -> None:
+        """Do nothing (kept so an unconditional call is still safe)."""
+
+    def stats(self) -> Dict[str, int]:
+        """No sites, no counts."""
+        return {}
+
+
+#: Shared no-op injector; the process-wide default.
+NULL_INJECTOR = NullFaultInjector()
+
+
+class FaultInjector:
+    """Fires configured faults at named sites, deterministically.
+
+    Thread-safe: per-spec decision streams and counters are guarded by a
+    lock (sleeps happen outside it).  ``stats()`` reports calls and
+    injections per site for assertions and post-run reports.
+    """
+
+    enabled = True
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0):
+        self.seed = seed
+        self._specs: List[FaultSpec] = list(specs)
+        self._lock = threading.Lock()
+        self._by_site: Dict[str, List[int]] = {}
+        self._rngs: List[SeededRng] = []
+        self._fired: List[int] = []
+        for index, spec in enumerate(self._specs):
+            self._by_site.setdefault(spec.site, []).append(index)
+            self._rngs.append(
+                SeededRng(derive_seed(seed, f"{spec.site}:{index}"))
+            )
+            self._fired.append(0)
+        self._calls: Dict[str, int] = {}
+        self._injected: Dict[str, int] = {}
+
+    def fire(self, site: str) -> None:
+        """Evaluate every spec at *site*; raise/sleep when one fires.
+
+        At most one spec per call takes effect (the first firing one, in
+        registration order); a raised fault naturally preempts later
+        specs.
+        """
+        sleep_ms = 0.0
+        error: Optional[Exception] = None
+        with self._lock:
+            self._calls[site] = self._calls.get(site, 0) + 1
+            for index in self._by_site.get(site, ()):
+                spec = self._specs[index]
+                if (
+                    spec.max_faults is not None
+                    and self._fired[index] >= spec.max_faults
+                ):
+                    continue
+                if spec.rate < 1.0 and not self._rngs[index].maybe(
+                    spec.rate
+                ):
+                    continue
+                self._fired[index] += 1
+                self._injected[site] = self._injected.get(site, 0) + 1
+                self._publish(site, spec.kind)
+                if spec.kind == "latency":
+                    sleep_ms = spec.latency_ms
+                else:
+                    message = spec.message or (
+                        f"injected {spec.kind} fault at {site}"
+                    )
+                    if spec.kind == "transient":
+                        error = InjectedTransientFault(message)
+                    else:
+                        error = InjectedPermanentFault(message)
+                break
+        if error is not None:
+            raise error
+        if sleep_ms > 0.0:
+            time.sleep(sleep_ms / 1000.0)
+
+    @staticmethod
+    def _publish(site: str, kind: str) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("faults.injected").inc()
+            metrics.counter(f"faults.injected.{site}").inc()
+            metrics.counter(f"faults.injected.kind.{kind}").inc()
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-site ``{"calls": ..., "injected": ...}`` counters."""
+        with self._lock:
+            sites = set(self._calls) | set(self._injected)
+            return {
+                site: {
+                    "calls": self._calls.get(site, 0),
+                    "injected": self._injected.get(site, 0),
+                }
+                for site in sorted(sites)
+            }
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults fired across all sites."""
+        with self._lock:
+            return sum(self._injected.values())
+
+
+# ----------------------------------------------------------------------
+# Process-wide installation (mirrors repro.obs.get_metrics/set_metrics)
+# ----------------------------------------------------------------------
+_injector = NULL_INJECTOR
+
+
+def get_injector():
+    """The process-wide injector (the shared no-op by default)."""
+    return _injector
+
+
+def set_injector(injector) -> object:
+    """Install *injector* process-wide; returns the previous one.
+
+    Passing ``None`` restores the no-op default.
+    """
+    global _injector
+    previous = _injector
+    _injector = injector if injector is not None else NULL_INJECTOR
+    return previous
+
+
+@contextmanager
+def injected(injector) -> Iterator[object]:
+    """Scope an injector installation to a ``with`` block (tests)."""
+    previous = set_injector(injector)
+    try:
+        yield injector
+    finally:
+        set_injector(previous)
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse the CLI form ``site[:rate[:kind[:fourth]]]``.
+
+    The fourth field is ``max_faults`` for error kinds and the latency in
+    milliseconds for ``latency``.  Examples: ``relatedness``,
+    ``kb.lookup:0.01``, ``worker:0.05:permanent``,
+    ``solver.iteration:1.0:transient:3``, ``worker:1.0:latency:5``.
+    """
+    parts = text.split(":")
+    site = parts[0]
+    rate = float(parts[1]) if len(parts) > 1 else 1.0
+    kind = parts[2] if len(parts) > 2 else "transient"
+    if kind == "latency":
+        latency_ms = float(parts[3]) if len(parts) > 3 else 1.0
+        return FaultSpec(
+            site=site, rate=rate, kind=kind, latency_ms=latency_ms
+        )
+    max_faults = int(parts[3]) if len(parts) > 3 else None
+    return FaultSpec(site=site, rate=rate, kind=kind, max_faults=max_faults)

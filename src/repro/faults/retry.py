@@ -1,0 +1,123 @@
+"""Bounded retry with seeded exponential backoff + jitter.
+
+The schedule is fully determined by the :class:`RetryPolicy` (including
+its seed): attempt *k*'s raw delay is ``base_ms * multiplier**k`` capped
+at ``max_ms``, then multiplied by a jitter factor drawn uniformly from
+``[1 - jitter, 1 + jitter]`` from a seeded stream.  Determinism keeps
+chaos runs replayable — the same seed produces the same sleeps — while
+jitter still decorrelates retries across documents (each document derives
+its own policy seed).
+
+Only **transient** errors (per :func:`repro.errors.is_transient`) are
+retried; permanent and deadline errors propagate immediately, as do
+``KeyboardInterrupt``/``SystemExit`` (never caught — they derive from
+``BaseException``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, TypeVar
+
+from repro.errors import ConfigurationError, is_transient
+from repro.obs import get_metrics
+from repro.utils.rng import SeededRng, derive_seed
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how often) to retry a transient failure.
+
+    ``retries`` is the number of *additional* attempts after the first,
+    so a call runs at most ``retries + 1`` times.  ``base_ms = 0``
+    disables sleeping entirely (useful in tests).  ``jitter`` is the
+    relative half-width of the jitter interval.
+    """
+
+    retries: int = 2
+    base_ms: float = 10.0
+    multiplier: float = 2.0
+    max_ms: float = 2000.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if self.base_ms < 0.0:
+            raise ConfigurationError("base_ms must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if self.max_ms < self.base_ms:
+            raise ConfigurationError("max_ms must be >= base_ms")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+
+    def for_key(self, label: str) -> "RetryPolicy":
+        """The same policy with an independent jitter stream for *label*
+        (e.g. one stream per document per rung)."""
+        return RetryPolicy(
+            retries=self.retries,
+            base_ms=self.base_ms,
+            multiplier=self.multiplier,
+            max_ms=self.max_ms,
+            jitter=self.jitter,
+            seed=derive_seed(self.seed, label),
+        )
+
+
+def backoff_schedule(policy: RetryPolicy) -> List[float]:
+    """The full delay schedule (ms), one entry per retry.
+
+    Deterministic in the policy: entry *k* is
+    ``min(base_ms * multiplier**k, max_ms)`` times a seeded jitter factor
+    in ``[1 - jitter, 1 + jitter]``.
+    """
+    rng = SeededRng(derive_seed(policy.seed, "backoff"))
+    schedule: List[float] = []
+    for attempt in range(policy.retries):
+        raw = min(
+            policy.base_ms * (policy.multiplier**attempt), policy.max_ms
+        )
+        factor = 1.0 + (
+            (2.0 * rng.random() - 1.0) * policy.jitter
+            if policy.jitter > 0.0
+            else 0.0
+        )
+        schedule.append(raw * factor)
+    return schedule
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call *fn*, retrying transient failures per *policy*.
+
+    ``on_retry(attempt, error)`` is invoked before each re-attempt
+    (attempt numbering starts at 1 for the first retry).  The final
+    failure — transient with the budget exhausted, or any non-transient
+    error — propagates to the caller.
+    """
+    schedule = backoff_schedule(policy)
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except Exception as error:
+            if attempt >= len(schedule) or not is_transient(error):
+                raise
+            attempt += 1
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("robust.retries").inc()
+            if on_retry is not None:
+                on_retry(attempt, error)
+            delay_ms = schedule[attempt - 1]
+            if delay_ms > 0.0:
+                sleep(delay_ms / 1000.0)

@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.errors import GraphError
+from repro.faults.deadline import check_budget
+from repro.faults.injector import get_injector
 from repro.graph.mention_entity_graph import MentionEntityGraph
 from repro.graph.shortest_paths import entity_mention_distances
 from repro.obs import get_metrics, get_tracer, log_event
@@ -205,7 +207,11 @@ class GreedyDenseSubgraph:
         heapq.heapify(min_heap)
         best_objective = self._peek_objective(graph, min_heap, stats)
         stats.best_objective = best_objective
+        injector = get_injector()
         while True:
+            check_budget("solver.iteration")
+            if injector.enabled:
+                injector.fire("solver.iteration")
             victim = self._pop_victim(graph, victim_heap, stats)
             if victim is None:
                 break
@@ -274,7 +280,11 @@ class GreedyDenseSubgraph:
         best_snapshot = graph.snapshot()
         stats.checkpoints += 1
         best_objective = self._objective(graph)
+        injector = get_injector()
         while True:
+            check_budget("solver.iteration")
+            if injector.enabled:
+                injector.fire("solver.iteration")
             victim = self._lowest_degree_non_taboo(graph)
             if victim is None:
                 break

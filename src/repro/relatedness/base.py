@@ -12,6 +12,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, Iterable, Tuple
 
+from repro.faults.injector import get_injector
 from repro.types import EntityId
 
 
@@ -69,6 +70,12 @@ class EntityRelatedness(ABC):
         first, second = self.canonical_pair(a, b)
         if not self.should_compare(first, second):
             return 0.0
+        injector = get_injector()
+        if injector.enabled:
+            # The ``relatedness`` chaos site: every *actual* pairwise
+            # computation, cached wrappers included (their hits never
+            # reach this path — a warm cache really is more reliable).
+            injector.fire("relatedness")
         self.comparisons += 1
         value = float(self._compute(first, second))
         return min(max(value, 0.0), 1.0)

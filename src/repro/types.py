@@ -157,11 +157,19 @@ class DisambiguationResult:
     producing pipeline instruments its run (see
     :class:`repro.utils.timing.PipelineStats`); baselines may leave it
     unset.
+
+    ``degradation_rung`` records which rung of the graceful-degradation
+    ladder produced this result (see :mod:`repro.faults.resilient`);
+    pipelines outside the robustness layer always report ``"full"``.
+    ``attempts`` counts pipeline attempts including retries and degraded
+    re-runs (1 when nothing went wrong).
     """
 
     doc_id: str
     assignments: List[MentionAssignment]
     stats: Optional[PipelineStats] = None
+    degradation_rung: str = "full"
+    attempts: int = 1
 
     def as_map(self) -> Dict[Mention, EntityId]:
         """Mention -> chosen entity mapping."""

@@ -1,0 +1,179 @@
+"""Chaos differential: faulted runs versus the fault-free pipeline.
+
+Twenty seeded synthetic worlds (override the base seed with
+``CHAOS_BASE_SEED``), each disambiguated fault-free once, then re-run
+under three chaos regimes:
+
+(a) the robustness layer armed with **zero** faults must be bit-identical
+    to the bare pipeline — the wrapper is pure plumbing on the happy path;
+(b) **transient** faults capped by ``max_faults`` ("dependency down for
+    exactly N requests, then recovers") plus enough retries must converge
+    to the fault-free assignments, bit for bit;
+(c) **permanent** faults with degradation enabled must lose no document:
+    every document reports the ladder rung that produced it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.documents import DocumentGenerator, DocumentSpec
+from repro.datagen.wikipedia import build_world_kb
+from repro.datagen.world import World, WorldConfig
+from repro.faults.injector import FaultInjector, FaultSpec, injected
+from repro.faults.resilient import RobustnessConfig, make_resilient
+from repro.faults.retry import RetryPolicy
+
+BASE_SEED = int(os.environ.get("CHAOS_BASE_SEED", "1307"))
+WORLD_SEEDS = [BASE_SEED + i for i in range(20)]
+
+DOCS_PER_WORLD = 4
+MENTIONS_PER_DOC = 4
+
+#: Transient-fault regime for test (b).  Every spec carries a
+#: ``max_faults`` cap, so the total fault mass is 10: with 12 retries even
+#: a single document absorbing every fault converges.
+TRANSIENT_SPECS = [
+    FaultSpec(site="kb.lookup", rate=1.0, kind="transient", max_faults=2),
+    FaultSpec(site="relatedness", rate=0.3, kind="transient", max_faults=3),
+    FaultSpec(site="similarity", rate=0.25, kind="transient", max_faults=3),
+    FaultSpec(
+        site="solver.iteration", rate=0.2, kind="transient", max_faults=2
+    ),
+]
+
+#: Backoff with zero sleep: chaos runs exercise ordering, not wall time.
+NO_SLEEP_BACKOFF = RetryPolicy(base_ms=0.0, max_ms=0.0, jitter=0.0)
+
+
+def _comparable(result):
+    """Everything order- and value-relevant, minus the timing stats."""
+    return [
+        (
+            assignment.mention,
+            assignment.entity,
+            assignment.score,
+            sorted(assignment.candidate_scores.items()),
+        )
+        for assignment in result.assignments
+    ]
+
+
+class ChaosWorld:
+    """One synthetic world with its fault-free baseline run."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        world = World.generate(
+            WorldConfig(seed=seed, clusters_per_domain=2)
+        )
+        self.kb, _wiki = build_world_kb(world, seed=seed + 94)
+        generator = DocumentGenerator(world, seed=seed + 55)
+        cluster_ids = sorted(world.clusters)
+        self.documents = [
+            generator.generate(
+                DocumentSpec(
+                    doc_id=f"w{seed}-d{index}",
+                    cluster_ids=[cluster_ids[index % len(cluster_ids)]],
+                    num_mentions=MENTIONS_PER_DOC,
+                )
+            ).document
+            for index in range(DOCS_PER_WORLD)
+        ]
+        pipeline = AidaDisambiguator(self.kb)
+        self.baseline = [
+            _comparable(pipeline.disambiguate(document))
+            for document in self.documents
+        ]
+
+    def pipeline(self):
+        return AidaDisambiguator(self.kb)
+
+
+@pytest.fixture(scope="module", params=WORLD_SEEDS)
+def chaos_world(request) -> ChaosWorld:
+    return ChaosWorld(request.param)
+
+
+def test_zero_faults_bit_identical(chaos_world):
+    """(a) The armed robustness layer with no faults changes nothing."""
+    resilient = make_resilient(
+        chaos_world.pipeline(),
+        RobustnessConfig(
+            retries=2, degrade=True, backoff=NO_SLEEP_BACKOFF
+        ),
+    )
+    for document, expected in zip(
+        chaos_world.documents, chaos_world.baseline
+    ):
+        result = resilient.disambiguate(document)
+        assert _comparable(result) == expected
+        assert result.degradation_rung == "full"
+        assert result.attempts == 1
+
+
+def test_transient_faults_converge_to_fault_free(chaos_world):
+    """(b) Capped transient faults + retries reproduce the baseline."""
+    resilient = make_resilient(
+        chaos_world.pipeline(),
+        RobustnessConfig(retries=12, backoff=NO_SLEEP_BACKOFF),
+    )
+    injector = FaultInjector(TRANSIENT_SPECS, seed=chaos_world.seed)
+    attempts = []
+    with injected(injector):
+        for document, expected in zip(
+            chaos_world.documents, chaos_world.baseline
+        ):
+            result = resilient.disambiguate(document)
+            assert _comparable(result) == expected
+            assert result.degradation_rung == "full"
+            attempts.append(result.attempts)
+    assert injector.total_injected > 0
+    assert any(count > 1 for count in attempts)
+
+
+def test_permanent_relatedness_degrades_not_fails(chaos_world):
+    """(c) Coherence-backend loss drops to ``no_coherence``, loses nothing."""
+    resilient = make_resilient(
+        chaos_world.pipeline(),
+        RobustnessConfig(degrade=True, backoff=NO_SLEEP_BACKOFF),
+    )
+    injector = FaultInjector(
+        [FaultSpec(site="relatedness", rate=1.0, kind="permanent")],
+        seed=chaos_world.seed,
+    )
+    rungs = []
+    with injected(injector):
+        for document in chaos_world.documents:
+            result = resilient.disambiguate(document)
+            assert result.doc_id == document.doc_id
+            assert len(result.assignments) == len(document.mentions)
+            rungs.append(result.degradation_rung)
+    assert set(rungs) <= {"full", "no_coherence"}
+    assert "no_coherence" in rungs
+
+
+def test_permanent_similarity_reaches_prior_only(chaos_world):
+    """(c) Losing similarity *and* relatedness lands every document on the
+    ``prior_only`` rung — still no document lost."""
+    resilient = make_resilient(
+        chaos_world.pipeline(),
+        RobustnessConfig(degrade=True, backoff=NO_SLEEP_BACKOFF),
+    )
+    injector = FaultInjector(
+        [
+            FaultSpec(site="similarity", rate=1.0, kind="permanent"),
+            FaultSpec(site="relatedness", rate=1.0, kind="permanent"),
+        ],
+        seed=chaos_world.seed,
+    )
+    with injected(injector):
+        for document in chaos_world.documents:
+            result = resilient.disambiguate(document)
+            assert result.degradation_rung == "prior_only"
+            assert result.doc_id == document.doc_id
+            assert len(result.assignments) == len(document.mentions)
+            assert result.attempts >= 3  # walked the whole ladder
