@@ -1,0 +1,458 @@
+"""Keyphrase scoring throughput: reference vs the compiled layer.
+
+Measures the mention-entity similarity hot path (Eq. 3.4/3.6) and the
+KORE relatedness measure (Eq. 4.3/4.4) on the synthetic CoNLL-style
+benchmark corpus, three ways:
+
+* ``reference`` — the string/dict scorers of
+  :mod:`repro.similarity.keyphrase_match` / :mod:`repro.relatedness.kore`;
+* ``compiled-python`` — the :mod:`repro.compiled` integer-array layer
+  with the pure-Python cover sweep;
+* ``compiled-auto`` — the same layer with the numpy fast path enabled
+  (falls back to pure Python when numpy is absent).
+
+Every variant must agree with the reference within 1e-9; the interesting
+numbers are mention-contexts/second (simscore) and pairs/second (KORE),
+plus an end-to-end pipeline documents/second with the compiled layer on
+vs off.  Runs two ways:
+
+* under pytest with the rest of the benchmark suite (a scaled-down
+  smoke that checks agreement, not wall-clock);
+* as a script writing ``BENCH_similarity.json``::
+
+      PYTHONPATH=src:. python benchmarks/bench_similarity.py \
+          --out BENCH_similarity.json --check
+
+  ``--check`` exits non-zero unless all variants agree within 1e-9, the
+  best compiled simscore variant clears a 3x speedup over the reference,
+  and the compiled pipeline beats the reference pipeline's docs/s (the
+  CI similarity smoke gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from benchmarks.common import (
+    bench_kb,
+    bench_weights,
+    conll_corpus,
+    render_table,
+)
+from repro.compiled import CompiledKeyphrases, HAVE_NUMPY
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.relatedness.kore import KoreRelatedness
+from repro.similarity.context import DocumentContext
+from repro.similarity.keyphrase_match import KeyphraseSimilarity
+
+CHECK_SPEEDUP = 3.0
+TOLERANCE = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Workload extraction
+# ----------------------------------------------------------------------
+def simscore_workload(
+    doc_limit: Optional[int],
+) -> List[Tuple[DocumentContext, List[str]]]:
+    """(mention context, candidate entities) pairs from the bench corpus."""
+    kb = bench_kb()
+    documents = [
+        annotated.document for annotated in conll_corpus().all_documents()
+    ]
+    if doc_limit:
+        documents = documents[:doc_limit]
+    workload = []
+    for document in documents:
+        for mention in document.mentions:
+            candidates = sorted(kb.candidates(mention.surface))
+            if candidates:
+                workload.append(
+                    (
+                        DocumentContext(
+                            document, exclude_mention=mention
+                        ),
+                        candidates,
+                    )
+                )
+    return workload
+
+
+def kore_workload(limit: int) -> List[Tuple[str, str]]:
+    """Entity pairs drawn from candidate sets sharing a document."""
+    kb = bench_kb()
+    pairs = []
+    seen = set()
+    for annotated in conll_corpus().all_documents():
+        entities = sorted(
+            {
+                entity
+                for mention in annotated.document.mentions
+                for entity in kb.candidates(mention.surface)
+            }
+        )
+        for i, a in enumerate(entities):
+            for b in entities[i + 1 :]:
+                if (a, b) not in seen:
+                    seen.add((a, b))
+                    pairs.append((a, b))
+                    if len(pairs) >= limit:
+                        return pairs
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# The timed variants
+# ----------------------------------------------------------------------
+def _sim_scorers() -> Dict[str, KeyphraseSimilarity]:
+    kb = bench_kb()
+    weights = bench_weights()
+    store = kb.keyphrases
+    scorers = {
+        "reference": KeyphraseSimilarity(store, weights),
+        "compiled-python": KeyphraseSimilarity(
+            store,
+            weights,
+            compiled=CompiledKeyphrases(store, weights, backend="python"),
+        ),
+    }
+    if HAVE_NUMPY:
+        scorers["compiled-auto"] = KeyphraseSimilarity(
+            store,
+            weights,
+            compiled=CompiledKeyphrases(store, weights, backend="auto"),
+        )
+    return scorers
+
+
+def run_simscore(
+    workload, repeats: int
+) -> Tuple[List[Dict[str, object]], float]:
+    """Time every simscore variant on the same workload."""
+    cases: List[Dict[str, object]] = []
+    reference_scores: Optional[List[Dict[str, float]]] = None
+    reference_seconds = 0.0
+    max_diff = 0.0
+    for name, scorer in _sim_scorers().items():
+        build_seconds = 0.0
+        if scorer.compiled is not None:
+            start = time.perf_counter()
+            scorer.compiled.precompile()
+            build_seconds = time.perf_counter() - start
+        # One warm pass outside the clock: the weight model memoizes its
+        # per-entity keyword weights, and both paths should be timed in
+        # the steady state the batch runner actually sees.
+        scores = [
+            scorer.simscores(context, candidates)
+            for context, candidates in workload
+        ]
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for context, candidates in workload:
+                scorer.simscores(context, candidates)
+        elapsed = time.perf_counter() - start
+        if reference_scores is None:
+            reference_scores = scores
+            reference_seconds = elapsed
+        diff = max(
+            (
+                abs(got[eid] - want[eid])
+                for got, want in zip(scores, reference_scores)
+                for eid in want
+            ),
+            default=0.0,
+        )
+        max_diff = max(max_diff, diff)
+        contexts = len(workload) * repeats
+        cases.append(
+            {
+                "variant": name,
+                "contexts": contexts,
+                "candidates": sum(len(c) for _, c in workload) * repeats,
+                "seconds": elapsed,
+                "build_seconds": build_seconds,
+                "contexts_per_second": (
+                    contexts / elapsed if elapsed > 0 else 0.0
+                ),
+                "speedup_vs_reference": (
+                    reference_seconds / elapsed if elapsed > 0 else 0.0
+                ),
+                "max_abs_diff": diff,
+            }
+        )
+    return cases, max_diff
+
+
+def run_kore(pairs, repeats: int) -> Tuple[List[Dict[str, object]], float]:
+    """Time KORE pair scoring, reference vs compiled (uncached pairs)."""
+    kb = bench_kb()
+    weights = bench_weights()
+    store = kb.keyphrases
+    variants = {
+        "reference": KoreRelatedness(store, weights),
+        "compiled": KoreRelatedness(
+            store,
+            weights,
+            compiled=CompiledKeyphrases(store, weights),
+        ),
+    }
+    cases: List[Dict[str, object]] = []
+    reference_values: Optional[List[float]] = None
+    reference_seconds = 0.0
+    max_diff = 0.0
+    for name, measure in variants.items():
+        values = [measure.compute_pair(a, b) for a, b in pairs]
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for a, b in pairs:
+                measure.compute_pair(a, b)
+        elapsed = time.perf_counter() - start
+        if reference_values is None:
+            reference_values = values
+            reference_seconds = elapsed
+        diff = max(
+            (
+                abs(got - want)
+                for got, want in zip(values, reference_values)
+            ),
+            default=0.0,
+        )
+        max_diff = max(max_diff, diff)
+        scored = len(pairs) * repeats
+        cases.append(
+            {
+                "variant": name,
+                "pairs": scored,
+                "seconds": elapsed,
+                "pairs_per_second": (
+                    scored / elapsed if elapsed > 0 else 0.0
+                ),
+                "speedup_vs_reference": (
+                    reference_seconds / elapsed if elapsed > 0 else 0.0
+                ),
+                "max_abs_diff": diff,
+            }
+        )
+    return cases, max_diff
+
+
+def run_pipeline(doc_limit: Optional[int]) -> List[Dict[str, object]]:
+    """End-to-end documents/second, compiled layer off vs on."""
+    documents = [
+        annotated.document for annotated in conll_corpus().all_documents()
+    ]
+    if doc_limit:
+        documents = documents[:doc_limit]
+    cases: List[Dict[str, object]] = []
+    reference_seconds = 0.0
+    for name, use_compiled in (("reference", False), ("compiled", True)):
+        config = AidaConfig.full()
+        config.use_compiled = use_compiled
+        pipeline = AidaDisambiguator(bench_kb(), config=config)
+        start = time.perf_counter()
+        for document in documents:
+            pipeline.disambiguate(document)
+        elapsed = time.perf_counter() - start
+        if not cases:
+            reference_seconds = elapsed
+        cases.append(
+            {
+                "variant": name,
+                "documents": len(documents),
+                "seconds": elapsed,
+                "docs_per_second": (
+                    len(documents) / elapsed if elapsed > 0 else 0.0
+                ),
+                "speedup_vs_reference": (
+                    reference_seconds / elapsed if elapsed > 0 else 0.0
+                ),
+            }
+        )
+    return cases
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _render_sim(cases) -> str:
+    headers = [
+        "variant",
+        "contexts",
+        "seconds",
+        "ctx/s",
+        "speedup",
+        "max |diff|",
+    ]
+    rows = [
+        [
+            str(c["variant"]),
+            str(c["contexts"]),
+            f"{c['seconds']:.3f}",
+            f"{c['contexts_per_second']:.0f}",
+            f"{c['speedup_vs_reference']:.2f}x",
+            f"{c['max_abs_diff']:.2e}",
+        ]
+        for c in cases
+    ]
+    return render_table(headers, rows, title="simscore (Eq. 3.6)")
+
+
+def _render_kore(cases) -> str:
+    headers = ["variant", "pairs", "seconds", "pairs/s", "speedup", "max |diff|"]
+    rows = [
+        [
+            str(c["variant"]),
+            str(c["pairs"]),
+            f"{c['seconds']:.3f}",
+            f"{c['pairs_per_second']:.0f}",
+            f"{c['speedup_vs_reference']:.2f}x",
+            f"{c['max_abs_diff']:.2e}",
+        ]
+        for c in cases
+    ]
+    return render_table(headers, rows, title="KORE (Eq. 4.4)")
+
+
+def _render_pipeline(cases) -> str:
+    headers = ["variant", "docs", "seconds", "docs/s", "speedup"]
+    rows = [
+        [
+            str(c["variant"]),
+            str(c["documents"]),
+            f"{c['seconds']:.3f}",
+            f"{c['docs_per_second']:.2f}",
+            f"{c['speedup_vs_reference']:.2f}x",
+        ]
+        for c in cases
+    ]
+    return render_table(headers, rows, title="full pipeline (AIDA full)")
+
+
+def test_similarity_smoke(benchmark):
+    """Pytest smoke: compiled and reference agree on a scaled-down
+    workload.  Wall-clock gates live in the scripted ``--check`` run only
+    — agreement is what must never regress."""
+    from benchmarks.conftest import report
+
+    workload = simscore_workload(doc_limit=12)
+    pairs = kore_workload(limit=40)
+
+    def run():
+        sim_cases, sim_diff = run_simscore(workload, repeats=1)
+        kore_cases, kore_diff = run_kore(pairs, repeats=1)
+        return sim_cases, sim_diff, kore_cases, kore_diff
+
+    sim_cases, sim_diff, kore_cases, kore_diff = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(
+        "Compiled keyphrase scoring - reference vs compiled",
+        _render_sim(sim_cases) + "\n" + _render_kore(kore_cases),
+    )
+    assert sim_diff <= TOLERANCE
+    assert kore_diff <= TOLERANCE
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--doc-limit", type=int, default=0,
+        help="cap the simscore workload at mentions of N documents "
+        "(0 = full corpus)",
+    )
+    parser.add_argument(
+        "--pipeline-docs", type=int, default=40,
+        help="documents for the end-to-end pipeline comparison",
+    )
+    parser.add_argument(
+        "--kore-pairs", type=int, default=300,
+        help="entity pairs for the KORE micro-benchmark",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="timed passes over the workload",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_similarity.json", help="JSON output path"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless every variant agrees within "
+        f"{TOLERANCE:g} and the best compiled simscore variant clears "
+        f"a {CHECK_SPEEDUP}x speedup over the reference",
+    )
+    args = parser.parse_args(argv)
+
+    workload = simscore_workload(args.doc_limit or None)
+    sim_cases, sim_diff = run_simscore(workload, args.repeats)
+    print(_render_sim(sim_cases))
+    pairs = kore_workload(args.kore_pairs)
+    kore_cases, kore_diff = run_kore(pairs, args.repeats)
+    print()
+    print(_render_kore(kore_cases))
+    pipeline_cases = run_pipeline(args.pipeline_docs or None)
+    print()
+    print(_render_pipeline(pipeline_cases))
+
+    record = {
+        "benchmark": "compiled_similarity",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "numpy": HAVE_NUMPY,
+        "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "0.5"),
+        "tolerance": TOLERANCE,
+        "simscore": sim_cases,
+        "kore": kore_cases,
+        "pipeline": pipeline_cases,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.out}")
+
+    if args.check:
+        failed = False
+        if max(sim_diff, kore_diff) > TOLERANCE:
+            print(
+                f"FAIL: compiled scores diverge by "
+                f"{max(sim_diff, kore_diff):.3e} > {TOLERANCE:g}",
+                file=sys.stderr,
+            )
+            failed = True
+        best = max(
+            case["speedup_vs_reference"]
+            for case in sim_cases
+            if case["variant"] != "reference"
+        )
+        if best < CHECK_SPEEDUP:
+            print(
+                f"FAIL: best compiled simscore speedup {best:.2f}x "
+                f"< {CHECK_SPEEDUP}x",
+                file=sys.stderr,
+            )
+            failed = True
+        if (
+            pipeline_cases[1]["docs_per_second"]
+            <= pipeline_cases[0]["docs_per_second"]
+        ):
+            print(
+                "FAIL: compiled pipeline is not faster than reference "
+                f"({pipeline_cases[1]['docs_per_second']:.2f} vs "
+                f"{pipeline_cases[0]['docs_per_second']:.2f} docs/s)",
+                file=sys.stderr,
+            )
+            failed = True
+        if failed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

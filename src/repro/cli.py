@@ -107,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="full",
         help="AIDA configuration",
     )
+    _add_compiled_argument(dis)
     _add_obs_arguments(dis)
     _add_robustness_arguments(dis)
 
@@ -120,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     rel.add_argument(
         "entities", nargs="+", help="two or more entity ids (all pairs)"
     )
+    _add_compiled_argument(rel)
 
     cls = subparsers.add_parser(
         "classify", help="coarse-type the mentions of a text"
@@ -174,10 +176,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=0,
         help="LRU capacity for --cache-relatedness (0 = unbounded)",
     )
+    _add_compiled_argument(evaluate)
     _add_obs_arguments(evaluate)
     _add_robustness_arguments(evaluate)
 
     return parser
+
+
+def _add_compiled_argument(sub: argparse.ArgumentParser) -> None:
+    """The ``--compiled/--no-compiled`` toggle (default: compiled on)."""
+    sub.add_argument(
+        "--compiled",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="use the compiled keyphrase scoring layer (interned-id "
+        "entity models + posting-indexed contexts; score-equivalent to "
+        "the reference scorers, falls back automatically on failure)",
+    )
 
 
 def _add_obs_arguments(sub: argparse.ArgumentParser) -> None:
@@ -345,6 +360,7 @@ def cmd_disambiguate(args: argparse.Namespace) -> int:
             print("no entity mentions recognized")
             return 0
         config = AIDA_VARIANTS[args.variant]()
+        config.use_compiled = args.compiled
         aida = make_resilient(
             AidaDisambiguator(kb, config=config),
             _robustness_config(args),
@@ -382,7 +398,14 @@ def cmd_relatedness(args: argparse.Namespace) -> int:
         measure = InlinkJaccardRelatedness(kb.links)
     else:
         weights = WeightModel(kb.keyphrases, kb.links)
-        measure = KoreRelatedness(kb.keyphrases, weights)
+        compiled = None
+        if args.compiled:
+            from repro.compiled import CompiledKeyphrases
+
+            compiled = CompiledKeyphrases(kb.keyphrases, weights)
+        measure = KoreRelatedness(
+            kb.keyphrases, weights, compiled=compiled
+        )
     entities: List[str] = args.entities
     for i, a in enumerate(entities):
         for b in entities[i + 1 :]:
@@ -432,13 +455,16 @@ class _PipelineFactory:
     in-memory relatedness cache).
     """
 
-    def __init__(self, kb_dir: str, variant: str):
+    def __init__(self, kb_dir: str, variant: str, use_compiled: bool = True):
         self.kb_dir = kb_dir
         self.variant = variant
+        self.use_compiled = use_compiled
 
     def __call__(self) -> AidaDisambiguator:
         kb = load_knowledge_base(self.kb_dir)
-        return AidaDisambiguator(kb, config=AIDA_VARIANTS[self.variant]())
+        config = AIDA_VARIANTS[self.variant]()
+        config.use_compiled = self.use_compiled
+        return AidaDisambiguator(kb, config=config)
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -455,6 +481,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         kb = load_knowledge_base(args.kb)
         documents = load_corpus(args.corpus)
         config = AIDA_VARIANTS[args.variant]()
+        config.use_compiled = args.compiled
         robustness = _robustness_config(args)
         relatedness = None
         if args.cache_relatedness:
@@ -467,7 +494,9 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         )
         batch = None
         if args.workers > 1 and args.executor == "process":
-            factory = _PipelineFactory(args.kb, args.variant)
+            factory = _PipelineFactory(
+                args.kb, args.variant, use_compiled=args.compiled
+            )
             if robustness is not None:
                 factory = ResilientFactory(factory, robustness)
             batch = BatchRunner(

@@ -1,0 +1,46 @@
+"""Compiled keyphrase scoring layer.
+
+The reference implementations of keyphrase cover matching (Eq. 3.4/3.6)
+and KORE (Eq. 4.3/4.4) work over strings and dicts: every (mention,
+candidate) pair re-hashes phrase words, rebuilds weight sets, and sorts
+tuples.  This package compiles the per-entity keyphrase models **once**
+into flat integer/float arrays and scores over those:
+
+* :class:`~repro.compiled.vocabulary.Vocabulary` — a KB-wide interner
+  mapping normalized words to dense ``int32`` ids;
+* :class:`~repro.compiled.keyphrases.CompiledKeyphrases` — per-entity
+  flat arrays (concatenated phrase token ids + prefix offsets, parallel
+  weight arrays, precomputed per-phrase totals and φ sums) built lazily
+  from a :class:`~repro.kb.keyphrases.KeyphraseStore` and a
+  :class:`~repro.weights.model.WeightModel`, pickle-cheap and shared
+  read-only across batch workers;
+* :class:`~repro.compiled.context.IndexedContext` — a token-id posting
+  index over a document context, built once per mention instead of once
+  per (mention, candidate);
+* :mod:`~repro.compiled.scoring` — array rewrites of the cover sweep and
+  of KORE phrase overlap (sorted-id merges), with an optional numpy fast
+  path and a pure-Python fallback that produce identical covers.
+
+Both backends are score-equivalent to the reference implementations
+within 1e-9 (see ``tests/test_differential_compiled.py``).
+"""
+
+from repro.compiled.context import IndexedContext
+from repro.compiled.keyphrases import (
+    CompiledKeyphrases,
+    KoreEntityModel,
+    SimEntityModel,
+)
+from repro.compiled.scoring import HAVE_NUMPY, kore_score, simscore_arrays
+from repro.compiled.vocabulary import Vocabulary
+
+__all__ = [
+    "CompiledKeyphrases",
+    "HAVE_NUMPY",
+    "IndexedContext",
+    "KoreEntityModel",
+    "SimEntityModel",
+    "Vocabulary",
+    "kore_score",
+    "simscore_arrays",
+]

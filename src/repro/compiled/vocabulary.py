@@ -1,0 +1,71 @@
+"""Word interning: normalized words to dense ``int32`` ids.
+
+One :class:`Vocabulary` is shared KB-wide by every compiled entity model
+and every indexed document context, so a phrase word and a context token
+match by integer comparison instead of string hashing.  Ids are assigned
+densely in interning order, which makes the id space directly usable as
+an array index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+#: Sentinel id for words the vocabulary has never seen.
+UNKNOWN = -1
+
+_INT32_MAX = 2**31 - 1
+
+
+class Vocabulary:
+    """A word ↔ dense-id interner.
+
+    Interning is append-only: an id, once assigned, never changes, so
+    compiled models built at different times against the same vocabulary
+    stay mutually consistent.
+    """
+
+    __slots__ = ("_ids", "_words")
+
+    def __init__(self, words: Optional[Iterable[str]] = None):
+        self._ids: Dict[str, int] = {}
+        self._words: List[str] = []
+        if words is not None:
+            self.intern_all(words)
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._ids
+
+    def intern(self, word: str) -> int:
+        """The word's id, assigning the next dense id on first sight."""
+        wid = self._ids.get(word)
+        if wid is None:
+            wid = len(self._words)
+            if wid > _INT32_MAX:
+                raise OverflowError("vocabulary exceeds int32 id space")
+            self._ids[word] = wid
+            self._words.append(word)
+        return wid
+
+    def intern_all(self, words: Iterable[str]) -> None:
+        """Intern every word in order."""
+        for word in words:
+            self.intern(word)
+
+    def id_of(self, word: str) -> int:
+        """The word's id, or :data:`UNKNOWN` (-1) if never interned."""
+        return self._ids.get(word, UNKNOWN)
+
+    def word_of(self, wid: int) -> str:
+        """The word behind an id (raises ``IndexError`` on bad ids)."""
+        if wid < 0:
+            raise IndexError(f"no word for id {wid}")
+        return self._words[wid]
+
+    @classmethod
+    def from_store(cls, store) -> "Vocabulary":
+        """A vocabulary covering every keyword of a keyphrase store."""
+        return cls(store.vocabulary())

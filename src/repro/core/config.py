@@ -66,6 +66,12 @@ class AidaConfig:
     #: the document ("Jimmy Page") and restrict their candidate space to
     #: the chain's (Section 2.4.3's coreference view, applied to NED).
     use_name_coreference: bool = False
+    #: Use the compiled keyphrase scoring layer (:mod:`repro.compiled`):
+    #: interned-id entity models and posting-indexed contexts, score-
+    #: equivalent to the reference scorers within 1e-9.  On construction
+    #: failure the pipeline logs a warning and falls back to the
+    #: reference path, so this flag is safe to leave on.
+    use_compiled: bool = True
     graph: DenseSubgraphConfig = field(default_factory=DenseSubgraphConfig)
 
     def __post_init__(self) -> None:

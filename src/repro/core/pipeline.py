@@ -63,6 +63,7 @@ class AidaDisambiguator:
         config: Optional[AidaConfig] = None,
         keyphrase_store: Optional[KeyphraseStore] = None,
         weight_model: Optional[WeightModel] = None,
+        compiled_keyphrases=None,
     ):
         self.kb = kb
         self.config = config if config is not None else AidaConfig.full()
@@ -80,16 +81,60 @@ class AidaDisambiguator:
             else MilneWittenRelatedness(kb.links, max(kb.entity_count, 2))
         )
         max_kp = self.config.max_keyphrases or None
+        #: The shared compiled keyphrase model, or None on the reference
+        #: path.  An explicitly passed model wins over ``use_compiled``;
+        #: otherwise one is built here (and on failure the pipeline logs
+        #: a warning and degrades to the reference scorers).
+        self.compiled = compiled_keyphrases
+        if self.compiled is None and self.config.use_compiled:
+            self.compiled = self._build_compiled(max_kp)
         self.similarity = KeyphraseSimilarity(
             self.store,
             self.weights,
             weight_scheme=self.config.keyword_weight_scheme,
             max_keyphrases=max_kp,
+            compiled=self.compiled,
         )
+        if self.compiled is not None:
+            self._attach_compiled_relatedness(self.compiled)
         self._solver = GreedyDenseSubgraph(self.config.graph)
         #: Per-stage timing and counters of the most recent
         #: :meth:`disambiguate` call.
         self.last_stats: Optional[PipelineStats] = None
+
+    def _build_compiled(self, max_keyphrases: Optional[int]):
+        """Build the compiled keyphrase layer, or None on any failure."""
+        try:
+            from repro.compiled import CompiledKeyphrases
+
+            return CompiledKeyphrases(
+                self.store,
+                self.weights,
+                scheme=self.config.keyword_weight_scheme,
+                max_keyphrases=max_keyphrases,
+            )
+        except Exception as exc:  # degrade, never fail construction
+            _LOG.warning(
+                "compiled keyphrase layer unavailable, falling back to "
+                "reference scoring: %s",
+                exc,
+            )
+            return None
+
+    def _attach_compiled_relatedness(self, compiled) -> None:
+        """Point a KORE measure (possibly cache-wrapped) at the compiled
+        models; other relatedness measures are untouched."""
+        from repro.relatedness.kore import KoreRelatedness
+
+        measure = self.relatedness
+        inner = getattr(measure, "inner", None)
+        if inner is not None:
+            measure = inner
+        if (
+            isinstance(measure, KoreRelatedness)
+            and measure.compiled is None
+        ):
+            measure.attach_compiled(compiled)
 
     # ------------------------------------------------------------------
     # Public API

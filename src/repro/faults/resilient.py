@@ -133,8 +133,9 @@ class ResilientDisambiguator:
 
     def pipeline_for(self, rung: str):
         """The (lazily built) pipeline of a rung; rungs share the KB,
-        keyphrase store, weight model, and relatedness measure of the
-        wrapped pipeline — only the configuration differs."""
+        keyphrase store, weight model, relatedness measure, and compiled
+        keyphrase models of the wrapped pipeline — only the
+        configuration differs."""
         pipeline = self._rungs.get(rung)
         if pipeline is None:
             pipeline = type(self._base)(
@@ -143,6 +144,7 @@ class ResilientDisambiguator:
                 config=degrade_config(self._base.config, rung),
                 keyphrase_store=self._base.store,
                 weight_model=self._base.weights,
+                compiled_keyphrases=getattr(self._base, "compiled", None),
             )
             self._rungs[rung] = pipeline
         return pipeline

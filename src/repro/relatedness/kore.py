@@ -14,7 +14,15 @@ partial overlap and re-weighting by the lesser phrase weight ϕ::
 
 Per the experiments, ϕ uses µ (normalized MI) phrase weights and γ uses IDF
 keyword weights.  Only phrase pairs sharing at least one word can have
-PO > 0, so the implementation indexes phrases by word to skip the rest.
+PO > 0, so the implementation indexes phrases by word to skip the rest:
+per phrase of the first entity, candidate partners are deduplicated with
+a seen-set of integer phrase indices (no materialized set of tuple
+pairs), and the per-entity ``sum(ϕ)`` halves of the denominator are
+cached alongside ϕ itself.
+
+With a :class:`~repro.compiled.keyphrases.CompiledKeyphrases` attached,
+the whole measure runs on flat id arrays (sorted-id merges for the
+min/max weighted Jaccard) — score-equivalent within 1e-9.
 """
 
 from __future__ import annotations
@@ -61,6 +69,7 @@ class KoreRelatedness(EntityRelatedness):
         store: KeyphraseStore,
         weights: WeightModel,
         squared: bool = True,
+        compiled=None,
     ):
         super().__init__()
         self._store = store
@@ -68,11 +77,16 @@ class KoreRelatedness(EntityRelatedness):
         #: Squaring PO penalizes partially overlapping phrases (the paper's
         #: choice); ``squared=False`` is the ablation knob.
         self.squared = squared
+        self.compiled = compiled
         self._phrase_weight_cache: Dict[EntityId, Dict[Phrase, float]] = {}
+        self._phi_sum_cache: Dict[EntityId, float] = {}
         self._gamma_cache: Dict[EntityId, Dict[str, float]] = {}
-        self._word_index_cache: Dict[
-            EntityId, Dict[str, List[Phrase]]
-        ] = {}
+        self._phrase_list_cache: Dict[EntityId, List[Phrase]] = {}
+        self._word_index_cache: Dict[EntityId, Dict[str, List[int]]] = {}
+
+    def attach_compiled(self, compiled) -> None:
+        """Switch this measure onto a compiled keyphrase model."""
+        self.compiled = compiled
 
     # ------------------------------------------------------------------
     # Per-entity cached models
@@ -84,6 +98,14 @@ class KoreRelatedness(EntityRelatedness):
             self._phrase_weight_cache[entity_id] = cached
         return cached
 
+    def _phi_sum(self, entity_id: EntityId) -> float:
+        """Cached ``sum(ϕ.values())`` — one half of the denominator."""
+        cached = self._phi_sum_cache.get(entity_id)
+        if cached is None:
+            cached = sum(self._phi(entity_id).values())
+            self._phi_sum_cache[entity_id] = cached
+        return cached
+
     def _gamma(self, entity_id: EntityId) -> Dict[str, float]:
         cached = self._gamma_cache.get(entity_id)
         if cached is None:
@@ -91,14 +113,22 @@ class KoreRelatedness(EntityRelatedness):
             self._gamma_cache[entity_id] = cached
         return cached
 
-    def _word_index(self, entity_id: EntityId) -> Dict[str, List[Phrase]]:
-        """word -> phrases of the entity containing that word."""
+    def _phrases(self, entity_id: EntityId) -> List[Phrase]:
+        """Cached sorted phrase list (``keyphrases`` sorts per call)."""
+        cached = self._phrase_list_cache.get(entity_id)
+        if cached is None:
+            cached = self._store.keyphrases(entity_id)
+            self._phrase_list_cache[entity_id] = cached
+        return cached
+
+    def _word_index(self, entity_id: EntityId) -> Dict[str, List[int]]:
+        """word -> indices (into ``_phrases``) of phrases containing it."""
         cached = self._word_index_cache.get(entity_id)
         if cached is None:
             cached = {}
-            for phrase in self._store.keyphrases(entity_id):
+            for index, phrase in enumerate(self._phrases(entity_id)):
                 for word in set(phrase):
-                    cached.setdefault(word, []).append(phrase)
+                    cached.setdefault(word, []).append(index)
             self._word_index_cache[entity_id] = cached
         return cached
 
@@ -106,28 +136,44 @@ class KoreRelatedness(EntityRelatedness):
     # The measure
     # ------------------------------------------------------------------
     def _compute(self, a: EntityId, b: EntityId) -> float:
+        if self.compiled is not None:
+            from repro.compiled.scoring import kore_score
+
+            return kore_score(
+                self.compiled.kore_model(a),
+                self.compiled.kore_model(b),
+                squared=self.squared,
+            )
         phi_a = self._phi(a)
         phi_b = self._phi(b)
-        denominator = sum(phi_a.values()) + sum(phi_b.values())
+        denominator = self._phi_sum(a) + self._phi_sum(b)
         if denominator <= 0.0:
             return 0.0
         gamma_a = self._gamma(a)
         gamma_b = self._gamma(b)
-        # Restrict to phrase pairs sharing at least one word.
+        # Restrict to phrase pairs sharing at least one word; a per-phrase
+        # seen-set of integer indices dedupes partners found through
+        # several shared words.
+        phrases_b = self._phrases(b)
         index_b = self._word_index(b)
-        candidate_pairs: Set[Tuple[Phrase, Phrase]] = set()
-        for phrase_p in self._store.keyphrases(a):
-            for word in set(phrase_p):
-                for phrase_q in index_b.get(word, ()):
-                    candidate_pairs.add((phrase_p, phrase_q))
         numerator = 0.0
-        for phrase_p, phrase_q in candidate_pairs:
-            po = phrase_overlap(phrase_p, phrase_q, gamma_a, gamma_b)
-            if po == 0.0:
-                continue
-            if self.squared:
-                po = po * po
-            numerator += po * min(
-                phi_a.get(phrase_p, 0.0), phi_b.get(phrase_q, 0.0)
-            )
+        for phrase_p in self._phrases(a):
+            weight_p = phi_a.get(phrase_p, 0.0)
+            seen: Set[int] = set()
+            for word in set(phrase_p):
+                for q in index_b.get(word, ()):
+                    if q in seen:
+                        continue
+                    seen.add(q)
+                    phrase_q = phrases_b[q]
+                    po = phrase_overlap(
+                        phrase_p, phrase_q, gamma_a, gamma_b
+                    )
+                    if po == 0.0:
+                        continue
+                    if self.squared:
+                        po = po * po
+                    numerator += po * min(
+                        weight_p, phi_b.get(phrase_q, 0.0)
+                    )
         return numerator / denominator

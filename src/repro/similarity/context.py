@@ -50,6 +50,15 @@ class DocumentContext:
         """Sorted token offsets of the normalized word."""
         return self._index.get(word, [])
 
+    def index_items(self):
+        """All (word, positions) pairs of the index, insertion-ordered.
+
+        The compiled scoring layer consumes this to translate the index
+        into vocabulary-id posting lists once per context; the position
+        lists are the index's own and must not be mutated.
+        """
+        return self._index.items()
+
     def __contains__(self, word: str) -> bool:
         return word in self._index
 

@@ -11,6 +11,12 @@ The phrase score (Eq. 3.4) is::
 
 and the mention-entity similarity (Eq. 3.6) sums the scores of all the
 entity's keyphrases over the mention's document context.
+
+Two scoring paths produce the same numbers (within float summation
+order): the reference string/dict implementation below, and the compiled
+integer-array path of :mod:`repro.compiled`, enabled by passing a
+:class:`~repro.compiled.keyphrases.CompiledKeyphrases` to
+:class:`KeyphraseSimilarity`.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.kb.keyphrases import KeyphraseStore, Phrase
+from repro.obs import get_metrics
 from repro.similarity.context import DocumentContext
 from repro.types import EntityId
 from repro.weights.model import WeightModel
@@ -87,15 +94,12 @@ def phrase_cover(
     )
 
 
-def score_phrase(
-    context: DocumentContext,
+def score_covered_phrase(
+    cover: Cover,
     phrase: Sequence[str],
     word_weights: Mapping[str, float],
 ) -> float:
-    """Eq. 3.4 — score of a (partially) matching phrase in the context."""
-    cover = phrase_cover(context, phrase)
-    if cover is None:
-        return 0.0
+    """Eq. 3.4 given an already-computed cover (never re-sweeps)."""
     total_weight = sum(word_weights.get(word, 0.0) for word in set(phrase))
     if total_weight <= 0.0:
         return 0.0
@@ -105,6 +109,18 @@ def score_phrase(
     z = cover.match_count / cover.length
     ratio = matched_weight / total_weight
     return z * ratio * ratio
+
+
+def score_phrase(
+    context: DocumentContext,
+    phrase: Sequence[str],
+    word_weights: Mapping[str, float],
+) -> float:
+    """Eq. 3.4 — score of a (partially) matching phrase in the context."""
+    cover = phrase_cover(context, phrase)
+    if cover is None:
+        return 0.0
+    return score_covered_phrase(cover, phrase, word_weights)
 
 
 class KeyphraseSimilarity:
@@ -125,6 +141,11 @@ class KeyphraseSimilarity:
         the mention: ``score / (1 + discount * distance / doc_length)``.
         Section 3.3.4 reports experimenting with exactly this and finding
         no improvement; the option is kept for the ablation.
+    compiled:
+        Optional :class:`~repro.compiled.keyphrases.CompiledKeyphrases`
+        sharing this scorer's store/weights.  When given, scoring runs on
+        the compiled integer-array path (score-equivalent within 1e-9);
+        its scheme and cap must match this scorer's.
     """
 
     def __init__(
@@ -134,16 +155,32 @@ class KeyphraseSimilarity:
         weight_scheme: str = "npmi",
         max_keyphrases: Optional[int] = None,
         distance_discount: float = 0.0,
+        compiled=None,
     ):
         if weight_scheme not in ("npmi", "idf"):
             raise ValueError(f"unknown weight scheme: {weight_scheme!r}")
         if distance_discount < 0.0:
             raise ValueError("distance_discount must be non-negative")
+        if compiled is not None:
+            if compiled.scheme != weight_scheme:
+                raise ValueError(
+                    "compiled model scheme "
+                    f"{compiled.scheme!r} != {weight_scheme!r}"
+                )
+            if compiled.max_keyphrases != max_keyphrases:
+                raise ValueError(
+                    "compiled model max_keyphrases "
+                    f"{compiled.max_keyphrases!r} != {max_keyphrases!r}"
+                )
         self._store = store
         self._weights = weights
         self._scheme = weight_scheme
         self._max_keyphrases = max_keyphrases
         self.distance_discount = distance_discount
+        self.compiled = compiled
+        #: (context, IndexedContext) of the most recent compiled scoring
+        #: call; identity-checked, so a stale entry can only miss.
+        self._indexed_cache: Optional[Tuple[DocumentContext, object]] = None
 
     def entity_phrases(self, entity_id: EntityId) -> List[Phrase]:
         """The (possibly capped) keyphrases of an entity."""
@@ -151,32 +188,94 @@ class KeyphraseSimilarity:
             entity_id, limit=self._max_keyphrases
         )
 
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
     def simscore(
         self, context: DocumentContext, entity_id: EntityId
     ) -> float:
         """Aggregate partial-match score of all entity keyphrases."""
+        if self.compiled is not None:
+            return self._compiled_simscore(
+                self._indexed(context), entity_id
+            )
+        return self._reference_simscore(context, entity_id)
+
+    def simscores(
+        self, context: DocumentContext, entity_ids: Sequence[EntityId]
+    ) -> Dict[EntityId, float]:
+        """simscore for every candidate entity.
+
+        On the compiled path the context is posting-indexed **once** and
+        shared by every candidate, instead of re-hashing phrase words per
+        (mention, candidate) pair.
+        """
+        if self.compiled is not None:
+            indexed = self._indexed(context)
+            return {
+                eid: self._compiled_simscore(indexed, eid)
+                for eid in entity_ids
+            }
+        return {
+            eid: self._reference_simscore(context, eid)
+            for eid in entity_ids
+        }
+
+    def _reference_simscore(
+        self, context: DocumentContext, entity_id: EntityId
+    ) -> float:
         word_weights = self._weights.keyword_weights(
             entity_id, scheme=self._scheme
         )
         total = 0.0
+        scored = 0
+        skipped = 0
         for phrase in self.entity_phrases(entity_id):
             if not any(word in context for word in phrase):
+                skipped += 1
                 continue  # no word present: score is zero, skip the sweep
-            score = score_phrase(context, phrase, word_weights)
+            scored += 1
+            cover = phrase_cover(context, phrase)
+            score = score_covered_phrase(cover, phrase, word_weights)
             if score > 0.0 and self.distance_discount > 0.0:
-                score *= self._proximity_factor(context, phrase)
+                score *= self._proximity_factor(context, cover)
             total += score
+        _count_phrases(scored, skipped)
         return total
 
+    def _compiled_simscore(self, indexed, entity_id: EntityId) -> float:
+        from repro.compiled.scoring import simscore_arrays
+
+        compiled = self.compiled
+        score, scored, skipped = simscore_arrays(
+            indexed,
+            compiled.sim_model(entity_id),
+            distance_discount=self.distance_discount,
+            use_numpy=compiled.use_numpy,
+        )
+        _count_phrases(scored, skipped)
+        return score
+
+    def _indexed(self, context: DocumentContext):
+        """The posting index of *context*, built once and identity-cached.
+
+        The cache is a single atomically-swapped tuple: safe under the
+        shared-pipeline thread mode (a concurrent scorer at worst misses
+        and rebuilds, never reads the wrong context's index).
+        """
+        cached = self._indexed_cache
+        if cached is not None and cached[0] is context:
+            return cached[1]
+        indexed = self.compiled.index_context(context)
+        self._indexed_cache = (context, indexed)
+        return indexed
+
     def _proximity_factor(
-        self, context: DocumentContext, phrase: Phrase
+        self, context: DocumentContext, cover: Cover
     ) -> float:
         """Damping by cover-to-mention distance (1.0 without a mention)."""
         center = context.mention_center
         if center is None:
-            return 1.0
-        cover = phrase_cover(context, phrase)
-        if cover is None:
             return 1.0
         doc_length = max(len(context.document.tokens), 1)
         cover_center = (cover.start + cover.end) / 2.0
@@ -185,8 +284,12 @@ class KeyphraseSimilarity:
             1.0 + self.distance_discount * distance / doc_length
         )
 
-    def simscores(
-        self, context: DocumentContext, entity_ids: Sequence[EntityId]
-    ) -> Dict[EntityId, float]:
-        """simscore for every candidate entity."""
-        return {eid: self.simscore(context, eid) for eid in entity_ids}
+
+def _count_phrases(scored: int, skipped: int) -> None:
+    """Publish the similarity phrase counters (no-op when metrics off)."""
+    metrics = get_metrics()
+    if metrics.enabled:
+        if scored:
+            metrics.counter("similarity.phrases_scored").inc(scored)
+        if skipped:
+            metrics.counter("similarity.phrases_skipped").inc(skipped)

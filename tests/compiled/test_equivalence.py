@@ -1,0 +1,390 @@
+"""Compiled-vs-reference equivalence and fallback behaviour.
+
+The compiled layer is a pure performance rewrite: every test here pins
+its scores to the reference string/dict implementations (simscore within
+1e-9; the two compiled backends bit-identical to each other), and the
+fallback ladder — ``use_compiled=False``, numpy absent, construction
+failure — must land on the same numbers.
+"""
+
+import pickle
+
+import pytest
+
+import repro.compiled.context as compiled_context
+import repro.compiled.keyphrases as compiled_keyphrases
+import repro.compiled.scoring as compiled_scoring
+from repro.compiled import CompiledKeyphrases
+from repro.compiled.scoring import HAVE_NUMPY, _po_merge, cover_sweep
+from repro.kb.keyphrases import KeyphraseStore
+from repro.obs import MetricsRegistry, set_metrics
+from repro.relatedness.kore import KoreRelatedness, phrase_overlap
+from repro.similarity.context import DocumentContext
+from repro.similarity.keyphrase_match import (
+    KeyphraseSimilarity,
+    phrase_cover,
+)
+from repro.types import Document, Mention
+from repro.weights.model import WeightModel
+
+TOLERANCE = 1e-9
+
+
+def _doc(tokens, mentions=()):
+    return Document(
+        doc_id="d", tokens=tuple(tokens), mentions=tuple(mentions)
+    )
+
+
+@pytest.fixture
+def store_and_weights():
+    store = KeyphraseStore()
+    store.add_keyphrase("Jimmy_Page", ("gibson", "guitar"), count=3)
+    store.add_keyphrase("Jimmy_Page", ("hard", "rock", "band"), count=2)
+    store.add_keyphrase("Jimmy_Page", ("grammy", "award", "winner"))
+    store.add_keyphrase("Larry_Page", ("search", "engine"), count=4)
+    store.add_keyphrase("Larry_Page", ("internet", "company"))
+    store.add_keyphrase("Larry_Page", ("award", "winner"))
+    store.add_keyphrase("Lonely", ("quasar",))
+    weights = WeightModel(store, links=None, collection_size=50)
+    return store, weights
+
+
+DOCUMENTS = [
+    ["he", "played", "gibson", "guitar", "in", "a", "hard", "rock", "band"],
+    ["the", "search", "engine", "company", "won", "an", "award"],
+    ["winner", "of", "many", "prizes", "including", "the", "grammy"],
+    ["completely", "unrelated", "text"],
+    ["guitar"] * 3 + ["x"] * 5 + ["gibson", "award", "winner", "guitar"],
+]
+
+ENTITIES = ["Jimmy_Page", "Larry_Page", "Lonely"]
+
+
+def _pairs(reference, compiled, context):
+    ref = reference.simscores(context, ENTITIES)
+    com = compiled.simscores(context, ENTITIES)
+    return [(ref[eid], com[eid]) for eid in ENTITIES]
+
+
+class TestSimscoreEquivalence:
+    @pytest.mark.parametrize("scheme", ["npmi", "idf"])
+    def test_matches_reference_per_scheme(self, store_and_weights, scheme):
+        store, weights = store_and_weights
+        reference = KeyphraseSimilarity(store, weights, weight_scheme=scheme)
+        compiled = KeyphraseSimilarity(
+            store,
+            weights,
+            weight_scheme=scheme,
+            compiled=CompiledKeyphrases(store, weights, scheme=scheme),
+        )
+        for tokens in DOCUMENTS:
+            context = DocumentContext(_doc(tokens))
+            for ref, com in _pairs(reference, compiled, context):
+                assert com == pytest.approx(ref, abs=TOLERANCE)
+
+    def test_matches_reference_with_distance_discount(
+        self, store_and_weights
+    ):
+        store, weights = store_and_weights
+        mention = Mention(surface="Page", start=0, end=1)
+        tokens = ["Page", "spoke"] + ["x"] * 20 + ["gibson", "guitar"]
+        context = DocumentContext(
+            _doc(tokens, [mention]), exclude_mention=mention
+        )
+        reference = KeyphraseSimilarity(
+            store, weights, distance_discount=3.0
+        )
+        compiled = KeyphraseSimilarity(
+            store,
+            weights,
+            distance_discount=3.0,
+            compiled=CompiledKeyphrases(store, weights),
+        )
+        for ref, com in _pairs(reference, compiled, context):
+            assert com == pytest.approx(ref, abs=TOLERANCE)
+
+    def test_matches_reference_with_keyphrase_cap(self, store_and_weights):
+        store, weights = store_and_weights
+        reference = KeyphraseSimilarity(store, weights, max_keyphrases=2)
+        compiled = KeyphraseSimilarity(
+            store,
+            weights,
+            max_keyphrases=2,
+            compiled=CompiledKeyphrases(store, weights, max_keyphrases=2),
+        )
+        for tokens in DOCUMENTS:
+            context = DocumentContext(_doc(tokens))
+            for ref, com in _pairs(reference, compiled, context):
+                assert com == pytest.approx(ref, abs=TOLERANCE)
+
+    def test_python_and_numpy_backends_bit_identical(
+        self, store_and_weights
+    ):
+        if not HAVE_NUMPY:
+            pytest.skip("numpy not available")
+        store, weights = store_and_weights
+        # Enough hits to clear NUMPY_MIN_HITS so the numpy cover path
+        # actually runs; both backends must return the same window, so
+        # the scores are equal exactly, not just within tolerance.
+        tokens = (["gibson", "guitar"] * 20) + ["x"] * 3 + ["gibson"]
+        context = DocumentContext(_doc(tokens))
+        py = KeyphraseSimilarity(
+            store,
+            weights,
+            compiled=CompiledKeyphrases(store, weights, backend="python"),
+        )
+        np_ = KeyphraseSimilarity(
+            store,
+            weights,
+            compiled=CompiledKeyphrases(store, weights, backend="numpy"),
+        )
+        for eid in ENTITIES:
+            assert py.simscore(context, eid) == np_.simscore(context, eid)
+
+    def test_indexed_context_reused_across_candidates(
+        self, store_and_weights
+    ):
+        store, weights = store_and_weights
+        compiled = CompiledKeyphrases(store, weights)
+        sim = KeyphraseSimilarity(store, weights, compiled=compiled)
+        context = DocumentContext(_doc(DOCUMENTS[0]))
+        sim.simscores(context, ENTITIES)
+        first = sim._indexed(context)
+        assert sim._indexed(context) is first  # identity-cached
+        other = DocumentContext(_doc(DOCUMENTS[1]))
+        assert sim._indexed(other) is not first
+
+
+class TestCoverEquivalence:
+    """The array sweeps return the reference cover, tie-breaks included."""
+
+    CASES = [
+        ["alpha", "x", "x", "x", "beta", "alpha", "beta"],
+        ["alpha", "beta"] * 30,
+        ["alpha"] + ["x"] * 10 + ["beta"] + ["alpha", "beta"] * 25,
+        ["beta", "alpha"] * 16 + ["x", "alpha"],
+    ]
+
+    @pytest.mark.parametrize("tokens", CASES)
+    def test_sweep_matches_reference(self, tokens):
+        context = DocumentContext(_doc(tokens))
+        cover = phrase_cover(context, ("alpha", "beta"))
+        lists = [context.positions("alpha"), context.positions("beta")]
+        length, start, end = cover_sweep(lists)
+        assert (length, start, end) == (
+            cover.length,
+            cover.start,
+            cover.end,
+        )
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not available")
+    @pytest.mark.parametrize("tokens", CASES)
+    def test_numpy_cover_matches_sweep(self, tokens):
+        import numpy as np
+
+        from repro.compiled.scoring import cover_numpy
+
+        context = DocumentContext(_doc(tokens))
+        lists = [context.positions("alpha"), context.positions("beta")]
+        arrays = [np.asarray(p, dtype=np.int64) for p in lists]
+        assert cover_numpy(arrays) == cover_sweep(lists)
+
+
+class TestKoreEquivalence:
+    def test_matches_reference(self, store_and_weights):
+        store, weights = store_and_weights
+        reference = KoreRelatedness(store, weights)
+        compiled = KoreRelatedness(
+            store,
+            weights,
+            compiled=CompiledKeyphrases(store, weights),
+        )
+        entities = ["Jimmy_Page", "Larry_Page", "Lonely"]
+        for i, a in enumerate(entities):
+            for b in entities[i + 1 :]:
+                assert compiled.relatedness(a, b) == pytest.approx(
+                    reference.relatedness(a, b), abs=TOLERANCE
+                )
+
+    @pytest.mark.parametrize(
+        "gamma_a,gamma_b",
+        [
+            # Plain positive weights, entity dicts differing per side.
+            (
+                {"alpha": 0.4, "beta": 0.7, "gamma": 0.2},
+                {"beta": 0.9, "gamma": 0.1, "delta": 1.1},
+            ),
+            # Negative weights (degenerate IDF): the reference keeps the
+            # raw value when the *other entity* knows the word and falls
+            # back to 0.0 only otherwise — the merge must mirror that.
+            (
+                {"alpha": -0.5, "beta": 0.7, "gamma": -0.2, "delta": 1.1},
+                {"alpha": -0.5, "beta": 0.7, "gamma": -0.2, "delta": 1.1},
+            ),
+            # One-sided word known to the other entity with a *larger*
+            # weight (entity-level lookup, not a clamp).
+            (
+                {"alpha": 0.1, "beta": 0.5},
+                {"alpha": 0.8, "beta": 0.5, "delta": 0.3},
+            ),
+        ],
+    )
+    def test_po_merge_matches_phrase_overlap(self, gamma_a, gamma_b):
+        from array import array
+
+        phrase_p = tuple(w for w in ("alpha", "beta", "gamma") if w in gamma_a)
+        phrase_q = tuple(w for w in ("beta", "gamma", "delta") if w in gamma_b)
+        expected = phrase_overlap(phrase_p, phrase_q, gamma_a, gamma_b)
+        words = sorted(set(gamma_a) | set(gamma_b))
+        ids = {word: i for i, word in enumerate(words)}
+        a_pairs = sorted((ids[w], gamma_a.get(w, 0.0)) for w in phrase_p)
+        b_pairs = sorted((ids[w], gamma_b.get(w, 0.0)) for w in phrase_q)
+        a_ids = array("i", (wid for wid, _ in a_pairs))
+        a_g = array("d", (g for _, g in a_pairs))
+        b_ids = array("i", (wid for wid, _ in b_pairs))
+        b_g = array("d", (g for _, g in b_pairs))
+        a_word_gammas = {ids[w]: g for w, g in gamma_a.items()}
+        b_word_gammas = {ids[w]: g for w, g in gamma_b.items()}
+        got = _po_merge(
+            a_ids,
+            a_g,
+            0,
+            len(a_ids),
+            b_ids,
+            b_g,
+            0,
+            len(b_ids),
+            a_word_gammas,
+            b_word_gammas,
+        )
+        assert got == pytest.approx(expected, abs=1e-12)
+
+
+class TestFallbacks:
+    def test_pure_python_when_numpy_absent(
+        self, store_and_weights, monkeypatch
+    ):
+        store, weights = store_and_weights
+        reference = KeyphraseSimilarity(store, weights)
+        monkeypatch.setattr(compiled_scoring, "_np", None)
+        monkeypatch.setattr(compiled_scoring, "HAVE_NUMPY", False)
+        monkeypatch.setattr(compiled_keyphrases, "HAVE_NUMPY", False)
+        monkeypatch.setattr(compiled_context, "_np", None)
+        compiled = CompiledKeyphrases(store, weights)
+        assert compiled.use_numpy is False
+        sim = KeyphraseSimilarity(store, weights, compiled=compiled)
+        for tokens in DOCUMENTS:
+            context = DocumentContext(_doc(tokens))
+            for ref, com in _pairs(reference, sim, context):
+                assert com == pytest.approx(ref, abs=TOLERANCE)
+
+    def test_numpy_backend_requires_numpy(
+        self, store_and_weights, monkeypatch
+    ):
+        store, weights = store_and_weights
+        monkeypatch.setattr(compiled_keyphrases, "HAVE_NUMPY", False)
+        with pytest.raises(ValueError):
+            CompiledKeyphrases(store, weights, backend="numpy")
+
+    def test_pipeline_falls_back_on_construction_failure(
+        self, kb, monkeypatch
+    ):
+        import repro.compiled as compiled_pkg
+        from repro.core.pipeline import AidaDisambiguator
+
+        class Boom:
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("no compiled layer today")
+
+        monkeypatch.setattr(compiled_pkg, "CompiledKeyphrases", Boom)
+        pipeline = AidaDisambiguator(kb)
+        assert pipeline.compiled is None
+        assert pipeline.similarity.compiled is None
+
+    def test_use_compiled_false_matches_default(self, kb, sample_docs):
+        from repro.core.config import AidaConfig
+        from repro.core.pipeline import AidaDisambiguator
+
+        on = AidaDisambiguator(kb, config=AidaConfig.full())
+        off_config = AidaConfig.full()
+        off_config.use_compiled = False
+        off = AidaDisambiguator(kb, config=off_config)
+        assert on.compiled is not None
+        assert off.compiled is None
+        for sample in sample_docs[:3]:
+            result_on = on.disambiguate(sample.document)
+            result_off = off.disambiguate(sample.document)
+            for got, want in zip(
+                result_on.assignments, result_off.assignments
+            ):
+                assert got.entity == want.entity
+                assert got.score == pytest.approx(
+                    want.score, abs=TOLERANCE
+                )
+
+    def test_mismatched_compiled_model_rejected(self, store_and_weights):
+        store, weights = store_and_weights
+        compiled = CompiledKeyphrases(store, weights, scheme="idf")
+        with pytest.raises(ValueError):
+            KeyphraseSimilarity(store, weights, compiled=compiled)
+        capped = CompiledKeyphrases(store, weights, max_keyphrases=5)
+        with pytest.raises(ValueError):
+            KeyphraseSimilarity(store, weights, compiled=capped)
+
+    def test_invalid_backend_rejected(self, store_and_weights):
+        store, weights = store_and_weights
+        with pytest.raises(ValueError):
+            CompiledKeyphrases(store, weights, backend="fortran")
+
+
+class TestSharing:
+    def test_pickle_roundtrip_scores_identically(self, store_and_weights):
+        store, weights = store_and_weights
+        compiled = CompiledKeyphrases(store, weights)
+        compiled.precompile(kore=True)
+        clone = pickle.loads(pickle.dumps(compiled))
+        sim = KeyphraseSimilarity(store, weights, compiled=compiled)
+        sim_clone = KeyphraseSimilarity(store, weights, compiled=clone)
+        for tokens in DOCUMENTS:
+            context = DocumentContext(_doc(tokens))
+            for eid in ENTITIES:
+                assert sim.simscore(context, eid) == sim_clone.simscore(
+                    context, eid
+                )
+        kore = KoreRelatedness(store, weights, compiled=compiled)
+        kore_clone = KoreRelatedness(store, weights, compiled=clone)
+        assert kore.relatedness(
+            "Jimmy_Page", "Larry_Page"
+        ) == kore_clone.relatedness("Jimmy_Page", "Larry_Page")
+
+    def test_precompile_counts_entities(self, store_and_weights):
+        store, weights = store_and_weights
+        compiled = CompiledKeyphrases(store, weights)
+        count = compiled.precompile(kore=True)
+        assert count == len(store.entity_ids())
+        assert set(compiled._sim_models) == set(store.entity_ids())
+        assert set(compiled._kore_models) == set(store.entity_ids())
+
+
+class TestObservability:
+    def test_phrase_counters_published_on_both_paths(
+        self, store_and_weights
+    ):
+        store, weights = store_and_weights
+        context = DocumentContext(_doc(DOCUMENTS[0]))
+        for compiled in (None, CompiledKeyphrases(store, weights)):
+            sim = KeyphraseSimilarity(store, weights, compiled=compiled)
+            previous = set_metrics(MetricsRegistry())
+            try:
+                sim.simscore(context, "Jimmy_Page")
+                sim.simscore(context, "Larry_Page")
+                from repro.obs import get_metrics
+
+                counters = get_metrics().snapshot()["counters"]
+            finally:
+                set_metrics(previous)
+            # Jimmy: gibson-guitar and hard-rock-band match, the grammy
+            # phrase does not; Larry: nothing matches.
+            assert counters["similarity.phrases_scored"] == 2
+            assert counters["similarity.phrases_skipped"] == 4

@@ -1,0 +1,50 @@
+"""Tests for the word interner."""
+
+import pytest
+
+from repro.compiled.vocabulary import UNKNOWN, Vocabulary
+from repro.kb.keyphrases import KeyphraseStore
+
+
+class TestVocabulary:
+    def test_dense_ids_in_intern_order(self):
+        vocab = Vocabulary()
+        assert vocab.intern("alpha") == 0
+        assert vocab.intern("beta") == 1
+        assert vocab.intern("gamma") == 2
+        assert len(vocab) == 3
+
+    def test_intern_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.intern("alpha")
+        assert vocab.intern("alpha") == first
+        assert len(vocab) == 1
+
+    def test_id_of_unknown(self):
+        vocab = Vocabulary(["alpha"])
+        assert vocab.id_of("alpha") == 0
+        assert vocab.id_of("never-seen") == UNKNOWN
+
+    def test_word_of_roundtrip(self):
+        vocab = Vocabulary(["alpha", "beta"])
+        for word in ("alpha", "beta"):
+            assert vocab.word_of(vocab.id_of(word)) == word
+
+    def test_word_of_rejects_unknown_sentinel(self):
+        vocab = Vocabulary(["alpha"])
+        with pytest.raises(IndexError):
+            vocab.word_of(UNKNOWN)
+
+    def test_contains(self):
+        vocab = Vocabulary(["alpha"])
+        assert "alpha" in vocab
+        assert "beta" not in vocab
+
+    def test_from_store_covers_every_keyword(self):
+        store = KeyphraseStore()
+        store.add_keyphrase("E1", ("gibson", "guitar"))
+        store.add_keyphrase("E2", ("search", "engine", "guitar"))
+        vocab = Vocabulary.from_store(store)
+        for word in ("gibson", "guitar", "search", "engine"):
+            assert word in vocab
+        assert len(vocab) == 4

@@ -88,6 +88,37 @@ class TestPhraseCover:
         cover = phrase_cover(ctx, ("rock", "rock"))
         assert cover.match_count == 1  # distinct words
 
+    def test_repeated_word_does_not_widen_window(self):
+        # ("rock", "rock", "guitar") needs one rock + one guitar, not two
+        # rocks: the duplicate must not force a wider window.
+        tokens = ["rock", "x", "x", "x", "rock", "guitar"]
+        ctx = DocumentContext(_doc(tokens))
+        cover = phrase_cover(ctx, ("rock", "rock", "guitar"))
+        assert cover.match_count == 2
+        assert (cover.start, cover.end) == (4, 5)
+
+    def test_single_word_phrase_first_occurrence(self):
+        ctx = DocumentContext(_doc(["x", "guitar", "x", "guitar"]))
+        cover = phrase_cover(ctx, ("guitar",))
+        assert (cover.start, cover.end) == (1, 1)
+        assert cover.length == 1
+        assert cover.match_count == 1
+
+    def test_all_words_absent(self):
+        # Words exist nowhere in the document: no cover at all, even
+        # though the phrase has several words.
+        ctx = DocumentContext(_doc(["something", "else", "entirely"]))
+        assert phrase_cover(ctx, ("grammy", "award", "winner")) is None
+
+    def test_words_only_at_document_boundaries(self):
+        # Matches at the first and last token: the window must span the
+        # whole document without off-by-one at either edge.
+        tokens = ["grammy"] + ["x"] * 5 + ["winner"]
+        ctx = DocumentContext(_doc(tokens))
+        cover = phrase_cover(ctx, ("grammy", "winner"))
+        assert (cover.start, cover.end) == (0, len(tokens) - 1)
+        assert cover.length == len(tokens)
+
 
 class TestScorePhrase:
     WEIGHTS = {"grammy": 2.0, "award": 1.0, "winner": 1.0}
