@@ -34,7 +34,7 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core.config import AidaConfig
+from repro.core.config import RELATEDNESS_BACKENDS, AidaConfig
 from repro.core.pipeline import AidaDisambiguator
 from repro.datagen.wikipedia import build_world_kb
 from repro.faults import (
@@ -108,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="AIDA configuration",
     )
     _add_compiled_argument(dis)
+    _add_relatedness_argument(dis)
     _add_obs_arguments(dis)
     _add_robustness_arguments(dis)
 
@@ -116,7 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rel.add_argument("--kb", required=True)
     rel.add_argument(
-        "--measure", choices=("mw", "kore", "jaccard"), default="kore"
+        "--measure", "--relatedness",
+        choices=("mw", "kore", "jaccard", "kore_lsh_g", "kore_lsh_f"),
+        default="kore",
+        help="relatedness measure; the kore_lsh_* variants prepare the "
+        "two-stage LSH over the listed entities and prune non-colliding "
+        "pairs to 0",
     )
     rel.add_argument(
         "entities", nargs="+", help="two or more entity ids (all pairs)"
@@ -177,10 +183,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU capacity for --cache-relatedness (0 = unbounded)",
     )
     _add_compiled_argument(evaluate)
+    _add_relatedness_argument(evaluate)
     _add_obs_arguments(evaluate)
     _add_robustness_arguments(evaluate)
 
     return parser
+
+
+def _add_relatedness_argument(sub: argparse.ArgumentParser) -> None:
+    """The coherence-backend selector (``AidaConfig.relatedness_backend``)."""
+    sub.add_argument(
+        "--relatedness",
+        choices=RELATEDNESS_BACKENDS,
+        default="mw",
+        help="entity-entity coherence backend: Milne-Witten inlink "
+        "overlap (default), exact KORE, or KORE behind two-stage "
+        "min-hash/LSH pruning in the recall-geared (kore_lsh_g) or "
+        "speed-geared (kore_lsh_f) parameterization",
+    )
 
 
 def _add_compiled_argument(sub: argparse.ArgumentParser) -> None:
@@ -361,6 +381,7 @@ def cmd_disambiguate(args: argparse.Namespace) -> int:
             return 0
         config = AIDA_VARIANTS[args.variant]()
         config.use_compiled = args.compiled
+        config.relatedness_backend = args.relatedness
         aida = make_resilient(
             AidaDisambiguator(kb, config=config),
             _robustness_config(args),
@@ -406,6 +427,21 @@ def cmd_relatedness(args: argparse.Namespace) -> int:
         measure = KoreRelatedness(
             kb.keyphrases, weights, compiled=compiled
         )
+        if args.measure != "kore":
+            from repro.relatedness import KoreLshRelatedness, LshSettings
+
+            if args.measure == "kore_lsh_g":
+                settings, name = LshSettings.recall_geared(), "KORE_LSH-G"
+            else:
+                settings, name = LshSettings.fast(), "KORE_LSH-F"
+            measure = KoreLshRelatedness(
+                kb.keyphrases, measure, settings, name=name
+            )
+            if compiled is not None:
+                measure.attach_compiled(compiled)
+            # The listed entities are the task's candidate set: pairs
+            # sharing no stage-two bucket print as 0.0000 uncomputed.
+            measure.prepare(args.entities)
     entities: List[str] = args.entities
     for i, a in enumerate(entities):
         for b in entities[i + 1 :]:
@@ -452,19 +488,48 @@ class _PipelineFactory:
     """Picklable pipeline builder for process-pool evaluation.
 
     Each worker process loads its own KB copy (processes cannot share the
-    in-memory relatedness cache).
+    in-memory relatedness cache).  For the LSH backends the parent passes
+    its precomputed stage-one entity *sketches*: they are built once
+    before the pool spins up and shipped read-only to every worker, which
+    then skips the KB-wide sketching pass.
     """
 
-    def __init__(self, kb_dir: str, variant: str, use_compiled: bool = True):
+    def __init__(
+        self,
+        kb_dir: str,
+        variant: str,
+        use_compiled: bool = True,
+        relatedness_backend: str = "mw",
+        sketches=None,
+    ):
         self.kb_dir = kb_dir
         self.variant = variant
         self.use_compiled = use_compiled
+        self.relatedness_backend = relatedness_backend
+        self.sketches = sketches
 
     def __call__(self) -> AidaDisambiguator:
         kb = load_knowledge_base(self.kb_dir)
         config = AIDA_VARIANTS[self.variant]()
         config.use_compiled = self.use_compiled
-        return AidaDisambiguator(kb, config=config)
+        config.relatedness_backend = self.relatedness_backend
+        relatedness = None
+        if self.sketches is not None:
+            relatedness = AidaDisambiguator.build_relatedness(
+                kb, config, sketches=self.sketches
+            )
+        return AidaDisambiguator(
+            kb, relatedness=relatedness, config=config
+        )
+
+
+def _lsh_measure(measure):
+    """The LSH measure inside a (possibly wrapped) chain, or None."""
+    while measure is not None:
+        if hasattr(measure, "export_sketches"):
+            return measure
+        measure = getattr(measure, "inner", None)
+    return None
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -482,11 +547,12 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         documents = load_corpus(args.corpus)
         config = AIDA_VARIANTS[args.variant]()
         config.use_compiled = args.compiled
+        config.relatedness_backend = args.relatedness
         robustness = _robustness_config(args)
         relatedness = None
         if args.cache_relatedness:
             relatedness = CachingRelatedness(
-                MilneWittenRelatedness(kb.links, max(kb.entity_count, 2)),
+                AidaDisambiguator.build_relatedness(kb, config),
                 maxsize=args.cache_size or None,
             )
         pipeline = AidaDisambiguator(
@@ -494,8 +560,15 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         )
         batch = None
         if args.workers > 1 and args.executor == "process":
+            lsh = _lsh_measure(pipeline.relatedness)
             factory = _PipelineFactory(
-                args.kb, args.variant, use_compiled=args.compiled
+                args.kb,
+                args.variant,
+                use_compiled=args.compiled,
+                relatedness_backend=args.relatedness,
+                sketches=(
+                    lsh.export_sketches() if lsh is not None else None
+                ),
             )
             if robustness is not None:
                 factory = ResilientFactory(factory, robustness)

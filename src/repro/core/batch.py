@@ -22,11 +22,14 @@ Pipeline sharing rules:
 * ``executor="serial"`` and ``executor="thread"`` can reuse one
   ``pipeline`` instance.  A shared pipeline is safe for *results* under
   threads only if its relatedness measure is thread-safe — wrap it in
-  :class:`CachingRelatedness` — and has no per-task ``prepare`` state
-  (the LSH measures are not shareable across concurrent documents).
-  Prefer ``pipeline_factory``: each worker thread lazily builds its own
-  pipeline, and the factory closes over whatever should be shared (the
-  KB, a caching relatedness wrapper).
+  :class:`CachingRelatedness`.  The LSH measures keep their per-task
+  ``prepare`` state (allowed pairs, pair cache) in thread-local storage
+  over a read-only KB-wide sketch table, so one instance serves
+  concurrent documents; only their pruned zeros are excluded from shared
+  memoization (see ``cacheable_pair``).  Prefer ``pipeline_factory``:
+  each worker thread lazily builds its own pipeline, and the factory
+  closes over whatever should be shared (the KB, a caching relatedness
+  wrapper, a precomputed sketch table).
 * ``executor="process"`` requires a *picklable* ``pipeline_factory``
   (a module-level callable); each worker process builds its pipeline
   once in the pool initializer.  Processes cannot share a relatedness

@@ -32,6 +32,13 @@ class PriorMode(enum.Enum):
     ONLY = "only"
 
 
+#: Selectable entity-entity coherence backends: Milne–Witten inlink
+#: overlap (the Chapter 3 default), exact KORE, and KORE behind two-stage
+#: min-hash/LSH pre-clustering in the recall-geared (G) and speed-geared
+#: (F) parameterizations of Section 4.4.2.
+RELATEDNESS_BACKENDS = ("mw", "kore", "kore_lsh_g", "kore_lsh_f")
+
+
 @dataclass
 class AidaConfig:
     """All knobs of the AIDA pipeline."""
@@ -72,6 +79,11 @@ class AidaConfig:
     #: failure the pipeline logs a warning and falls back to the
     #: reference path, so this flag is safe to leave on.
     use_compiled: bool = True
+    #: Entity-entity relatedness backend for the coherence stage (one of
+    #: :data:`RELATEDNESS_BACKENDS`).  ``kore_lsh_g``/``kore_lsh_f``
+    #: precompute KB-wide entity sketches at pipeline construction and
+    #: compute exact (compiled) KORE only on pairs surviving LSH banding.
+    relatedness_backend: str = "mw"
     graph: DenseSubgraphConfig = field(default_factory=DenseSubgraphConfig)
 
     def __post_init__(self) -> None:
@@ -88,6 +100,12 @@ class AidaConfig:
             raise ConfigurationError("prior_mix must be in [0, 1]")
         if self.max_keyphrases < 0:
             raise ConfigurationError("max_keyphrases must be >= 0")
+        if self.relatedness_backend not in RELATEDNESS_BACKENDS:
+            raise ConfigurationError(
+                f"relatedness_backend must be one of "
+                f"{', '.join(RELATEDNESS_BACKENDS)} "
+                f"(got {self.relatedness_backend!r})"
+            )
 
     # ------------------------------------------------------------------
     # Named configurations of Table 3.2

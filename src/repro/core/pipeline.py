@@ -78,7 +78,9 @@ class AidaDisambiguator:
         self.relatedness = (
             relatedness
             if relatedness is not None
-            else MilneWittenRelatedness(kb.links, max(kb.entity_count, 2))
+            else self.build_relatedness(
+                kb, self.config, store=self.store, weights=self.weights
+            )
         )
         max_kp = self.config.max_keyphrases or None
         #: The shared compiled keyphrase model, or None on the reference
@@ -97,6 +99,10 @@ class AidaDisambiguator:
         )
         if self.compiled is not None:
             self._attach_compiled_relatedness(self.compiled)
+        # Stage one of the LSH scheme runs offline over the whole KB (the
+        # paper's precomputation); eager here so worker threads/processes
+        # share the finished read-only sketch table.
+        self._precompute_lsh_sketches()
         self._solver = GreedyDenseSubgraph(self.config.graph)
         #: Per-stage timing and counters of the most recent
         #: :meth:`disambiguate` call.
@@ -121,20 +127,69 @@ class AidaDisambiguator:
             )
             return None
 
-    def _attach_compiled_relatedness(self, compiled) -> None:
-        """Point a KORE measure (possibly cache-wrapped) at the compiled
-        models; other relatedness measures are untouched."""
-        from repro.relatedness.kore import KoreRelatedness
+    @staticmethod
+    def build_relatedness(
+        kb: KnowledgeBase,
+        config: AidaConfig,
+        store: Optional[KeyphraseStore] = None,
+        weights: Optional[WeightModel] = None,
+        sketches=None,
+    ) -> EntityRelatedness:
+        """The coherence measure ``config.relatedness_backend`` names.
 
+        Shared by the pipeline constructor and the CLI (including the
+        picklable process-pool factory, which passes the parent's
+        precomputed *sketches* so workers skip the KB-wide stage-one
+        pass).
+        """
+        backend = config.relatedness_backend
+        if backend == "mw":
+            return MilneWittenRelatedness(
+                kb.links, max(kb.entity_count, 2)
+            )
+        from repro.relatedness.kore import KoreRelatedness
+        from repro.relatedness.lsh import KoreLshRelatedness, LshSettings
+
+        store = store if store is not None else kb.keyphrases
+        weights = (
+            weights if weights is not None else WeightModel(store, kb.links)
+        )
+        kore = KoreRelatedness(store, weights)
+        if backend == "kore":
+            return kore
+        if backend == "kore_lsh_g":
+            settings, name = LshSettings.recall_geared(), "KORE_LSH-G"
+        else:
+            settings, name = LshSettings.fast(), "KORE_LSH-F"
+        return KoreLshRelatedness(
+            store, kore, settings, name=name, sketches=sketches
+        )
+
+    def _relatedness_chain(self) -> List[EntityRelatedness]:
+        """The measure plus every ``inner`` it wraps, outermost first."""
+        chain: List[EntityRelatedness] = []
         measure = self.relatedness
-        inner = getattr(measure, "inner", None)
-        if inner is not None:
-            measure = inner
-        if (
-            isinstance(measure, KoreRelatedness)
-            and measure.compiled is None
-        ):
-            measure.attach_compiled(compiled)
+        while measure is not None and measure not in chain:
+            chain.append(measure)
+            measure = getattr(measure, "inner", None)
+        return chain
+
+    def _attach_compiled_relatedness(self, compiled) -> None:
+        """Point compilable measures (KORE and the LSH wrapper, possibly
+        cache-wrapped) at the compiled models; others are untouched."""
+        for measure in self._relatedness_chain():
+            if (
+                hasattr(measure, "attach_compiled")
+                and getattr(measure, "compiled", None) is None
+            ):
+                measure.attach_compiled(compiled)
+
+    def _precompute_lsh_sketches(self) -> None:
+        """Run LSH stage one KB-wide for any LSH measure in the chain."""
+        for measure in self._relatedness_chain():
+            precompute = getattr(measure, "precompute", None)
+            if callable(precompute):
+                precompute()
 
     # ------------------------------------------------------------------
     # Public API

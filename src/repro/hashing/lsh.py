@@ -14,6 +14,15 @@ from typing import Dict, Hashable, List, Sequence, Set, Tuple, TypeVar
 Item = TypeVar("Item", bound=Hashable)
 
 
+def _canonical(first: Item, second: Item) -> Tuple[Item, Item]:
+    """The unique ``(a, b) with a <= b`` form of an unordered pair."""
+    try:
+        ordered = first <= second
+    except TypeError:  # unorderable items: fall back to repr order
+        ordered = repr(first) <= repr(second)
+    return (first, second) if ordered else (second, first)
+
+
 def band_signature(
     sketch: Sequence[int], bands: int, rows: int
 ) -> Tuple[Tuple[int, int], ...]:
@@ -74,15 +83,22 @@ class LshIndex:
         return result
 
     def candidate_pairs(self) -> Set[Tuple[Item, Item]]:
-        """All unordered item pairs co-located in at least one bucket."""
+        """All unordered item pairs co-located in at least one bucket.
+
+        Each pair is emitted in canonical ``(a, b) with a <= b`` order —
+        the same orientation
+        :meth:`repro.relatedness.base.EntityRelatedness.canonical_pair`
+        produces — so membership tests against this set need no
+        re-normalization.  Items without a natural ordering fall back to
+        ``repr`` order.
+        """
         pairs: Set[Tuple[Item, Item]] = set()
         for items in self._buckets.values():
             if len(items) < 2:
                 continue
-            ordered = sorted(items, key=repr)
-            for i, first in enumerate(ordered):
-                for second in ordered[i + 1 :]:
-                    pairs.add((first, second))
+            for i, first in enumerate(items):
+                for second in items[i + 1 :]:
+                    pairs.add(_canonical(first, second))
         return pairs
 
     def bucket_keys_of(

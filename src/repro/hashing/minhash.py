@@ -18,12 +18,22 @@ from typing import Iterable, List, Sequence, Tuple
 _MERSENNE_61 = (1 << 61) - 1
 
 
-def _element_id(element: str) -> int:
-    """Stable 60-bit integer id for a string element."""
+def element_id(element: str) -> int:
+    """Stable 60-bit integer id for a string element.
+
+    Public so callers that hash the same elements repeatedly (the LSH
+    stage-one word hashing) can memoize ids — e.g. in a flat array over a
+    :class:`repro.compiled.vocabulary.Vocabulary` — and sketch via
+    :meth:`MinHasher.sketch_ids`.
+    """
     digest = hashlib.blake2b(
         element.encode("utf-8"), digest_size=8
     ).digest()
     return int.from_bytes(digest, "big") % _MERSENNE_61
+
+
+#: Backwards-compatible private alias.
+_element_id = element_id
 
 
 def _coefficients(num_hashes: int, seed: int) -> List[Tuple[int, int]]:
@@ -54,12 +64,21 @@ class MinHasher:
         An empty set yields a sketch of sentinel maxima (never collides
         with a non-empty sketch coordinate except astronomically rarely).
         """
-        ids = [_element_id(el) for el in set(elements)]
-        if not ids:
+        return self.sketch_ids(element_id(el) for el in set(elements))
+
+    def sketch_ids(self, ids: Iterable[int]) -> Tuple[int, ...]:
+        """Sketch a set already mapped to :func:`element_id` integers.
+
+        The fast path for callers that cache element ids across many
+        sketches; duplicates among *ids* do not change the minima, so the
+        caller need not deduplicate.
+        """
+        pool = list(ids)
+        if not pool:
             return tuple([_MERSENNE_61] * self.num_hashes)
         sketch: List[int] = []
         for a, b in self._coeffs:
-            sketch.append(min((a * x + b) % _MERSENNE_61 for x in ids))
+            sketch.append(min((a * x + b) % _MERSENNE_61 for x in pool))
         return tuple(sketch)
 
 

@@ -42,6 +42,19 @@ class EntityRelatedness(ABC):
         """
         return True
 
+    def cacheable_pair(self, a: EntityId, b: EntityId) -> bool:
+        """Whether an *external* memoizer may retain this pair's value.
+
+        Task-independent measures (MW, Jaccard, KORE, cosine) always
+        return True.  Measures whose answer depends on per-task ``prepare``
+        state return False for task-dependent values — an LSH-pruned 0.0
+        holds only for the candidate set it was pruned against, so a
+        cross-document LRU (:class:`repro.relatedness.caching
+        .CachingRelatedness`) must not carry it into the next document.
+        The measure's *own* ``_cache`` is exempt: ``prepare`` clears it.
+        """
+        return True
+
     @staticmethod
     def canonical_pair(
         a: EntityId, b: EntityId
@@ -77,6 +90,21 @@ class EntityRelatedness(ABC):
             # reach this path — a warm cache really is more reliable).
             injector.fire("relatedness")
         self.comparisons += 1
+        value = float(self._compute(first, second))
+        return min(max(value, 0.0), 1.0)
+
+    def compute_uncounted(self, a: EntityId, b: EntityId) -> float:
+        """The raw clamped measure value, bypassing the accounting.
+
+        No pruning, no chaos-site firing, no comparison counting — the
+        delegation path for wrappers (LSH) whose own ``compute_pair``
+        already performed all three for the pair.  Calling this directly
+        therefore never double-fires the ``relatedness`` fault site and
+        never double-increments ``comparisons``.
+        """
+        if a == b:
+            return 1.0
+        first, second = self.canonical_pair(a, b)
         value = float(self._compute(first, second))
         return min(max(value, 0.0), 1.0)
 

@@ -19,8 +19,11 @@ measure's ``_compute`` runs *outside* the lock, so concurrent first
 requests for the same pair may compute it twice (both arriving at the same
 value — every measure is deterministic).  After warm-up no pair is ever
 recomputed.  Measures with per-task ``prepare`` state (LSH pre-clustering)
-mutate that state in ``prepare`` and must not be shared across concurrent
-tasks; stateless-prepare measures (MW, Jaccard, KORE, cosine) are safe.
+keep that state thread-local and are shareable like the stateless-prepare
+measures (MW, Jaccard, KORE, cosine); values they report as task-dependent
+through :meth:`~repro.relatedness.base.EntityRelatedness.cacheable_pair`
+(LSH-pruned zeros) are answered but never stored, so a pair pruned under
+one document's candidate set cannot leak a stale 0.0 into the next.
 """
 
 from __future__ import annotations
@@ -129,6 +132,9 @@ class CachingRelatedness(EntityRelatedness):
     def should_compare(self, a: EntityId, b: EntityId) -> bool:
         return self._inner.should_compare(a, b)
 
+    def cacheable_pair(self, a: EntityId, b: EntityId) -> bool:
+        return self._inner.cacheable_pair(a, b)
+
     def _compute(self, a: EntityId, b: EntityId) -> float:
         # Only reachable through the inherited ``relatedness`` (which this
         # class overrides); kept for the abstract contract.
@@ -152,6 +158,10 @@ class CachingRelatedness(EntityRelatedness):
         # Compute outside the lock: a slow KORE pair must not serialize
         # every other thread's lookups.
         value = self._inner.compute_pair(key[0], key[1])
+        if not self._inner.cacheable_pair(key[0], key[1]):
+            # Task-dependent value (an LSH-pruned 0.0): valid for this
+            # lookup but not for a cache shared across documents.
+            return value
         with self._lock:
             if key not in self._lru:
                 self._lru[key] = value

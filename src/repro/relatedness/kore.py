@@ -23,6 +23,13 @@ cached alongside ϕ itself.
 With a :class:`~repro.compiled.keyphrases.CompiledKeyphrases` attached,
 the whole measure runs on flat id arrays (sorted-id merges for the
 min/max weighted Jaccard) — score-equivalent within 1e-9.
+
+The LSH-pruned production backends (§4.4.2,
+:class:`~repro.relatedness.lsh.KoreLshRelatedness`) wrap this measure
+and score only band-colliding pairs through
+:meth:`~repro.relatedness.base.EntityRelatedness.compute_uncounted`, so
+the wrapper owns the comparison counter and the ``relatedness`` fault
+site fires once per surviving pair — never here a second time.
 """
 
 from __future__ import annotations

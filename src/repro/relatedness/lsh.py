@@ -14,16 +14,43 @@ The paper's settings (KORE_LSH-G: 200 bands × 1 row; KORE_LSH-F: 1000 bands
 × 2 rows over millions of entities) are scaled down for the synthetic KB —
 the *geometry* (G: single-row bands → recall-geared; F: two-row bands →
 aggressive pruning) is preserved, the sketch lengths are configurable.
+
+Sharing and state:
+
+* Stage-one artifacts (phrase buckets, entity bucket sets, entity sketches)
+  depend only on the static KB, are built once — eagerly via
+  :meth:`KoreLshRelatedness.precompute`, which the pipeline runs at
+  construction, mirroring the paper's offline stage — and are read-only
+  afterwards, so one measure instance can serve a whole worker pool.  For
+  process pools, :meth:`export_sketches` lets the parent ship the
+  precomputed sketches to workers instead of having each re-sketch the KB.
+* Stage-two artifacts (the allowed-pair set and the pair cache) are
+  *per task* and live in thread-local storage: concurrent batch threads
+  each ``prepare()`` their own document's candidate set without clobbering
+  one another.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from array import array
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
-from repro.hashing.lsh import LshIndex
-from repro.hashing.minhash import MinHasher
+from repro.hashing.lsh import LshIndex, band_signature
+from repro.hashing.minhash import MinHasher, element_id
 from repro.kb.keyphrases import KeyphraseStore, Phrase
+from repro.obs import get_metrics
 from repro.relatedness.base import EntityRelatedness
 from repro.relatedness.kore import KoreRelatedness
 from repro.types import EntityId
@@ -34,33 +61,76 @@ class LshSettings:
     """Geometry of the two LSH stages.
 
     ``phrase_*`` controls stage one (keyphrase grouping); ``entity_*``
-    controls stage two (entity grouping).
+    controls stage two (entity grouping).  ``phrase_sketch_len`` must equal
+    ``phrase_bands * phrase_rows`` — the banding consumes the sketch
+    exactly (enforced here so a mismatch fails loudly at construction
+    instead of silently producing empty-band bucket ids).
     """
 
     phrase_sketch_len: int = 4
     phrase_bands: int = 2
     phrase_rows: int = 2
-    entity_bands: int = 40
+    entity_bands: int = 24
     entity_rows: int = 1
     seed: int = 17
 
+    def __post_init__(self) -> None:
+        for field_name in (
+            "phrase_sketch_len",
+            "phrase_bands",
+            "phrase_rows",
+            "entity_bands",
+            "entity_rows",
+        ):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+        if self.phrase_sketch_len != self.phrase_bands * self.phrase_rows:
+            raise ValueError(
+                f"phrase_sketch_len {self.phrase_sketch_len} != "
+                f"phrase_bands*phrase_rows = "
+                f"{self.phrase_bands * self.phrase_rows}"
+            )
+
+    @property
+    def entity_sketch_len(self) -> int:
+        """Length of the stage-two entity sketches (bands x rows)."""
+        return self.entity_bands * self.entity_rows
+
     @staticmethod
     def recall_geared(seed: int = 17) -> "LshSettings":
-        """KORE_LSH-G: single-row entity bands, high recall."""
-        return LshSettings(
-            entity_bands=40, entity_rows=1, seed=seed
-        )
+        """KORE_LSH-G: single-row entity bands, high recall.
+
+        24 single-coordinate bands keep every coherence-relevant pair on
+        the golden corpus while computing under a third of exact KORE's
+        comparisons (see ``benchmarks/bench_lsh.py``).
+        """
+        return LshSettings(entity_bands=24, entity_rows=1, seed=seed)
 
     @staticmethod
     def fast(seed: int = 17) -> "LshSettings":
         """KORE_LSH-F: two-row entity bands, aggressive pruning."""
-        return LshSettings(
-            entity_bands=80, entity_rows=2, seed=seed
-        )
+        return LshSettings(entity_bands=80, entity_rows=2, seed=seed)
+
+
+class _TaskState(threading.local):
+    """Per-thread stage-two state: one concurrent task per thread."""
+
+    def __init__(self) -> None:
+        self.allowed: Set[Tuple[EntityId, EntityId]] = set()
+        self.prepared = False
+        self.cache: Dict[Tuple[EntityId, EntityId], float] = {}
 
 
 class KoreLshRelatedness(EntityRelatedness):
-    """KORE with two-stage LSH pre-clustering."""
+    """KORE with two-stage LSH pre-clustering.
+
+    Wraps an exact :class:`~repro.relatedness.kore.KoreRelatedness`:
+    pairs surviving stage-two banding get the exact (possibly compiled)
+    KORE value; pruned pairs are 0.0 without computation.  The wrapper's
+    ``comparisons`` counter is the Table 4.4 quantity — the inner
+    measure's accounting is bypassed entirely (one pair = one fault-site
+    fire = one count).
+    """
 
     def __init__(
         self,
@@ -68,7 +138,13 @@ class KoreLshRelatedness(EntityRelatedness):
         kore: KoreRelatedness,
         settings: Optional[LshSettings] = None,
         name: str = "KORE_LSH",
+        sketches: Optional[
+            Mapping[EntityId, Tuple[int, ...]]
+        ] = None,
     ):
+        # The thread-local slot must exist before the base constructor
+        # assigns ``_cache`` (a property over it, see below).
+        self._task = _TaskState()
         super().__init__()
         self.name = name
         self._store = store
@@ -78,28 +154,98 @@ class KoreLshRelatedness(EntityRelatedness):
             self._settings.phrase_sketch_len, seed=self._settings.seed
         )
         self._entity_hasher = MinHasher(
-            self._settings.entity_bands * self._settings.entity_rows,
+            self._settings.entity_sketch_len,
             seed=self._settings.seed + 1,
         )
         self._phrase_buckets: Dict[Phrase, Tuple[str, ...]] = {}
         self._entity_bucket_sets: Dict[EntityId, FrozenSet[str]] = {}
-        self._entity_sketches: Dict[EntityId, Tuple[int, ...]] = {}
-        self._allowed_pairs: Set[Tuple[EntityId, EntityId]] = set()
-        self._prepared = False
+        #: Entity id -> stage-two sketch; the empty tuple marks entities
+        #: without keyphrases (never indexed, relatedness 0 by definition).
+        self._entity_sketches: Dict[EntityId, Tuple[int, ...]] = (
+            dict(sketches) if sketches else {}
+        )
+        # Element-id memo for stage-one word hashing; replaced by a flat
+        # array over vocabulary ids when a compiled layer is attached.
+        self._word_eids: Dict[str, int] = {}
+        self._vocab = None
+        self._eid_table: Optional[array] = None
+        #: Cumulative pruning statistics across prepare() calls (all
+        #: threads), for benchmarks that run without a metrics registry.
+        self.prepared_tasks = 0
+        self.pruned_pairs = 0
+        self.survived_pairs = 0
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Thread-local pair cache (the base class reads/clears ``_cache``)
+    # ------------------------------------------------------------------
+    @property
+    def _cache(self) -> Dict[Tuple[EntityId, EntityId], float]:
+        return self._task.cache
+
+    @_cache.setter
+    def _cache(self, value) -> None:
+        # The base constructor assigns a fresh dict; the thread-local one
+        # is authoritative, so the assignment is absorbed.
+        pass
+
+    @property
+    def settings(self) -> LshSettings:
+        """The stage geometry this measure was built with."""
+        return self._settings
+
+    @property
+    def inner(self) -> KoreRelatedness:
+        """The wrapped exact measure (compiled models attach through it)."""
+        return self._kore
 
     # ------------------------------------------------------------------
     # Stage 1: keyphrase grouping (cached per phrase)
     # ------------------------------------------------------------------
+    def attach_compiled(self, compiled) -> None:
+        """Reuse a compiled layer's vocabulary for stage-one hashing.
+
+        Word element ids are then memoized in a flat array indexed by
+        interned word id instead of a per-word dict.  The wrapped exact
+        measure is attached separately (the pipeline walks the ``inner``
+        chain).
+        """
+        vocab = getattr(compiled, "vocabulary", None)
+        if vocab is None or len(vocab) == 0:
+            return
+        self._vocab = vocab
+        self._eid_table = array("q", [-1]) * len(vocab)
+
+    def _word_element_id(self, word: str) -> int:
+        table = self._eid_table
+        if table is not None:
+            wid = self._vocab.id_of(word)
+            if 0 <= wid < len(table):
+                eid = table[wid]
+                if eid < 0:
+                    eid = element_id(word)
+                    table[wid] = eid
+                return eid
+        eid = self._word_eids.get(word)
+        if eid is None:
+            eid = element_id(word)
+            self._word_eids[word] = eid
+        return eid
+
     def _phrase_bucket_ids(self, phrase: Phrase) -> Tuple[str, ...]:
         cached = self._phrase_buckets.get(phrase)
         if cached is not None:
             return cached
-        sketch = self._phrase_hasher.sketch(phrase)
-        bands = self._settings.phrase_bands
-        rows = self._settings.phrase_rows
+        sketch = self._phrase_hasher.sketch_ids(
+            self._word_element_id(word) for word in set(phrase)
+        )
         ids = tuple(
-            f"b{band}:{sum(sketch[band * rows:(band + 1) * rows])}"
-            for band in range(bands)
+            f"b{band}:{total}"
+            for band, total in band_signature(
+                sketch,
+                self._settings.phrase_bands,
+                self._settings.phrase_rows,
+            )
         )
         self._phrase_buckets[phrase] = ids
         return ids
@@ -115,39 +261,106 @@ class KoreLshRelatedness(EntityRelatedness):
         self._entity_bucket_sets[entity_id] = frozen
         return frozen
 
+    def _entity_sketch(self, entity_id: EntityId) -> Tuple[int, ...]:
+        sketch = self._entity_sketches.get(entity_id)
+        if sketch is None:
+            # Sketches depend only on the entity's (static) keyphrase
+            # set, so they are precomputed once — as in the paper,
+            # where stage one runs offline over the whole KB.  An
+            # entity without keyphrases gets the empty sentinel: the
+            # uniform maxima sketch would make all such entities
+            # collide in every band, admitting O(k²) spurious pairs
+            # whose exact relatedness is 0 by definition.
+            bucket_set = self._entity_bucket_set(entity_id)
+            if bucket_set:
+                sketch = self._entity_hasher.sketch(bucket_set)
+            else:
+                sketch = ()
+            self._entity_sketches[entity_id] = sketch
+        return sketch
+
+    def precompute(
+        self, entity_ids: Optional[Iterable[EntityId]] = None
+    ) -> int:
+        """Sketch entities ahead of time (the whole KB by default).
+
+        Idempotent — already-sketched entities are skipped — and meant to
+        run once before a measure is shared read-only across workers.
+        Returns the number of entities covered.
+        """
+        ids = (
+            list(entity_ids)
+            if entity_ids is not None
+            else self._store.entity_ids()
+        )
+        for entity_id in ids:
+            self._entity_sketch(entity_id)
+        return len(ids)
+
+    def export_sketches(self) -> Dict[EntityId, Tuple[int, ...]]:
+        """A picklable copy of the sketch table (process-pool hand-off)."""
+        return dict(self._entity_sketches)
+
     # ------------------------------------------------------------------
     # Stage 2: entity grouping at task run-time
     # ------------------------------------------------------------------
     def prepare(self, entities: Iterable[EntityId]) -> None:
-        """Build the per-task entity LSH and the allowed-pair set."""
+        """Build the per-task entity LSH and the allowed-pair set.
+
+        The resulting state is thread-local: each batch-worker thread
+        prepares its own document without disturbing the others.
+        """
+        start = time.perf_counter()
         index = LshIndex(
             self._settings.entity_bands, self._settings.entity_rows
         )
-        for entity_id in sorted(set(entities)):
-            sketch = self._entity_sketches.get(entity_id)
-            if sketch is None:
-                # Sketches depend only on the entity's (static) keyphrase
-                # set, so they are precomputed once — as in the paper,
-                # where stage one runs offline over the whole KB.
-                bucket_set = self._entity_bucket_set(entity_id)
-                sketch = self._entity_hasher.sketch(bucket_set)
-                self._entity_sketches[entity_id] = sketch
+        universe = sorted(set(entities))
+        for entity_id in universe:
+            sketch = self._entity_sketch(entity_id)
+            if not sketch:
+                continue  # no keyphrases -> relatedness 0 by definition
             index.add(entity_id, sketch)
-        self._allowed_pairs = index.candidate_pairs()
-        self._prepared = True
+        task = self._task
+        task.allowed = index.candidate_pairs()
+        task.prepared = True
         # A new task invalidates cached zero decisions from the old one.
-        self._cache.clear()
+        task.cache.clear()
+        survived = len(task.allowed)
+        total = len(universe) * (len(universe) - 1) // 2
+        pruned = total - survived
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        with self._stats_lock:
+            self.prepared_tasks += 1
+            self.pruned_pairs += pruned
+            self.survived_pairs += survived
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("relatedness.lsh.pruned").inc(pruned)
+            metrics.counter("relatedness.lsh.survived").inc(survived)
+            metrics.histogram("relatedness.lsh.prepare_ms").observe(
+                elapsed_ms
+            )
 
     def should_compare(self, a: EntityId, b: EntityId) -> bool:
         """Whether the pair shares a stage-two bucket."""
-        if not self._prepared:
+        task = self._task
+        if not task.prepared:
             return True  # without preparation, behave like exact KORE
-        return self.canonical_pair(a, b) in self._allowed_pairs
+        return self.canonical_pair(a, b) in task.allowed
+
+    def cacheable_pair(self, a: EntityId, b: EntityId) -> bool:
+        """Surviving pairs carry the task-independent exact value and may
+        be memoized across documents; pruned zeros are task-dependent and
+        must not outlive this ``prepare``."""
+        return self.should_compare(a, b)
 
     def _compute(self, a: EntityId, b: EntityId) -> float:
-        return self._kore.relatedness(a, b)
+        # Uncounted delegation: this wrapper's compute_pair already fired
+        # the chaos site and counted the comparison for the pair, so the
+        # inner measure must not do either a second time.
+        return self._kore.compute_uncounted(a, b)
 
     @property
     def allowed_pair_count(self) -> int:
-        """Number of pairs surviving pre-clustering."""
-        return len(self._allowed_pairs)
+        """Number of pairs surviving pre-clustering (this thread's task)."""
+        return len(self._task.allowed)

@@ -1,0 +1,390 @@
+"""Differential and regression tests for the LSH pruning path.
+
+Covers the correctness properties the two-stage min-hash/LSH acceleration
+must preserve:
+
+* one surviving pair = one fault-site fire = one comparison count (the
+  zero-fault chaos differential — a ``rate=0.0`` spec counts calls
+  without injecting);
+* pruned zeros are task-dependent and must not outlive their ``prepare``
+  in an outer cross-document cache;
+* inconsistent stage-one geometry fails at construction instead of
+  silently bucketing everything together;
+* keyphrase-less entities are never indexed (their relatedness is 0 by
+  definition) and cannot inflate the allowed-pair set;
+* candidate pairs are canonical and LSH values are exact-KORE-equal or
+  exactly 0.0;
+* per-task state is thread-local, so one measure serves concurrent
+  documents.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultInjector, FaultSpec, injected
+from repro.hashing.lsh import LshIndex
+from repro.hashing.minhash import MinHasher
+from repro.kb.keyphrases import KeyphraseStore
+from repro.relatedness.caching import CachingRelatedness
+from repro.relatedness.kore import KoreRelatedness
+from repro.relatedness.lsh import KoreLshRelatedness, LshSettings
+from repro.weights.model import WeightModel
+
+
+def _music_store() -> KeyphraseStore:
+    store = KeyphraseStore()
+    store.add_keyphrase("Nick_Cave", ("australian", "singer"))
+    store.add_keyphrase("Nick_Cave", ("bad", "seeds"))
+    store.add_keyphrase("Nick_Cave", ("eerie", "cello"))
+    store.add_keyphrase("Hallelujah_Cave", ("australian", "male", "singer"))
+    store.add_keyphrase("Hallelujah_Cave", ("bad", "seeds"))
+    store.add_keyphrase("Hallelujah_Chorus", ("baroque", "oratorio"))
+    store.add_keyphrase("Hallelujah_Chorus", ("choir", "music"))
+    for filler in range(6):
+        store.add_keyphrase(f"F{filler}", (f"filler{filler}", "thing"))
+    return store
+
+
+@pytest.fixture
+def setup():
+    store = _music_store()
+    return store, WeightModel(store, links=None)
+
+
+class TestSingleFireSingleCount:
+    """The zero-fault chaos differential of the acceptance criteria."""
+
+    def test_one_fire_one_count_per_surviving_pair(self, setup):
+        store, weights = setup
+        kore = KoreRelatedness(store, weights)
+        lsh = KoreLshRelatedness(
+            store, kore, LshSettings.recall_geared(), name="G"
+        )
+        entities = store.entity_ids()
+        lsh.prepare(entities)
+        injector = FaultInjector(
+            [FaultSpec(site="relatedness", rate=0.0)]
+        )
+        surviving = 0
+        with injected(injector):
+            for i, a in enumerate(entities):
+                for b in entities[i + 1 :]:
+                    lsh.relatedness(a, b)
+                    if lsh.should_compare(a, b):
+                        surviving += 1
+        assert surviving > 0
+        stats = injector.stats()["relatedness"]
+        assert stats["injected"] == 0
+        # One fire and one count per surviving pair — not two — and the
+        # inner measure's counter stays untouched (the wrapper's counter
+        # is the Table 4.4 quantity).
+        assert stats["calls"] == surviving
+        assert lsh.comparisons == surviving
+        assert kore.comparisons == 0
+
+    def test_cached_lookup_does_not_refire(self, setup):
+        store, weights = setup
+        kore = KoreRelatedness(store, weights)
+        lsh = KoreLshRelatedness(store, kore, LshSettings.recall_geared())
+        lsh.prepare(store.entity_ids())
+        injector = FaultInjector(
+            [FaultSpec(site="relatedness", rate=0.0)]
+        )
+        with injected(injector):
+            lsh.relatedness("Nick_Cave", "Hallelujah_Cave")
+            calls_after_first = injector.stats()["relatedness"]["calls"]
+            lsh.relatedness("Hallelujah_Cave", "Nick_Cave")
+        assert (
+            injector.stats()["relatedness"]["calls"] == calls_after_first
+        )
+
+    def test_pruned_pairs_never_reach_the_fault_site(self, setup):
+        store, weights = setup
+        kore = KoreRelatedness(store, weights)
+        lsh = KoreLshRelatedness(store, kore, LshSettings.fast())
+        lsh.prepare(store.entity_ids())
+        injector = FaultInjector(
+            [FaultSpec(site="relatedness", rate=0.0)]
+        )
+        pruned = [
+            (a, b)
+            for i, a in enumerate(store.entity_ids())
+            for b in store.entity_ids()[i + 1 :]
+            if not lsh.should_compare(a, b)
+        ]
+        assert pruned  # disjoint fillers must prune under F
+        with injected(injector):
+            for a, b in pruned:
+                assert lsh.relatedness(a, b) == 0.0
+        assert injector.stats().get("relatedness", {}).get("calls", 0) == 0
+
+
+class TestStalePrunedZeros:
+    """Two-document differential: a pruned 0.0 must not leak across
+    ``prepare`` boundaries through an outer shared cache."""
+
+    def test_pruned_zero_not_retained_by_outer_cache(self, setup):
+        store, weights = setup
+        kore = KoreRelatedness(store, weights)
+        exact = KoreRelatedness(store, weights).relatedness(
+            "Nick_Cave", "Hallelujah_Cave"
+        )
+        assert exact > 0.0
+        cached = CachingRelatedness(
+            KoreLshRelatedness(
+                store, kore, LshSettings.recall_geared(), name="G"
+            )
+        )
+        # Document A: Hallelujah_Cave is not a candidate, so the pair
+        # shares no stage-two bucket and is pruned to 0.0.
+        cached.prepare(["Nick_Cave", "Hallelujah_Chorus"])
+        assert cached.relatedness("Nick_Cave", "Hallelujah_Cave") == 0.0
+        # Document B: the pair is present and collides — the exact value
+        # must surface, not document A's stale 0.0.
+        cached.prepare(["Nick_Cave", "Hallelujah_Cave"])
+        assert cached.relatedness("Nick_Cave", "Hallelujah_Cave") == exact
+
+    def test_surviving_values_stay_memoizable(self, setup):
+        store, weights = setup
+        kore = KoreRelatedness(store, weights)
+        cached = CachingRelatedness(
+            KoreLshRelatedness(store, kore, LshSettings.recall_geared())
+        )
+        cached.prepare(["Nick_Cave", "Hallelujah_Cave"])
+        cached.relatedness("Nick_Cave", "Hallelujah_Cave")
+        before = cached.cache_stats()
+        cached.relatedness("Nick_Cave", "Hallelujah_Cave")
+        after = cached.cache_stats()
+        # Task-independent exact values are cached and served as hits.
+        assert after.hits == before.hits + 1
+
+    def test_pruned_lookups_are_answered_but_not_stored(self, setup):
+        store, weights = setup
+        kore = KoreRelatedness(store, weights)
+        cached = CachingRelatedness(
+            KoreLshRelatedness(store, kore, LshSettings.recall_geared())
+        )
+        cached.prepare(["Nick_Cave", "Hallelujah_Chorus"])
+        cached.relatedness("Nick_Cave", "Hallelujah_Cave")
+        assert cached.cache_stats().size == 0
+
+
+class TestSettingsValidation:
+    def test_inconsistent_phrase_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            LshSettings(
+                phrase_sketch_len=5, phrase_bands=2, phrase_rows=2
+            )
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "phrase_sketch_len",
+            "phrase_bands",
+            "phrase_rows",
+            "entity_bands",
+            "entity_rows",
+        ],
+    )
+    def test_nonpositive_fields_rejected(self, field):
+        with pytest.raises(ValueError):
+            LshSettings(**{field: 0})
+
+    def test_consistent_geometry_accepted(self):
+        settings_obj = LshSettings(
+            phrase_sketch_len=6, phrase_bands=3, phrase_rows=2
+        )
+        assert settings_obj.entity_sketch_len == (
+            settings_obj.entity_bands * settings_obj.entity_rows
+        )
+
+    def test_phrase_buckets_use_full_sketch(self, setup):
+        # One bucket id per phrase band, none of them the empty-band
+        # ``sum([]) == 0`` artifact of the pre-validation implementation.
+        store, weights = setup
+        kore = KoreRelatedness(store, weights)
+        lsh = KoreLshRelatedness(store, kore)
+        ids = lsh._phrase_bucket_ids(("australian", "singer"))
+        assert len(ids) == lsh.settings.phrase_bands
+        assert len(set(ids)) == len(ids)
+
+
+class TestEmptyEntities:
+    def _store_with_empties(self, count=5):
+        store = _music_store()
+        for index in range(count):
+            store.ensure_entity(f"Empty{index}")
+        return store
+
+    def test_empty_entities_never_collide(self):
+        store = self._store_with_empties()
+        weights = WeightModel(store, links=None)
+        kore = KoreRelatedness(store, weights)
+        lsh = KoreLshRelatedness(store, kore, LshSettings.recall_geared())
+        lsh.prepare(store.entity_ids())
+        empties = [e for e in store.entity_ids() if e.startswith("Empty")]
+        assert len(empties) == 5
+        for i, a in enumerate(empties):
+            for b in empties[i + 1 :]:
+                assert not lsh.should_compare(a, b)
+                assert lsh.relatedness(a, b) == 0.0
+        assert kore.comparisons == 0
+
+    def test_empty_entities_do_not_inflate_allowed_pairs(self):
+        store = self._store_with_empties()
+        weights = WeightModel(store, links=None)
+        kore = KoreRelatedness(store, weights)
+        lsh = KoreLshRelatedness(store, kore, LshSettings.recall_geared())
+        populated = [
+            e for e in store.entity_ids() if not e.startswith("Empty")
+        ]
+        lsh.prepare(populated)
+        without_empties = lsh.allowed_pair_count
+        lsh.prepare(store.entity_ids())
+        assert lsh.allowed_pair_count == without_empties
+
+    def test_agrees_with_exact_kore_for_empty_entities(self):
+        store = self._store_with_empties(count=2)
+        weights = WeightModel(store, links=None)
+        exact = KoreRelatedness(store, weights)
+        lsh = KoreLshRelatedness(
+            store,
+            KoreRelatedness(store, weights),
+            LshSettings.recall_geared(),
+        )
+        lsh.prepare(store.entity_ids())
+        assert exact.relatedness("Empty0", "Empty1") == 0.0
+        assert lsh.relatedness("Empty0", "Empty1") == 0.0
+
+
+class TestCanonicalPairs:
+    def test_candidate_pairs_are_canonical(self):
+        hasher = MinHasher(num_hashes=8, seed=3)
+        index = LshIndex(bands=8, rows=1)
+        base = {f"w{i}" for i in range(10)}
+        # Insertion order deliberately reversed relative to sort order.
+        for name in ("Zeta", "Mid", "Alpha"):
+            index.add(name, hasher.sketch(base))
+        pairs = index.candidate_pairs()
+        assert pairs
+        for a, b in pairs:
+            assert a <= b
+
+    def test_pairs_match_should_compare_lookup(self, setup):
+        store, weights = setup
+        kore = KoreRelatedness(store, weights)
+        lsh = KoreLshRelatedness(store, kore, LshSettings.recall_geared())
+        entities = store.entity_ids()
+        lsh.prepare(entities)
+        allowed = {
+            (a, b)
+            for i, a in enumerate(entities)
+            for b in entities[i + 1 :]
+            if lsh.should_compare(a, b)
+        }
+        # should_compare is orientation-insensitive and the allowed set
+        # is exactly the canonical candidate_pairs() output.
+        assert allowed == lsh._task.allowed
+        for a, b in allowed:
+            assert lsh.should_compare(b, a)
+
+
+@st.composite
+def _keyphrase_stores(draw):
+    """Small random stores over a colliding word pool (some empties)."""
+    words = [f"word{i}" for i in range(8)]
+    num_entities = draw(st.integers(min_value=2, max_value=6))
+    store = KeyphraseStore()
+    for index in range(num_entities):
+        entity = f"E{index}"
+        num_phrases = draw(st.integers(min_value=0, max_value=3))
+        if num_phrases == 0:
+            store.ensure_entity(entity)
+            continue
+        for _ in range(num_phrases):
+            phrase = tuple(
+                draw(
+                    st.lists(
+                        st.sampled_from(words),
+                        min_size=1,
+                        max_size=3,
+                        unique=True,
+                    )
+                )
+            )
+            store.add_keyphrase(entity, phrase)
+    return store
+
+
+class TestPrunedValuesExactOrZero:
+    @settings(max_examples=25, deadline=None)
+    @given(store=_keyphrase_stores())
+    def test_lsh_value_is_exact_or_zero(self, store):
+        weights = WeightModel(store, links=None)
+        exact = KoreRelatedness(store, weights)
+        lsh = KoreLshRelatedness(
+            store,
+            KoreRelatedness(store, weights),
+            LshSettings.recall_geared(),
+        )
+        entities = store.entity_ids()
+        lsh.prepare(entities)
+        for i, a in enumerate(entities):
+            for b in entities[i + 1 :]:
+                value = lsh.relatedness(a, b)
+                if lsh.should_compare(a, b):
+                    assert value == exact.relatedness(a, b)
+                else:
+                    assert value == 0.0
+
+
+class TestThreadLocalTaskState:
+    def test_concurrent_prepares_do_not_interfere(self, setup):
+        store, weights = setup
+        kore = KoreRelatedness(store, weights)
+        lsh = KoreLshRelatedness(store, kore, LshSettings.recall_geared())
+        lsh.precompute()
+        barrier = threading.Barrier(2)
+        outcomes = {}
+
+        def run(label, universe, pair):
+            lsh.prepare(universe)
+            barrier.wait()  # both tasks prepared before either reads
+            outcomes[label] = (
+                lsh.allowed_pair_count,
+                lsh.should_compare(*pair),
+            )
+
+        pair = ("Nick_Cave", "Hallelujah_Cave")
+        t1 = threading.Thread(
+            target=run,
+            args=("with_pair", ["Nick_Cave", "Hallelujah_Cave"], pair),
+        )
+        t2 = threading.Thread(
+            target=run,
+            args=("without_pair", ["Nick_Cave", "Hallelujah_Chorus"], pair),
+        )
+        t1.start()
+        t2.start()
+        t1.join()
+        t2.join()
+        assert outcomes["with_pair"][1] is True
+        assert outcomes["without_pair"][1] is False
+        # The main thread never prepared: it behaves like exact KORE.
+        assert lsh.should_compare(*pair)
+        assert lsh.allowed_pair_count == 0
+
+    def test_stats_accumulate_across_tasks(self, setup):
+        store, weights = setup
+        kore = KoreRelatedness(store, weights)
+        lsh = KoreLshRelatedness(store, kore, LshSettings.fast())
+        lsh.prepare(store.entity_ids())
+        lsh.prepare(store.entity_ids())
+        assert lsh.prepared_tasks == 2
+        total = len(store.entity_ids())
+        expected_universe = total * (total - 1) // 2
+        assert (
+            lsh.pruned_pairs + lsh.survived_pairs == 2 * expected_universe
+        )
