@@ -16,6 +16,12 @@ Plus corpus tooling:
 * ``evaluate`` — run a pipeline variant over a saved corpus against a
   saved KB and print micro/macro accuracy.
 
+And the online service:
+
+* ``serve`` — long-lived disambiguation server with admission control,
+  micro-batching and SLO-driven load shedding; HTTP JSON on a TCP port
+  by default, or a stdin→stdout JSONL pump with ``--stdin``.
+
 Examples::
 
     python -m repro generate-kb --out /tmp/kb --seed 7
@@ -25,11 +31,13 @@ Examples::
     python -m repro corpus --seed 7 --kind conll --scale 0.05 \
         --out /tmp/conll.jsonl
     python -m repro evaluate --kb /tmp/kb --corpus /tmp/conll.jsonl
+    python -m repro serve --kb /tmp/kb --port 8400 --slo-ms 500
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from typing import List, Optional, Sequence
@@ -186,6 +194,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_relatedness_argument(evaluate)
     _add_obs_arguments(evaluate)
     _add_robustness_arguments(evaluate)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived disambiguation service "
+        "(admission control + micro-batching + load shedding)",
+    )
+    serve.add_argument("--kb", required=True, help="saved KB directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8400,
+        help="TCP port for the HTTP front-end (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="bound on outstanding admitted requests; at the bound new "
+        "requests are rejected with 429 (shedding by degradation rung "
+        "starts earlier)",
+    )
+    serve.add_argument(
+        "--slo-ms", type=float, default=1000.0,
+        help="p99 latency objective driving the shed policy; also the "
+        "default per-attempt soft deadline unless --deadline-ms is given",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=25.0,
+        help="micro-batch age trigger: a batch flushes when its oldest "
+        "request has waited this long",
+    )
+    serve.add_argument(
+        "--batch-max-docs", type=int, default=16,
+        help="micro-batch size trigger",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="worker threads of the per-batch runner",
+    )
+    serve.add_argument(
+        "--variant", choices=sorted(AIDA_VARIANTS), default="full"
+    )
+    serve.add_argument(
+        "--stdin", action="store_true",
+        help="serve JSONL requests from stdin to stdout instead of "
+        "listening on a TCP port; exits at EOF",
+    )
+    _add_compiled_argument(serve)
+    _add_relatedness_argument(serve)
+    _add_obs_arguments(serve)
+    _add_robustness_arguments(serve)
 
     return parser
 
@@ -618,6 +674,96 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         obs.finish()
 
 
+def _serving_robustness(args: argparse.Namespace) -> RobustnessConfig:
+    """The serve command's robustness: degradation is always on (the
+    shed ladder requires it) and the SLO doubles as the per-attempt
+    deadline unless --deadline-ms overrides it."""
+    return RobustnessConfig(
+        retries=args.retries,
+        deadline_ms=(
+            args.deadline_ms if args.deadline_ms else args.slo_ms
+        ),
+        degrade=True,
+        backoff=RetryPolicy(seed=args.inject_seed),
+    )
+
+
+async def _serve_stdin(server) -> int:
+    await server.start(listen=False)
+    try:
+        served = await server.run_jsonl(sys.stdin, sys.stdout)
+    finally:
+        await server.stop()
+    stats = server.admission.stats()
+    print(
+        f"served {served} documents "
+        f"(shed {stats['shed']}, rejected {stats['rejected']}, "
+        f"p99 {stats['p99_ms']:.1f}ms)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+async def _serve_forever(server) -> int:
+    await server.start()
+    print(
+        f"serving on http://{server.config.host}:{server.port} "
+        f"(POST /disambiguate, GET /healthz /stats /metrics)",
+        flush=True,
+    )
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await server.stop()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Handle ``serve``: the admission-controlled online service."""
+    from repro.serving import DisambiguationServer, ServingConfig
+
+    obs = _ObsSession(args)
+    chaos = _InjectorSession(args)
+    # The /metrics endpoint and the shed counters need a live registry
+    # even without --metrics-out.
+    own_metrics = None
+    if not get_metrics().enabled:
+        own_metrics = set_metrics(MetricsRegistry())
+    try:
+        kb = load_knowledge_base(args.kb)
+        config = AIDA_VARIANTS[args.variant]()
+        config.use_compiled = args.compiled
+        config.relatedness_backend = args.relatedness
+        pipeline = AidaDisambiguator(kb, config=config)
+        server = DisambiguationServer(
+            pipeline,
+            ServingConfig(
+                host=args.host,
+                port=args.port,
+                max_queue=args.max_queue,
+                slo_ms=args.slo_ms,
+                batch_max_docs=args.batch_max_docs,
+                batch_window_ms=args.batch_window_ms,
+                workers=args.workers,
+            ),
+            kb=kb,
+            robustness=_serving_robustness(args),
+        )
+        runner = _serve_stdin(server) if args.stdin else _serve_forever(
+            server
+        )
+        try:
+            return asyncio.run(runner)
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+            return 0
+    finally:
+        if own_metrics is not None:
+            set_metrics(own_metrics)
+        chaos.finish()
+        obs.finish()
+
+
 _COMMANDS = {
     "generate-kb": cmd_generate_kb,
     "disambiguate": cmd_disambiguate,
@@ -625,6 +771,7 @@ _COMMANDS = {
     "classify": cmd_classify,
     "corpus": cmd_corpus,
     "evaluate": cmd_evaluate,
+    "serve": cmd_serve,
 }
 
 

@@ -124,6 +124,12 @@ def budget_scope(budget: Optional[Budget]) -> Iterator[Optional[Budget]]:
 
     ``None`` arms nothing (so callers can pass an optional budget
     straight through).  Scopes nest; the innermost wins.
+
+    Exit removes *this* budget specifically, discarding anything a
+    misbehaving callee pushed above it without popping.  The guarantee
+    matters for long-lived processes: executor threads are reused across
+    requests, so a leaked entry on the thread-local stack would charge a
+    later request against an earlier request's spent budget.
     """
     if budget is None:
         yield None
@@ -133,4 +139,6 @@ def budget_scope(budget: Optional[Budget]) -> Iterator[Optional[Budget]]:
     try:
         yield budget
     finally:
-        stack.pop()
+        while stack:
+            if stack.pop() is budget:
+                break

@@ -152,14 +152,24 @@ class ResilientDisambiguator:
     # ------------------------------------------------------------------
     # The resilient call
     # ------------------------------------------------------------------
-    def disambiguate(self, document, **kwargs):
+    def disambiguate(self, document, *, start_rung: Optional[str] = None,
+                     **kwargs):
         """Disambiguate with retries, deadline, and the ladder.
+
+        ``start_rung`` slices the ladder: the walk begins at that rung
+        instead of ``full`` (the serving layer's load shedding — an
+        admission-degraded request reuses the same retry, budget, and
+        attempts accounting as a failure-degraded one).  An unknown rung
+        or a rung this wrapper cannot build falls back to the full
+        ladder.
 
         Raises the *last* rung's error only after every rung failed.
         """
         attempts = 0
         last_error: Optional[Exception] = None
         ladder = self.ladder
+        if start_rung is not None and start_rung in ladder:
+            ladder = ladder[ladder.index(start_rung):]
         for position, rung in enumerate(ladder):
             policy = self._policy_for(document, rung)
             # ``on_retry`` fires once per performed retry with the retry

@@ -1,0 +1,85 @@
+"""Configuration of the online serving layer.
+
+One frozen dataclass holds every serving knob: the listen address, the
+admission-queue bound, the latency SLO that drives load shedding, the
+micro-batch geometry, and the worker fan-out of the batch executor.  The
+CLI ``serve`` command maps its flags onto this config one-to-one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+#: Executors the serving batch path supports.  Process pools are excluded:
+#: the rung router keys per-document rungs by object identity, which does
+#: not survive the pickle wall (and a long-lived server wants to share one
+#: warm pipeline anyway).
+SERVING_EXECUTORS: Tuple[str, ...] = ("serial", "thread")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Every knob of :class:`~repro.serving.server.DisambiguationServer`.
+
+    ``max_queue`` bounds *outstanding admitted* requests (queued plus
+    in-flight) — the server never buffers more than this, whatever the
+    arrival rate; excess traffic is shed by rung and finally rejected.
+    ``slo_ms`` is the p99 latency objective: observed p99 above it shifts
+    admission down the degradation ladder, and it doubles as the
+    per-attempt soft deadline armed through :class:`repro.faults.Budget`.
+    """
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (tests, loopback benchmarks).
+    port: int = 8400
+    #: Bound on outstanding admitted requests (queued + in-flight).
+    max_queue: int = 64
+    #: p99 latency objective in milliseconds.
+    slo_ms: float = 1000.0
+    #: Micro-batch flush triggers: size cap and age window.
+    batch_max_docs: int = 16
+    batch_window_ms: float = 25.0
+    #: Worker threads of the per-batch :class:`~repro.core.batch.BatchRunner`.
+    workers: int = 4
+    executor: str = "thread"
+    #: Queue-depth fractions at which admission degrades one rung
+    #: (full -> no_coherence at the first, -> prior_only at the second).
+    shed_depth_fractions: Tuple[float, float] = (0.5, 0.75)
+    #: Observed-p99 / SLO ratios with the same meaning for latency.
+    shed_latency_ratios: Tuple[float, float] = (1.0, 2.0)
+    #: Sliding-window size of the latency estimator feeding the policy.
+    latency_window: int = 128
+
+    def __post_init__(self) -> None:
+        if self.port < 0 or self.port > 65535:
+            raise ConfigurationError("port must be in [0, 65535]")
+        if self.max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+        if self.slo_ms <= 0:
+            raise ConfigurationError("slo_ms must be > 0")
+        if self.batch_max_docs < 1:
+            raise ConfigurationError("batch_max_docs must be >= 1")
+        if self.batch_window_ms < 0:
+            raise ConfigurationError("batch_window_ms must be >= 0")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.executor not in SERVING_EXECUTORS:
+            raise ConfigurationError(
+                f"executor must be one of {SERVING_EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
+        lo_d, hi_d = self.shed_depth_fractions
+        if not (0.0 < lo_d <= hi_d <= 1.0):
+            raise ConfigurationError(
+                "shed_depth_fractions must satisfy 0 < lo <= hi <= 1"
+            )
+        lo_r, hi_r = self.shed_latency_ratios
+        if not (0.0 < lo_r <= hi_r):
+            raise ConfigurationError(
+                "shed_latency_ratios must satisfy 0 < lo <= hi"
+            )
+        if self.latency_window < 1:
+            raise ConfigurationError("latency_window must be >= 1")

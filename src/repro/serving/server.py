@@ -1,0 +1,556 @@
+"""The long-lived disambiguation front door.
+
+:class:`DisambiguationServer` accepts documents two ways — a minimal
+stdlib-only HTTP/1.1 JSON endpoint (``asyncio.start_server``) and a
+stdin-JSONL pump — and funnels both through one submit path:
+
+1. **admission** (:mod:`repro.serving.admission`): a bounded slot count;
+   under load the request is granted a degraded starting rung, at the
+   bound it is rejected (HTTP 429);
+2. **micro-batching** (:mod:`repro.serving.batcher`): size/age-triggered
+   batches keep the amortization of the batch layer without blowing the
+   latency SLO;
+3. **execution**: each batch runs through a
+   :class:`~repro.core.batch.BatchRunner` on a dedicated thread, every
+   document routed into the wrapped
+   :class:`~repro.faults.resilient.ResilientDisambiguator` *at its
+   admitted rung* — rung walking, retries, per-attempt
+   :class:`~repro.faults.Budget` deadlines and attempts accounting are
+   all the existing robustness machinery, not a serving re-implementation.
+
+Results resolve per-request futures on the event loop; latency feeds
+back into the admission policy's p99 signal, closing the shedding loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.core.batch import BatchConfig, BatchOutcome, BatchRunner
+from repro.errors import ReproError, describe_error
+from repro.faults.resilient import RobustnessConfig, make_resilient
+from repro.ner.recognizer import NamedEntityRecognizer
+from repro.obs import get_metrics, log_event
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    ShedPolicy,
+)
+from repro.serving.batcher import MicroBatcher
+from repro.serving.config import ServingConfig
+from repro.serving.protocol import (
+    ProtocolError,
+    document_from_payload,
+    error_to_dict,
+    response_to_dict,
+)
+from repro.types import DisambiguationResult, Document
+
+_LOG = logging.getLogger("repro.serving")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class ServingFailure(ReproError):
+    """A document failed in the batch executor — HTTP 500.
+
+    ``kind`` carries the taxonomy bucket of the underlying failure
+    (transient / permanent / deadline), ``attempts`` the pipeline
+    attempts it consumed.
+    """
+
+    def __init__(self, doc_id: str, error: str, kind: str, attempts: int):
+        super().__init__(f"{doc_id}: [{kind}] {error}")
+        self.doc_id = doc_id
+        self.kind = kind
+        self.attempts = attempts
+
+
+@dataclass
+class ServingRequest:
+    """One admitted document riding through the micro-batcher."""
+
+    document: Document
+    rung: str
+    future: "asyncio.Future[DisambiguationResult]"
+    enqueued: float
+
+
+@dataclass
+class ServingResponse:
+    """What :meth:`DisambiguationServer.submit` resolves to."""
+
+    result: DisambiguationResult
+    admitted_rung: str
+    latency_ms: float
+
+    def to_dict(self) -> Dict:
+        """The wire payload of this response."""
+        return response_to_dict(
+            self.result, self.admitted_rung, self.latency_ms
+        )
+
+
+class _RungRouter:
+    """Per-batch pipeline adapter: each document at its admitted rung.
+
+    Routing keys on object identity — the batch holds the document
+    references for the duration of the run, and doc_ids need not be
+    unique across concurrent requests.
+    """
+
+    def __init__(self, pipeline, rungs: Dict[int, str]):
+        self._pipeline = pipeline
+        self._rungs = rungs
+        #: Whether the wrapped pipeline understands ladder slicing.
+        self._sliceable = hasattr(pipeline, "ladder")
+
+    def disambiguate(self, document: Document, **kwargs):
+        rung = self._rungs.get(id(document), "full")
+        if self._sliceable:
+            return self._pipeline.disambiguate(
+                document, start_rung=rung, **kwargs
+            )
+        return self._pipeline.disambiguate(document, **kwargs)
+
+    def __getattr__(self, name: str):
+        return getattr(self._pipeline, name)
+
+
+class DisambiguationServer:
+    """Admission-controlled, micro-batching disambiguation service.
+
+    ``pipeline`` is any ``disambiguate(document)`` object; unless it is
+    already a :class:`ResilientDisambiguator` (detected by its ``ladder``
+    attribute) it is wrapped in one so the shed ladder and per-attempt
+    deadline exist — ``robustness`` overrides the default wrap
+    (``degrade=True, deadline_ms=config.slo_ms``).
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        config: Optional[ServingConfig] = None,
+        kb=None,
+        robustness: Optional[RobustnessConfig] = None,
+    ):
+        self.config = config if config is not None else ServingConfig()
+        if not hasattr(pipeline, "ladder"):
+            if robustness is None:
+                robustness = RobustnessConfig(
+                    degrade=True, deadline_ms=self.config.slo_ms
+                )
+            pipeline = make_resilient(pipeline, robustness)
+        self.pipeline = pipeline
+        self.kb = kb if kb is not None else getattr(pipeline, "kb", None)
+        self.recognizer = (
+            NamedEntityRecognizer(self.kb.dictionary)
+            if self.kb is not None
+            else None
+        )
+        self.admission = AdmissionController(
+            max_queue=self.config.max_queue,
+            slo_ms=self.config.slo_ms,
+            policy=ShedPolicy(
+                depth_fractions=self.config.shed_depth_fractions,
+                latency_ratios=self.config.shed_latency_ratios,
+            ),
+            latency_window=self.config.latency_window,
+        )
+        self._batcher: Optional[MicroBatcher] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._started = False
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, listen: bool = True) -> None:
+        """Start the batcher (and the TCP listener unless ``listen`` is
+        False — the stdin-JSONL and loopback-test modes need only the
+        submit path)."""
+        if self._started:
+            raise ReproError("server already started")
+        self._started = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serving-batch"
+        )
+        self._batcher = MicroBatcher(
+            self._flush,
+            max_batch=self.config.batch_max_docs,
+            window_ms=self.config.batch_window_ms,
+        )
+        self._batcher.start()
+        if listen:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.config.host,
+                port=self.config.port,
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            log_event(
+                _LOG,
+                "serving.listen",
+                _level=logging.INFO,
+                host=self.config.host,
+                port=self.port,
+            )
+
+    async def stop(self) -> None:
+        """Stop accepting, drain every queued request, release threads."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._batcher is not None:
+            await self._batcher.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._started = False
+
+    async def __aenter__(self) -> "DisambiguationServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        """The running micro-batcher (post-``start``)."""
+        if self._batcher is None:
+            raise ReproError("server not started")
+        return self._batcher
+
+    # ------------------------------------------------------------------
+    # The submit path (shared by HTTP, JSONL, and tests)
+    # ------------------------------------------------------------------
+    async def submit(self, document: Document) -> ServingResponse:
+        """Admit, batch, execute, and await one document.
+
+        Raises :class:`AdmissionRejected` at the queue bound and
+        :class:`ServingFailure` when every rung failed.
+        """
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("serving.requests").inc()
+        rung = self.admission.admit()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        future: "asyncio.Future[DisambiguationResult]" = (
+            loop.create_future()
+        )
+        request = ServingRequest(
+            document=document, rung=rung, future=future, enqueued=started
+        )
+        try:
+            await self.batcher.put(request)
+        except BaseException:
+            # The slot was charged but the request never entered a batch.
+            self.admission.complete()
+            raise
+        try:
+            result = await future
+        except Exception:
+            if metrics.enabled:
+                metrics.counter("serving.failures").inc()
+            raise
+        latency_ms = (loop.time() - started) * 1000.0
+        if metrics.enabled:
+            metrics.counter("serving.responses").inc()
+            metrics.counter(
+                f"serving.rung.{result.degradation_rung}"
+            ).inc()
+        return ServingResponse(
+            result=result, admitted_rung=rung, latency_ms=latency_ms
+        )
+
+    async def process(
+        self, documents: Sequence[Document], concurrency: int = 1
+    ) -> List[ServingResponse]:
+        """Submit *documents* through the full serving path, results in
+        input order.  ``concurrency`` bounds in-flight submissions —
+        1 is the single-flight mode of the differential tests."""
+        semaphore = asyncio.Semaphore(max(1, concurrency))
+
+        async def one(document: Document) -> ServingResponse:
+            async with semaphore:
+                return await self.submit(document)
+
+        return list(
+            await asyncio.gather(*(one(doc) for doc in documents))
+        )
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def _execute(self, batch: List[ServingRequest]) -> BatchOutcome:
+        """Runs on the dedicated executor thread."""
+        documents = [request.document for request in batch]
+        router = _RungRouter(
+            self.pipeline,
+            {id(request.document): request.rung for request in batch},
+        )
+        runner = BatchRunner(
+            pipeline=router,
+            config=BatchConfig(
+                workers=min(self.config.workers, len(documents)),
+                executor=self.config.executor,
+            ),
+        )
+        return runner.run(documents)
+
+    async def _flush(self, batch: List[ServingRequest]) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            outcome = await loop.run_in_executor(
+                self._executor, self._execute, batch
+            )
+        except Exception as exc:
+            # The whole batch failed to execute (not a per-document
+            # failure) — resolve every future so no caller hangs.
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+                self.admission.complete(
+                    (loop.time() - request.enqueued) * 1000.0
+                )
+            return
+        failures = {
+            failure.index: failure for failure in outcome.failures
+        }
+        for index, request in enumerate(batch):
+            latency_ms = (loop.time() - request.enqueued) * 1000.0
+            result = outcome.results[index]
+            if not request.future.done():
+                if result is not None:
+                    request.future.set_result(result)
+                else:
+                    failure = failures[index]
+                    request.future.set_exception(
+                        ServingFailure(
+                            doc_id=failure.doc_id,
+                            error=failure.error,
+                            kind=failure.kind,
+                            attempts=failure.attempts,
+                        )
+                    )
+            self.admission.complete(latency_ms)
+
+    # ------------------------------------------------------------------
+    # HTTP front-end (stdlib-only minimal HTTP/1.1)
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        status, payload, headers = 500, {"error": "internal"}, {}
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                status, payload = 400, {"error": "malformed request"}
+            else:
+                method, path, body = parsed
+                status, payload = await self._route(method, path, body)
+        except Exception as exc:
+            status, payload = 500, error_to_dict(exc)
+        if status == 429:
+            headers["Retry-After"] = "1"
+        try:
+            self._write_response(writer, status, payload, headers)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away mid-response
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            return None
+        method, path, _version = parts
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return None
+        body = b""
+        if content_length > 0:
+            body = await reader.readexactly(content_length)
+        return method, path, body
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict,
+        headers: Dict[str, str],
+    ) -> None:
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(data)}",
+            "Connection: close",
+        ]
+        head.extend(f"{name}: {value}" for name, value in headers.items())
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + data
+        )
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict]:
+        if path == "/healthz" and method == "GET":
+            return 200, {
+                "status": "ok",
+                "queue_depth": self.admission.depth,
+                "max_queue": self.admission.max_queue,
+            }
+        if path == "/stats" and method == "GET":
+            return 200, self.admission.stats()
+        if path == "/metrics" and method == "GET":
+            metrics = get_metrics()
+            if not metrics.enabled:
+                return 200, {"enabled": False}
+            snapshot = metrics.snapshot()
+            snapshot["enabled"] = True
+            return 200, snapshot
+        if path == "/disambiguate":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._handle_disambiguate(body)
+        return 404, {"error": f"unknown path {path}"}
+
+    async def _handle_disambiguate(self, body: bytes) -> Tuple[int, Dict]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, error_to_dict(exc)
+        try:
+            document = document_from_payload(payload, self.recognizer)
+        except ProtocolError as exc:
+            return 400, error_to_dict(exc)
+        try:
+            response = await self.submit(document)
+        except AdmissionRejected as exc:
+            return 429, error_to_dict(
+                exc, queue_depth=exc.depth, max_queue=exc.max_queue
+            )
+        except ServingFailure as exc:
+            return 500, error_to_dict(
+                exc,
+                doc_id=exc.doc_id,
+                kind=exc.kind,
+                attempts=exc.attempts,
+            )
+        return 200, response.to_dict()
+
+    # ------------------------------------------------------------------
+    # stdin-JSONL mode
+    # ------------------------------------------------------------------
+    async def run_jsonl(
+        self, in_stream: TextIO, out_stream: TextIO
+    ) -> int:
+        """Pump JSONL requests from *in_stream* until EOF; write one JSON
+        response line per request to *out_stream*, in input order.
+
+        A closed-loop source should never be 429'd, so the pump holds a
+        semaphore of ``max_queue`` line-slots — admission sheds by rung
+        under load but the bound itself is enforced by backpressure on
+        the reader.  Returns the number of documents served.
+        """
+        loop = asyncio.get_running_loop()
+        semaphore = asyncio.Semaphore(self.config.max_queue)
+        ordered: asyncio.Queue = asyncio.Queue()
+        served = 0
+
+        async def one(line: str) -> Dict:
+            try:
+                payload = json.loads(line)
+                document = document_from_payload(
+                    payload, self.recognizer
+                )
+                response = await self.submit(document)
+                return response.to_dict()
+            except Exception as exc:
+                return error_to_dict(exc)
+            finally:
+                semaphore.release()
+
+        async def write_responses() -> int:
+            count = 0
+            while True:
+                task = await ordered.get()
+                if task is None:
+                    return count
+                out_stream.write(
+                    json.dumps(await task, sort_keys=True) + "\n"
+                )
+                out_stream.flush()
+                count += 1
+
+        writer = loop.create_task(write_responses())
+        while True:
+            line = await loop.run_in_executor(None, in_stream.readline)
+            if not line:
+                break
+            if not line.strip():
+                continue
+            await semaphore.acquire()
+            await ordered.put(loop.create_task(one(line)))
+        await ordered.put(None)
+        served = await writer
+        return served
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """One status dict: config, admission counters, batcher state."""
+        description: Dict[str, object] = {
+            "host": self.config.host,
+            "port": self.port,
+            "slo_ms": self.config.slo_ms,
+            "admission": self.admission.stats(),
+        }
+        if self._batcher is not None:
+            description["batcher"] = {
+                "flush_counts": dict(self._batcher.flush_counts),
+                "items_flushed": self._batcher.items_flushed,
+                "pending": self._batcher.pending,
+            }
+        return description
+
+
+def format_failure(exc: BaseException) -> str:
+    """Uniform one-line rendering for server logs."""
+    return describe_error(exc) if isinstance(exc, Exception) else repr(exc)

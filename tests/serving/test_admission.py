@@ -1,0 +1,205 @@
+"""Admission-control invariants and the monotone-shed property.
+
+The policy is a pure function, so most of this suite needs no server:
+bounded depth, shed thresholds, reject-only-at-the-bound, and the
+Hypothesis property that rising load can never yield a more capable
+rung than an earlier-admitted request got.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.resilient import DEGRADATION_LADDER
+from repro.serving.admission import (
+    REJECT,
+    SHED_LADDER,
+    AdmissionController,
+    AdmissionRejected,
+    LatencyWindow,
+    ShedPolicy,
+)
+
+RUNG_INDEX = {rung: index for index, rung in enumerate(SHED_LADDER)}
+
+
+# ----------------------------------------------------------------------
+# ShedPolicy: the pure mapping
+# ----------------------------------------------------------------------
+def test_policy_tiers_by_depth():
+    policy = ShedPolicy(depth_fractions=(0.5, 0.75))
+    assert policy.rung_for(0.0, 0.0) == "full"
+    assert policy.rung_for(0.49, 0.0) == "full"
+    assert policy.rung_for(0.5, 0.0) == "no_coherence"
+    assert policy.rung_for(0.75, 0.0) == "prior_only"
+    assert policy.rung_for(0.99, 0.0) == "prior_only"
+    assert policy.rung_for(1.0, 0.0) == REJECT
+
+
+def test_policy_tiers_by_latency():
+    policy = ShedPolicy(latency_ratios=(1.0, 2.0))
+    assert policy.rung_for(0.0, 0.5) == "full"
+    assert policy.rung_for(0.0, 1.0) == "full"
+    assert policy.rung_for(0.0, 1.5) == "no_coherence"
+    assert policy.rung_for(0.0, 2.5) == "prior_only"
+
+
+def test_latency_alone_never_rejects():
+    """429 only when the shed ladder is exhausted — i.e. the queue is
+    literally full.  However blown the SLO is, a non-full queue admits
+    at prior_only."""
+    policy = ShedPolicy()
+    for ratio in (1.0, 2.0, 10.0, 1e9):
+        assert policy.rung_for(0.99, ratio) != REJECT
+
+
+def test_worse_signal_wins():
+    policy = ShedPolicy()
+    assert policy.rung_for(0.6, 5.0) == "prior_only"
+    assert policy.rung_for(0.8, 0.0) == "prior_only"
+    assert policy.rung_for(0.6, 1.5) == "no_coherence"
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    f1=st.floats(0.0, 2.0),
+    f2=st.floats(0.0, 2.0),
+    r1=st.floats(0.0, 10.0),
+    r2=st.floats(0.0, 10.0),
+)
+def test_policy_monotone_componentwise(f1, f2, r1, r2):
+    """More load never yields a more capable rung (either signal)."""
+    lo_f, hi_f = sorted((f1, f2))
+    lo_r, hi_r = sorted((r1, r2))
+    policy = ShedPolicy()
+    relaxed = policy.rung_for(lo_f, lo_r)
+    loaded = policy.rung_for(hi_f, hi_r)
+    assert RUNG_INDEX[loaded] >= RUNG_INDEX[relaxed]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    arrivals=st.integers(min_value=1, max_value=40),
+    max_queue=st.integers(min_value=1, max_value=32),
+    seed_latency=st.floats(0.0, 5000.0),
+)
+def test_shed_ladder_monotone_under_rising_load(
+    arrivals, max_queue, seed_latency
+):
+    """For any seeded arrival pattern with no completions (load only
+    rises), each admitted request's rung is no better than any
+    earlier-admitted one, and the first reject ends admission for good.
+    """
+    controller = AdmissionController(max_queue=max_queue, slo_ms=1000.0)
+    controller.latencies.observe(seed_latency)
+    indices = []
+    rejected_at = None
+    for arrival in range(arrivals):
+        try:
+            rung = controller.admit()
+        except AdmissionRejected:
+            rejected_at = arrival
+            break
+        indices.append(RUNG_INDEX[rung])
+    assert indices == sorted(indices)
+    if rejected_at is not None:
+        assert rejected_at == max_queue  # exactly at the bound
+        assert controller.depth == max_queue
+
+
+# ----------------------------------------------------------------------
+# AdmissionController: bounded depth and slot accounting
+# ----------------------------------------------------------------------
+def test_depth_is_bounded_and_reject_only_at_bound():
+    controller = AdmissionController(max_queue=4, slo_ms=1000.0)
+    rungs = [controller.admit() for _ in range(4)]
+    assert controller.depth == 4
+    assert all(rung in DEGRADATION_LADDER for rung in rungs)
+    with pytest.raises(AdmissionRejected):
+        controller.admit()
+    assert controller.depth == 4  # a reject charges no slot
+    controller.complete(latency_ms=10.0)
+    assert controller.depth == 3
+    assert controller.admit() in DEGRADATION_LADDER  # slot freed
+
+
+def test_admission_sheds_before_rejecting():
+    """Crossing the depth thresholds degrades the granted rung before
+    anything is rejected."""
+    controller = AdmissionController(max_queue=8, slo_ms=1000.0)
+    rungs = [controller.admit() for _ in range(8)]
+    assert rungs[:4] == ["full"] * 4  # below 0.5
+    assert rungs[4:6] == ["no_coherence"] * 2  # [0.5, 0.75)
+    assert rungs[6:] == ["prior_only"] * 2  # [0.75, 1.0)
+    stats = controller.stats()
+    assert stats["shed"] == 4
+    assert stats["rejected"] == 0
+
+
+def test_latency_pressure_degrades_admission():
+    controller = AdmissionController(
+        max_queue=100, slo_ms=100.0, latency_window=8
+    )
+    assert controller.admit() == "full"
+    for _ in range(8):
+        controller.latencies.observe(150.0)  # p99 = 1.5x SLO
+    assert controller.admit() == "no_coherence"
+    for _ in range(8):
+        controller.latencies.observe(500.0)  # p99 = 5x SLO
+    assert controller.admit() == "prior_only"
+
+
+def test_complete_without_admit_raises():
+    controller = AdmissionController(max_queue=2, slo_ms=100.0)
+    with pytest.raises(Exception):
+        controller.complete()
+
+
+def test_stats_and_rung_mix_accounting():
+    controller = AdmissionController(max_queue=4, slo_ms=1000.0)
+    for _ in range(4):
+        controller.admit()
+    with pytest.raises(AdmissionRejected):
+        controller.admit()
+    for _ in range(4):
+        controller.complete(latency_ms=5.0)
+    stats = controller.stats()
+    assert stats["completed"] == 4
+    assert stats["rejected"] == 1
+    assert stats["depth"] == 0
+    mix = dict(controller.rung_mix)
+    assert sum(mix.values()) == 4
+    assert mix["full"] == 2
+
+
+# ----------------------------------------------------------------------
+# LatencyWindow
+# ----------------------------------------------------------------------
+def test_latency_window_quantiles():
+    window = LatencyWindow(size=100)
+    assert window.p99() == 0.0
+    for value in range(1, 101):
+        window.observe(float(value))
+    assert window.p99() == 99.0
+    assert window.quantile(0.5) == 50.0
+    assert len(window) == 100
+
+
+def test_latency_window_slides():
+    window = LatencyWindow(size=4)
+    for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+        window.observe(value)
+    # The 1.0 sample fell out of the window.
+    assert window.quantile(0.0) >= 2.0 or window.quantile(0.25) >= 2.0
+    assert window.p99() == 100.0
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        AdmissionController(max_queue=0, slo_ms=100.0)
+    with pytest.raises(ValueError):
+        AdmissionController(max_queue=1, slo_ms=0.0)
+    with pytest.raises(ValueError):
+        LatencyWindow(size=0)

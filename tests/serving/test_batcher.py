@@ -1,0 +1,183 @@
+"""Micro-batcher unit tests: size trigger, age trigger, lossless close.
+
+The batcher is pure asyncio, so every test drives a real event loop with
+a recording flush callback — no server, no pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List
+
+import pytest
+
+from repro.serving.batcher import BatcherClosed, MicroBatcher
+
+
+class RecordingFlush:
+    """Captures every flushed batch; optionally slow or failing."""
+
+    def __init__(self, delay: float = 0.0, fail_batches: int = 0):
+        self.batches: List[List[object]] = []
+        self.delay = delay
+        self.fail_batches = fail_batches
+
+    async def __call__(self, batch):
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        if self.fail_batches > 0:
+            self.fail_batches -= 1
+            raise RuntimeError("injected flush failure")
+        self.batches.append(batch)
+
+    @property
+    def items(self) -> List[object]:
+        return [item for batch in self.batches for item in batch]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_flush_on_size_does_not_wait_for_window():
+    """A full batch flushes immediately despite a huge age window."""
+
+    async def main():
+        flush = RecordingFlush()
+        batcher = MicroBatcher(flush, max_batch=3, window_ms=60_000.0)
+        batcher.start()
+        for item in range(3):
+            await batcher.put(item)
+        # One cooperative tick is enough: no timer must be involved.
+        await asyncio.wait_for(_until(lambda: flush.batches), timeout=1.0)
+        assert flush.batches == [[0, 1, 2]]
+        assert batcher.flush_counts["size"] == 1
+        assert batcher.flush_counts["age"] == 0
+        await batcher.close()
+
+    run(main())
+
+
+def test_flush_on_age_with_partial_batch():
+    """A lone item flushes once its window expires."""
+
+    async def main():
+        flush = RecordingFlush()
+        batcher = MicroBatcher(flush, max_batch=64, window_ms=10.0)
+        batcher.start()
+        await batcher.put("only")
+        await asyncio.wait_for(_until(lambda: flush.batches), timeout=1.0)
+        assert flush.batches == [["only"]]
+        assert batcher.flush_counts["age"] == 1
+        await batcher.close()
+
+    run(main())
+
+
+def test_zero_window_flushes_each_item_alone():
+    """``window_ms=0`` disables batching: every item is its own batch."""
+
+    async def main():
+        flush = RecordingFlush()
+        batcher = MicroBatcher(flush, max_batch=8, window_ms=0.0)
+        batcher.start()
+        for item in range(4):
+            await batcher.put(item)
+        await batcher.close()
+        assert flush.items == [0, 1, 2, 3]
+        assert all(len(batch) == 1 for batch in flush.batches)
+
+    run(main())
+
+
+def test_no_item_lost_on_immediate_close():
+    """Everything put before close() is flushed — nothing is dropped."""
+
+    async def main():
+        flush = RecordingFlush()
+        batcher = MicroBatcher(flush, max_batch=4, window_ms=60_000.0)
+        batcher.start()
+        for item in range(11):
+            await batcher.put(item)
+        await batcher.close()
+        assert flush.items == list(range(11))
+        assert batcher.items_flushed == 11
+        # Closing flushed whatever had not already left via the size
+        # trigger, in max_batch chunks.
+        assert all(len(batch) <= 4 for batch in flush.batches)
+
+    run(main())
+
+
+def test_fifo_order_is_preserved_across_batches():
+    """Concatenated flushes equal the put order (FIFO within and across
+    batches — the admission queue's ordering guarantee)."""
+
+    async def main():
+        flush = RecordingFlush()
+        batcher = MicroBatcher(flush, max_batch=3, window_ms=5.0)
+        batcher.start()
+        for item in range(10):
+            await batcher.put(item)
+            if item % 4 == 3:
+                await asyncio.sleep(0.01)  # let age flushes interleave
+        await batcher.close()
+        assert flush.items == list(range(10))
+
+    run(main())
+
+
+def test_put_after_close_raises():
+    async def main():
+        flush = RecordingFlush()
+        batcher = MicroBatcher(flush, max_batch=4, window_ms=1.0)
+        batcher.start()
+        await batcher.close()
+        with pytest.raises(BatcherClosed):
+            await batcher.put("late")
+
+    run(main())
+
+
+def test_close_is_idempotent():
+    async def main():
+        flush = RecordingFlush()
+        batcher = MicroBatcher(flush, max_batch=4, window_ms=1.0)
+        batcher.start()
+        await batcher.put("x")
+        await batcher.close()
+        await batcher.close()
+        assert flush.items == ["x"]
+
+    run(main())
+
+
+def test_failing_flush_does_not_kill_the_flusher():
+    """A flush exception is logged and the next batch still flushes."""
+
+    async def main():
+        flush = RecordingFlush(fail_batches=1)
+        batcher = MicroBatcher(flush, max_batch=2, window_ms=5.0)
+        batcher.start()
+        await batcher.put("lost-a")
+        await batcher.put("lost-b")
+        await asyncio.sleep(0.02)
+        await batcher.put("kept")
+        await batcher.close()
+        assert flush.items == ["kept"]
+        assert batcher.items_flushed == 3
+
+    run(main())
+
+
+def test_invalid_geometry_rejected():
+    flush = RecordingFlush()
+    with pytest.raises(ValueError):
+        MicroBatcher(flush, max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(flush, max_batch=1, window_ms=-1.0)
+
+
+async def _until(predicate, interval: float = 0.002):
+    while not predicate():
+        await asyncio.sleep(interval)

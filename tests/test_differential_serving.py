@@ -1,0 +1,149 @@
+"""Differential: the serving path is bit-identical to the bare pipeline.
+
+Single-flight submissions (no faults, nothing shed — the queue never
+fills, so every request is admitted at the ``full`` rung) through the
+whole serving stack — admission, micro-batching, the rung router, the
+batch runner, the resilient wrapper — must reproduce
+``AidaDisambiguator.disambiguate`` exactly: same entities, same scores,
+same candidate score tables.  Mirrors ``tests/test_differential_batch.py``
+across ten seeded worlds plus the shared session corpus over real HTTP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.documents import DocumentGenerator, DocumentSpec
+from repro.datagen.wikipedia import build_world_kb
+from repro.datagen.world import World, WorldConfig
+
+from tests.serving.conftest import (
+    comparable,
+    document_payload,
+    drive,
+    http_request,
+    make_server,
+)
+
+WORLD_SEEDS = [2600 + i for i in range(10)]
+
+DOCS_PER_WORLD = 4
+MENTIONS_PER_DOC = 4
+
+
+class ServedWorld:
+    """One seeded world, its documents, and the fault-free baseline."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        world = World.generate(
+            WorldConfig(seed=seed, clusters_per_domain=2)
+        )
+        self.kb, _wiki = build_world_kb(world, seed=seed + 94)
+        generator = DocumentGenerator(world, seed=seed + 55)
+        cluster_ids = sorted(world.clusters)
+        self.documents = [
+            generator.generate(
+                DocumentSpec(
+                    doc_id=f"w{seed}-d{index}",
+                    cluster_ids=[cluster_ids[index % len(cluster_ids)]],
+                    num_mentions=MENTIONS_PER_DOC,
+                )
+            ).document
+            for index in range(DOCS_PER_WORLD)
+        ]
+        pipeline = AidaDisambiguator(self.kb)
+        self.baseline = [
+            comparable(pipeline.disambiguate(document))
+            for document in self.documents
+        ]
+
+
+@pytest.fixture(scope="module", params=WORLD_SEEDS)
+def served_world(request) -> ServedWorld:
+    return ServedWorld(request.param)
+
+
+def test_serving_bit_identical_per_world(served_world):
+    """Single-flight serving equals the bare pipeline on every world."""
+    server = make_server(
+        AidaDisambiguator(served_world.kb), kb=served_world.kb
+    )
+
+    async def driver(server):
+        return await server.process(served_world.documents, concurrency=1)
+
+    responses = drive(server, driver, listen=False)
+    assert len(responses) == len(served_world.documents)
+    for document, response, expected in zip(
+        served_world.documents, responses, served_world.baseline
+    ):
+        assert response.result.doc_id == document.doc_id
+        assert response.admitted_rung == "full"  # nothing was shed
+        assert response.result.degradation_rung == "full"
+        assert response.result.attempts == 1
+        assert comparable(response.result) == expected
+
+
+def test_serving_bit_identical_batched(served_world):
+    """Size-triggered multi-document batches change nothing either: all
+    documents submitted concurrently, compared in input order."""
+    server = make_server(
+        AidaDisambiguator(served_world.kb),
+        kb=served_world.kb,
+        max_queue=16,
+        batch_max_docs=DOCS_PER_WORLD,
+    )
+
+    async def driver(server):
+        return await server.process(
+            served_world.documents, concurrency=DOCS_PER_WORLD
+        )
+
+    responses = drive(server, driver, listen=False)
+    for response, expected in zip(responses, served_world.baseline):
+        assert comparable(response.result) == expected
+
+
+def test_serving_http_bit_identical_on_session_corpus(
+    kb, sample_docs
+):
+    """The golden-corpus documents over real loopback HTTP: entity and
+    score for every assignment equal the direct pipeline call."""
+    pipeline = AidaDisambiguator(kb)
+    documents = [annotated.document for annotated in sample_docs]
+    baseline = {
+        doc.doc_id: [
+            (a.mention.surface, a.entity, a.score)
+            for a in pipeline.disambiguate(doc).assignments
+        ]
+        for doc in documents
+    }
+    server = make_server(AidaDisambiguator(kb), kb=kb, max_queue=32)
+
+    async def driver(server):
+        responses = []
+        for doc in documents:  # single-flight: strictly sequential
+            responses.append(
+                await http_request(
+                    server.port,
+                    "POST",
+                    "/disambiguate",
+                    document_payload(doc),
+                )
+            )
+        return responses
+
+    responses = drive(server, driver)
+    for doc, (status, body, _headers) in zip(documents, responses):
+        assert status == 200
+        assert body["rung"] == "full"
+        assert body["attempts"] == 1
+        got = [
+            (a["surface"], a["entity"], a["score"])
+            for a in body["assignments"]
+        ]
+        assert got == baseline[doc.doc_id]
