@@ -63,8 +63,10 @@ PIPELINE_STAGES = (
 )
 
 MAX_DISABLED_OVERHEAD_PCT = 2.0
+MAX_SERVING_OVERHEAD_PCT = 2.0
 DEFAULT_LIMIT = 40
 DEFAULT_REPEATS = 3
+DEFAULT_SERVING_DOCS = 12
 
 _LOG = logging.getLogger("repro.pipeline")
 
@@ -232,6 +234,111 @@ def run_benchmark(
     }
 
 
+def time_enabled_span(iterations: int = 20_000) -> float:
+    """Seconds per *enabled* span enter/exit on a live tracer."""
+    tracer = Tracer(max_spans=iterations + 1)
+    span = tracer.span
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with span("x"):
+            pass
+    return (time.perf_counter() - start) / iterations
+
+
+def run_serving_benchmark(documents: List[Document]) -> Dict[str, object]:
+    """Serving-path telemetry overhead: traced vs untraced submit loop.
+
+    Runs the same documents through two loopback servers (no TCP — the
+    submit path is identical), one with null observability and one with
+    a live tracer + registry + trace sink.  The identity assertion is
+    exact; the ≤2% gate is a *projection* (per-request span volume ×
+    measured enabled-span cost over per-request serving time), which is
+    stable on shared CI runners where a direct wall-clock A/B is not.
+    """
+    import asyncio
+
+    from repro.faults.resilient import RobustnessConfig
+    from repro.serving import DisambiguationServer, ServingConfig
+
+    def serve(traced: bool, trace_path: Optional[str] = None):
+        if traced:
+            set_tracer(Tracer())
+            set_metrics(MetricsRegistry())
+        else:
+            set_tracer(None)
+            set_metrics(None)
+        try:
+            server = DisambiguationServer(
+                AidaDisambiguator(bench_kb()),
+                ServingConfig(
+                    port=0,
+                    slo_ms=600_000.0,
+                    batch_window_ms=5.0,
+                    batch_max_docs=8,
+                    workers=4,
+                    trace_export=trace_path,
+                ),
+                robustness=RobustnessConfig(degrade=True),
+            )
+
+            async def main():
+                await server.start(listen=False)
+                try:
+                    start = time.perf_counter()
+                    responses = await server.process(
+                        documents, concurrency=8
+                    )
+                    return responses, time.perf_counter() - start
+                finally:
+                    await server.stop()
+
+            responses, seconds = asyncio.run(main())
+            sink = server._trace_sink
+            return responses, seconds, sink.stats() if sink else None
+        finally:
+            set_tracer(None)
+            set_metrics(None)
+
+    untraced, untraced_seconds, _ = serve(traced=False)
+    handle = tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False)
+    handle.close()
+    try:
+        traced, traced_seconds, sink_stats = serve(
+            traced=True, trace_path=handle.name
+        )
+    finally:
+        os.unlink(handle.name)
+
+    identical = _signature(
+        [response.result for response in untraced]
+    ) == _signature([response.result for response in traced])
+    requests = max(1, len(documents))
+    spans_per_request = sink_stats["spans_written"] / requests
+    span_seconds = time_enabled_span()
+    request_seconds = untraced_seconds / requests
+    projected_pct = (
+        100.0 * spans_per_request * span_seconds / request_seconds
+        if request_seconds > 0
+        else 0.0
+    )
+    return {
+        "requests": requests,
+        "untraced_seconds": untraced_seconds,
+        "traced_seconds": traced_seconds,
+        "traced_overhead_pct": (
+            100.0 * (traced_seconds - untraced_seconds)
+            / untraced_seconds
+            if untraced_seconds > 0
+            else 0.0
+        ),
+        "spans_per_request": spans_per_request,
+        "enabled_span_nanoseconds": span_seconds * 1e9,
+        "projected_serving_overhead_pct": projected_pct,
+        "identical": identical,
+        "traces_written": sink_stats["traces_written"],
+    }
+
+
 def _render(record: Dict[str, object]) -> List[str]:
     return [
         f"documents:                {record['documents']}",
@@ -252,7 +359,28 @@ def _render(record: Dict[str, object]) -> List[str]:
     ]
 
 
-def check(record: Dict[str, object]) -> List[str]:
+def _render_serving(record: Dict[str, object]) -> List[str]:
+    return [
+        f"serving requests:         {record['requests']}",
+        f"untraced serving seconds: {record['untraced_seconds']:.3f}",
+        f"traced serving seconds:   {record['traced_seconds']:.3f} "
+        f"({record['traced_overhead_pct']:+.1f}%)",
+        f"spans per request:        {record['spans_per_request']:.1f} "
+        f"({record['traces_written']} traces spooled)",
+        f"enabled span cost:        "
+        f"{record['enabled_span_nanoseconds']:.0f} ns",
+        f"projected serving ovh:    "
+        f"{record['projected_serving_overhead_pct']:.4f}% "
+        f"(gate {MAX_SERVING_OVERHEAD_PCT}%)",
+        f"bit-identical:            "
+        f"{'yes' if record['identical'] else 'NO'}",
+    ]
+
+
+def check(
+    record: Dict[str, object],
+    serving: Optional[Dict[str, object]] = None,
+) -> List[str]:
     """The ``--check`` gate; returns a list of failure messages."""
     failures = []
     if not record["identical"]:
@@ -268,6 +396,21 @@ def check(record: Dict[str, object]) -> List[str]:
             f"{record['projected_disabled_overhead_pct']:.3f}% exceeds "
             f"{MAX_DISABLED_OVERHEAD_PCT}%"
         )
+    if serving is not None:
+        if not serving["identical"]:
+            failures.append(
+                "traced and untraced serving runs produced different "
+                "assignments"
+            )
+        if (
+            serving["projected_serving_overhead_pct"]
+            > MAX_SERVING_OVERHEAD_PCT
+        ):
+            failures.append(
+                "projected serving-telemetry overhead "
+                f"{serving['projected_serving_overhead_pct']:.3f}% "
+                f"exceeds {MAX_SERVING_OVERHEAD_PCT}%"
+            )
     return failures
 
 
@@ -311,10 +454,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--out", default="BENCH_obs.json", help="JSON output path"
     )
     parser.add_argument(
+        "--serving-docs", type=int, default=DEFAULT_SERVING_DOCS,
+        help="documents of the serving-telemetry section (0 skips it)",
+    )
+    parser.add_argument(
         "--check", action="store_true",
-        help="exit non-zero unless traced ≡ untraced, the trace file is "
-        "schema-valid with all six stages, and the projected disabled "
-        f"overhead is ≤{MAX_DISABLED_OVERHEAD_PCT}%%",
+        help="exit non-zero unless traced ≡ untraced (pipeline and "
+        "serving), the trace file is schema-valid with all six stages, "
+        "and the projected disabled/serving overheads are "
+        f"≤{MAX_DISABLED_OVERHEAD_PCT}%%",
     )
     args = parser.parse_args(argv)
     documents = _documents(args.limit or None)
@@ -323,14 +471,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     for line in _render(record):
         print(line)
+    serving = None
+    if args.serving_docs > 0:
+        serving = run_serving_benchmark(documents[: args.serving_docs])
+        print()
+        for line in _render_serving(serving):
+            print(line)
     payload = {
         "benchmark": "obs_overhead",
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
         "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "0.5"),
         "max_disabled_overhead_pct": MAX_DISABLED_OVERHEAD_PCT,
+        "max_serving_overhead_pct": MAX_SERVING_OVERHEAD_PCT,
         **{k: v for k, v in record.items() if k != "trace_path"},
     }
+    if serving is not None:
+        payload["serving"] = serving
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -338,7 +495,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace_out is None:
         os.unlink(record["trace_path"])
     if args.check:
-        failures = check(record)
+        failures = check(record, serving)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:

@@ -39,6 +39,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -231,7 +232,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads of the per-batch runner",
     )
     serve.add_argument(
+        "--executor", choices=("serial", "thread", "process"),
+        default="thread",
+        help="batch executor; 'process' rebuilds the pipeline in each "
+        "worker and routes the admitted rung through trace-context "
+        "baggage",
+    )
+    serve.add_argument(
         "--variant", choices=sorted(AIDA_VARIANTS), default="full"
+    )
+    serve.add_argument(
+        "--trace-export", metavar="FILE",
+        help="spool sampled span trees to this JSONL file (one span per "
+        "line, grouped by trace_id; feed it to 'repro obs report')",
+    )
+    serve.add_argument(
+        "--trace-sample-rate", type=float, default=1.0, metavar="RATE",
+        help="head-sampling rate in [0, 1] for healthy traces; "
+        "SLO-breaching and erroring requests are always exported",
+    )
+    serve.add_argument(
+        "--slo-objective", type=float, default=0.99, metavar="FRAC",
+        help="good-request fraction the error budget is computed "
+        "against (burn rate > 1 means the budget is being spent faster "
+        "than it accrues)",
     )
     serve.add_argument(
         "--stdin", action="store_true",
@@ -242,6 +266,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_relatedness_argument(serve)
     _add_obs_arguments(serve)
     _add_robustness_arguments(serve)
+
+    obs = subparsers.add_parser(
+        "obs",
+        help="telemetry analysis tools (trace reports)",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report",
+        help="aggregate exported trace files into a per-stage "
+        "critical-path latency breakdown",
+    )
+    report.add_argument(
+        "traces", nargs="+", metavar="FILE",
+        help="span JSONL files (from 'serve --trace-export' or "
+        "'--trace-out file.jsonl')",
+    )
+    report.add_argument(
+        "--slo-ms", type=float, default=None, metavar="MS",
+        help="also count traces whose root span exceeds this budget",
+    )
 
     return parser
 
@@ -725,16 +769,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
     obs = _ObsSession(args)
     chaos = _InjectorSession(args)
     # The /metrics endpoint and the shed counters need a live registry
-    # even without --metrics-out.
+    # even without --metrics-out, and --trace-export needs a live tracer
+    # even without --trace-out.
     own_metrics = None
     if not get_metrics().enabled:
         own_metrics = set_metrics(MetricsRegistry())
+    own_tracer = None
+    if args.trace_export and not get_tracer().enabled:
+        own_tracer = set_tracer(Tracer())
     try:
         kb = load_knowledge_base(args.kb)
         config = AIDA_VARIANTS[args.variant]()
         config.use_compiled = args.compiled
         config.relatedness_backend = args.relatedness
         pipeline = AidaDisambiguator(kb, config=config)
+        factory = None
+        if args.executor == "process":
+            lsh = _lsh_measure(pipeline.relatedness)
+            factory = _PipelineFactory(
+                args.kb,
+                args.variant,
+                use_compiled=args.compiled,
+                relatedness_backend=args.relatedness,
+                sketches=(
+                    lsh.export_sketches() if lsh is not None else None
+                ),
+            )
         server = DisambiguationServer(
             pipeline,
             ServingConfig(
@@ -745,9 +805,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 batch_max_docs=args.batch_max_docs,
                 batch_window_ms=args.batch_window_ms,
                 workers=args.workers,
+                executor=args.executor,
+                trace_sample_rate=args.trace_sample_rate,
+                trace_export=args.trace_export,
+                slo_objective=args.slo_objective,
             ),
             kb=kb,
             robustness=_serving_robustness(args),
+            pipeline_factory=factory,
         )
         runner = _serve_stdin(server) if args.stdin else _serve_forever(
             server
@@ -760,8 +825,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if own_metrics is not None:
             set_metrics(own_metrics)
+        if own_tracer is not None:
+            set_tracer(own_tracer)
         chaos.finish()
         obs.finish()
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Handle ``obs``: telemetry analysis subcommands."""
+    from repro.obs.report import build_report, load_spans, render_report
+
+    if args.obs_command == "report":
+        try:
+            spans = load_spans(args.traces)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if not spans:
+            print("no spans found", file=sys.stderr)
+            return 1
+        report = build_report(spans, slo_ms=args.slo_ms)
+        try:
+            print(render_report(report))
+        except BrokenPipeError:
+            # Downstream consumer (e.g. ``| head``) closed the pipe.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    raise SystemExit(f"unknown obs subcommand {args.obs_command!r}")
 
 
 _COMMANDS = {
@@ -772,6 +862,7 @@ _COMMANDS = {
     "corpus": cmd_corpus,
     "evaluate": cmd_evaluate,
     "serve": cmd_serve,
+    "obs": cmd_obs,
 }
 
 

@@ -56,10 +56,14 @@ from repro.errors import ReproError, classify_error, describe_error
 from repro.faults.injector import get_injector
 from repro.obs import (
     MetricsRegistry,
+    TraceContext,
+    Tracer,
     get_metrics,
     get_tracer,
     log_event,
     set_metrics,
+    set_tracer,
+    use_context,
 )
 from repro.types import DisambiguationResult, Document
 from repro.utils.timing import PipelineStats
@@ -116,6 +120,8 @@ class DocumentFailure:
     :mod:`repro.errors` (``transient`` / ``permanent`` / ``deadline``);
     ``attempts`` counts pipeline attempts the document consumed before
     failing (> 1 when a robustness layer retried or degraded).
+    ``request_id`` joins the failure to the originating serving request's
+    trace (empty outside the serving path).
     """
 
     index: int
@@ -124,10 +130,15 @@ class DocumentFailure:
     traceback: str = ""
     kind: str = "permanent"
     attempts: int = 1
+    request_id: str = ""
 
     @classmethod
     def from_exception(
-        cls, index: int, doc_id: str, exc: Exception
+        cls,
+        index: int,
+        doc_id: str,
+        exc: Exception,
+        request_id: str = "",
     ) -> "DocumentFailure":
         """Build a failure record routed through the error taxonomy.
 
@@ -142,6 +153,7 @@ class DocumentFailure:
             traceback=traceback.format_exc(),
             kind=classify_error(exc),
             attempts=int(getattr(exc, "robust_attempts", 1)),
+            request_id=request_id,
         )
 
 
@@ -213,40 +225,73 @@ class BatchOutcome:
 _process_pipeline: Optional[object] = None
 
 
-def _process_init(factory: PipelineFactory, metrics_enabled: bool) -> None:
+def _process_init(
+    factory: PipelineFactory,
+    metrics_enabled: bool,
+    tracing_enabled: bool = False,
+) -> None:
     global _process_pipeline
     if metrics_enabled:
         # Give the child its own registry (robust under both fork and
         # spawn); each task drains it and ships the delta back for the
         # parent to merge.
         set_metrics(MetricsRegistry())
+    if tracing_enabled:
+        # Child-side spans mint ids in a pid-offset range so absorbed
+        # records never collide with parent-side span ids.
+        import os
+
+        set_tracer(Tracer(span_id_base=(os.getpid() & 0xFFFF) << 32))
     _process_pipeline = factory()
 
 
-def _process_task(index: int, document: Document):
+def _process_task(
+    index: int,
+    document: Document,
+    context: Optional[TraceContext] = None,
+):
     """Runs in the worker process; never raises across the pickle wall.
 
     Returns ``(index, result, failure, obs_delta)`` — the fourth element
-    is this task's drained metrics snapshot (``None`` while metrics are
-    disabled), merged into the parent registry on arrival.
+    bundles this task's drained metrics snapshot and exported span dicts
+    (``None`` while both are disabled); the parent merges the metrics and
+    absorbs the spans on arrival.
+
+    *context* (when given) is activated for the duration of the task, so
+    worker-side spans carry the originating request's trace/request ids
+    and the worker's top-level span re-parents onto the request span.
 
     Isolation catches ``Exception`` only and routes it through the error
     taxonomy (:func:`repro.errors.classify_error`); ``KeyboardInterrupt``
     and ``SystemExit`` propagate and tear the task down.
     """
     try:
-        injector = get_injector()
-        if injector.enabled:
-            injector.fire("worker")
-        result = _process_pipeline.disambiguate(document)
-        failure = None
+        with use_context(context):
+            injector = get_injector()
+            if injector.enabled:
+                injector.fire("worker")
+            result = _process_pipeline.disambiguate(document)
+            failure = None
     except Exception as exc:
         result = None
         failure = DocumentFailure.from_exception(
-            index, document.doc_id, exc
+            index,
+            document.doc_id,
+            exc,
+            request_id=context.request_id if context else "",
         )
     metrics = get_metrics()
-    obs_delta = metrics.drain() if metrics.enabled else None
+    tracer = get_tracer()
+    obs_delta = None
+    if metrics.enabled or tracer.enabled:
+        spans = []
+        if tracer.enabled:
+            spans = [record.as_dict() for record in tracer.records()]
+            tracer.clear()
+        obs_delta = {
+            "metrics": metrics.drain() if metrics.enabled else None,
+            "spans": spans,
+        }
     return index, result, failure, obs_delta
 
 
@@ -295,30 +340,55 @@ class BatchRunner:
             self._thread_local.pipeline = pipeline
         return pipeline
 
-    def _run_one(self, index: int, document: Document):
-        # Thread workers share the process-wide metrics registry, so the
-        # fourth (obs delta) slot is always None here.  Isolation catches
-        # ``Exception`` only, routed through the error taxonomy —
-        # ``KeyboardInterrupt``/``SystemExit`` propagate out of the run.
+    def _run_one(
+        self,
+        index: int,
+        document: Document,
+        context: Optional[TraceContext] = None,
+    ):
+        # Thread workers share the process-wide metrics registry and
+        # tracer, so the fourth (obs delta) slot is always None here.
+        # Isolation catches ``Exception`` only, routed through the error
+        # taxonomy — ``KeyboardInterrupt``/``SystemExit`` propagate out
+        # of the run.
         try:
-            injector = get_injector()
-            if injector.enabled:
-                injector.fire("worker")
-            result = self._worker_pipeline().disambiguate(document)
+            with use_context(context):
+                injector = get_injector()
+                if injector.enabled:
+                    injector.fire("worker")
+                result = self._worker_pipeline().disambiguate(document)
             return index, result, None, None
         except Exception as exc:
             failure = DocumentFailure.from_exception(
-                index, document.doc_id, exc
+                index,
+                document.doc_id,
+                exc,
+                request_id=context.request_id if context else "",
             )
             return index, None, failure, None
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self, documents: Sequence[Document]) -> BatchOutcome:
-        """Disambiguate every document; results in input order."""
+    def run(
+        self,
+        documents: Sequence[Document],
+        contexts: Optional[Sequence[Optional[TraceContext]]] = None,
+    ) -> BatchOutcome:
+        """Disambiguate every document; results in input order.
+
+        *contexts*, when given, aligns with *documents*: each document
+        runs under its own request :class:`TraceContext` (the serving
+        path's per-request trace ids crossing the executor boundary).
+        """
+        if contexts is not None and len(contexts) != len(documents):
+            raise BatchError("contexts must align with documents")
         start = time.perf_counter()
         outcome = BatchOutcome(results=[None] * len(documents))
+
+        def context_for(index: int) -> Optional[TraceContext]:
+            return contexts[index] if contexts is not None else None
+
         with get_tracer().span(
             "batch.run",
             category="batch",
@@ -328,7 +398,7 @@ class BatchRunner:
         ):
             if documents:
                 if self.config.effective_workers <= 1:
-                    self._run_serial(documents, outcome)
+                    self._run_serial(documents, outcome, context_for)
                 elif self.config.executor == "process":
                     self._run_pool(
                         documents,
@@ -339,10 +409,11 @@ class BatchRunner:
                             initargs=(
                                 self._factory,
                                 get_metrics().enabled,
+                                get_tracer().enabled,
                             ),
                         ),
                         submit=lambda pool, index, doc: pool.submit(
-                            _process_task, index, doc
+                            _process_task, index, doc, context_for(index)
                         ),
                     )
                 else:
@@ -353,7 +424,7 @@ class BatchRunner:
                             max_workers=self.config.workers
                         ),
                         submit=lambda pool, index, doc: pool.submit(
-                            self._run_one, index, doc
+                            self._run_one, index, doc, context_for(index)
                         ),
                     )
         outcome.failures.sort(key=lambda failure: failure.index)
@@ -403,10 +474,15 @@ class BatchRunner:
     # Execution strategies
     # ------------------------------------------------------------------
     def _run_serial(
-        self, documents: Sequence[Document], outcome: BatchOutcome
+        self,
+        documents: Sequence[Document],
+        outcome: BatchOutcome,
+        context_for,
     ) -> None:
         for index, document in enumerate(documents):
-            _, result, failure, _obs = self._run_one(index, document)
+            _, result, failure, _obs = self._run_one(
+                index, document, context_for(index)
+            )
             if failure is not None:
                 outcome.failures.append(failure)
             else:
@@ -442,8 +518,12 @@ class BatchRunner:
                 for future in done:
                     index, result, failure, obs_delta = future.result()
                     if obs_delta:
-                        # A process worker's drained registry snapshot.
-                        metrics.merge(obs_delta)
+                        # A process worker's drained registry snapshot
+                        # plus its exported span dicts.
+                        if obs_delta.get("metrics"):
+                            metrics.merge(obs_delta["metrics"])
+                        if obs_delta.get("spans"):
+                            get_tracer().absorb(obs_delta["spans"])
                     if failure is not None:
                         outcome.failures.append(failure)
                     else:

@@ -38,7 +38,7 @@ from typing import List, Optional, Tuple
 from repro.errors import ConfigurationError, classify_error
 from repro.faults.deadline import Budget, budget_scope
 from repro.faults.retry import RetryPolicy, call_with_retry
-from repro.obs import get_metrics, log_event
+from repro.obs import get_metrics, get_tracer, log_event
 
 _LOG = logging.getLogger("repro.robust")
 
@@ -211,14 +211,19 @@ class ResilientDisambiguator:
         robustness = self.robustness
 
         def run():
-            with budget_scope(
-                Budget(robustness.deadline_ms)
-                if robustness.deadline_ms is not None
-                else None
+            with get_tracer().span(
+                f"rung.{rung}",
+                category="robust",
+                doc_id=getattr(document, "doc_id", ""),
             ):
-                return self.pipeline_for(rung).disambiguate(
-                    document, **kwargs
-                )
+                with budget_scope(
+                    Budget(robustness.deadline_ms)
+                    if robustness.deadline_ms is not None
+                    else None
+                ):
+                    return self.pipeline_for(rung).disambiguate(
+                        document, **kwargs
+                    )
 
         return run
 

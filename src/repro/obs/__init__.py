@@ -18,10 +18,27 @@ in (gated by ``benchmarks/bench_obs_overhead.py``):
   hierarchy with one ``configure_logging(level, json=False)`` entry
   point and key=value / JSON-line event records via ``log_event``.
 
+The serving telemetry plane builds on these: request-scoped
+:class:`TraceContext` propagation across thread/process executors
+(:mod:`repro.obs.context`), time-windowed rates and rolling quantiles
+(:mod:`repro.obs.window`), Prometheus text exposition
+(:mod:`repro.obs.prometheus`), SLO/error-budget accounting
+(:mod:`repro.obs.slo`) and trace-file latency breakdowns
+(:mod:`repro.obs.report`).
+
 See ``docs/observability.md`` for the span taxonomy and metric naming
 convention.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    TraceSink,
+    current_context,
+    new_request_id,
+    new_trace_id,
+    set_context,
+    use_context,
+)
 from repro.obs.logging import (
     JsonFormatter,
     KeyValueFormatter,
@@ -41,7 +58,11 @@ from repro.obs.metrics import (
     get_metrics,
     set_metrics,
 )
+from repro.obs.prometheus import render as render_prometheus
+from repro.obs.prometheus import validate_exposition
+from repro.obs.slo import SloTracker
 from repro.obs.tracing import (
+    DEFAULT_MAX_SPANS,
     NULL_TRACER,
     NullTracer,
     SpanRecord,
@@ -49,10 +70,12 @@ from repro.obs.tracing import (
     get_tracer,
     set_tracer,
 )
+from repro.obs.window import WindowedCounter, WindowedHistogram
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_SPANS",
     "Gauge",
     "Histogram",
     "JsonFormatter",
@@ -62,14 +85,26 @@ __all__ = [
     "NULL_TRACER",
     "NullMetricsRegistry",
     "NullTracer",
+    "SloTracker",
     "SpanRecord",
+    "TraceContext",
+    "TraceSink",
     "Tracer",
+    "WindowedCounter",
+    "WindowedHistogram",
     "configure_logging",
+    "current_context",
     "get_logger",
     "get_metrics",
     "get_tracer",
     "log_event",
+    "new_request_id",
+    "new_trace_id",
     "parse_level",
+    "render_prometheus",
+    "set_context",
     "set_metrics",
     "set_tracer",
+    "use_context",
+    "validate_exposition",
 ]

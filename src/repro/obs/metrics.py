@@ -243,6 +243,8 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._windowed_counters: Dict[str, object] = {}
+        self._windowed_histograms: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Metric accessors (create on first use)
@@ -275,6 +277,38 @@ class MetricsRegistry:
                 )
         return metric
 
+    def windowed_counter(self, name: str, **kwargs):
+        """The windowed (rolling-rate) counter *name*, created on first
+        use; kwargs (``window_seconds``, ``window_buckets``, ``clock``)
+        only apply at creation."""
+        metric = self._windowed_counters.get(name)
+        if metric is None:
+            from repro.obs.window import WindowedCounter
+
+            with self._lock:
+                metric = self._windowed_counters.setdefault(
+                    name, WindowedCounter(name, **kwargs)
+                )
+        return metric
+
+    def windowed_histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **kwargs,
+    ):
+        """The windowed (rolling-quantile) histogram *name*, created on
+        first use; kwargs only apply at creation."""
+        metric = self._windowed_histograms.get(name)
+        if metric is None:
+            from repro.obs.window import WindowedHistogram
+
+            with self._lock:
+                metric = self._windowed_histograms.setdefault(
+                    name, WindowedHistogram(name, buckets, **kwargs)
+                )
+        return metric
+
     # ------------------------------------------------------------------
     # Snapshots and merging
     # ------------------------------------------------------------------
@@ -284,10 +318,22 @@ class MetricsRegistry:
             counters = list(self._counters.values())
             gauges = list(self._gauges.values())
             histograms = list(self._histograms.values())
+            windowed_counters = list(self._windowed_counters.values())
+            windowed_histograms = list(
+                self._windowed_histograms.values()
+            )
         return {
             "counters": {c.name: c.value for c in counters},
             "gauges": {g.name: g.value for g in gauges},
             "histograms": {h.name: h.snapshot() for h in histograms},
+            "windows": {
+                "counters": {
+                    w.name: w.snapshot() for w in windowed_counters
+                },
+                "histograms": {
+                    w.name: w.snapshot() for w in windowed_histograms
+                },
+            },
         }
 
     def as_dict(self) -> Dict[str, Dict[str, object]]:
@@ -301,6 +347,8 @@ class MetricsRegistry:
                 list(self._counters.values())
                 + list(self._gauges.values())
                 + list(self._histograms.values())
+                + list(self._windowed_counters.values())
+                + list(self._windowed_histograms.values())
             )
         for metric in metrics:
             metric._reset()
@@ -346,6 +394,20 @@ class MetricsRegistry:
                 histogram._sum += snap["sum"]
                 histogram._min = min(histogram._min, snap["min"])
                 histogram._max = max(histogram._max, snap["max"])
+        windows = snapshot.get("windows", {})
+        for name, snap in windows.get("counters", {}).items():
+            self.windowed_counter(
+                name,
+                window_seconds=snap["window_seconds"],
+                window_buckets=snap["window_buckets"],
+            ).merge(snap)
+        for name, snap in windows.get("histograms", {}).items():
+            self.windowed_histogram(
+                name,
+                buckets=snap.get("bounds") or None,
+                window_seconds=snap["window_seconds"],
+                window_buckets=snap["window_buckets"],
+            ).merge(snap)
 
 
 class _NullMetric:
@@ -356,6 +418,7 @@ class _NullMetric:
     value = 0
     count = 0
     sum = 0.0
+    total = 0.0
     bounds: Tuple[float, ...] = ()
 
     def inc(self, amount: float = 1) -> None:
@@ -372,6 +435,12 @@ class _NullMetric:
 
     def quantile(self, q: float) -> float:
         return 0.0
+
+    def rate(self) -> float:
+        return 0.0
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        pass
 
     def snapshot(self) -> Dict[str, object]:
         return {}
@@ -396,8 +465,24 @@ class NullMetricsRegistry:
     ) -> _NullMetric:
         return _NULL_METRIC
 
+    def windowed_counter(self, name: str, **kwargs) -> _NullMetric:
+        return _NULL_METRIC
+
+    def windowed_histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **kwargs,
+    ) -> _NullMetric:
+        return _NULL_METRIC
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        return {"counters": {}, "gauges": {}, "histograms": {}}
+        return {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "windows": {"counters": {}, "histograms": {}},
+        }
 
     def as_dict(self) -> Dict[str, Dict[str, object]]:
         return self.snapshot()

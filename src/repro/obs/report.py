@@ -1,0 +1,212 @@
+"""Trace-file analysis: per-stage critical-path latency breakdown.
+
+``repro obs report trace.jsonl`` answers the operator's question "where
+did the time go?" from the JSONL span trees the serving tail sampler
+spools (or any ``Tracer.export_jsonl`` file):
+
+* spans are grouped into traces by ``trace_id`` (spans without one fall
+  into a single anonymous trace, so plain batch trace files work too);
+* each trace becomes a span tree via ``parent_id``;
+* a span's **self time** is its duration minus the time covered by its
+  children (overlapping children — parallel executor fan-out — are
+  union-merged first, so concurrent children are not double-counted);
+* self time aggregates per span name into the breakdown table, ranked
+  by total, with each stage's share of summed request wall time.
+
+The module is pure analysis — no tracer state — so it can digest trace
+files from another host.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["load_spans", "group_traces", "build_report", "render_report"]
+
+
+def load_spans(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """Read span dicts from JSONL trace files (blank lines skipped)."""
+    spans: List[Dict[str, Any]] = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except ValueError as error:
+                    raise ValueError(
+                        f"{path}:{line_no}: not a JSON span: {error}"
+                    ) from None
+                if isinstance(row, dict) and "name" in row:
+                    spans.append(row)
+    return spans
+
+
+def group_traces(
+    spans: Iterable[Dict[str, Any]]
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Spans bucketed by ``trace_id`` (missing id → one shared bucket)."""
+    traces: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        traces.setdefault(span.get("trace_id") or "", []).append(span)
+    return traces
+
+
+def _merged_cover(intervals: List[Tuple[float, float]]) -> float:
+    """Total length covered by the union of (start, end) intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    covered = 0.0
+    cursor_start, cursor_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cursor_end:
+            covered += cursor_end - cursor_start
+            cursor_start, cursor_end = start, end
+        else:
+            cursor_end = max(cursor_end, end)
+    covered += cursor_end - cursor_start
+    return covered
+
+
+def _self_times(
+    trace: List[Dict[str, Any]]
+) -> List[Tuple[Dict[str, Any], float]]:
+    """(span, self_seconds) for each span of one trace."""
+    children: Dict[Any, List[Dict[str, Any]]] = {}
+    ids = {span.get("span_id") for span in trace}
+    for span in trace:
+        parent = span.get("parent_id")
+        if parent in ids:
+            children.setdefault(parent, []).append(span)
+    out: List[Tuple[Dict[str, Any], float]] = []
+    for span in trace:
+        duration = float(span.get("duration", 0.0))
+        kids = children.get(span.get("span_id"), [])
+        intervals = []
+        start = float(span.get("wall_start", 0.0))
+        end = start + duration
+        for kid in kids:
+            kid_start = float(kid.get("wall_start", 0.0))
+            kid_end = kid_start + float(kid.get("duration", 0.0))
+            # Clamp to the parent window; a child that reports outside
+            # it (clock skew across processes) cannot subtract more
+            # time than the parent actually spans.
+            clipped = (max(kid_start, start), min(kid_end, end))
+            if clipped[1] > clipped[0]:
+                intervals.append(clipped)
+        out.append((span, max(0.0, duration - _merged_cover(intervals))))
+    return out
+
+
+def _roots(trace: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    ids = {span.get("span_id") for span in trace}
+    return [
+        span for span in trace if span.get("parent_id") not in ids
+    ]
+
+
+def build_report(
+    spans: Iterable[Dict[str, Any]],
+    slo_ms: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Aggregate spans into the per-stage breakdown structure.
+
+    Returns ``{"traces", "spans", "total_ms", "slow_traces", "stages"}``
+    where ``stages`` is a list of rows sorted by total self time::
+
+        {"name", "count", "total_ms", "mean_ms", "max_ms", "share"}
+
+    ``share`` is the stage's fraction of summed root-span wall time —
+    the per-stage critical-path breakdown (self times of one trace sum
+    to at most its root's duration when the tree is well-formed).
+    """
+    traces = group_traces(spans)
+    stage: Dict[str, Dict[str, float]] = {}
+    span_count = 0
+    total_request_seconds = 0.0
+    slow_traces = 0
+    trace_durations: List[float] = []
+
+    for trace in traces.values():
+        span_count += len(trace)
+        roots = _roots(trace)
+        trace_seconds = sum(
+            float(root.get("duration", 0.0)) for root in roots
+        )
+        total_request_seconds += trace_seconds
+        trace_durations.append(trace_seconds)
+        if slo_ms is not None and trace_seconds * 1000.0 > slo_ms:
+            slow_traces += 1
+        for span, self_seconds in _self_times(trace):
+            row = stage.setdefault(
+                span["name"],
+                {"count": 0.0, "total": 0.0, "max": 0.0},
+            )
+            row["count"] += 1
+            row["total"] += self_seconds
+            row["max"] = max(row["max"], self_seconds)
+
+    rows = []
+    for name, row in stage.items():
+        total_ms = row["total"] * 1000.0
+        rows.append(
+            {
+                "name": name,
+                "count": int(row["count"]),
+                "total_ms": total_ms,
+                "mean_ms": total_ms / row["count"] if row["count"] else 0.0,
+                "max_ms": row["max"] * 1000.0,
+                "share": (
+                    row["total"] / total_request_seconds
+                    if total_request_seconds > 0
+                    else 0.0
+                ),
+            }
+        )
+    rows.sort(key=lambda r: r["total_ms"], reverse=True)
+
+    return {
+        "traces": len(traces),
+        "spans": span_count,
+        "total_ms": total_request_seconds * 1000.0,
+        "slow_traces": slow_traces if slo_ms is not None else None,
+        "slo_ms": slo_ms,
+        "stages": rows,
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """The breakdown as a fixed-width table for terminal output."""
+    lines = []
+    header = (
+        f"traces: {report['traces']}  spans: {report['spans']}  "
+        f"request time: {report['total_ms']:.1f} ms"
+    )
+    if report.get("slo_ms") is not None:
+        header += (
+            f"  slo: {report['slo_ms']:.0f} ms"
+            f"  breaching: {report['slow_traces']}"
+        )
+    lines.append(header)
+    lines.append("")
+    name_width = max(
+        [len("stage")] + [len(r["name"]) for r in report["stages"]]
+    )
+    lines.append(
+        f"{'stage':<{name_width}}  {'count':>7}  {'total ms':>10}  "
+        f"{'mean ms':>9}  {'max ms':>9}  {'share':>6}"
+    )
+    lines.append(
+        "-" * (name_width + 2 + 7 + 2 + 10 + 2 + 9 + 2 + 9 + 2 + 6)
+    )
+    for row in report["stages"]:
+        lines.append(
+            f"{row['name']:<{name_width}}  {row['count']:>7}  "
+            f"{row['total_ms']:>10.2f}  {row['mean_ms']:>9.3f}  "
+            f"{row['max_ms']:>9.3f}  {row['share']:>5.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""SLO accounting: good/bad requests, error budget, rolling burn rate.
+
+One :class:`SloTracker` watches the serving path's latency objective
+("99% of requests complete within ``slo_ms``").  Every finished request
+is recorded as *good* (no error, latency within the SLO) or *bad*;
+the tracker keeps both cumulative totals (for the error budget) and a
+rolling window (for the burn rate an alert would page on).
+
+Burn rate follows the SRE-workbook convention: the windowed bad-request
+fraction divided by the error budget (``1 - objective``).  A burn rate
+of 1.0 means the service is spending budget exactly as fast as the
+objective allows; 14.4 is the classic "page now" threshold for a
+99.9% objective over one hour.
+
+The tracker also answers the tail-sampling question: a request whose
+latency breaches the SLO (or that errored) is the kind whose full span
+tree is worth keeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+from repro.obs.window import (
+    DEFAULT_WINDOW_BUCKETS,
+    DEFAULT_WINDOW_SECONDS,
+    WindowedCounter,
+)
+
+__all__ = ["SloTracker"]
+
+
+class SloTracker:
+    """Good/bad request accounting against a latency objective."""
+
+    def __init__(
+        self,
+        slo_ms: float,
+        objective: float = 0.99,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        window_buckets: int = DEFAULT_WINDOW_BUCKETS,
+        clock: Callable[[], float] = time.time,
+    ):
+        if slo_ms <= 0:
+            raise ValueError("slo_ms must be > 0")
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        self.slo_ms = float(slo_ms)
+        self.objective = float(objective)
+        self.error_budget = 1.0 - self.objective
+        self._lock = threading.Lock()
+        self._good_total = 0
+        self._bad_total = 0
+        self._windowed_good = WindowedCounter(
+            "slo.good", window_seconds, window_buckets, clock
+        )
+        self._windowed_bad = WindowedCounter(
+            "slo.bad", window_seconds, window_buckets, clock
+        )
+
+    def record(self, latency_ms: float, error: bool = False) -> bool:
+        """Account one finished request; returns True when it was good."""
+        good = not error and latency_ms <= self.slo_ms
+        with self._lock:
+            if good:
+                self._good_total += 1
+            else:
+                self._bad_total += 1
+        (self._windowed_good if good else self._windowed_bad).inc()
+        return good
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """All requests recorded since construction."""
+        with self._lock:
+            return self._good_total + self._bad_total
+
+    @property
+    def bad_total(self) -> int:
+        """Bad requests recorded since construction."""
+        with self._lock:
+            return self._bad_total
+
+    def compliance(self) -> float:
+        """Cumulative good fraction (1.0 before any traffic)."""
+        with self._lock:
+            total = self._good_total + self._bad_total
+            if total == 0:
+                return 1.0
+            return self._good_total / total
+
+    def burn_rate(self) -> float:
+        """Windowed budget burn: bad fraction / error budget.
+
+        0.0 with no traffic in the window; 1.0 means budget spends at
+        exactly the sustainable rate; >1 means the budget runs out
+        before the objective period does.
+        """
+        good = self._windowed_good.total
+        bad = self._windowed_bad.total
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / self.error_budget
+
+    def budget_remaining(self) -> float:
+        """Fraction of the cumulative error budget still unspent.
+
+        1.0 with a clean ledger, 0.0 once bad requests have consumed
+        ``(1 - objective)`` of all traffic (floored at 0).
+        """
+        with self._lock:
+            total = self._good_total + self._bad_total
+            bad = self._bad_total
+        if total == 0:
+            return 1.0
+        allowed = self.error_budget * total
+        if allowed <= 0:
+            return 0.0
+        return max(0.0, 1.0 - bad / allowed)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """The ``/stats`` view: objective, totals, burn, budget."""
+        with self._lock:
+            good = self._good_total
+            bad = self._bad_total
+        return {
+            "slo_ms": self.slo_ms,
+            "objective": self.objective,
+            "good_total": good,
+            "bad_total": bad,
+            "compliance": self.compliance(),
+            "burn_rate": self.burn_rate(),
+            "budget_remaining": self.budget_remaining(),
+            "window_good": self._windowed_good.total,
+            "window_bad": self._windowed_bad.total,
+        }
+
+    def publish(self, metrics) -> None:
+        """Refresh the ``serving.slo.*`` gauges on *metrics*."""
+        metrics.gauge("serving.slo.objective").set(self.objective)
+        metrics.gauge("serving.slo.compliance").set(self.compliance())
+        metrics.gauge("serving.slo.burn_rate").set(self.burn_rate())
+        metrics.gauge("serving.slo.budget_remaining").set(
+            self.budget_remaining()
+        )
+        metrics.gauge("serving.slo.window_bad").set(
+            self._windowed_bad.total
+        )

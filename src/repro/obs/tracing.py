@@ -27,6 +27,7 @@ disabled-path overhead at ≤2% of pipeline run-time.
 
 from __future__ import annotations
 
+import collections
 import functools
 import itertools
 import json
@@ -34,7 +35,13 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
+
+from repro.obs.context import current_context
+
+#: Default span-retention cap: a long-running ``serve`` process keeps at
+#: most this many finished spans in memory (oldest evicted first).
+DEFAULT_MAX_SPANS = 65_536
 
 
 @dataclass
@@ -58,10 +65,12 @@ class SpanRecord:
     exit_seq: int
     wall_start: float
     args: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    request_id: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-friendly view (the JSONL exporter's line payload)."""
-        return {
+        payload = {
             "name": self.name,
             "category": self.category,
             "start": self.start,
@@ -73,6 +82,11 @@ class SpanRecord:
             "wall_start": self.wall_start,
             "args": dict(self.args),
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
 
 
 class _SpanContext:
@@ -109,18 +123,42 @@ class _SpanContext:
 
 
 class Tracer:
-    """Collects hierarchical spans with per-thread span stacks."""
+    """Collects hierarchical spans with per-thread span stacks.
+
+    Retention is bounded: once ``max_spans`` finished spans are held,
+    the oldest is evicted per append (counted in :attr:`dropped_spans`
+    and the ``obs.tracer.dropped_spans`` counter when metrics are on).
+
+    ``span_id_base`` offsets the span-id sequence so tracers living in
+    different worker *processes* mint ids in disjoint ranges — absorbed
+    worker spans then never collide with parent-side ids and the
+    parent/child links inside a request's tree stay unambiguous.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        span_id_base: int = 0,
+    ) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
         self._lock = threading.Lock()
-        self._records: List[SpanRecord] = []
+        self._records: Deque[SpanRecord] = collections.deque()
         self._local = threading.local()
-        self._ids = itertools.count(1)
+        self._ids = itertools.count(span_id_base + 1)
         self._seq = itertools.count(1)
         self._epoch = time.perf_counter()
         self._wall_epoch = time.time()
+        self.max_spans = int(max_spans)
+        self.span_id_base = int(span_id_base)
+        self.dropped_spans = 0
+        # Tail-sampling support: spans grouped per trace, plus the set
+        # of record identities already handed out via take/discard (kept
+        # lazily in the deque, compacted once they dominate it).
+        self._trace_index: Dict[str, List[SpanRecord]] = {}
+        self._detached: set = set()
 
     # ------------------------------------------------------------------
     # Span creation
@@ -164,6 +202,21 @@ class Tracer:
             stack = []
             self._local.stack = stack
         parent = stack[-1] if stack else None
+        parent_id = parent.span_id if parent is not None else None
+        context = current_context()
+        trace_id = request_id = None
+        if context is not None:
+            trace_id = context.trace_id
+            request_id = context.request_id
+            # The trace's first span on this thread — no local parent,
+            # or a local parent belonging to no/another trace (an
+            # infrastructure span like ``batch.run``) — re-parents onto
+            # the originating request span so the tree connects across
+            # executor hops.
+            if context.parent_span_id is not None and (
+                parent is None or parent.trace_id != trace_id
+            ):
+                parent_id = context.parent_span_id
         now = time.perf_counter()
         record = SpanRecord(
             name=name,
@@ -172,12 +225,14 @@ class Tracer:
             duration=0.0,
             tid=threading.get_ident(),
             span_id=next(self._ids),
-            parent_id=parent.span_id if parent is not None else None,
+            parent_id=parent_id,
             depth=len(stack),
             enter_seq=next(self._seq),
             exit_seq=0,
             wall_start=self._wall_epoch + (now - self._epoch),
             args=dict(args) if args else {},
+            trace_id=trace_id,
+            request_id=request_id,
         )
         stack.append(record)
         return record
@@ -198,20 +253,187 @@ class Tracer:
         elif stack and record in stack:  # unbalanced exit — be forgiving
             stack.remove(record)
         with self._lock:
-            self._records.append(record)
+            self._append_locked(record)
+
+    def _append_locked(self, record: SpanRecord) -> None:
+        if len(self._records) - len(self._detached) >= self.max_spans:
+            self._evict_oldest_locked()
+        self._records.append(record)
+        if record.trace_id is not None:
+            self._trace_index.setdefault(record.trace_id, []).append(
+                record
+            )
+
+    def _evict_oldest_locked(self) -> None:
+        while self._records:
+            oldest = self._records.popleft()
+            key = id(oldest)
+            if key in self._detached:
+                self._detached.discard(key)
+                continue
+            self.dropped_spans += 1
+            if oldest.trace_id is not None:
+                siblings = self._trace_index.get(oldest.trace_id)
+                if siblings is not None:
+                    try:
+                        siblings.remove(oldest)
+                    except ValueError:
+                        pass
+                    if not siblings:
+                        del self._trace_index[oldest.trace_id]
+            from repro.obs.metrics import get_metrics
+
+            get_metrics().counter("obs.tracer.dropped_spans").inc()
+            return
+
+    # ------------------------------------------------------------------
+    # Manual spans and cross-process fan-in
+    # ------------------------------------------------------------------
+    def allocate_span_id(self) -> int:
+        """Reserve a span id without opening a span.
+
+        The serving front door allocates the request root span's id
+        eagerly so downstream executors can re-parent onto it *before*
+        the root span itself is closed and recorded.
+        """
+        return next(self._ids)
+
+    def record_span(
+        self,
+        name: str,
+        category: str = "",
+        *,
+        wall_start: float,
+        duration: float,
+        span_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        trace_id: Optional[str] = None,
+        request_id: Optional[str] = None,
+        depth: int = 0,
+        **args: Any,
+    ) -> SpanRecord:
+        """Record an already-timed span from wall-clock endpoints.
+
+        Used for regions timed on clocks other than the tracer's
+        ``perf_counter`` epoch — e.g. queue-wait measured on the asyncio
+        loop — and for the eagerly-allocated request root span.
+        """
+        enter = next(self._seq)
+        record = SpanRecord(
+            name=name,
+            category=category,
+            start=wall_start - self._wall_epoch,
+            duration=max(duration, 1e-9),
+            tid=threading.get_ident(),
+            span_id=span_id if span_id is not None else next(self._ids),
+            parent_id=parent_id,
+            depth=depth,
+            enter_seq=enter,
+            exit_seq=next(self._seq),
+            wall_start=wall_start,
+            args=dict(args) if args else {},
+            trace_id=trace_id,
+            request_id=request_id,
+        )
+        with self._lock:
+            self._append_locked(record)
+        return record
+
+    def absorb(self, span_dicts: Iterable[Dict[str, Any]]) -> int:
+        """Fold worker-process span dicts into this tracer.
+
+        The worker exported ``as_dict()`` payloads (its own epoch is
+        meaningless here, so ``start`` is recomputed from ``wall_start``
+        against this tracer's epoch); span/parent ids are kept verbatim —
+        the per-process ``span_id_base`` ranges keep them collision-free.
+        Returns the number of spans absorbed.
+        """
+        rows = sorted(span_dicts, key=lambda row: row.get("wall_start", 0.0))
+        absorbed = 0
+        with self._lock:
+            for row in rows:
+                enter = next(self._seq)
+                record = SpanRecord(
+                    name=row["name"],
+                    category=row.get("category", ""),
+                    start=row["wall_start"] - self._wall_epoch,
+                    duration=row["duration"],
+                    tid=row.get("tid", 0),
+                    span_id=row["span_id"],
+                    parent_id=row.get("parent_id"),
+                    depth=row.get("depth", 0),
+                    enter_seq=enter,
+                    exit_seq=next(self._seq),
+                    wall_start=row["wall_start"],
+                    args=dict(row.get("args", {})),
+                    trace_id=row.get("trace_id"),
+                    request_id=row.get("request_id"),
+                )
+                self._append_locked(record)
+                absorbed += 1
+        return absorbed
+
+    # ------------------------------------------------------------------
+    # Tail sampling: per-trace retrieval
+    # ------------------------------------------------------------------
+    def take_trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Detach and return one trace's spans as export-ready dicts.
+
+        The spans leave the retention buffer (the tail sampler either
+        spools them or drops them — either way the tracer is done with
+        them), so a serving process that takes or discards every
+        finished request holds no per-request span memory long-term.
+        """
+        with self._lock:
+            records = self._trace_index.pop(trace_id, [])
+            for record in records:
+                self._detached.add(id(record))
+            self._maybe_compact_locked()
+        records.sort(key=lambda r: (r.wall_start, r.enter_seq))
+        return [record.as_dict() for record in records]
+
+    def discard_trace(self, trace_id: str) -> int:
+        """Drop one trace's spans; returns how many were dropped."""
+        with self._lock:
+            records = self._trace_index.pop(trace_id, [])
+            for record in records:
+                self._detached.add(id(record))
+            self._maybe_compact_locked()
+        return len(records)
+
+    def _maybe_compact_locked(self) -> None:
+        # Amortised: rebuild the deque only once detached spans dominate.
+        if len(self._detached) < 256:
+            return
+        if len(self._detached) * 2 < len(self._records):
+            return
+        self._records = collections.deque(
+            record
+            for record in self._records
+            if id(record) not in self._detached
+        )
+        self._detached.clear()
 
     # ------------------------------------------------------------------
     # Introspection / export
     # ------------------------------------------------------------------
     def records(self) -> List[SpanRecord]:
-        """A snapshot of every finished span so far."""
+        """A snapshot of every finished span still retained."""
         with self._lock:
-            return list(self._records)
+            if not self._detached:
+                return list(self._records)
+            return [
+                record
+                for record in self._records
+                if id(record) not in self._detached
+            ]
 
     def clear(self) -> None:
         """Drop all finished spans."""
         with self._lock:
             self._records.clear()
+            self._trace_index.clear()
+            self._detached.clear()
 
     def export_jsonl(self, path: str) -> int:
         """Write one JSON object per finished span; returns span count."""
@@ -296,6 +518,9 @@ class NullTracer:
     """API-compatible tracer that records nothing and allocates nothing."""
 
     enabled = False
+    dropped_spans = 0
+    max_spans = 0
+    span_id_base = 0
 
     def span(
         self, name: str, category: str = "", **args: Any
@@ -312,6 +537,21 @@ class NullTracer:
 
     def current_span(self) -> None:
         return None
+
+    def allocate_span_id(self) -> int:
+        return 0
+
+    def record_span(self, name: str, category: str = "", **kwargs: Any) -> None:
+        return None
+
+    def absorb(self, span_dicts: Iterable[Dict[str, Any]]) -> int:
+        return 0
+
+    def take_trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        return []
+
+    def discard_trace(self, trace_id: str) -> int:
+        return 0
 
     def records(self) -> List[SpanRecord]:
         return []

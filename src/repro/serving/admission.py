@@ -199,12 +199,15 @@ class AdmissionController:
         if rung == REJECT:
             if metrics.enabled:
                 metrics.counter("serving.rejected").inc()
+                metrics.windowed_counter("serving.rejected").inc()
             raise AdmissionRejected(depth, self.max_queue)
         if metrics.enabled:
             metrics.counter("serving.admitted").inc()
             metrics.counter(f"serving.admitted.{rung}").inc()
+            metrics.windowed_counter("serving.admitted").inc()
             if rung != "full":
                 metrics.counter("serving.shed").inc()
+                metrics.windowed_counter("serving.shed").inc()
             metrics.gauge("serving.queue_depth").set(self.depth)
         return rung
 
@@ -222,10 +225,18 @@ class AdmissionController:
         metrics = get_metrics()
         if metrics.enabled:
             metrics.gauge("serving.queue_depth").set(self.depth)
+            # The exact p99 the shed policy acts on, refreshed on every
+            # completion so a scrape sees what admission sees.
+            metrics.gauge("serving.latency.p99_ms").set(
+                self.latencies.p99()
+            )
             if latency_ms is not None:
                 metrics.histogram("serving.request.seconds").observe(
                     latency_ms / 1000.0
                 )
+                metrics.windowed_histogram(
+                    "serving.request.seconds"
+                ).observe(latency_ms / 1000.0)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -9,15 +9,15 @@ CLI ``serve`` command maps its flags onto this config one-to-one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 
-#: Executors the serving batch path supports.  Process pools are excluded:
-#: the rung router keys per-document rungs by object identity, which does
-#: not survive the pickle wall (and a long-lived server wants to share one
-#: warm pipeline anyway).
-SERVING_EXECUTORS: Tuple[str, ...] = ("serial", "thread")
+#: Executors the serving batch path supports.  Process pools route the
+#: admitted rung through :class:`~repro.obs.TraceContext` baggage (object
+#: identity does not survive the pickle wall), so they require a picklable
+#: ``pipeline_factory`` on the server.
+SERVING_EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,22 @@ class ServingConfig:
     shed_latency_ratios: Tuple[float, float] = (1.0, 2.0)
     #: Sliding-window size of the latency estimator feeding the policy.
     latency_window: int = 128
+    #: Head-sampling rate for healthy traces (1.0 keeps every trace;
+    #: SLO-breaching and erroring requests are always kept — tail
+    #: sampling is unconditional).
+    trace_sample_rate: float = 1.0
+    #: JSONL path full span trees are spooled to (``None`` disables the
+    #: trace sink; spans are still recorded, then discarded on completion).
+    trace_export: Optional[str] = None
+    #: Trace-count bound of the JSONL spool.
+    trace_export_max_traces: int = 10_000
+    #: SLO objective: the good-request fraction the error budget is
+    #: computed against (0.99 = "99% of requests good").
+    slo_objective: float = 0.99
+    #: Rolling window geometry for windowed serving metrics and the SLO
+    #: burn rate.
+    metrics_window_seconds: float = 60.0
+    metrics_window_buckets: int = 12
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -83,3 +99,23 @@ class ServingConfig:
             )
         if self.latency_window < 1:
             raise ConfigurationError("latency_window must be >= 1")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigurationError(
+                "trace_sample_rate must be in [0, 1]"
+            )
+        if self.trace_export_max_traces < 1:
+            raise ConfigurationError(
+                "trace_export_max_traces must be >= 1"
+            )
+        if not 0.0 < self.slo_objective < 1.0:
+            raise ConfigurationError(
+                "slo_objective must be in (0, 1)"
+            )
+        if self.metrics_window_seconds <= 0:
+            raise ConfigurationError(
+                "metrics_window_seconds must be > 0"
+            )
+        if self.metrics_window_buckets < 1:
+            raise ConfigurationError(
+                "metrics_window_buckets must be >= 1"
+            )

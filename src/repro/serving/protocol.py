@@ -84,6 +84,8 @@ def response_to_dict(
     result: DisambiguationResult,
     admitted_rung: str,
     latency_ms: Optional[float] = None,
+    request_id: Optional[str] = None,
+    trace_id: Optional[str] = None,
 ) -> Dict:
     """The JSON-serializable response for one disambiguated document."""
     payload: Dict = {
@@ -104,6 +106,10 @@ def response_to_dict(
     }
     if latency_ms is not None:
         payload["latency_ms"] = latency_ms
+    if request_id is not None:
+        payload["request_id"] = request_id
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
     return payload
 
 

@@ -27,15 +27,29 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
 from repro.core.batch import BatchConfig, BatchOutcome, BatchRunner
-from repro.errors import ReproError, describe_error
-from repro.faults.resilient import RobustnessConfig, make_resilient
+from repro.errors import ConfigurationError, ReproError, describe_error
+from repro.faults.resilient import (
+    ResilientFactory,
+    RobustnessConfig,
+    make_resilient,
+)
 from repro.ner.recognizer import NamedEntityRecognizer
-from repro.obs import get_metrics, log_event
+from repro.obs import (
+    SloTracker,
+    TraceContext,
+    TraceSink,
+    current_context,
+    get_metrics,
+    get_tracer,
+    log_event,
+    render_prometheus,
+)
 from repro.serving.admission import (
     AdmissionController,
     AdmissionRejected,
@@ -71,11 +85,19 @@ class ServingFailure(ReproError):
     attempts it consumed.
     """
 
-    def __init__(self, doc_id: str, error: str, kind: str, attempts: int):
+    def __init__(
+        self,
+        doc_id: str,
+        error: str,
+        kind: str,
+        attempts: int,
+        request_id: str = "",
+    ):
         super().__init__(f"{doc_id}: [{kind}] {error}")
         self.doc_id = doc_id
         self.kind = kind
         self.attempts = attempts
+        self.request_id = request_id
 
 
 @dataclass
@@ -86,6 +108,10 @@ class ServingRequest:
     rung: str
     future: "asyncio.Future[DisambiguationResult]"
     enqueued: float
+    #: The request's trace context (rung baggage, trace/request ids).
+    context: Optional[TraceContext] = None
+    #: ``time.time()`` at enqueue — the queue-wait span's wall start.
+    wall_enqueued: float = 0.0
 
 
 @dataclass
@@ -95,30 +121,40 @@ class ServingResponse:
     result: DisambiguationResult
     admitted_rung: str
     latency_ms: float
+    request_id: str = ""
+    trace_id: str = ""
 
     def to_dict(self) -> Dict:
         """The wire payload of this response."""
         return response_to_dict(
-            self.result, self.admitted_rung, self.latency_ms
+            self.result,
+            self.admitted_rung,
+            self.latency_ms,
+            request_id=self.request_id or None,
+            trace_id=self.trace_id or None,
         )
 
 
-class _RungRouter:
-    """Per-batch pipeline adapter: each document at its admitted rung.
+class _BaggageRungPipeline:
+    """Pipeline adapter routing each document to its admitted rung.
 
-    Routing keys on object identity — the batch holds the document
-    references for the duration of the run, and doc_ids need not be
-    unique across concurrent requests.
+    The rung rides in the active :class:`TraceContext`'s baggage — the
+    one per-request channel that survives both thread *and* process
+    executor boundaries (object identity does not survive pickling).
     """
 
-    def __init__(self, pipeline, rungs: Dict[int, str]):
+    def __init__(self, pipeline):
         self._pipeline = pipeline
-        self._rungs = rungs
         #: Whether the wrapped pipeline understands ladder slicing.
         self._sliceable = hasattr(pipeline, "ladder")
 
     def disambiguate(self, document: Document, **kwargs):
-        rung = self._rungs.get(id(document), "full")
+        context = current_context()
+        rung = (
+            context.baggage.get("rung", "full")
+            if context is not None
+            else "full"
+        )
         if self._sliceable:
             return self._pipeline.disambiguate(
                 document, start_rung=rung, **kwargs
@@ -129,6 +165,21 @@ class _RungRouter:
         return getattr(self._pipeline, name)
 
 
+class _BaggageRungFactory:
+    """Picklable factory composing rung routing onto a worker pipeline.
+
+    Process-pool workers build ``_BaggageRungPipeline(factory())`` once
+    in the pool initializer; per-task rungs then arrive via context
+    baggage like in the thread path.
+    """
+
+    def __init__(self, factory):
+        self.factory = factory
+
+    def __call__(self):
+        return _BaggageRungPipeline(self.factory())
+
+
 class DisambiguationServer:
     """Admission-controlled, micro-batching disambiguation service.
 
@@ -137,23 +188,47 @@ class DisambiguationServer:
     attribute) it is wrapped in one so the shed ladder and per-attempt
     deadline exist — ``robustness`` overrides the default wrap
     (``degrade=True, deadline_ms=config.slo_ms``).
+
+    ``executor="process"`` additionally needs a *picklable*
+    ``pipeline_factory``: worker processes build their own resilient
+    pipeline, and per-request rungs plus trace ids cross the pickle wall
+    in :class:`TraceContext` baggage.  ``pipeline`` may then be omitted —
+    the factory builds the local introspection instance.
     """
 
     def __init__(
         self,
-        pipeline,
+        pipeline=None,
         config: Optional[ServingConfig] = None,
         kb=None,
         robustness: Optional[RobustnessConfig] = None,
+        pipeline_factory=None,
     ):
         self.config = config if config is not None else ServingConfig()
-        if not hasattr(pipeline, "ladder"):
-            if robustness is None:
-                robustness = RobustnessConfig(
-                    degrade=True, deadline_ms=self.config.slo_ms
+        if pipeline is None:
+            if pipeline_factory is None:
+                raise ConfigurationError(
+                    "DisambiguationServer needs a pipeline or a "
+                    "pipeline_factory"
                 )
+            pipeline = pipeline_factory()
+        if robustness is None:
+            robustness = RobustnessConfig(
+                degrade=True, deadline_ms=self.config.slo_ms
+            )
+        if not hasattr(pipeline, "ladder"):
             pipeline = make_resilient(pipeline, robustness)
         self.pipeline = pipeline
+        self._process_factory = None
+        if self.config.executor == "process":
+            if pipeline_factory is None:
+                raise ConfigurationError(
+                    "executor='process' requires a picklable "
+                    "pipeline_factory"
+                )
+            self._process_factory = _BaggageRungFactory(
+                ResilientFactory(pipeline_factory, robustness)
+            )
         self.kb = kb if kb is not None else getattr(pipeline, "kb", None)
         self.recognizer = (
             NamedEntityRecognizer(self.kb.dictionary)
@@ -169,11 +244,41 @@ class DisambiguationServer:
             ),
             latency_window=self.config.latency_window,
         )
+        self.slo = SloTracker(
+            slo_ms=self.config.slo_ms,
+            objective=self.config.slo_objective,
+            window_seconds=self.config.metrics_window_seconds,
+            window_buckets=self.config.metrics_window_buckets,
+        )
+        self._trace_sink: Optional[TraceSink] = None
+        self._sample_accum = 1.0  # first request is always head-sampled
         self._batcher: Optional[MicroBatcher] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._started = False
         self.port: Optional[int] = None
+        self._fix_window_geometry()
+
+    def _fix_window_geometry(self) -> None:
+        """Pre-create windowed serving metrics so their ring geometry
+        follows this config (created-on-first-use kwargs would otherwise
+        pin registry defaults)."""
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        geometry = {
+            "window_seconds": self.config.metrics_window_seconds,
+            "window_buckets": self.config.metrics_window_buckets,
+        }
+        for name in (
+            "serving.admitted",
+            "serving.shed",
+            "serving.rejected",
+            "serving.responses",
+            "serving.failures",
+        ):
+            metrics.windowed_counter(name, **geometry)
+        metrics.windowed_histogram("serving.request.seconds", **geometry)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -185,6 +290,11 @@ class DisambiguationServer:
         if self._started:
             raise ReproError("server already started")
         self._started = True
+        if self.config.trace_export is not None:
+            self._trace_sink = TraceSink(
+                self.config.trace_export,
+                max_traces=self.config.trace_export_max_traces,
+            )
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="serving-batch"
         )
@@ -219,6 +329,8 @@ class DisambiguationServer:
             await self._batcher.close()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._trace_sink is not None:
+            self._trace_sink.close()
         self._started = False
 
     async def __aenter__(self) -> "DisambiguationServer":
@@ -238,44 +350,177 @@ class DisambiguationServer:
     # ------------------------------------------------------------------
     # The submit path (shared by HTTP, JSONL, and tests)
     # ------------------------------------------------------------------
-    async def submit(self, document: Document) -> ServingResponse:
+    def _mint_context(self) -> TraceContext:
+        """A fresh request context with the deterministic head-sampling
+        verdict (an exact ``trace_sample_rate`` fraction of requests,
+        no RNG, so loopback tests are reproducible)."""
+        rate = self.config.trace_sample_rate
+        sampled = False
+        if rate > 0.0:
+            self._sample_accum += rate
+            if self._sample_accum >= 1.0 - 1e-9:
+                self._sample_accum -= 1.0
+                sampled = True
+        return TraceContext.new(sampled=sampled)
+
+    def _finish_request(
+        self,
+        context: TraceContext,
+        root_span_id: Optional[int],
+        wall_started: float,
+        latency_ms: Optional[float] = None,
+        error: bool = False,
+        rung: str = "",
+        doc_id: str = "",
+    ) -> None:
+        """Close out one request: SLO ledger, root span, tail sampling."""
+        now = time.time()
+        if latency_ms is None:
+            latency_ms = (now - wall_started) * 1000.0
+        good = self.slo.record(latency_ms, error=error)
+        metrics = get_metrics()
+        if metrics.enabled:
+            self.slo.publish(metrics)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        tracer.record_span(
+            "request",
+            category="serving",
+            wall_start=wall_started,
+            duration=now - wall_started,
+            span_id=root_span_id,
+            trace_id=context.trace_id,
+            request_id=context.request_id,
+            doc_id=doc_id,
+            rung=rung,
+            error=error,
+            slo_good=good,
+        )
+        # Tail sampling: SLO-breaching and erroring requests always keep
+        # their full span tree; healthy ones only when head-sampled.
+        spans = tracer.take_trace(context.trace_id)
+        if (context.sampled or not good) and self._trace_sink is not None:
+            self._trace_sink.export(spans)
+
+    async def submit(
+        self,
+        document: Document,
+        context: Optional[TraceContext] = None,
+    ) -> ServingResponse:
         """Admit, batch, execute, and await one document.
 
         Raises :class:`AdmissionRejected` at the queue bound and
-        :class:`ServingFailure` when every rung failed.
+        :class:`ServingFailure` when every rung failed; both carry the
+        minted ``request_id`` for client-side log joining.
         """
         metrics = get_metrics()
+        tracer = get_tracer()
+        if context is None:
+            context = self._mint_context()
         if metrics.enabled:
             metrics.counter("serving.requests").inc()
-        rung = self.admission.admit()
         loop = asyncio.get_running_loop()
         started = loop.time()
+        wall_started = time.time()
+        root_span_id = (
+            tracer.allocate_span_id() if tracer.enabled else None
+        )
+        admit_wall = time.time()
+        try:
+            rung = self.admission.admit()
+        except AdmissionRejected as exc:
+            exc.request_id = context.request_id
+            exc.trace_id = context.trace_id
+            self._finish_request(
+                context,
+                root_span_id,
+                wall_started,
+                error=True,
+                rung="reject",
+                doc_id=document.doc_id,
+            )
+            raise
+        if tracer.enabled:
+            tracer.record_span(
+                "admission",
+                category="serving",
+                wall_start=admit_wall,
+                duration=time.time() - admit_wall,
+                parent_id=root_span_id,
+                trace_id=context.trace_id,
+                request_id=context.request_id,
+                rung=rung,
+            )
+        context = context.with_parent(root_span_id).with_baggage(
+            rung=rung
+        )
         future: "asyncio.Future[DisambiguationResult]" = (
             loop.create_future()
         )
         request = ServingRequest(
-            document=document, rung=rung, future=future, enqueued=started
+            document=document,
+            rung=rung,
+            future=future,
+            enqueued=started,
+            context=context,
+            wall_enqueued=time.time(),
         )
         try:
             await self.batcher.put(request)
         except BaseException:
             # The slot was charged but the request never entered a batch.
             self.admission.complete()
+            self._finish_request(
+                context,
+                root_span_id,
+                wall_started,
+                error=True,
+                rung=rung,
+                doc_id=document.doc_id,
+            )
             raise
         try:
             result = await future
-        except Exception:
+        except Exception as exc:
             if metrics.enabled:
                 metrics.counter("serving.failures").inc()
+                metrics.windowed_counter("serving.failures").inc()
+            if not getattr(exc, "request_id", ""):
+                exc.request_id = context.request_id
+            exc.trace_id = context.trace_id
+            self._finish_request(
+                context,
+                root_span_id,
+                wall_started,
+                latency_ms=(loop.time() - started) * 1000.0,
+                error=True,
+                rung=rung,
+                doc_id=document.doc_id,
+            )
             raise
         latency_ms = (loop.time() - started) * 1000.0
         if metrics.enabled:
             metrics.counter("serving.responses").inc()
+            metrics.windowed_counter("serving.responses").inc()
             metrics.counter(
                 f"serving.rung.{result.degradation_rung}"
             ).inc()
+        self._finish_request(
+            context,
+            root_span_id,
+            wall_started,
+            latency_ms=latency_ms,
+            error=False,
+            rung=result.degradation_rung,
+            doc_id=document.doc_id,
+        )
         return ServingResponse(
-            result=result, admitted_rung=rung, latency_ms=latency_ms
+            result=result,
+            admitted_rung=rung,
+            latency_ms=latency_ms,
+            request_id=context.request_id,
+            trace_id=context.trace_id,
         )
 
     async def process(
@@ -300,21 +545,25 @@ class DisambiguationServer:
     def _execute(self, batch: List[ServingRequest]) -> BatchOutcome:
         """Runs on the dedicated executor thread."""
         documents = [request.document for request in batch]
-        router = _RungRouter(
-            self.pipeline,
-            {id(request.document): request.rung for request in batch},
+        contexts = [request.context for request in batch]
+        config = BatchConfig(
+            workers=min(self.config.workers, len(documents)),
+            executor=self.config.executor,
         )
-        runner = BatchRunner(
-            pipeline=router,
-            config=BatchConfig(
-                workers=min(self.config.workers, len(documents)),
-                executor=self.config.executor,
-            ),
-        )
-        return runner.run(documents)
+        if self.config.executor == "process":
+            runner = BatchRunner(
+                pipeline_factory=self._process_factory, config=config
+            )
+        else:
+            runner = BatchRunner(
+                pipeline=_BaggageRungPipeline(self.pipeline),
+                config=config,
+            )
+        return runner.run(documents, contexts=contexts)
 
     async def _flush(self, batch: List[ServingRequest]) -> None:
         loop = asyncio.get_running_loop()
+        batch_start_wall = time.time()
         try:
             outcome = await loop.run_in_executor(
                 self._executor, self._execute, batch
@@ -329,12 +578,40 @@ class DisambiguationServer:
                     (loop.time() - request.enqueued) * 1000.0
                 )
             return
+        batch_wall = time.time() - batch_start_wall
+        tracer = get_tracer()
         failures = {
             failure.index: failure for failure in outcome.failures
         }
         for index, request in enumerate(batch):
             latency_ms = (loop.time() - request.enqueued) * 1000.0
             result = outcome.results[index]
+            if tracer.enabled and request.context is not None:
+                # Recorded before resolving the future, so the spans are
+                # in the buffer when submit() takes the trace.
+                context = request.context
+                tracer.record_span(
+                    "queue.wait",
+                    category="serving",
+                    wall_start=request.wall_enqueued,
+                    duration=max(
+                        batch_start_wall - request.wall_enqueued, 0.0
+                    ),
+                    parent_id=context.parent_span_id,
+                    trace_id=context.trace_id,
+                    request_id=context.request_id,
+                )
+                tracer.record_span(
+                    "batch.exec",
+                    category="serving",
+                    wall_start=batch_start_wall,
+                    duration=batch_wall,
+                    parent_id=context.parent_span_id,
+                    trace_id=context.trace_id,
+                    request_id=context.request_id,
+                    batch_size=len(batch),
+                    executor=self.config.executor,
+                )
             if not request.future.done():
                 if result is not None:
                     request.future.set_result(result)
@@ -346,6 +623,7 @@ class DisambiguationServer:
                             error=failure.error,
                             kind=failure.kind,
                             attempts=failure.attempts,
+                            request_id=failure.request_id,
                         )
                     )
             self.admission.complete(latency_ms)
@@ -411,13 +689,18 @@ class DisambiguationServer:
     def _write_response(
         writer: asyncio.StreamWriter,
         status: int,
-        payload: Dict,
+        payload: Union[Dict, str],
         headers: Dict[str, str],
     ) -> None:
-        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         head = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(data)}",
             "Connection: close",
         ]
@@ -428,7 +711,8 @@ class DisambiguationServer:
 
     async def _route(
         self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict]:
+    ) -> Tuple[int, Union[Dict, str]]:
+        path, _, query = path.partition("?")
         if path == "/healthz" and method == "GET":
             return 200, {
                 "status": "ok",
@@ -436,9 +720,23 @@ class DisambiguationServer:
                 "max_queue": self.admission.max_queue,
             }
         if path == "/stats" and method == "GET":
-            return 200, self.admission.stats()
+            stats = self.admission.stats()
+            stats["slo"] = self.slo.snapshot()
+            tracer = get_tracer()
+            telemetry: Dict[str, object] = {
+                "tracing": tracer.enabled,
+                "dropped_spans": getattr(tracer, "dropped_spans", 0),
+            }
+            if self._trace_sink is not None:
+                telemetry["trace_sink"] = self._trace_sink.stats()
+            stats["telemetry"] = telemetry
+            return 200, stats
         if path == "/metrics" and method == "GET":
             metrics = get_metrics()
+            if "format=prometheus" in query:
+                if not metrics.enabled:
+                    return 200, ""
+                return 200, render_prometheus(metrics.snapshot())
             if not metrics.enabled:
                 return 200, {"enabled": False}
             snapshot = metrics.snapshot()
@@ -451,19 +749,26 @@ class DisambiguationServer:
         return 404, {"error": f"unknown path {path}"}
 
     async def _handle_disambiguate(self, body: bytes) -> Tuple[int, Dict]:
+        # Minted before parsing so even a 400 carries a request_id the
+        # client can quote back.
+        context = self._mint_context()
+        request_id = context.request_id
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            return 400, error_to_dict(exc)
+            return 400, error_to_dict(exc, request_id=request_id)
         try:
             document = document_from_payload(payload, self.recognizer)
         except ProtocolError as exc:
-            return 400, error_to_dict(exc)
+            return 400, error_to_dict(exc, request_id=request_id)
         try:
-            response = await self.submit(document)
+            response = await self.submit(document, context=context)
         except AdmissionRejected as exc:
             return 429, error_to_dict(
-                exc, queue_depth=exc.depth, max_queue=exc.max_queue
+                exc,
+                queue_depth=exc.depth,
+                max_queue=exc.max_queue,
+                request_id=request_id,
             )
         except ServingFailure as exc:
             return 500, error_to_dict(
@@ -471,6 +776,7 @@ class DisambiguationServer:
                 doc_id=exc.doc_id,
                 kind=exc.kind,
                 attempts=exc.attempts,
+                request_id=exc.request_id or request_id,
             )
         return 200, response.to_dict()
 
@@ -494,15 +800,18 @@ class DisambiguationServer:
         served = 0
 
         async def one(line: str) -> Dict:
+            context = self._mint_context()
             try:
                 payload = json.loads(line)
                 document = document_from_payload(
                     payload, self.recognizer
                 )
-                response = await self.submit(document)
+                response = await self.submit(document, context=context)
                 return response.to_dict()
             except Exception as exc:
-                return error_to_dict(exc)
+                return error_to_dict(
+                    exc, request_id=context.request_id
+                )
             finally:
                 semaphore.release()
 
@@ -541,6 +850,7 @@ class DisambiguationServer:
             "port": self.port,
             "slo_ms": self.config.slo_ms,
             "admission": self.admission.stats(),
+            "slo": self.slo.snapshot(),
         }
         if self._batcher is not None:
             description["batcher"] = {

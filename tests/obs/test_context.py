@@ -1,0 +1,130 @@
+"""Unit tests for trace contexts and the JSONL trace sink."""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import (
+    TraceContext,
+    TraceSink,
+    current_context,
+    new_request_id,
+    new_trace_id,
+    set_context,
+    use_context,
+)
+
+
+class TestTraceContext:
+    def test_new_mints_distinct_ids(self):
+        a, b = TraceContext.new(), TraceContext.new()
+        assert a.trace_id != b.trace_id
+        assert a.request_id != b.request_id
+        assert a.request_id.startswith("req-")
+        assert len(a.trace_id) == 32
+
+    def test_id_helpers(self):
+        assert new_trace_id() != new_trace_id()
+        assert new_request_id().startswith("req-")
+
+    def test_with_parent_and_baggage_are_copy_on_write(self):
+        base = TraceContext.new()
+        child = base.with_parent(42).with_baggage(rung="prior_only")
+        assert child.parent_span_id == 42
+        assert child.baggage == {"rung": "prior_only"}
+        assert base.parent_span_id is None
+        assert base.baggage == {}
+        assert child.trace_id == base.trace_id
+
+    def test_dict_roundtrip(self):
+        context = TraceContext.new(sampled=False).with_parent(
+            7
+        ).with_baggage(rung="no_coherence")
+        clone = TraceContext.from_dict(
+            json.loads(json.dumps(context.to_dict()))
+        )
+        assert clone == context
+
+    def test_pickles_across_the_process_wall(self):
+        context = TraceContext.new().with_parent(3).with_baggage(k="v")
+        assert pickle.loads(pickle.dumps(context)) == context
+
+    def test_use_context_restores_previous(self):
+        outer = TraceContext.new()
+        inner = TraceContext.new()
+        assert current_context() is None
+        set_context(outer)
+        try:
+            with use_context(inner):
+                assert current_context() is inner
+                with use_context(None):
+                    assert current_context() is None
+                assert current_context() is inner
+            assert current_context() is outer
+        finally:
+            set_context(None)
+
+    def test_context_is_thread_local(self):
+        context = TraceContext.new()
+        seen = []
+
+        def worker():
+            seen.append(current_context())
+
+        with use_context(context):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestTraceSink:
+    def test_spools_traces_as_jsonl(self, tmp_path):
+        path = str(tmp_path / "traces.jsonl")
+        sink = TraceSink(path, max_traces=10)
+        assert sink.export(
+            [{"name": "a", "span_id": 1}, {"name": "b", "span_id": 2}]
+        )
+        sink.close()
+        rows = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8")
+            if line.strip()
+        ]
+        assert [row["name"] for row in rows] == ["a", "b"]
+        assert sink.stats() == {
+            "traces_written": 1,
+            "traces_dropped": 0,
+            "spans_written": 2,
+        }
+
+    def test_bound_drops_excess_traces(self, tmp_path):
+        sink = TraceSink(str(tmp_path / "t.jsonl"), max_traces=2)
+        assert sink.export([{"name": "one"}])
+        assert sink.export([{"name": "two"}])
+        assert not sink.export([{"name": "three"}])
+        stats = sink.stats()
+        assert stats["traces_written"] == 2
+        assert stats["traces_dropped"] == 1
+        sink.close()
+
+    def test_empty_trace_is_not_counted(self, tmp_path):
+        sink = TraceSink(str(tmp_path / "t.jsonl"))
+        assert not sink.export([])
+        assert sink.stats()["traces_written"] == 0
+        sink.close()
+
+    def test_close_is_idempotent_and_creates_directories(self, tmp_path):
+        sink = TraceSink(str(tmp_path / "deep" / "dir" / "t.jsonl"))
+        sink.export([{"name": "x"}])
+        sink.close()
+        sink.close()
+        assert (tmp_path / "deep" / "dir" / "t.jsonl").exists()
+
+    def test_max_traces_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceSink(str(tmp_path / "t.jsonl"), max_traces=0)

@@ -1,0 +1,148 @@
+"""Golden and validator tests for the Prometheus text exposition."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    MetricsRegistry,
+    render_prometheus,
+    validate_exposition,
+)
+
+#: A registry snapshot with one metric of every kind, built by hand so
+#: the golden below is stable (no wall clock, no quantile estimation).
+SNAPSHOT = {
+    "counters": {"serving.admitted": 3},
+    "gauges": {"serving.queue_depth": 2.5},
+    "histograms": {
+        "stage.seconds": {
+            "bounds": [0.1, 1.0],
+            "bucket_counts": [2, 1, 1],
+            "count": 4,
+            "sum": 3.2,
+        }
+    },
+    "windows": {
+        "counters": {
+            "serving.shed": {
+                "window_seconds": 60.0,
+                "rate": 0.05,
+                "total": 3.0,
+            }
+        },
+        "histograms": {
+            "serving.request.seconds": {
+                "window_seconds": 60.0,
+                "p50": 0.2,
+                "p90": 0.4,
+                "p99": 0.5,
+                "sum": 1.1,
+                "count": 5,
+            }
+        },
+    },
+}
+
+GOLDEN = [
+    "# HELP serving_admitted_total Cumulative count of serving.admitted.",
+    "# TYPE serving_admitted_total counter",
+    "serving_admitted_total 3",
+    "# HELP serving_queue_depth Current value of serving.queue_depth.",
+    "# TYPE serving_queue_depth gauge",
+    "serving_queue_depth 2.5",
+    "# HELP stage_seconds Distribution of stage.seconds.",
+    "# TYPE stage_seconds histogram",
+    'stage_seconds_bucket{le="0.1"} 2',
+    'stage_seconds_bucket{le="1.0"} 3',
+    'stage_seconds_bucket{le="+Inf"} 4',
+    "stage_seconds_sum 3.2",
+    "stage_seconds_count 4",
+    "# HELP serving_shed_rate Per-second rate of serving.shed over a "
+    "60s window.",
+    "# TYPE serving_shed_rate gauge",
+    "serving_shed_rate 0.05",
+    "# HELP serving_shed_window Events of serving.shed inside the window.",
+    "# TYPE serving_shed_window gauge",
+    "serving_shed_window 3",
+    "# HELP serving_request_seconds_window Rolling distribution of "
+    "serving.request.seconds over a 60s window.",
+    "# TYPE serving_request_seconds_window summary",
+    'serving_request_seconds_window{quantile="0.5"} 0.2',
+    'serving_request_seconds_window{quantile="0.9"} 0.4',
+    'serving_request_seconds_window{quantile="0.99"} 0.5',
+    "serving_request_seconds_window_sum 1.1",
+    "serving_request_seconds_window_count 5",
+]
+
+
+class TestRender:
+    def test_golden_line_by_line(self):
+        rendered = render_prometheus(SNAPSHOT).splitlines()
+        assert rendered == GOLDEN
+
+    def test_golden_output_validates(self):
+        assert validate_exposition(render_prometheus(SNAPSHOT)) == []
+
+    def test_live_registry_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(7)
+        registry.gauge("depth").set(1.5)
+        registry.histogram("latency.seconds").observe(0.02)
+        registry.windowed_counter("windowed.requests").inc()
+        registry.windowed_histogram("windowed.latency").observe(0.3)
+        text = render_prometheus(registry.snapshot())
+        assert validate_exposition(text) == []
+        assert "requests_total 7" in text
+        assert 'latency_seconds_bucket{le="+Inf"} 1' in text
+        assert 'windowed_latency_window{quantile="0.99"}' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+        assert validate_exposition("") == []
+
+    def test_illegal_characters_sanitized(self):
+        text = render_prometheus({"counters": {"a.b-c/d": 1}})
+        assert "a_b_c_d_total 1" in text
+        assert validate_exposition(text) == []
+
+
+class TestValidator:
+    def test_sample_without_type_is_flagged(self):
+        problems = validate_exposition("lonely_metric 1\n")
+        assert any("no preceding TYPE" in p for p in problems)
+
+    def test_non_cumulative_buckets_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1.0"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        problems = validate_exposition(text)
+        assert any("non-cumulative" in p for p in problems)
+
+    def test_unclosed_histogram_flagged(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        problems = validate_exposition(text)
+        assert any('+Inf' in p for p in problems)
+
+    def test_summary_without_quantile_flagged(self):
+        text = "# TYPE s summary\ns 0.5\n"
+        problems = validate_exposition(text)
+        assert any("quantile" in p for p in problems)
+
+    def test_non_numeric_value_flagged(self):
+        text = "# TYPE c counter\nc_total banana\n"
+        problems = validate_exposition(text)
+        assert any("non-numeric" in p for p in problems)
+
+    def test_malformed_labels_flagged(self):
+        text = '# TYPE g gauge\ng{oops} 1\n'
+        problems = validate_exposition(text)
+        assert any("label" in p for p in problems)

@@ -1,0 +1,139 @@
+"""Unit tests for the trace-report analysis (:mod:`repro.obs.report`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    build_report,
+    group_traces,
+    load_spans,
+    render_report,
+)
+
+
+def span(name, span_id, parent_id=None, start=0.0, duration=1.0,
+         trace_id="t1"):
+    return {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "wall_start": start,
+        "duration": duration,
+        "trace_id": trace_id,
+    }
+
+
+class TestLoading:
+    def test_load_spans_skips_blanks_and_non_spans(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"name": "a", "span_id": 1}) + "\n"
+            "\n"
+            + json.dumps({"not_a_span": True}) + "\n"
+            + json.dumps({"name": "b", "span_id": 2}) + "\n",
+            encoding="utf-8",
+        )
+        spans = load_spans([str(path)])
+        assert [row["name"] for row in spans] == ["a", "b"]
+
+    def test_load_spans_reports_bad_lines_with_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "ok"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            load_spans([str(path)])
+
+    def test_group_traces_buckets_missing_ids_together(self):
+        spans = [
+            span("a", 1, trace_id="t1"),
+            {"name": "anon", "span_id": 2},
+            {"name": "anon2", "span_id": 3},
+        ]
+        traces = group_traces(spans)
+        assert set(traces) == {"t1", ""}
+        assert len(traces[""]) == 2
+
+
+class TestSelfTime:
+    def test_children_subtract_from_parent_self_time(self):
+        spans = [
+            span("request", 1, start=0.0, duration=1.0),
+            span("stage_a", 2, parent_id=1, start=0.0, duration=0.3),
+            span("stage_b", 3, parent_id=1, start=0.5, duration=0.4),
+        ]
+        report = build_report(spans)
+        rows = {row["name"]: row for row in report["stages"]}
+        assert rows["request"]["total_ms"] == pytest.approx(300.0)
+        assert rows["stage_a"]["total_ms"] == pytest.approx(300.0)
+        assert rows["stage_b"]["total_ms"] == pytest.approx(400.0)
+        # Shares are fractions of root wall time and sum to 1 here.
+        assert sum(r["share"] for r in report["stages"]) == (
+            pytest.approx(1.0)
+        )
+
+    def test_overlapping_children_are_not_double_counted(self):
+        # Two parallel children covering [0, 0.8] between them.
+        spans = [
+            span("request", 1, start=0.0, duration=1.0),
+            span("worker", 2, parent_id=1, start=0.0, duration=0.6),
+            span("worker", 3, parent_id=1, start=0.4, duration=0.4),
+        ]
+        report = build_report(spans)
+        rows = {row["name"]: row for row in report["stages"]}
+        assert rows["request"]["total_ms"] == pytest.approx(200.0)
+        assert rows["worker"]["count"] == 2
+
+    def test_child_outside_parent_window_is_clamped(self):
+        spans = [
+            span("request", 1, start=0.0, duration=1.0),
+            span("skewed", 2, parent_id=1, start=0.9, duration=5.0),
+        ]
+        report = build_report(spans)
+        rows = {row["name"]: row for row in report["stages"]}
+        # The child can only subtract the 0.1s it overlaps the parent.
+        assert rows["request"]["total_ms"] == pytest.approx(900.0)
+
+
+class TestReportStructure:
+    def test_slow_trace_accounting(self):
+        spans = [
+            span("request", 1, duration=0.05, trace_id="fast"),
+            span("request", 2, duration=0.5, trace_id="slow"),
+        ]
+        report = build_report(spans, slo_ms=100.0)
+        assert report["traces"] == 2
+        assert report["slow_traces"] == 1
+        assert report["slo_ms"] == 100.0
+
+    def test_slow_traces_none_without_slo(self):
+        report = build_report([span("request", 1)])
+        assert report["slow_traces"] is None
+
+    def test_stages_sorted_by_total_self_time(self):
+        spans = [
+            span("small", 1, duration=0.1, trace_id="a"),
+            span("big", 2, duration=0.9, trace_id="b"),
+        ]
+        report = build_report(spans)
+        assert [row["name"] for row in report["stages"]] == (
+            ["big", "small"]
+        )
+
+    def test_render_is_a_fixed_width_table(self):
+        spans = [
+            span("request", 1, start=0.0, duration=1.0),
+            span("solve", 2, parent_id=1, start=0.2, duration=0.6),
+        ]
+        text = render_report(build_report(spans, slo_ms=500.0))
+        lines = text.splitlines()
+        assert lines[0].startswith("traces: 1  spans: 2")
+        assert "breaching: 1" in lines[0]
+        assert any(line.startswith("stage") for line in lines)
+        assert any("solve" in line for line in lines)
+
+    def test_empty_input(self):
+        report = build_report([])
+        assert report["traces"] == 0
+        assert report["stages"] == []

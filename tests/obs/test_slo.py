@@ -1,0 +1,107 @@
+"""Unit tests for the SLO tracker (:mod:`repro.obs.slo`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, SloTracker
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestAccounting:
+    def test_good_and_bad_classification(self):
+        tracker = SloTracker(slo_ms=100.0)
+        assert tracker.record(50.0) is True
+        assert tracker.record(100.0) is True  # at the SLO is good
+        assert tracker.record(150.0) is False  # breach
+        assert tracker.record(10.0, error=True) is False  # error is bad
+        assert tracker.total == 4
+        assert tracker.bad_total == 2
+        assert tracker.compliance() == pytest.approx(0.5)
+
+    def test_clean_ledger_defaults(self):
+        tracker = SloTracker(slo_ms=100.0)
+        assert tracker.compliance() == 1.0
+        assert tracker.burn_rate() == 0.0
+        assert tracker.budget_remaining() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloTracker(slo_ms=0.0)
+        with pytest.raises(ValueError):
+            SloTracker(slo_ms=100.0, objective=1.0)
+
+
+class TestBurnRate:
+    def test_burn_rate_of_one_is_sustainable_spend(self):
+        # 1 bad in 100 at a 99% objective: exactly the budget rate.
+        tracker = SloTracker(slo_ms=100.0, objective=0.99)
+        for _ in range(99):
+            tracker.record(10.0)
+        tracker.record(500.0)
+        assert tracker.burn_rate() == pytest.approx(1.0)
+
+    def test_burn_rate_uses_only_the_window(self):
+        clock = FakeClock()
+        tracker = SloTracker(
+            slo_ms=100.0,
+            objective=0.99,
+            window_seconds=60.0,
+            window_buckets=12,
+            clock=clock,
+        )
+        # An all-bad burst, then a healthy hour later.
+        for _ in range(10):
+            tracker.record(500.0)
+        assert tracker.burn_rate() == pytest.approx(1.0 / 0.01)
+        clock.advance(3600.0)
+        for _ in range(10):
+            tracker.record(10.0)
+        assert tracker.burn_rate() == 0.0
+        # The cumulative ledger still remembers the burst.
+        assert tracker.compliance() == pytest.approx(0.5)
+
+    def test_budget_remaining_floors_at_zero(self):
+        tracker = SloTracker(slo_ms=100.0, objective=0.99)
+        tracker.record(10.0)
+        for _ in range(9):
+            tracker.record(500.0)
+        assert tracker.budget_remaining() == 0.0
+
+
+class TestExport:
+    def test_snapshot_keys(self):
+        tracker = SloTracker(slo_ms=250.0, objective=0.95)
+        tracker.record(100.0)
+        tracker.record(300.0)
+        snap = tracker.snapshot()
+        assert snap["slo_ms"] == 250.0
+        assert snap["objective"] == 0.95
+        assert snap["good_total"] == 1
+        assert snap["bad_total"] == 1
+        assert snap["window_good"] == 1
+        assert snap["window_bad"] == 1
+        assert 0.0 <= snap["compliance"] <= 1.0
+        assert snap["burn_rate"] > 1.0
+
+    def test_publish_sets_gauges(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker(slo_ms=100.0, objective=0.99)
+        tracker.record(10.0)
+        tracker.record(500.0)
+        tracker.publish(registry)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["serving.slo.objective"] == pytest.approx(0.99)
+        assert gauges["serving.slo.compliance"] == pytest.approx(0.5)
+        assert gauges["serving.slo.burn_rate"] == pytest.approx(50.0)
+        assert gauges["serving.slo.window_bad"] == 1

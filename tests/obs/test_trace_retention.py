@@ -1,0 +1,157 @@
+"""Tracer retention, context stamping, and cross-process span fan-in."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_MAX_SPANS,
+    MetricsRegistry,
+    TraceContext,
+    Tracer,
+    set_metrics,
+    use_context,
+)
+
+
+class TestRingBuffer:
+    def test_default_cap(self):
+        assert Tracer().max_spans == DEFAULT_MAX_SPANS == 65_536
+
+    def test_oldest_spans_evicted_at_the_cap(self):
+        tracer = Tracer(max_spans=4)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        names = [record.name for record in tracer.records()]
+        assert names == ["s6", "s7", "s8", "s9"]
+        assert tracer.dropped_spans == 6
+
+    def test_eviction_counts_into_metrics(self):
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            tracer = Tracer(max_spans=2)
+            for index in range(5):
+                with tracer.span(f"s{index}"):
+                    pass
+        finally:
+            set_metrics(previous)
+        snap = registry.snapshot()
+        assert snap["counters"]["obs.tracer.dropped_spans"] == 3
+
+    def test_detached_spans_do_not_block_retention(self):
+        tracer = Tracer(max_spans=4)
+        context = TraceContext.new()
+        with use_context(context):
+            with tracer.span("kept"):
+                pass
+        taken = tracer.take_trace(context.trace_id)
+        assert [row["name"] for row in taken] == ["kept"]
+        # The detached span no longer occupies live capacity.
+        for index in range(4):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.records()) == 4
+        assert tracer.dropped_spans == 0
+
+
+class TestContextStamping:
+    def test_spans_carry_the_active_context_ids(self):
+        tracer = Tracer()
+        context = TraceContext.new()
+        with use_context(context):
+            with tracer.span("work"):
+                pass
+        (record,) = tracer.records()
+        assert record.trace_id == context.trace_id
+        assert record.request_id == context.request_id
+
+    def test_reparenting_onto_the_request_span(self):
+        tracer = Tracer()
+        root = tracer.allocate_span_id()
+        context = TraceContext.new().with_parent(root)
+        # An untraced ambient span is already on the stack (the serial
+        # executor's batch.run) — the context still wins.
+        with tracer.span("batch.run"):
+            with use_context(context):
+                with tracer.span("document"):
+                    with tracer.span("stage"):
+                        pass
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["document"].parent_id == root
+        assert by_name["stage"].parent_id == by_name["document"].span_id
+        assert by_name["batch.run"].trace_id is None
+
+    def test_take_trace_detaches_and_sorts(self):
+        tracer = Tracer()
+        context = TraceContext.new()
+        with use_context(context):
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+        spans = tracer.take_trace(context.trace_id)
+        assert [row["name"] for row in spans] == ["a", "b"]
+        assert all(row["trace_id"] == context.trace_id for row in spans)
+        # Taking detaches: the records are gone from the buffer and a
+        # second take returns nothing.
+        assert tracer.records() == []
+        assert tracer.take_trace(context.trace_id) == []
+
+    def test_discard_trace_drops_without_export(self):
+        tracer = Tracer()
+        context = TraceContext.new()
+        with use_context(context):
+            with tracer.span("a"):
+                pass
+        assert tracer.discard_trace(context.trace_id) == 1
+        assert tracer.records() == []
+
+
+class TestCrossProcessFanIn:
+    def test_absorb_preserves_ids_and_parentage(self):
+        worker = Tracer(span_id_base=(7 & 0xFFFF) << 32)
+        context = TraceContext.new().with_parent(12345)
+        with use_context(context):
+            with worker.span("document"):
+                with worker.span("solve"):
+                    pass
+        shipped = [record.as_dict() for record in worker.records()]
+
+        parent = Tracer()
+        assert parent.absorb(shipped) == 2
+        by_name = {r.name: r for r in parent.records()}
+        assert by_name["document"].parent_id == 12345
+        assert by_name["solve"].parent_id == by_name["document"].span_id
+        assert by_name["document"].span_id > (1 << 32)
+        assert by_name["document"].trace_id == context.trace_id
+
+    def test_absorbed_spans_are_takeable_by_trace(self):
+        worker = Tracer(span_id_base=1 << 32)
+        context = TraceContext.new()
+        with use_context(context):
+            with worker.span("remote"):
+                pass
+        parent = Tracer()
+        parent.absorb([r.as_dict() for r in worker.records()])
+        taken = parent.take_trace(context.trace_id)
+        assert [row["name"] for row in taken] == ["remote"]
+
+    def test_record_span_synthesizes_request_spans(self):
+        tracer = Tracer()
+        span_id = tracer.allocate_span_id()
+        record = tracer.record_span(
+            "request",
+            category="serving",
+            wall_start=1000.0,
+            duration=0.25,
+            span_id=span_id,
+            trace_id="t1",
+            request_id="req-1",
+            doc_id="d1",
+        )
+        assert record.span_id == span_id
+        assert record.duration == pytest.approx(0.25)
+        assert record.args["doc_id"] == "d1"
+        taken = tracer.take_trace("t1")
+        assert [row["name"] for row in taken] == ["request"]

@@ -1,0 +1,182 @@
+"""Unit tests for the time-windowed metrics (:mod:`repro.obs.window`)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, WindowedCounter, WindowedHistogram
+
+
+class FakeClock:
+    """A settable clock the tests advance explicitly."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestWindowedCounter:
+    def test_counts_inside_the_window(self):
+        clock = FakeClock()
+        counter = WindowedCounter(
+            "c", window_seconds=60.0, window_buckets=12, clock=clock
+        )
+        counter.inc()
+        counter.inc(2)
+        assert counter.total == 3
+        assert counter.rate() == pytest.approx(3 / 60.0)
+
+    def test_old_samples_age_out(self):
+        clock = FakeClock()
+        counter = WindowedCounter(
+            "c", window_seconds=60.0, window_buckets=12, clock=clock
+        )
+        counter.inc(5)
+        clock.advance(30.0)
+        counter.inc(1)
+        assert counter.total == 6
+        # Move past the window relative to the first sample only.
+        clock.advance(35.0)
+        assert counter.total == 1
+        clock.advance(60.0)
+        assert counter.total == 0
+
+    def test_snapshot_and_cross_process_merge(self):
+        clock = FakeClock()
+        ours = WindowedCounter("c", clock=clock)
+        theirs = WindowedCounter("c", clock=clock)
+        ours.inc(2)
+        clock.advance(10.0)
+        theirs.inc(3)
+        ours.merge(theirs.snapshot())
+        assert ours.total == 5
+        # Merged samples age out on the same absolute schedule.
+        clock.advance(55.0)
+        assert ours.total == 3
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedCounter("c", window_seconds=0.0)
+        with pytest.raises(ValueError):
+            WindowedCounter("c", window_buckets=0)
+
+    def test_thread_safety_loses_no_increments(self):
+        counter = WindowedCounter("c", window_seconds=3600.0)
+
+        def worker():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.total == 8000
+
+
+class TestWindowedHistogram:
+    def test_quantiles_cover_only_the_window(self):
+        clock = FakeClock()
+        hist = WindowedHistogram(
+            "h",
+            buckets=(0.1, 0.5, 1.0, 5.0),
+            window_seconds=60.0,
+            window_buckets=12,
+            clock=clock,
+        )
+        # Plant a burst of slow samples, then let them age out.
+        for _ in range(100):
+            hist.observe(4.0)
+        assert hist.quantile(0.99) == pytest.approx(4.0)
+        clock.advance(61.0)
+        for _ in range(100):
+            hist.observe(0.05)
+        # The p99 forgets the old slow burst entirely.
+        assert hist.quantile(0.99) == pytest.approx(0.05)
+        assert hist.count == 100
+
+    def test_quantile_clamped_to_observed_max(self):
+        hist = WindowedHistogram(
+            "h", buckets=(1.0, 10.0), window_seconds=3600.0
+        )
+        hist.observe(2.0)
+        # Nearest-rank would report the bucket bound (10.0); the
+        # observed max is tighter.
+        assert hist.quantile(0.99) == pytest.approx(2.0)
+
+    def test_empty_window_is_zero(self):
+        hist = WindowedHistogram("h", window_seconds=60.0)
+        assert hist.quantile(0.5) == 0.0
+        assert hist.count == 0
+        assert hist.rate() == 0.0
+
+    def test_snapshot_quantile_keys(self):
+        clock = FakeClock()
+        hist = WindowedHistogram(
+            "h", buckets=(0.1, 1.0), window_seconds=60.0, clock=clock
+        )
+        for value in (0.05, 0.05, 0.05, 2.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["p50"] == pytest.approx(0.1)
+        assert snap["p99"] == pytest.approx(2.0)
+        assert snap["min"] == pytest.approx(0.05)
+        assert snap["max"] == pytest.approx(2.0)
+
+    def test_merge_requires_matching_bounds(self):
+        ours = WindowedHistogram("h", buckets=(1.0, 2.0))
+        theirs = WindowedHistogram("h", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            ours.merge(theirs.snapshot())
+
+    def test_merge_folds_counts(self):
+        clock = FakeClock()
+        ours = WindowedHistogram("h", buckets=(1.0,), clock=clock)
+        theirs = WindowedHistogram("h", buckets=(1.0,), clock=clock)
+        ours.observe(0.5)
+        theirs.observe(0.5)
+        theirs.observe(2.0)
+        ours.merge(theirs.snapshot())
+        assert ours.count == 3
+        assert ours.quantile(1.0) == pytest.approx(2.0)
+
+    def test_misordered_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedHistogram("h", buckets=(2.0, 1.0))
+
+
+class TestRegistryIntegration:
+    def test_registry_accessors_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.windowed_counter("w.c").inc(4)
+        registry.windowed_histogram("w.h").observe(0.25)
+        snap = registry.snapshot()
+        assert snap["windows"]["counters"]["w.c"]["total"] == 4
+        assert snap["windows"]["histograms"]["w.h"]["count"] == 1
+        # Accessors are idempotent per name.
+        assert registry.windowed_counter("w.c").total == 4
+
+    def test_registry_merge_recreates_windowed_metrics(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry()
+        child.windowed_counter("w.c", window_seconds=30.0).inc(2)
+        child.windowed_histogram("w.h").observe(1.5)
+        parent.merge(child.snapshot())
+        assert parent.windowed_counter("w.c").total == 2
+        assert parent.windowed_counter("w.c").window_seconds == 30.0
+        assert parent.windowed_histogram("w.h").count == 1
+
+    def test_reset_clears_windows(self):
+        registry = MetricsRegistry()
+        registry.windowed_counter("w.c").inc()
+        registry.reset()
+        assert registry.windowed_counter("w.c").total == 0
