@@ -32,6 +32,12 @@ Examples::
         --out /tmp/conll.jsonl
     python -m repro evaluate --kb /tmp/kb --corpus /tmp/conll.jsonl
     python -m repro serve --kb /tmp/kb --port 8400 --slo-ms 500
+    python -m repro snapshot build --kb /tmp/kb --out /tmp/kb.snap
+    python -m repro serve --snapshot /tmp/kb.snap --executor process
+
+The ``snapshot`` subcommand compiles a saved KB into a single mmap-able
+image (see ``docs/snapshots.md``); ``--snapshot`` on evaluate/serve then
+attaches workers to it by path with near-zero startup cost.
 """
 
 from __future__ import annotations
@@ -168,7 +174,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = subparsers.add_parser(
         "evaluate", help="evaluate a pipeline on a saved corpus"
     )
-    evaluate.add_argument("--kb", required=True)
+    evaluate.add_argument(
+        "--kb", help="saved KB directory (or use --snapshot)"
+    )
+    _add_snapshot_argument(evaluate)
     evaluate.add_argument("--corpus", required=True)
     evaluate.add_argument(
         "--variant", choices=sorted(AIDA_VARIANTS), default="full"
@@ -201,7 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the long-lived disambiguation service "
         "(admission control + micro-batching + load shedding)",
     )
-    serve.add_argument("--kb", required=True, help="saved KB directory")
+    serve.add_argument(
+        "--kb", help="saved KB directory (or use --snapshot)"
+    )
+    _add_snapshot_argument(serve)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=8400,
@@ -267,6 +279,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(serve)
     _add_robustness_arguments(serve)
 
+    snap = subparsers.add_parser(
+        "snapshot",
+        help="build or inspect zero-copy mmap KB snapshot images",
+    )
+    snap_sub = snap.add_subparsers(dest="snapshot_command", required=True)
+    snap_build = snap_sub.add_parser(
+        "build",
+        help="compile a saved KB directory into one mmap-able image "
+        "(vocabulary, compiled models, dictionary, CSR link graph, "
+        "keyphrases, LSH sketches)",
+    )
+    snap_build.add_argument("--kb", required=True, help="saved KB directory")
+    snap_build.add_argument("--out", required=True, help="snapshot file")
+    snap_build.add_argument(
+        "--scheme", choices=("npmi", "idf"), default="npmi",
+        help="keyword weight scheme baked into the compiled arrays "
+        "(must match the pipeline config the snapshot will serve)",
+    )
+    snap_build.add_argument(
+        "--max-keyphrases", type=int, default=0,
+        help="per-entity keyphrase cap baked into the compiled arrays "
+        "(0 = unlimited)",
+    )
+    snap_build.add_argument(
+        "--backend", choices=("auto", "numpy", "python"), default="auto",
+        help="compiled-scoring backend recorded in the manifest "
+        "('auto' resolves at load time on each host)",
+    )
+    snap_build.add_argument(
+        "--gearings", default="g,f", metavar="LIST",
+        help="comma-separated LSH sketch tables to embed: g = "
+        "recall-geared, f = fast (empty string = none)",
+    )
+    snap_inspect = snap_sub.add_parser(
+        "inspect",
+        help="verify every checksum and print the manifest + section "
+        "layout as JSON",
+    )
+    snap_inspect.add_argument("path", help="snapshot file")
+
     obs = subparsers.add_parser(
         "obs",
         help="telemetry analysis tools (trace reports)",
@@ -300,6 +352,16 @@ def _add_relatedness_argument(sub: argparse.ArgumentParser) -> None:
         "overlap (default), exact KORE, or KORE behind two-stage "
         "min-hash/LSH pruning in the recall-geared (kore_lsh_g) or "
         "speed-geared (kore_lsh_f) parameterization",
+    )
+
+
+def _add_snapshot_argument(sub: argparse.ArgumentParser) -> None:
+    """The ``--snapshot`` image path (``repro snapshot build`` output)."""
+    sub.add_argument(
+        "--snapshot", metavar="FILE",
+        help="serve models from this mmap snapshot image instead of "
+        "loading --kb into memory; process workers attach to the image "
+        "by path (near-zero startup, shared read-only pages)",
     )
 
 
@@ -363,7 +425,8 @@ def _add_robustness_arguments(sub: argparse.ArgumentParser) -> None:
         "--inject", action="append", default=[], metavar="SPEC",
         help="chaos-inject faults: site[:rate[:kind[:max|ms]]] with "
         "sites kb.lookup, similarity, relatedness, solver.iteration, "
-        "worker and kinds transient, permanent, latency (repeatable)",
+        "worker, snapshot.write and kinds transient, permanent, latency "
+        "(repeatable)",
     )
     group.add_argument(
         "--inject-seed", type=int, default=0,
@@ -608,6 +671,11 @@ class _PipelineFactory:
         self.relatedness_backend = relatedness_backend
         self.sketches = sketches
 
+    @property
+    def source_description(self) -> str:
+        """Shown in serving ``/stats`` as the worker pipeline source."""
+        return f"kb:{self.kb_dir}"
+
     def __call__(self) -> AidaDisambiguator:
         kb = load_knowledge_base(self.kb_dir)
         config = AIDA_VARIANTS[self.variant]()
@@ -632,6 +700,60 @@ def _lsh_measure(measure):
     return None
 
 
+def _cached_sketches_for(kb_dir: str, config: AidaConfig):
+    """The cached whole-KB sketch table for this KB + backend, if any.
+
+    A previous serve/evaluate start in this process already paid the
+    KB-wide stage-one pass for the same on-disk KB and LSH geometry;
+    building the parent pipeline over the cached (complete) table makes
+    its own precompute a no-op.
+    """
+    if config.relatedness_backend not in ("kore_lsh_g", "kore_lsh_f"):
+        return None
+    from repro.kb.io import KnowledgeBaseError, kb_fingerprint
+    from repro.relatedness.lsh import LshSettings, cached_sketch_export
+
+    settings = (
+        LshSettings.recall_geared()
+        if config.relatedness_backend == "kore_lsh_g"
+        else LshSettings.fast()
+    )
+    try:
+        fingerprint = kb_fingerprint(kb_dir)
+    except KnowledgeBaseError:
+        return None
+    return cached_sketch_export(fingerprint, settings)
+
+
+def _shared_sketches(kb_dir: str, pipeline: AidaDisambiguator):
+    """The sketch table to ship to process workers, cached process-wide.
+
+    Keyed by (KB fingerprint, LSH geometry): the first start pays one
+    export, later starts and worker respawns against the same on-disk KB
+    reuse it, and the table's ``complete`` marker lets every worker skip
+    its own KB-wide sketching pass.
+    """
+    lsh = _lsh_measure(pipeline.relatedness)
+    if lsh is None:
+        return None
+    from repro.kb.io import KnowledgeBaseError, kb_fingerprint
+    from repro.relatedness.lsh import (
+        cached_sketch_export,
+        store_sketch_export,
+    )
+
+    try:
+        fingerprint = kb_fingerprint(kb_dir)
+    except KnowledgeBaseError:
+        return lsh.export_sketches()
+    cached = cached_sketch_export(fingerprint, lsh.settings)
+    if cached is not None:
+        return cached
+    return store_sketch_export(
+        fingerprint, lsh.settings, lsh.export_sketches()
+    )
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     """Handle ``evaluate``: score a pipeline on a saved corpus."""
     from repro.core.batch import BatchConfig, BatchRunner
@@ -643,33 +765,58 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     obs = _ObsSession(args)
     chaos = _InjectorSession(args)
     try:
-        kb = load_knowledge_base(args.kb)
+        if not args.kb and not args.snapshot:
+            raise SystemExit("evaluate requires --kb or --snapshot")
         documents = load_corpus(args.corpus)
         config = AIDA_VARIANTS[args.variant]()
         config.use_compiled = args.compiled
         config.relatedness_backend = args.relatedness
         robustness = _robustness_config(args)
         relatedness = None
-        if args.cache_relatedness:
-            relatedness = CachingRelatedness(
-                AidaDisambiguator.build_relatedness(kb, config),
-                maxsize=args.cache_size or None,
+        if args.snapshot:
+            from repro.kb.snapshot import (
+                SnapshotPipelineFactory,
+                load_snapshot,
             )
-        pipeline = AidaDisambiguator(
-            kb, relatedness=relatedness, config=config
-        )
+
+            if args.cache_relatedness:
+                raise SystemExit(
+                    "--cache-relatedness is not supported with --snapshot"
+                )
+            snapshot = load_snapshot(args.snapshot)
+            kb = snapshot.kb
+            pipeline = snapshot.pipeline(config)
+        else:
+            kb = load_knowledge_base(args.kb)
+            cached = _cached_sketches_for(args.kb, config)
+            if args.cache_relatedness:
+                relatedness = CachingRelatedness(
+                    AidaDisambiguator.build_relatedness(
+                        kb, config, sketches=cached
+                    ),
+                    maxsize=args.cache_size or None,
+                )
+            elif cached is not None:
+                relatedness = AidaDisambiguator.build_relatedness(
+                    kb, config, sketches=cached
+                )
+            pipeline = AidaDisambiguator(
+                kb, relatedness=relatedness, config=config
+            )
         batch = None
         if args.workers > 1 and args.executor == "process":
-            lsh = _lsh_measure(pipeline.relatedness)
-            factory = _PipelineFactory(
-                args.kb,
-                args.variant,
-                use_compiled=args.compiled,
-                relatedness_backend=args.relatedness,
-                sketches=(
-                    lsh.export_sketches() if lsh is not None else None
-                ),
-            )
+            if args.snapshot:
+                factory = SnapshotPipelineFactory(
+                    args.snapshot, config=config
+                )
+            else:
+                factory = _PipelineFactory(
+                    args.kb,
+                    args.variant,
+                    use_compiled=args.compiled,
+                    relatedness_backend=args.relatedness,
+                    sketches=_shared_sketches(args.kb, pipeline),
+                )
             if robustness is not None:
                 factory = ResilientFactory(factory, robustness)
             batch = BatchRunner(
@@ -704,7 +851,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         print(f"micro accuracy: {100 * run.micro:.2f}%")
         print(f"macro accuracy: {100 * run.macro:.2f}%")
         print(f"MAP:            {100 * run.map:.2f}%")
-        if relatedness is not None:
+        if args.cache_relatedness and relatedness is not None:
             stats = relatedness.cache_stats()
             print(
                 "relatedness cache: "
@@ -778,23 +925,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.trace_export and not get_tracer().enabled:
         own_tracer = set_tracer(Tracer())
     try:
-        kb = load_knowledge_base(args.kb)
+        if not args.kb and not args.snapshot:
+            raise SystemExit("serve requires --kb or --snapshot")
         config = AIDA_VARIANTS[args.variant]()
         config.use_compiled = args.compiled
         config.relatedness_backend = args.relatedness
-        pipeline = AidaDisambiguator(kb, config=config)
         factory = None
-        if args.executor == "process":
-            lsh = _lsh_measure(pipeline.relatedness)
-            factory = _PipelineFactory(
-                args.kb,
-                args.variant,
-                use_compiled=args.compiled,
-                relatedness_backend=args.relatedness,
-                sketches=(
-                    lsh.export_sketches() if lsh is not None else None
-                ),
+        if args.snapshot:
+            from repro.kb.snapshot import (
+                SnapshotPipelineFactory,
+                load_snapshot,
             )
+
+            snapshot = load_snapshot(args.snapshot)
+            kb = snapshot.kb
+            pipeline = snapshot.pipeline(config)
+            if args.executor == "process":
+                factory = SnapshotPipelineFactory(
+                    args.snapshot, config=config
+                )
+        else:
+            kb = load_knowledge_base(args.kb)
+            cached = _cached_sketches_for(args.kb, config)
+            relatedness = (
+                AidaDisambiguator.build_relatedness(
+                    kb, config, sketches=cached
+                )
+                if cached is not None
+                else None
+            )
+            pipeline = AidaDisambiguator(
+                kb, relatedness=relatedness, config=config
+            )
+            if args.executor == "process":
+                factory = _PipelineFactory(
+                    args.kb,
+                    args.variant,
+                    use_compiled=args.compiled,
+                    relatedness_backend=args.relatedness,
+                    sketches=_shared_sketches(args.kb, pipeline),
+                )
         server = DisambiguationServer(
             pipeline,
             ServingConfig(
@@ -831,6 +1001,55 @@ def cmd_serve(args: argparse.Namespace) -> int:
         obs.finish()
 
 
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Handle ``snapshot``: build or inspect mmap KB images."""
+    from repro.kb.io import kb_fingerprint
+    from repro.kb.snapshot import (
+        SnapshotError,
+        build_snapshot,
+        inspect_snapshot,
+    )
+
+    if args.snapshot_command == "build":
+        gearings = tuple(
+            part for part in args.gearings.split(",") if part
+        )
+        kb = load_knowledge_base(args.kb)
+        manifest = build_snapshot(
+            kb,
+            args.out,
+            scheme=args.scheme,
+            max_keyphrases=args.max_keyphrases or None,
+            backend=args.backend,
+            gearings=gearings,
+            source_fingerprint=kb_fingerprint(args.kb),
+        )
+        counts = manifest["counts"]
+        print(
+            f"wrote {args.out}: {os.path.getsize(args.out)} bytes, "
+            f"{counts['entities']} entities, "
+            f"{counts['vocabulary']} words, "
+            f"{counts['link_edges']} link edges, "
+            f"lsh gearings: {', '.join(sorted(manifest['lsh'])) or 'none'}"
+        )
+        return 0
+    if args.snapshot_command == "inspect":
+        try:
+            info = inspect_snapshot(args.path)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        try:
+            print(json.dumps(info, indent=2))
+        except BrokenPipeError:
+            # Downstream consumer (e.g. ``| head``) closed the pipe.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    raise SystemExit(
+        f"unknown snapshot subcommand {args.snapshot_command!r}"
+    )
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """Handle ``obs``: telemetry analysis subcommands."""
     from repro.obs.report import build_report, load_spans, render_report
@@ -862,6 +1081,7 @@ _COMMANDS = {
     "corpus": cmd_corpus,
     "evaluate": cmd_evaluate,
     "serve": cmd_serve,
+    "snapshot": cmd_snapshot,
     "obs": cmd_obs,
 }
 

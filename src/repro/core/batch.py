@@ -242,7 +242,16 @@ def _process_init(
         import os
 
         set_tracer(Tracer(span_id_base=(os.getpid() & 0xFFFF) << 32))
+    start = time.perf_counter()
     _process_pipeline = factory()
+    metrics = get_metrics()
+    if metrics.enabled:
+        # How long this worker took to stand up its pipeline — the
+        # fork/pickle-vs-snapshot attach cost.  Shipped to the parent
+        # with the first task's metrics delta.
+        metrics.histogram("batch.worker.attach_ms").observe(
+            (time.perf_counter() - start) * 1000.0
+        )
 
 
 def _process_task(

@@ -15,7 +15,9 @@ synthetic equivalent* with the same statistical structure:
 * :mod:`conll`, :mod:`kore50`, :mod:`wpslice`, :mod:`gigaword` — the four
   evaluation corpora of Chapters 3–5;
 * :mod:`relatedness_gold` — the entity-relatedness ranking gold standard of
-  Section 4.5.
+  Section 4.5;
+* :mod:`stress` — linear-time 100k–1M-entity KBs for the snapshot and
+  serving scale-out benchmarks.
 
 Everything is deterministic given the seed.
 """
@@ -23,6 +25,7 @@ Everything is deterministic given the seed.
 from repro.datagen.world import World, WorldConfig
 from repro.datagen.wikipedia import SyntheticWikipedia, build_world_kb
 from repro.datagen.documents import DocumentGenerator, DocumentSpec
+from repro.datagen.stress import StressConfig, generate_stress_kb
 
 __all__ = [
     "World",
@@ -31,4 +34,6 @@ __all__ = [
     "build_world_kb",
     "DocumentGenerator",
     "DocumentSpec",
+    "StressConfig",
+    "generate_stress_kb",
 ]

@@ -1,0 +1,142 @@
+"""Large-scale deterministic KB generation for scale-out benchmarks.
+
+The :mod:`world`/:mod:`wikipedia` generators model the *statistics* of an
+encyclopedia faithfully but build rich per-entity state (name systems,
+clusters, articles) that tops out around a few thousand entities.  The
+snapshot and serving benchmarks need the opposite trade-off: 100k–1M
+entities with realistic component *shapes* (bounded vocabulary, skewed
+link degrees, ambiguous names, anchor priors) produced in linear time.
+
+:func:`generate_stress_kb` builds such a KB directly — no intermediate
+world or article dump — from pure integer mixing, so the result is
+bit-reproducible for a given :class:`StressConfig` across processes and
+platforms and needs no RNG state at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kb.entity import Entity
+from repro.kb.knowledge_base import KnowledgeBase
+
+_TYPES = ("person", "organization", "location", "event", "artifact")
+
+
+def _mix(*parts: int) -> int:
+    """One 32-bit multiplicative hash over the given integers.
+
+    splitmix-style constants; good avalanche is all that matters — the
+    output only spreads indices over bounded ranges.
+    """
+    h = 0x811C9DC5
+    for part in parts:
+        h ^= part & 0xFFFFFFFF
+        h = (h * 0x85EBCA6B) & 0xFFFFFFFF
+        h ^= h >> 13
+        h = (h * 0xC2B2AE35) & 0xFFFFFFFF
+        h ^= h >> 16
+    return h
+
+
+@dataclass(frozen=True)
+class StressConfig:
+    """Shape of the generated KB.
+
+    ``entities`` is the scale knob (100k–1M for the snapshot benchmarks).
+    ``vocabulary_words`` bounds the word universe so document frequencies
+    stay realistic as the KB grows; ``family_names`` bounds the shared
+    surname pool, which is what makes a slice of the dictionary ambiguous
+    (several entities per name, as in the real world's "John Smith").
+    """
+
+    entities: int = 100_000
+    seed: int = 17
+    vocabulary_words: int = 4_000
+    family_names: int = 997
+    links_per_entity: int = 3
+    phrases_per_entity: int = 3
+    phrase_words: int = 3
+    ambiguous_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.entities < 1:
+            raise ValueError("entities must be >= 1")
+        if self.vocabulary_words < self.phrase_words:
+            raise ValueError("vocabulary_words must cover one phrase")
+        if self.family_names < 1:
+            raise ValueError("family_names must be >= 1")
+        if not 0.0 <= self.ambiguous_fraction <= 1.0:
+            raise ValueError("ambiguous_fraction must be in [0, 1]")
+
+
+def generate_stress_kb(config: StressConfig) -> KnowledgeBase:
+    """Build the stress KB the config describes, in one linear pass.
+
+    Per entity: one typed record, a canonical two-token name, ~Zipf
+    anchor mass on that name, ``links_per_entity`` out-links (skewed
+    toward low-index "hub" entities so in-degrees are realistic), and
+    ``phrases_per_entity`` keyphrases over the bounded vocabulary.  Every
+    ``ambiguous_fraction``-th entity additionally registers its bare
+    family name, giving the dictionary genuinely ambiguous entries.
+    """
+    n = config.entities
+    seed = config.seed
+    vocab = [f"w{i:05d}" for i in range(config.vocabulary_words)]
+    families = [f"Fam{i:04d}" for i in range(config.family_names)]
+    kb = KnowledgeBase()
+    ambiguous_every = (
+        int(1.0 / config.ambiguous_fraction)
+        if config.ambiguous_fraction > 0
+        else 0
+    )
+
+    def name_parts(index: int) -> tuple:
+        family = families[_mix(seed, index, 1) % len(families)]
+        given = f"G{_mix(seed, index, 2) % 9973:04d}"
+        return given, family
+
+    def entity_id_of(index: int) -> str:
+        given, family = name_parts(index)
+        return f"S{index:07d}_{given}_{family}"
+
+    for i in range(n):
+        given, family = name_parts(i)
+        entity_id = entity_id_of(i)
+        # Zipf-ish popularity: low indices are heavy, the tail is flat.
+        popularity = 1.0 + 1000.0 / (1 + i)
+        kb.add_entity(
+            Entity(
+                entity_id=entity_id,
+                canonical_name=f"{given} {family}",
+                types=(_TYPES[_mix(seed, i, 3) % len(_TYPES)],),
+                domain=f"d{_mix(seed, i, 4) % 13}",
+                popularity=popularity,
+            )
+        )
+        kb.dictionary.add_name(
+            f"{given} {family}",
+            entity_id,
+            source="anchor",
+            anchor_count=1 + _mix(seed, i, 5) % 7,
+        )
+        if ambiguous_every and i % ambiguous_every == 0:
+            kb.dictionary.add_name(
+                family, entity_id, source="anchor", anchor_count=1
+            )
+        for j in range(config.links_per_entity):
+            # Square the uniform variate to skew targets toward low
+            # indices: hubs collect in-links, the tail stays sparse.
+            u = _mix(seed, i, 6, j) / 0xFFFFFFFF
+            target = int(u * u * n) % n
+            if target != i:
+                kb.links.add_link(entity_id, entity_id_of(target))
+        for j in range(config.phrases_per_entity):
+            phrase = tuple(
+                vocab[_mix(seed, i, 7, j, k) % len(vocab)]
+                for k in range(config.phrase_words)
+            )
+            kb.keyphrases.add_keyphrase(
+                entity_id, phrase, count=1 + _mix(seed, i, 8, j) % 5
+            )
+    return kb

@@ -13,6 +13,9 @@ site                      fired by
 ``solver.iteration``      every main-loop iteration of the dense-subgraph
                           solver
 ``worker``                the batch layer, once per document attempt
+``snapshot.write``        the KB snapshot writer, once per section written
+                          to the temp image (the rename never happens, so
+                          a fault can never leave a torn snapshot behind)
 ========================  ====================================================
 
 A :class:`FaultInjector` holds :class:`FaultSpec` rules — *at this site,
@@ -51,6 +54,7 @@ SITES: Tuple[str, ...] = (
     "relatedness",
     "solver.iteration",
     "worker",
+    "snapshot.write",
 )
 
 _KINDS = ("transient", "permanent", "latency")

@@ -190,3 +190,41 @@ def load_knowledge_base(directory: str) -> KnowledgeBase:
         kb.triples.add(subject, predicate, obj)
 
     return kb
+
+
+def kb_fingerprint(directory: str) -> str:
+    """A cheap content fingerprint of a TSV knowledge-base directory.
+
+    Hashes the (name, size, mtime_ns) of every KB file — enough to detect
+    any regeneration or edit without reading the data.  Used to key
+    caches of KB-derived artifacts (LSH sketch exports, snapshots).
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for filename in _FILES:
+        path = os.path.join(directory, filename)
+        try:
+            info = os.stat(path)
+        except OSError as exc:
+            raise KnowledgeBaseError(
+                f"missing knowledge base file: {path}"
+            ) from exc
+        digest.update(
+            f"{filename}:{info.st_size}:{info.st_mtime_ns}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+# Snapshot support lives in its own module; re-exported here so that
+# ``repro.kb.io`` remains the single entry point for KB persistence.
+# The import sits at the bottom to keep the module graph acyclic
+# (snapshot.py never imports io.py).
+from repro.kb.snapshot import (  # noqa: E402  (deliberate re-export)
+    Snapshot,
+    SnapshotError,
+    SnapshotPipelineFactory,
+    build_snapshot,
+    inspect_snapshot,
+    load_snapshot,
+)

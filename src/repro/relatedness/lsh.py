@@ -112,6 +112,48 @@ class LshSettings:
         return LshSettings(entity_bands=80, entity_rows=2, seed=seed)
 
 
+class _OverlaySketches(Mapping):
+    """A read-only sketch table with a writable overlay.
+
+    Wraps a lazy mapping (e.g. a snapshot's mmap-backed ``SketchTable``)
+    by reference — no copy, no upfront decode — while still letting
+    :meth:`KoreLshRelatedness._entity_sketch` memoize locally computed
+    sketches for ids the base table does not cover.
+    """
+
+    __slots__ = ("_base", "_overlay")
+
+    def __init__(self, base: Mapping) -> None:
+        self._base = base
+        self._overlay: Dict[EntityId, Tuple[int, ...]] = {}
+
+    def get(self, key, default=None):
+        if key in self._overlay:
+            return self._overlay[key]
+        return self._base.get(key, default)
+
+    def __getitem__(self, key):
+        if key in self._overlay:
+            return self._overlay[key]
+        return self._base[key]
+
+    def __setitem__(self, key, value) -> None:
+        self._overlay[key] = value
+
+    def __contains__(self, key) -> bool:
+        return key in self._overlay or key in self._base
+
+    def __iter__(self):
+        seen = set(self._overlay)
+        yield from self._overlay
+        for key in self._base:
+            if key not in seen:
+                yield key
+
+    def __len__(self) -> int:
+        return len(set(self._overlay) | set(self._base))
+
+
 class _TaskState(threading.local):
     """Per-thread stage-two state: one concurrent task per thread."""
 
@@ -161,9 +203,20 @@ class KoreLshRelatedness(EntityRelatedness):
         self._entity_bucket_sets: Dict[EntityId, FrozenSet[str]] = {}
         #: Entity id -> stage-two sketch; the empty tuple marks entities
         #: without keyphrases (never indexed, relatedness 0 by definition).
-        self._entity_sketches: Dict[EntityId, Tuple[int, ...]] = (
-            dict(sketches) if sketches else {}
-        )
+        if sketches is None:
+            self._entity_sketches = {}
+        elif isinstance(sketches, dict):
+            self._entity_sketches = dict(sketches)
+        else:
+            # A lazy read-only mapping (e.g. a snapshot SketchTable):
+            # keep it by reference — zero copy, zero decode — and buffer
+            # any locally computed sketches in an overlay.
+            self._entity_sketches = _OverlaySketches(sketches)
+        #: Whether the supplied table already covers every store entity
+        #: (snapshot tables and cached whole-KB exports advertise this
+        #: via a ``complete`` attribute), letting :meth:`precompute`
+        #: skip the KB-wide stage-one pass entirely.
+        self._sketches_complete = bool(getattr(sketches, "complete", False))
         # Element-id memo for stage-one word hashing; replaced by a flat
         # array over vocabulary ids when a compiled layer is attached.
         self._word_eids: Dict[str, int] = {}
@@ -287,14 +340,32 @@ class KoreLshRelatedness(EntityRelatedness):
         Idempotent — already-sketched entities are skipped — and meant to
         run once before a measure is shared read-only across workers.
         Returns the number of entities covered.
+
+        When the measure was constructed over a table that advertises
+        whole-KB coverage (``complete = True`` — snapshot tables and
+        cached exports), the KB-wide pass is a guaranteed no-op and is
+        skipped without touching the store, which is what makes worker
+        attach O(1) instead of O(KB).
         """
+        if entity_ids is None and self._sketches_complete:
+            return 0
+        start = time.perf_counter()
         ids = (
             list(entity_ids)
             if entity_ids is not None
             else self._store.entity_ids()
         )
+        computed = 0
         for entity_id in ids:
-            self._entity_sketch(entity_id)
+            if self._entity_sketches.get(entity_id) is None:
+                self._entity_sketch(entity_id)
+                computed += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("relatedness.lsh.sketched").inc(computed)
+            metrics.histogram("relatedness.lsh.precompute_ms").observe(
+                (time.perf_counter() - start) * 1000.0
+            )
         return len(ids)
 
     def export_sketches(self) -> Dict[EntityId, Tuple[int, ...]]:
@@ -364,3 +435,57 @@ class KoreLshRelatedness(EntityRelatedness):
     def allowed_pair_count(self) -> int:
         """Number of pairs surviving pre-clustering (this thread's task)."""
         return len(self._task.allowed)
+
+
+# ----------------------------------------------------------------------
+# Process-wide sketch-export cache (keyed by KB fingerprint + geometry)
+# ----------------------------------------------------------------------
+class CompleteSketches(dict):
+    """A sketch export known to cover every store entity.
+
+    The ``complete`` marker lets a :class:`KoreLshRelatedness` built over
+    this table skip its KB-wide :meth:`~KoreLshRelatedness.precompute`
+    pass entirely — the table is already the whole stage-one output.
+    """
+
+    complete = True
+
+
+_EXPORT_CACHE_LOCK = threading.Lock()
+_EXPORT_CACHE: Dict[Tuple[str, LshSettings], CompleteSketches] = {}
+
+
+def cached_sketch_export(
+    fingerprint: str, settings: LshSettings
+) -> Optional[CompleteSketches]:
+    """The cached whole-KB sketch export for this KB + geometry, if any.
+
+    Sketches depend only on the store contents and the LSH geometry, so a
+    (KB fingerprint, settings) pair fully determines the table: repeated
+    serve/evaluate starts against the same on-disk KB reuse one export
+    instead of re-sketching the KB before every worker fork.
+    """
+    with _EXPORT_CACHE_LOCK:
+        return _EXPORT_CACHE.get((fingerprint, settings))
+
+
+def store_sketch_export(
+    fingerprint: str,
+    settings: LshSettings,
+    sketches: Mapping,
+) -> CompleteSketches:
+    """Cache a whole-KB export; returns the (complete-marked) table."""
+    table = (
+        sketches
+        if isinstance(sketches, CompleteSketches)
+        else CompleteSketches(sketches)
+    )
+    with _EXPORT_CACHE_LOCK:
+        _EXPORT_CACHE[(fingerprint, settings)] = table
+    return table
+
+
+def clear_sketch_export_cache() -> None:
+    """Drop every cached export (tests and long-lived tools)."""
+    with _EXPORT_CACHE_LOCK:
+        _EXPORT_CACHE.clear()

@@ -229,6 +229,12 @@ class DisambiguationServer:
             self._process_factory = _BaggageRungFactory(
                 ResilientFactory(pipeline_factory, robustness)
             )
+        #: Where worker pipelines come from — "memory" (models pickled /
+        #: re-built per worker) or the snapshot image workers mmap by
+        #: path; factories advertise it via ``source_description``.
+        self.pipeline_source = getattr(
+            pipeline_factory, "source_description", "memory"
+        )
         self.kb = kb if kb is not None else getattr(pipeline, "kb", None)
         self.recognizer = (
             NamedEntityRecognizer(self.kb.dictionary)
@@ -721,6 +727,7 @@ class DisambiguationServer:
             }
         if path == "/stats" and method == "GET":
             stats = self.admission.stats()
+            stats["pipeline_source"] = self.pipeline_source
             stats["slo"] = self.slo.snapshot()
             tracer = get_tracer()
             telemetry: Dict[str, object] = {

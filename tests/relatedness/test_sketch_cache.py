@@ -1,0 +1,157 @@
+"""Regression: repeated serve/evaluate starts do not re-sketch the KB.
+
+The latent pickle-wall asymmetry: every process-executor start used to
+re-export the LSH sketch table (and every worker re-ran the KB-wide
+stage-one pass) even when the on-disk KB had not changed.  The export is
+now cached process-wide by (KB fingerprint, LSH geometry) and marked
+``complete``, which short-circuits :meth:`KoreLshRelatedness.precompute`
+— asserted here via the ``relatedness.lsh.precompute_ms`` /
+``relatedness.lsh.prepare_ms`` metric counts, which must not grow on the
+second start or worker spawn.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import (
+    _cached_sketches_for,
+    _lsh_measure,
+    _PipelineFactory,
+    _shared_sketches,
+)
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.kb.io import load_knowledge_base, save_knowledge_base
+from repro.obs import MetricsRegistry, get_metrics, set_metrics
+from repro.relatedness.lsh import (
+    CompleteSketches,
+    KoreLshRelatedness,
+    LshSettings,
+    clear_sketch_export_cache,
+)
+
+
+@pytest.fixture()
+def kb_dir(kb, tmp_path):
+    directory = str(tmp_path / "kb")
+    save_knowledge_base(kb, directory)
+    return directory
+
+
+@pytest.fixture(autouse=True)
+def metrics():
+    clear_sketch_export_cache()
+    previous = set_metrics(MetricsRegistry())
+    yield get_metrics()
+    set_metrics(previous)
+    clear_sketch_export_cache()
+
+
+def _config() -> AidaConfig:
+    config = AidaConfig.full()
+    config.relatedness_backend = "kore_lsh_g"
+    return config
+
+
+def _lsh_counts(metrics):
+    snapshot = metrics.snapshot()
+    histograms = snapshot["histograms"]
+    return {
+        "precompute": histograms.get(
+            "relatedness.lsh.precompute_ms", {}
+        ).get("count", 0),
+        "prepare": histograms.get("relatedness.lsh.prepare_ms", {}).get(
+            "count", 0
+        ),
+        "sketched": snapshot["counters"].get(
+            "relatedness.lsh.sketched", 0
+        ),
+    }
+
+
+def test_second_start_reuses_the_cached_export(kb_dir, metrics):
+    """Start #1 sketches the KB and publishes the export; start #2 finds
+    it by fingerprint and does zero stage-one work."""
+    kb = load_knowledge_base(kb_dir)
+    assert _cached_sketches_for(kb_dir, _config()) is None
+
+    # -- first serve/evaluate start: pays the pass, caches the export.
+    first = AidaDisambiguator(kb, config=_config())
+    exported = _shared_sketches(kb_dir, first)
+    assert isinstance(exported, CompleteSketches)
+    after_first = _lsh_counts(metrics)
+    assert after_first["precompute"] >= 1
+    assert after_first["sketched"] > 0
+
+    # -- second start: the cache hit feeds the parent pipeline...
+    cached = _cached_sketches_for(kb_dir, _config())
+    assert cached is exported
+    kb2 = load_knowledge_base(kb_dir)
+    second = AidaDisambiguator(
+        kb2,
+        relatedness=AidaDisambiguator.build_relatedness(
+            kb2, _config(), sketches=cached
+        ),
+        config=_config(),
+    )
+    # ...and its export is the same object, not a re-export.
+    assert _shared_sketches(kb_dir, second) is exported
+    after_second = _lsh_counts(metrics)
+    assert after_second["precompute"] == after_first["precompute"]
+    assert after_second["sketched"] == after_first["sketched"]
+    assert after_second["prepare"] == after_first["prepare"]
+
+
+def test_worker_spawn_with_complete_sketches_skips_the_pass(
+    kb_dir, metrics
+):
+    """A worker built from the cached export (what crosses the pickle
+    wall) runs zero stage-one work — no precompute observation, no
+    prepare, no sketches computed."""
+    kb = load_knowledge_base(kb_dir)
+    parent = AidaDisambiguator(kb, config=_config())
+    shared = _shared_sketches(kb_dir, parent)
+    baseline = _lsh_counts(metrics)
+
+    factory = _PipelineFactory(
+        kb_dir,
+        "full",
+        relatedness_backend="kore_lsh_g",
+        sketches=shared,
+    )
+    worker = factory()  # what each pool process runs at spawn
+    after_spawn = _lsh_counts(metrics)
+    assert after_spawn == baseline, "worker spawn recomputed sketches"
+
+    lsh = _lsh_measure(worker.relatedness)
+    assert lsh is not None
+    assert lsh.precompute() == 0  # complete table: guaranteed no-op
+
+    # The worker still *works*: sketches resolve through the shared
+    # table and stage two prepares normally (which may observe
+    # prepare_ms — that is per-request work, not spawn work).
+    entities = sorted(kb.entity_ids())[:8]
+    lsh.prepare(entities)
+    assert _lsh_counts(metrics)["sketched"] == baseline["sketched"]
+
+
+def test_incomplete_sketches_still_precompute():
+    """A plain (incomplete) dict of sketches keeps the old behaviour —
+    the KB-wide pass runs and fills the gaps."""
+    from repro.relatedness.kore import KoreRelatedness
+    from repro.weights.model import WeightModel
+    from repro.datagen.stress import StressConfig, generate_stress_kb
+
+    kb = generate_stress_kb(StressConfig(entities=30))
+    store = kb.keyphrases
+    weights = WeightModel(store, kb.links)
+    measure = KoreLshRelatedness(
+        store,
+        KoreRelatedness(store, weights),
+        LshSettings.recall_geared(),
+        sketches={},
+    )
+    assert not measure._sketches_complete
+    assert measure.precompute() == 30
+    assert len(measure.export_sketches()) == 30
