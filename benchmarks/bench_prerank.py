@@ -1,0 +1,504 @@
+"""Dense pre-ranker speed/accuracy frontier.
+
+Two workloads:
+
+* **Speed** — a stress KB whose ``candidate_pool`` knob gives every
+  pooled mention exactly the same (large) candidate-set size, with
+  synthetic documents whose context tokens come from the gold member's
+  keyphrases.  End-to-end pipeline throughput is measured with the
+  pre-ranker off and at ``K = SPEED_TOPK``; both pipelines share one
+  pre-trained embedding model so training cost is excluded from both.
+* **Accuracy** — the frozen golden corpus (same world/KB seeds as the
+  regression fixture) swept over K, reporting micro/macro accuracy and
+  pruning volume per K against the unpruned baseline.
+
+Plus two exactness checks:
+
+* **Identity** — ``prerank_topk`` at or above the largest pool produces
+  assignment lists (mention, entity, score) bit-identical to the
+  pre-ranker-off path, on both workloads;
+* **Determinism** — training twice with the same seed yields
+  byte-identical embedding matrices (sha256 of ``tobytes()``).
+
+Runs two ways:
+
+* under pytest with the rest of the benchmark suite (a smoke over a
+  reduced workload that checks exactness and pruning shape, not
+  wall-clock);
+* as a script writing ``BENCH_prerank.json``::
+
+      PYTHONPATH=src:. python benchmarks/bench_prerank.py \
+          --out BENCH_prerank.json --check
+
+  ``--check`` exits non-zero unless K = SPEED_TOPK doubles stress
+  throughput, its golden-corpus micro accuracy stays within half a
+  point of the unpruned path, both identity checks hold, and training
+  is deterministic (the CI ``prerank-smoke`` gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from benchmarks.common import render_table
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.io import load_corpus
+from repro.datagen.stress import StressConfig, generate_stress_kb
+from repro.datagen.wikipedia import build_world_kb
+from repro.datagen.world import World, WorldConfig
+from repro.embeddings import EmbeddingConfig, train_embeddings
+from repro.eval.runner import run_disambiguator
+from repro.types import Document, Mention
+
+#: Same seeds as tests/fixtures/golden/generate.py and tests/conftest.py.
+WORLD_SEED = 7
+CLUSTERS_PER_DOMAIN = 4
+KB_SEED = 101
+
+GOLDEN_CORPUS = os.path.join(
+    os.path.dirname(__file__),
+    os.pardir,
+    "tests",
+    "fixtures",
+    "golden",
+    "corpus.jsonl",
+)
+
+#: The speed workload: every pooled mention retrieves exactly
+#: ``candidate_pool`` candidates (the acceptance floor is pools >= 32).
+STRESS = StressConfig(
+    entities=1600,
+    seed=17,
+    candidate_pool=40,
+    ambiguous_fraction=0.0,
+    links_per_entity=3,
+    phrases_per_entity=3,
+)
+SPEED_DOCS = 24
+SPEED_MENTIONS_PER_DOC = 6
+SPEED_CONTEXT_WORDS = 9  # per mention: 3 keyphrases x 3 words
+
+#: The pre-ranker cut evaluated by the speed and accuracy gates.
+SPEED_TOPK = 8
+#: Golden-corpus K sweep reported in docs/performance.md.
+ACCURACY_SWEEP = (2, 4, 8, 16)
+
+#: The acceptance gates of the prerank-smoke CI job.
+CHECK_SPEEDUP = 2.0
+CHECK_ACCURACY_POINTS = 0.005
+
+_cache: Dict[str, object] = {}
+
+
+def golden_kb():
+    if "kb" not in _cache:
+        world = World.generate(
+            WorldConfig(
+                seed=WORLD_SEED, clusters_per_domain=CLUSTERS_PER_DOMAIN
+            )
+        )
+        _cache["kb"], _ = build_world_kb(world, seed=KB_SEED)
+    return _cache["kb"]
+
+
+def golden_documents():
+    if "docs" not in _cache:
+        _cache["docs"] = load_corpus(GOLDEN_CORPUS)
+    return _cache["docs"]
+
+
+def golden_model():
+    if "model" not in _cache:
+        _cache["model"] = train_embeddings(golden_kb(), EmbeddingConfig())
+    return _cache["model"]
+
+
+# ----------------------------------------------------------------------
+# Speed workload (stress KB with pooled surfaces)
+# ----------------------------------------------------------------------
+def build_speed_documents(
+    kb, config: StressConfig, num_docs: int, mentions_per_doc: int
+) -> List[Document]:
+    """Synthetic documents over the pooled surfaces.
+
+    Each mention's context tokens are keyphrase words of one pool member
+    (the deterministic "gold" pick), so the embedding space and the
+    keyphrase scorers both have signal to rank the pool with.
+    """
+    n_pools = config.entities // config.candidate_pool
+    documents: List[Document] = []
+    for d in range(num_docs):
+        tokens: List[str] = []
+        mentions: List[Mention] = []
+        for j in range(mentions_per_doc):
+            pool = (d * mentions_per_doc + j) % n_pools
+            surface = f"Pool{pool:05d}"
+            members = sorted(kb.candidates(surface))
+            gold = members[(d + 3 * j) % len(members)]
+            words = [
+                word
+                for phrase, _count in sorted(
+                    kb.keyphrases.keyphrase_counts(gold).items()
+                )
+                for word in phrase
+            ]
+            tokens.extend(words[:SPEED_CONTEXT_WORDS])
+            mentions.append(
+                Mention(surface=surface, start=len(tokens), end=len(tokens) + 1)
+            )
+            tokens.append(surface)
+        documents.append(
+            Document(
+                doc_id=f"stress-{d:03d}",
+                tokens=tuple(tokens),
+                mentions=tuple(mentions),
+            )
+        )
+    return documents
+
+
+def _assignment_key(result) -> List[Tuple[str, int, int, str, float]]:
+    """The bit-identity comparison unit: every assignment, exactly."""
+    return [
+        (a.mention.surface, a.mention.start, a.mention.end, a.entity, a.score)
+        for a in result.assignments
+    ]
+
+
+def _prerank_counters(result) -> Tuple[int, int]:
+    counters = result.stats.counters if result.stats else {}
+    return (
+        int(counters.get("prerank_pruned", 0)),
+        int(counters.get("prerank_survived", 0)),
+    )
+
+
+def run_speed(
+    stress: StressConfig = STRESS,
+    num_docs: int = SPEED_DOCS,
+    topk: int = SPEED_TOPK,
+) -> Dict[str, object]:
+    """Off-vs-K throughput over the pooled stress workload.
+
+    Returns the two rows plus the identity check at K >= pool size.
+    """
+    kb = generate_stress_kb(stress)
+    documents = build_speed_documents(
+        kb, stress, num_docs, SPEED_MENTIONS_PER_DOC
+    )
+    model = train_embeddings(kb, EmbeddingConfig())
+    rows: List[Dict[str, object]] = []
+    baselines: Dict[Optional[int], List] = {}
+    for k in (None, topk, stress.candidate_pool):
+        config = AidaConfig.full()
+        config.prerank_topk = k
+        pipeline = AidaDisambiguator(
+            kb,
+            config=config,
+            embedding_model=model if k is not None else None,
+        )
+        pruned = survived = 0
+        keys = []
+        start = time.perf_counter()
+        for document in documents:
+            result = pipeline.disambiguate(document)
+            p, s = _prerank_counters(result)
+            pruned += p
+            survived += s
+            keys.append(_assignment_key(result))
+        elapsed = time.perf_counter() - start
+        baselines[k] = keys
+        rows.append(
+            {
+                "prerank_topk": k,
+                "documents": len(documents),
+                "candidate_pool": stress.candidate_pool,
+                "pruned": pruned,
+                "survived": survived,
+                "seconds": elapsed,
+                "docs_per_second": (
+                    len(documents) / elapsed if elapsed > 0 else 0.0
+                ),
+            }
+        )
+    off, at_k = rows[0], rows[1]
+    return {
+        "rows": rows[:2],
+        "speedup": (
+            at_k["docs_per_second"] / off["docs_per_second"]
+            if off["docs_per_second"]
+            else 0.0
+        ),
+        "identity_at_pool_size": baselines[stress.candidate_pool]
+        == baselines[None],
+    }
+
+
+# ----------------------------------------------------------------------
+# Accuracy workload (golden corpus K sweep)
+# ----------------------------------------------------------------------
+def run_accuracy(
+    doc_limit: Optional[int] = None,
+    sweep: Tuple[int, ...] = ACCURACY_SWEEP,
+) -> Dict[str, object]:
+    """Golden-corpus micro/macro per K against the unpruned baseline."""
+    kb = golden_kb()
+    documents = golden_documents()
+    if doc_limit:
+        documents = documents[:doc_limit]
+    model = golden_model()
+    rows: List[Dict[str, object]] = []
+    identity_keys: Dict[str, List] = {}
+    baseline_micro = 0.0
+    for k in (None,) + tuple(sweep) + (10 ** 6,):
+        config = AidaConfig.full()
+        config.prerank_topk = k
+        pipeline = AidaDisambiguator(
+            kb,
+            config=config,
+            embedding_model=model if k is not None else None,
+        )
+        pruned = survived = 0
+        keys = []
+        for document in documents:
+            result = pipeline.disambiguate(document.document)
+            p, s = _prerank_counters(result)
+            pruned += p
+            survived += s
+            if k is None or k == 10 ** 6:
+                keys.append(_assignment_key(result))
+        run = run_disambiguator(pipeline, documents, kb=kb)
+        if k is None:
+            baseline_micro = run.micro
+            identity_keys["off"] = keys
+        elif k == 10 ** 6:
+            identity_keys["huge"] = keys
+            continue  # the sentinel K is only for the identity check
+        rows.append(
+            {
+                "prerank_topk": k,
+                "documents": len(documents),
+                "micro_accuracy": run.micro,
+                "macro_accuracy": run.macro,
+                "micro_delta_vs_off": run.micro - baseline_micro,
+                "pruned": pruned,
+                "survived": survived,
+            }
+        )
+    return {
+        "rows": rows,
+        "identity_at_huge_k": identity_keys["huge"] == identity_keys["off"],
+    }
+
+
+def run_determinism() -> Dict[str, object]:
+    """Same KB + seed twice -> byte-identical matrices; new seed differs."""
+    kb = golden_kb()
+    first = train_embeddings(kb, EmbeddingConfig()).fingerprint()
+    second = train_embeddings(kb, EmbeddingConfig()).fingerprint()
+    other = train_embeddings(kb, EmbeddingConfig(seed=99)).fingerprint()
+    return {
+        "fingerprint": first,
+        "repeatable": first == second,
+        "seed_sensitive": first != other,
+    }
+
+
+# ----------------------------------------------------------------------
+# Reporting and gates
+# ----------------------------------------------------------------------
+def _render_speed(speed) -> str:
+    headers = ["prerank", "pools", "pruned", "seconds", "docs/s"]
+    table = [
+        [
+            "off" if r["prerank_topk"] is None else f"K={r['prerank_topk']}",
+            str(r["candidate_pool"]),
+            str(r["pruned"]),
+            f"{r['seconds']:.3f}",
+            f"{r['docs_per_second']:.2f}",
+        ]
+        for r in speed["rows"]
+    ]
+    return render_table(
+        headers,
+        table,
+        title=(
+            f"dense pre-ranker throughput (stress, pool="
+            f"{STRESS.candidate_pool}; speedup {speed['speedup']:.2f}x)"
+        ),
+    )
+
+
+def _render_accuracy(accuracy) -> str:
+    headers = ["prerank", "micro", "macro", "delta", "pruned", "survived"]
+    table = [
+        [
+            "off" if r["prerank_topk"] is None else f"K={r['prerank_topk']}",
+            f"{100 * r['micro_accuracy']:.2f}%",
+            f"{100 * r['macro_accuracy']:.2f}%",
+            f"{100 * r['micro_delta_vs_off']:+.2f}",
+            str(r["pruned"]),
+            str(r["survived"]),
+        ]
+        for r in accuracy["rows"]
+    ]
+    return render_table(
+        headers, table, title="dense pre-ranker K sweep (golden corpus)"
+    )
+
+
+def check_gates(speed, accuracy, determinism) -> List[str]:
+    """The prerank-smoke gate; returns a list of failure messages."""
+    failures: List[str] = []
+    if speed["speedup"] < CHECK_SPEEDUP:
+        failures.append(
+            f"K={SPEED_TOPK} speedup {speed['speedup']:.2f}x is below "
+            f"the {CHECK_SPEEDUP:.1f}x gate on the pooled stress workload"
+        )
+    if not speed["identity_at_pool_size"]:
+        failures.append(
+            "K = pool size changed assignments on the stress workload "
+            "(must be bit-identical to the pre-ranker-off path)"
+        )
+    if not accuracy["identity_at_huge_k"]:
+        failures.append(
+            "huge K changed assignments on the golden corpus "
+            "(must be bit-identical to the pre-ranker-off path)"
+        )
+    by_k = {row["prerank_topk"]: row for row in accuracy["rows"]}
+    gate_row = by_k.get(SPEED_TOPK)
+    if gate_row is None:
+        failures.append(f"accuracy sweep did not include K={SPEED_TOPK}")
+    elif abs(gate_row["micro_delta_vs_off"]) > CHECK_ACCURACY_POINTS + 1e-12:
+        failures.append(
+            f"K={SPEED_TOPK} micro accuracy drifted "
+            f"{100 * abs(gate_row['micro_delta_vs_off']):.2f} points from "
+            f"the unpruned path (> {100 * CHECK_ACCURACY_POINTS:.1f})"
+        )
+    if not determinism["repeatable"]:
+        failures.append(
+            "training the same KB + seed twice produced different "
+            "matrices (must be byte-identical)"
+        )
+    if not determinism["seed_sensitive"]:
+        failures.append(
+            "changing the training seed left the matrices unchanged "
+            "(the seed is not reaching the RNG)"
+        )
+    return failures
+
+
+def test_prerank_smoke(benchmark):
+    """Pytest smoke: exactness, determinism and pruning shape hold.
+
+    Wall-clock is not gated here (a reduced workload on shared CI
+    hardware); the scripted ``--check`` run gates the 2x throughput and
+    half-point accuracy criteria on the full workloads.
+    """
+    from benchmarks.conftest import report
+
+    small = StressConfig(
+        entities=480, seed=17, candidate_pool=40, ambiguous_fraction=0.0
+    )
+
+    def run():
+        return (
+            run_speed(stress=small, num_docs=6),
+            run_accuracy(doc_limit=8, sweep=(SPEED_TOPK,)),
+            run_determinism(),
+        )
+
+    speed, accuracy, determinism = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report(
+        "dense pre-ranker - stress + golden corpus",
+        _render_speed(speed) + "\n" + _render_accuracy(accuracy),
+    )
+    assert speed["identity_at_pool_size"]
+    assert accuracy["identity_at_huge_k"]
+    assert determinism["repeatable"]
+    assert determinism["seed_sensitive"]
+    assert speed["rows"][1]["pruned"] > 0
+    assert speed["rows"][0]["pruned"] == 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--doc-limit", type=int, default=0,
+        help="cap the golden corpus at N documents (0 = full corpus)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_prerank.json", help="JSON output path"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless K doubles stress throughput within "
+        "half a point of unpruned golden-corpus micro accuracy, huge K "
+        "is bit-identical to the unpruned path, and training is "
+        "deterministic",
+    )
+    args = parser.parse_args(argv)
+
+    speed = run_speed()
+    print(_render_speed(speed))
+    accuracy = run_accuracy(args.doc_limit or None)
+    print()
+    print(_render_accuracy(accuracy))
+    determinism = run_determinism()
+    print(
+        "\ndeterminism: repeatable="
+        f"{determinism['repeatable']} "
+        f"seed_sensitive={determinism['seed_sensitive']}"
+    )
+    print(
+        "identity: stress K=pool "
+        f"{'OK' if speed['identity_at_pool_size'] else 'MISMATCH'}, "
+        "golden huge-K "
+        f"{'OK' if accuracy['identity_at_huge_k'] else 'MISMATCH'}"
+    )
+
+    record = {
+        "benchmark": "dense_preranker",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "world_seed": WORLD_SEED,
+        "clusters_per_domain": CLUSTERS_PER_DOMAIN,
+        "kb_seed": KB_SEED,
+        "stress": {
+            "entities": STRESS.entities,
+            "candidate_pool": STRESS.candidate_pool,
+            "documents": SPEED_DOCS,
+            "mentions_per_doc": SPEED_MENTIONS_PER_DOC,
+        },
+        "speed_topk": SPEED_TOPK,
+        "check_speedup": CHECK_SPEEDUP,
+        "check_accuracy_points": CHECK_ACCURACY_POINTS,
+        "speed": speed,
+        "accuracy": accuracy,
+        "determinism": determinism,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.out}")
+
+    if args.check:
+        failures = check_gates(speed, accuracy, determinism)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

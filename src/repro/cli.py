@@ -34,6 +34,9 @@ Examples::
     python -m repro serve --kb /tmp/kb --port 8400 --slo-ms 500
     python -m repro snapshot build --kb /tmp/kb --out /tmp/kb.snap
     python -m repro serve --snapshot /tmp/kb.snap --executor process
+    python -m repro embeddings train --kb /tmp/kb --out /tmp/emb.npz
+    python -m repro evaluate --kb /tmp/kb --corpus /tmp/conll.jsonl \
+        --prerank-topk 8
 
 The ``snapshot`` subcommand compiles a saved KB into a single mmap-able
 image (see ``docs/snapshots.md``); ``--snapshot`` on evaluate/serve then
@@ -49,7 +52,12 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core.config import RELATEDNESS_BACKENDS, AidaConfig
+from repro.core.config import (
+    RELATEDNESS_BACKENDS,
+    SIMILARITY_BACKENDS,
+    AidaConfig,
+)
+from repro.errors import ConfigurationError
 from repro.core.pipeline import AidaDisambiguator
 from repro.datagen.wikipedia import build_world_kb
 from repro.faults import (
@@ -124,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_compiled_argument(dis)
     _add_relatedness_argument(dis)
+    _add_prerank_arguments(dis)
     _add_obs_arguments(dis)
     _add_robustness_arguments(dis)
 
@@ -133,11 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
     rel.add_argument("--kb", required=True)
     rel.add_argument(
         "--measure", "--relatedness",
-        choices=("mw", "kore", "jaccard", "kore_lsh_g", "kore_lsh_f"),
+        choices=(
+            "mw", "kore", "jaccard", "kore_lsh_g", "kore_lsh_f",
+            "embedding",
+        ),
         default="kore",
         help="relatedness measure; the kore_lsh_* variants prepare the "
         "two-stage LSH over the listed entities and prune non-colliding "
-        "pairs to 0",
+        "pairs to 0; 'embedding' trains (or reuses) the joint embedding "
+        "space and scores pairs by entity-vector cosine",
     )
     rel.add_argument(
         "entities", nargs="+", help="two or more entity ids (all pairs)"
@@ -202,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_compiled_argument(evaluate)
     _add_relatedness_argument(evaluate)
+    _add_prerank_arguments(evaluate)
     _add_obs_arguments(evaluate)
     _add_robustness_arguments(evaluate)
 
@@ -276,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_compiled_argument(serve)
     _add_relatedness_argument(serve)
+    _add_prerank_arguments(serve)
     _add_obs_arguments(serve)
     _add_robustness_arguments(serve)
 
@@ -312,12 +327,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated LSH sketch tables to embed: g = "
         "recall-geared, f = fast (empty string = none)",
     )
+    snap_build.add_argument(
+        "--embeddings",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="train the joint word/entity embedding space and embed its "
+        "matrices as snapshot sections, so pre-ranking and embedding "
+        "backends need no per-worker training at load time",
+    )
+    snap_build.add_argument(
+        "--embedding-dim", type=int, default=48, metavar="D",
+        help="embedding dimensionality for --embeddings",
+    )
+    snap_build.add_argument(
+        "--embedding-seed", type=int, default=13, metavar="SEED",
+        help="training seed for --embeddings (same seed + KB -> "
+        "byte-identical matrices)",
+    )
     snap_inspect = snap_sub.add_parser(
         "inspect",
         help="verify every checksum and print the manifest + section "
         "layout as JSON",
     )
     snap_inspect.add_argument("path", help="snapshot file")
+
+    emb = subparsers.add_parser(
+        "embeddings",
+        help="train or inspect the joint word/entity embedding model "
+        "behind the dense pre-ranker and the embedding backends",
+    )
+    emb_sub = emb.add_subparsers(dest="embeddings_command", required=True)
+    emb_train = emb_sub.add_parser(
+        "train",
+        help="train skip-gram-with-negative-sampling embeddings over a "
+        "saved KB's keyphrases, names and link neighborhoods "
+        "(deterministic: same KB + seed -> byte-identical matrices)",
+    )
+    emb_train.add_argument("--kb", required=True, help="saved KB directory")
+    emb_train.add_argument(
+        "--out", required=True, help="output model file (.npz)"
+    )
+    emb_train.add_argument("--dim", type=int, default=48)
+    emb_train.add_argument("--window", type=int, default=4)
+    emb_train.add_argument("--negatives", type=int, default=5)
+    emb_train.add_argument("--epochs", type=int, default=3)
+    emb_train.add_argument("--learning-rate", type=float, default=0.05)
+    emb_train.add_argument("--batch-size", type=int, default=2048)
+    emb_train.add_argument("--seed", type=int, default=13)
+    emb_inspect = emb_sub.add_parser(
+        "inspect",
+        help="print a trained model's shape, matrix fingerprints and "
+        "training provenance as JSON",
+    )
+    emb_inspect.add_argument("path", help="model file (.npz)")
 
     obs = subparsers.add_parser(
         "obs",
@@ -349,10 +411,52 @@ def _add_relatedness_argument(sub: argparse.ArgumentParser) -> None:
         choices=RELATEDNESS_BACKENDS,
         default="mw",
         help="entity-entity coherence backend: Milne-Witten inlink "
-        "overlap (default), exact KORE, or KORE behind two-stage "
+        "overlap (default), exact KORE, KORE behind two-stage "
         "min-hash/LSH pruning in the recall-geared (kore_lsh_g) or "
-        "speed-geared (kore_lsh_f) parameterization",
+        "speed-geared (kore_lsh_f) parameterization, or entity-vector "
+        "cosine in the joint embedding space (embedding)",
     )
+
+
+def _add_prerank_arguments(sub: argparse.ArgumentParser) -> None:
+    """The dense pre-ranker / similarity-backend flags."""
+    group = sub.add_argument_group("dense pre-ranking")
+    group.add_argument(
+        "--prerank-topk", type=int, default=None, metavar="K",
+        help="truncate each mention's candidate pool to its top-K "
+        "entities by embedding cosine before keyphrase scoring and "
+        "coherence (prior-top and pinned candidates always survive); "
+        "omit to disable — the pipeline is then bit-identical to the "
+        "unpruned path",
+    )
+    group.add_argument(
+        "--similarity-backend",
+        choices=SIMILARITY_BACKENDS,
+        default="keyphrase",
+        help="mention-entity similarity backend: keyphrase cover "
+        "matching (default) or context/entity cosine in the joint "
+        "embedding space",
+    )
+
+
+def _apply_pipeline_flags(
+    config: AidaConfig, args: argparse.Namespace
+) -> AidaConfig:
+    """Overlay the shared pipeline flags on a variant config.
+
+    Re-validates after mutation (``__post_init__`` only saw the variant
+    defaults) and turns a bad combination into a clean CLI error instead
+    of a traceback.
+    """
+    config.use_compiled = args.compiled
+    config.relatedness_backend = args.relatedness
+    config.similarity_backend = args.similarity_backend
+    config.prerank_topk = args.prerank_topk
+    try:
+        config.validate()
+    except ConfigurationError as exc:
+        raise SystemExit(f"error: {exc}")
+    return config
 
 
 def _add_snapshot_argument(sub: argparse.ArgumentParser) -> None:
@@ -542,9 +646,7 @@ def cmd_disambiguate(args: argparse.Namespace) -> int:
         if not document.mentions:
             print("no entity mentions recognized")
             return 0
-        config = AIDA_VARIANTS[args.variant]()
-        config.use_compiled = args.compiled
-        config.relatedness_backend = args.relatedness
+        config = _apply_pipeline_flags(AIDA_VARIANTS[args.variant](), args)
         aida = make_resilient(
             AidaDisambiguator(kb, config=config),
             _robustness_config(args),
@@ -580,6 +682,10 @@ def cmd_relatedness(args: argparse.Namespace) -> int:
         measure = MilneWittenRelatedness(kb.links, max(kb.entity_count, 2))
     elif args.measure == "jaccard":
         measure = InlinkJaccardRelatedness(kb.links)
+    elif args.measure == "embedding":
+        from repro.embeddings import EmbeddingRelatedness, shared_model
+
+        measure = EmbeddingRelatedness(shared_model(kb))
     else:
         weights = WeightModel(kb.keyphrases, kb.links)
         compiled = None
@@ -664,12 +770,16 @@ class _PipelineFactory:
         use_compiled: bool = True,
         relatedness_backend: str = "mw",
         sketches=None,
+        similarity_backend: str = "keyphrase",
+        prerank_topk: Optional[int] = None,
     ):
         self.kb_dir = kb_dir
         self.variant = variant
         self.use_compiled = use_compiled
         self.relatedness_backend = relatedness_backend
         self.sketches = sketches
+        self.similarity_backend = similarity_backend
+        self.prerank_topk = prerank_topk
 
     @property
     def source_description(self) -> str:
@@ -681,6 +791,9 @@ class _PipelineFactory:
         config = AIDA_VARIANTS[self.variant]()
         config.use_compiled = self.use_compiled
         config.relatedness_backend = self.relatedness_backend
+        config.similarity_backend = self.similarity_backend
+        config.prerank_topk = self.prerank_topk
+        config.validate()
         relatedness = None
         if self.sketches is not None:
             relatedness = AidaDisambiguator.build_relatedness(
@@ -768,9 +881,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         if not args.kb and not args.snapshot:
             raise SystemExit("evaluate requires --kb or --snapshot")
         documents = load_corpus(args.corpus)
-        config = AIDA_VARIANTS[args.variant]()
-        config.use_compiled = args.compiled
-        config.relatedness_backend = args.relatedness
+        config = _apply_pipeline_flags(AIDA_VARIANTS[args.variant](), args)
         robustness = _robustness_config(args)
         relatedness = None
         if args.snapshot:
@@ -816,6 +927,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                     use_compiled=args.compiled,
                     relatedness_backend=args.relatedness,
                     sketches=_shared_sketches(args.kb, pipeline),
+                    similarity_backend=args.similarity_backend,
+                    prerank_topk=args.prerank_topk,
                 )
             if robustness is not None:
                 factory = ResilientFactory(factory, robustness)
@@ -927,9 +1040,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         if not args.kb and not args.snapshot:
             raise SystemExit("serve requires --kb or --snapshot")
-        config = AIDA_VARIANTS[args.variant]()
-        config.use_compiled = args.compiled
-        config.relatedness_backend = args.relatedness
+        config = _apply_pipeline_flags(AIDA_VARIANTS[args.variant](), args)
         factory = None
         if args.snapshot:
             from repro.kb.snapshot import (
@@ -964,6 +1075,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     use_compiled=args.compiled,
                     relatedness_backend=args.relatedness,
                     sketches=_shared_sketches(args.kb, pipeline),
+                    similarity_backend=args.similarity_backend,
+                    prerank_topk=args.prerank_topk,
                 )
         server = DisambiguationServer(
             pipeline,
@@ -1015,6 +1128,16 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
             part for part in args.gearings.split(",") if part
         )
         kb = load_knowledge_base(args.kb)
+        embeddings = None
+        if args.embeddings:
+            from repro.embeddings import EmbeddingConfig, train_embeddings
+
+            embeddings = train_embeddings(
+                kb,
+                EmbeddingConfig(
+                    dim=args.embedding_dim, seed=args.embedding_seed
+                ),
+            )
         manifest = build_snapshot(
             kb,
             args.out,
@@ -1023,14 +1146,22 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
             backend=args.backend,
             gearings=gearings,
             source_fingerprint=kb_fingerprint(args.kb),
+            embeddings=embeddings,
         )
         counts = manifest["counts"]
+        emb_info = manifest.get("embeddings")
+        emb_text = (
+            f"embeddings: d={emb_info['dim']}" if emb_info else
+            "embeddings: none"
+        )
         print(
             f"wrote {args.out}: {os.path.getsize(args.out)} bytes, "
             f"{counts['entities']} entities, "
             f"{counts['vocabulary']} words, "
             f"{counts['link_edges']} link edges, "
-            f"lsh gearings: {', '.join(sorted(manifest['lsh'])) or 'none'}"
+            f"lsh gearings: "
+            f"{', '.join(sorted(manifest['lsh'])) or 'none'}, "
+            f"{emb_text}"
         )
         return 0
     if args.snapshot_command == "inspect":
@@ -1047,6 +1178,53 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
         return 0
     raise SystemExit(
         f"unknown snapshot subcommand {args.snapshot_command!r}"
+    )
+
+
+def cmd_embeddings(args: argparse.Namespace) -> int:
+    """Handle ``embeddings``: train or inspect embedding models."""
+    from repro.embeddings import (
+        EmbeddingConfig,
+        EmbeddingModel,
+        train_embeddings,
+    )
+
+    if args.embeddings_command == "train":
+        try:
+            config = EmbeddingConfig(
+                dim=args.dim,
+                window=args.window,
+                negatives=args.negatives,
+                epochs=args.epochs,
+                learning_rate=args.learning_rate,
+                batch_size=args.batch_size,
+                seed=args.seed,
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}")
+        kb = load_knowledge_base(args.kb)
+        model = train_embeddings(kb, config)
+        path = model.save(args.out)
+        print(
+            f"wrote {path}: d={model.dim}, {len(model.words)} words, "
+            f"{len(model.entity_ids)} entities, "
+            f"{model.meta.get('pairs', '?')} training pairs"
+        )
+        return 0
+    if args.embeddings_command == "inspect":
+        try:
+            model = EmbeddingModel.load(args.path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        try:
+            print(json.dumps(model.describe(), indent=2))
+        except BrokenPipeError:
+            # Downstream consumer (e.g. ``| head``) closed the pipe.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    raise SystemExit(
+        f"unknown embeddings subcommand {args.embeddings_command!r}"
     )
 
 
@@ -1082,6 +1260,7 @@ _COMMANDS = {
     "evaluate": cmd_evaluate,
     "serve": cmd_serve,
     "snapshot": cmd_snapshot,
+    "embeddings": cmd_embeddings,
     "obs": cmd_obs,
 }
 

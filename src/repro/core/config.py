@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.graph.dense_subgraph import DenseSubgraphConfig
@@ -33,10 +34,16 @@ class PriorMode(enum.Enum):
 
 
 #: Selectable entity-entity coherence backends: Milne–Witten inlink
-#: overlap (the Chapter 3 default), exact KORE, and KORE behind two-stage
+#: overlap (the Chapter 3 default), exact KORE, KORE behind two-stage
 #: min-hash/LSH pre-clustering in the recall-geared (G) and speed-geared
-#: (F) parameterizations of Section 4.4.2.
-RELATEDNESS_BACKENDS = ("mw", "kore", "kore_lsh_g", "kore_lsh_f")
+#: (F) parameterizations of Section 4.4.2, and cosine in the joint
+#: word/entity embedding space (:mod:`repro.embeddings`).
+RELATEDNESS_BACKENDS = ("mw", "kore", "kore_lsh_g", "kore_lsh_f", "embedding")
+
+#: Selectable mention-entity similarity backends: keyphrase cover
+#: matching (Eq. 3.4/3.6, optionally compiled) or context/entity cosine
+#: in the embedding space — the sparse-keyphrase fallback regime.
+SIMILARITY_BACKENDS = ("keyphrase", "embedding")
 
 
 @dataclass
@@ -84,9 +91,26 @@ class AidaConfig:
     #: precompute KB-wide entity sketches at pipeline construction and
     #: compute exact (compiled) KORE only on pairs surviving LSH banding.
     relatedness_backend: str = "mw"
+    #: Mention-entity similarity backend (one of
+    #: :data:`SIMILARITY_BACKENDS`).  ``embedding`` scores candidates by
+    #: context/entity cosine in the joint embedding space instead of
+    #: keyphrase cover matching.
+    similarity_backend: str = "keyphrase"
+    #: Dense pre-ranker truncation K: after candidate retrieval, each
+    #: mention's pool is cut to its top-K candidates by embedding cosine
+    #: (prior-top and pinned/extra candidates always survive) before the
+    #: similarity and coherence stages.  ``None`` disables the stage
+    #: entirely — the pipeline is then bit-identical to the unpruned
+    #: path, as it is for any K at or above the largest pool.
+    prerank_topk: Optional[int] = None
     graph: DenseSubgraphConfig = field(default_factory=DenseSubgraphConfig)
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check every knob; raised-from here by ``__post_init__`` and by
+        the CLI after post-construction mutation of parsed flags."""
         if not 0.0 <= self.prior_threshold <= 1.0:
             raise ConfigurationError("prior_threshold must be in [0, 1]")
         if not 0.0 <= self.coherence_threshold <= 2.0:
@@ -106,6 +130,25 @@ class AidaConfig:
                 f"{', '.join(RELATEDNESS_BACKENDS)} "
                 f"(got {self.relatedness_backend!r})"
             )
+        if self.similarity_backend not in SIMILARITY_BACKENDS:
+            raise ConfigurationError(
+                f"similarity_backend must be one of "
+                f"{', '.join(SIMILARITY_BACKENDS)} "
+                f"(got {self.similarity_backend!r})"
+            )
+        if self.prerank_topk is not None and self.prerank_topk < 1:
+            raise ConfigurationError(
+                "prerank_topk must be >= 1 (or None to disable)"
+            )
+
+    @property
+    def needs_embeddings(self) -> bool:
+        """Whether any configured component requires a trained model."""
+        return (
+            self.prerank_topk is not None
+            or self.similarity_backend == "embedding"
+            or self.relatedness_backend == "embedding"
+        )
 
     # ------------------------------------------------------------------
     # Named configurations of Table 3.2

@@ -3,6 +3,9 @@
 Stages, per document:
 
 1. candidate retrieval for every mention via the KB dictionary;
+1b. (optional) dense pre-ranking: each mention's pool is truncated to its
+   top-K candidates by embedding cosine before any scoring runs
+   (:mod:`repro.embeddings.prerank`);
 2. keyphrase cover-matching similarity and popularity prior per candidate;
 3. the prior robustness test decides per mention whether the prior enters
    the mention-entity edge weight;
@@ -64,6 +67,7 @@ class AidaDisambiguator:
         keyphrase_store: Optional[KeyphraseStore] = None,
         weight_model: Optional[WeightModel] = None,
         compiled_keyphrases=None,
+        embedding_model=None,
     ):
         self.kb = kb
         self.config = config if config is not None else AidaConfig.full()
@@ -75,30 +79,70 @@ class AidaDisambiguator:
             if weight_model is not None
             else WeightModel(self.store, kb.links)
         )
+        #: The joint word/entity embedding model, or None when no
+        #: configured component needs one.  An explicitly passed model
+        #: (snapshot sections, CLI artifacts) wins; otherwise one is
+        #: trained deterministically from the KB and shared across
+        #: pipelines over the same KB object.
+        self.embeddings = embedding_model
+        if self.embeddings is None and self.config.needs_embeddings:
+            from repro.embeddings import shared_model
+
+            self.embeddings = shared_model(kb)
         self.relatedness = (
             relatedness
             if relatedness is not None
             else self.build_relatedness(
-                kb, self.config, store=self.store, weights=self.weights
+                kb,
+                self.config,
+                store=self.store,
+                weights=self.weights,
+                embeddings=self.embeddings,
             )
         )
         max_kp = self.config.max_keyphrases or None
         #: The shared compiled keyphrase model, or None on the reference
         #: path.  An explicitly passed model wins over ``use_compiled``;
         #: otherwise one is built here (and on failure the pipeline logs
-        #: a warning and degrades to the reference scorers).
+        #: a warning and degrades to the reference scorers) — unless no
+        #: configured component consumes keyphrase scoring at all.
         self.compiled = compiled_keyphrases
-        if self.compiled is None and self.config.use_compiled:
-            self.compiled = self._build_compiled(max_kp)
-        self.similarity = KeyphraseSimilarity(
-            self.store,
-            self.weights,
-            weight_scheme=self.config.keyword_weight_scheme,
-            max_keyphrases=max_kp,
-            compiled=self.compiled,
+        needs_compiled = (
+            self.config.similarity_backend == "keyphrase"
+            or self.config.relatedness_backend
+            in ("kore", "kore_lsh_g", "kore_lsh_f")
         )
+        if (
+            self.compiled is None
+            and self.config.use_compiled
+            and needs_compiled
+        ):
+            self.compiled = self._build_compiled(max_kp)
+        if self.config.similarity_backend == "embedding":
+            from repro.embeddings import EmbeddingSimilarity
+
+            self.similarity = EmbeddingSimilarity(self.embeddings)
+        else:
+            self.similarity = KeyphraseSimilarity(
+                self.store,
+                self.weights,
+                weight_scheme=self.config.keyword_weight_scheme,
+                max_keyphrases=max_kp,
+                compiled=self.compiled,
+            )
         if self.compiled is not None:
             self._attach_compiled_relatedness(self.compiled)
+        #: Dense candidate pre-ranker, or None when ``prerank_topk`` is
+        #: unset (the stage is then skipped entirely — not entered with
+        #: a no-op — so the unpruned pipeline's stage list and stats are
+        #: byte-for-byte unchanged).
+        self.preranker = None
+        if self.config.prerank_topk is not None:
+            from repro.embeddings import DensePreRanker
+
+            self.preranker = DensePreRanker(
+                self.embeddings, self.config.prerank_topk
+            )
         # Stage one of the LSH scheme runs offline over the whole KB (the
         # paper's precomputation); eager here so worker threads/processes
         # share the finished read-only sketch table.
@@ -134,19 +178,28 @@ class AidaDisambiguator:
         store: Optional[KeyphraseStore] = None,
         weights: Optional[WeightModel] = None,
         sketches=None,
+        embeddings=None,
     ) -> EntityRelatedness:
         """The coherence measure ``config.relatedness_backend`` names.
 
         Shared by the pipeline constructor and the CLI (including the
         picklable process-pool factory, which passes the parent's
         precomputed *sketches* so workers skip the KB-wide stage-one
-        pass).
+        pass).  For the ``embedding`` backend a passed *embeddings*
+        model wins; otherwise one is trained from the KB.
         """
         backend = config.relatedness_backend
         if backend == "mw":
             return MilneWittenRelatedness(
                 kb.links, max(kb.entity_count, 2)
             )
+        if backend == "embedding":
+            from repro.embeddings import EmbeddingRelatedness, shared_model
+
+            model = (
+                embeddings if embeddings is not None else shared_model(kb)
+            )
+            return EmbeddingRelatedness(model)
         from repro.relatedness.kore import KoreRelatedness
         from repro.relatedness.lsh import KoreLshRelatedness, LshSettings
 
@@ -243,6 +296,18 @@ class AidaDisambiguator:
                 candidates = self._collect_candidates(
                     document, mentions, active, fixed, extra_candidates
                 )
+            prerank_pruned: Optional[int] = None
+            prerank_survived = 0
+            if self.preranker is not None:
+                with stage("prerank"):
+                    protected = self.preranker.protected_sets(
+                        self.kb, mentions, candidates, extra_candidates
+                    )
+                    candidates, prerank_pruned, prerank_survived = (
+                        self.preranker.prune(
+                            document, candidates, protected
+                        )
+                    )
             with stage("feature_computation"):
                 features = self._compute_features(
                     document, mentions, active, candidates
@@ -261,6 +326,9 @@ class AidaDisambiguator:
                 "mentions": len(active),
                 "candidates": sum(len(pool[index]) for index in active),
             }
+            if prerank_pruned is not None:
+                counters["prerank_pruned"] = prerank_pruned
+                counters["prerank_survived"] = prerank_survived
             if self.config.use_coherence:
                 with stage("graph_build"):
                     graph = self._build_graph(
@@ -342,6 +410,13 @@ class AidaDisambiguator:
             metrics.counter("pipeline.candidates").inc(
                 int(stats.counters.get("candidates", 0))
             )
+            if "prerank_pruned" in stats.counters:
+                metrics.counter("pipeline.prerank.pruned").inc(
+                    int(stats.counters["prerank_pruned"])
+                )
+                metrics.counter("pipeline.prerank.survived").inc(
+                    int(stats.counters["prerank_survived"])
+                )
             metrics.histogram("pipeline.document.seconds").observe(
                 stats.total_seconds
             )

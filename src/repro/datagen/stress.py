@@ -48,6 +48,13 @@ class StressConfig:
     stay realistic as the KB grows; ``family_names`` bounds the shared
     surname pool, which is what makes a slice of the dictionary ambiguous
     (several entities per name, as in the real world's "John Smith").
+
+    ``candidate_pool``, when >= 2, additionally registers one shared
+    ``Pool#####`` surface per consecutive group of that many entities, so
+    every pooled mention retrieves exactly ``candidate_pool`` candidates.
+    This is the pre-ranker benchmark's knob: it makes candidate-set size
+    a controlled variable instead of an emergent property of the name
+    system (0 disables the pools).
     """
 
     entities: int = 100_000
@@ -58,6 +65,7 @@ class StressConfig:
     phrases_per_entity: int = 3
     phrase_words: int = 3
     ambiguous_fraction: float = 0.05
+    candidate_pool: int = 0
 
     def __post_init__(self) -> None:
         if self.entities < 1:
@@ -68,6 +76,10 @@ class StressConfig:
             raise ValueError("family_names must be >= 1")
         if not 0.0 <= self.ambiguous_fraction <= 1.0:
             raise ValueError("ambiguous_fraction must be in [0, 1]")
+        if self.candidate_pool == 1 or self.candidate_pool < 0:
+            raise ValueError(
+                "candidate_pool must be 0 (disabled) or >= 2"
+            )
 
 
 def generate_stress_kb(config: StressConfig) -> KnowledgeBase:
@@ -123,6 +135,16 @@ def generate_stress_kb(config: StressConfig) -> KnowledgeBase:
         if ambiguous_every and i % ambiguous_every == 0:
             kb.dictionary.add_name(
                 family, entity_id, source="anchor", anchor_count=1
+            )
+        if config.candidate_pool >= 2:
+            # Shared pooled surface: the _mix-derived anchor mass keeps
+            # the members' priors distinct (the pre-ranker's protected
+            # prior-top candidate must be unambiguous).
+            kb.dictionary.add_name(
+                f"Pool{i // config.candidate_pool:05d}",
+                entity_id,
+                source="anchor",
+                anchor_count=1 + _mix(seed, i, 9) % 9,
             )
         for j in range(config.links_per_entity):
             # Square the uniform variate to skew targets toward low

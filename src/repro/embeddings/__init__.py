@@ -1,0 +1,32 @@
+"""Joint word/entity embeddings: training, pre-ranking, and measures.
+
+The embedding subsystem adds a dense third measure family to the
+pipeline (alongside keyphrase cover-matching and Milne–Witten) and — its
+main production role — the :class:`DensePreRanker` that truncates
+candidate pools by vectorized cosine before keyphrase scoring and
+coherence ever see them.
+"""
+
+from repro.embeddings.measures import (
+    EmbeddingRelatedness,
+    EmbeddingSimilarity,
+)
+from repro.embeddings.model import EmbeddingModel
+from repro.embeddings.prerank import DensePreRanker
+from repro.embeddings.training import (
+    EmbeddingConfig,
+    build_corpus,
+    shared_model,
+    train_embeddings,
+)
+
+__all__ = [
+    "DensePreRanker",
+    "EmbeddingConfig",
+    "EmbeddingModel",
+    "EmbeddingRelatedness",
+    "EmbeddingSimilarity",
+    "build_corpus",
+    "shared_model",
+    "train_embeddings",
+]

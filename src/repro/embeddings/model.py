@@ -1,0 +1,192 @@
+"""The trained joint word/entity embedding space.
+
+An :class:`EmbeddingModel` is two row-aligned float32 matrices — one row
+per vocabulary word, one per entity — L2-normalized so that a dot product
+is a cosine.  Everything downstream (the dense pre-ranker, the embedding
+similarity/relatedness measures, snapshot export) consumes this one
+object; training lives in :mod:`repro.embeddings.training`.
+
+The model is deliberately dumb: plain lists, plain dicts, two ndarrays.
+That keeps it picklable for process pools, serializable with ``np.savez``
+for the CLI, and zero-copy reconstructible from snapshot sections.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.types import EntityId
+
+
+def unit_rows(matrix: np.ndarray) -> np.ndarray:
+    """Rows scaled to unit L2 norm; all-zero rows stay zero (no NaN)."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    np.maximum(norms, 1e-12, out=norms)
+    return (matrix / norms).astype(np.float32)
+
+
+class EmbeddingModel:
+    """Joint word/entity embeddings with O(1) row lookup.
+
+    Parameters
+    ----------
+    words / entity_ids:
+        Row labels, in matrix row order (the trainer emits both sorted).
+    word_vectors / entity_vectors:
+        float32 ``(len(words), dim)`` / ``(len(entity_ids), dim)``
+        matrices with unit-L2 rows.
+    meta:
+        Provenance: the training config as a dict, corpus statistics —
+        carried through save/load and snapshot export verbatim.
+    """
+
+    def __init__(
+        self,
+        words: Sequence[str],
+        entity_ids: Sequence[EntityId],
+        word_vectors: np.ndarray,
+        entity_vectors: np.ndarray,
+        meta: Optional[Dict] = None,
+    ):
+        if word_vectors.shape[0] != len(words):
+            raise ValueError("word matrix row count != len(words)")
+        if entity_vectors.shape[0] != len(entity_ids):
+            raise ValueError("entity matrix row count != len(entity_ids)")
+        if word_vectors.shape[1] != entity_vectors.shape[1]:
+            raise ValueError("word and entity dimensions differ")
+        self.words: List[str] = list(words)
+        self.entity_ids: List[EntityId] = list(entity_ids)
+        self.word_vectors = np.ascontiguousarray(
+            word_vectors, dtype=np.float32
+        )
+        self.entity_vectors = np.ascontiguousarray(
+            entity_vectors, dtype=np.float32
+        )
+        self.meta: Dict = dict(meta) if meta else {}
+        self._word_index: Dict[str, int] = {
+            word: row for row, word in enumerate(self.words)
+        }
+        self._entity_index: Dict[EntityId, int] = {
+            eid: row for row, eid in enumerate(self.entity_ids)
+        }
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality d."""
+        return int(self.word_vectors.shape[1])
+
+    def word_row(self, word: str) -> int:
+        """Matrix row of a word, or -1 when out of vocabulary."""
+        return self._word_index.get(word, -1)
+
+    def entity_row(self, entity_id: EntityId) -> int:
+        """Matrix row of an entity, or -1 when unknown."""
+        return self._entity_index.get(entity_id, -1)
+
+    def entity_vector(self, entity_id: EntityId) -> Optional[np.ndarray]:
+        """The entity's unit vector, or None when unknown."""
+        row = self._entity_index.get(entity_id)
+        if row is None:
+            return None
+        return self.entity_vectors[row]
+
+    # ------------------------------------------------------------------
+    # Scoring primitives
+    # ------------------------------------------------------------------
+    def context_vector(self, term_counts: Mapping[str, int]) -> np.ndarray:
+        """Unit bag-of-words embedding of a document context.
+
+        Sum of count-weighted word vectors over the in-vocabulary terms;
+        the zero vector when no term is known (every dot is then 0.0, so
+        ranking degrades to the candidate-id tie-break, never crashes).
+        """
+        vec = np.zeros(self.dim, dtype=np.float32)
+        index = self._word_index
+        vectors = self.word_vectors
+        for term, count in term_counts.items():
+            row = index.get(term)
+            if row is not None:
+                vec += count * vectors[row]
+        norm = float(np.linalg.norm(vec))
+        if norm > 1e-12:
+            vec /= norm
+        return vec
+
+    def entity_scores(
+        self, entity_ids: Sequence[EntityId], query: np.ndarray
+    ) -> np.ndarray:
+        """Cosine of *query* against every given entity, as one matmul.
+
+        Unknown entities score 0.0 (the "no signal" value — the caller's
+        protected-candidate rules, not the embedding, decide their fate).
+        """
+        rows = np.array(
+            [self._entity_index.get(eid, -1) for eid in entity_ids],
+            dtype=np.intp,
+        )
+        known = rows >= 0
+        scores = np.zeros(len(rows), dtype=np.float32)
+        if known.any():
+            scores[known] = self.entity_vectors[rows[known]] @ query
+        return scores
+
+    # ------------------------------------------------------------------
+    # Persistence / identity
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Write the model as an ``.npz`` archive (CLI artifact format).
+
+        Returns the actual path written (``np.savez`` appends ``.npz``
+        when missing, so the caller must not assume its own spelling).
+        """
+        if not path.endswith(".npz"):
+            path += ".npz"
+        np.savez(
+            path,
+            words=np.array(self.words, dtype=object),
+            entity_ids=np.array(self.entity_ids, dtype=object),
+            word_vectors=self.word_vectors,
+            entity_vectors=self.entity_vectors,
+            meta=np.array(json.dumps(self.meta, sort_keys=True)),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "EmbeddingModel":
+        """Read a model written by :meth:`save`."""
+        with np.load(path, allow_pickle=True) as data:
+            return cls(
+                words=[str(w) for w in data["words"]],
+                entity_ids=[str(e) for e in data["entity_ids"]],
+                word_vectors=data["word_vectors"],
+                entity_vectors=data["entity_vectors"],
+                meta=json.loads(str(data["meta"])),
+            )
+
+    def fingerprint(self) -> Dict[str, str]:
+        """sha256 of each matrix's bytes — the determinism check's unit."""
+        return {
+            "word_vectors": hashlib.sha256(
+                self.word_vectors.tobytes()
+            ).hexdigest(),
+            "entity_vectors": hashlib.sha256(
+                self.entity_vectors.tobytes()
+            ).hexdigest(),
+        }
+
+    def describe(self) -> Dict:
+        """Summary for ``repro embeddings inspect``."""
+        return {
+            "dim": self.dim,
+            "words": len(self.words),
+            "entities": len(self.entity_ids),
+            "fingerprint": self.fingerprint(),
+            "meta": self.meta,
+        }

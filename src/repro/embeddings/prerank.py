@@ -1,0 +1,105 @@
+"""Dense candidate pre-ranking: vectorized pruning ahead of the pipeline.
+
+With compiled scoring and LSH-pruned KORE in place, the remaining
+hot-path cost is proportional to raw candidate-pool size: every
+surviving candidate pays keyphrase cover-matching, and the coherence
+graph grows quadratically in pool size.  The pre-ranker embeds the
+document context **once**, scores every candidate of every mention in
+one matmul against the entity matrix, and truncates each pool to the
+top-K by cosine — so both the per-candidate scoring work and the O(k²)
+coherence pair count shrink with K.
+
+Safety rails: the prior-top candidate of every mention always survives
+(the popularity prior is the strongest single signal — pruning its
+winner would change prior-only degradation rungs), as do pinned/extra
+candidates injected by the perturbation and emerging-entity hooks.
+Pools already within K are passed through untouched, which makes
+``K >= pool size`` (and ``prerank_topk=None``, which skips the stage
+entirely) bit-identical to the unpruned pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from repro.similarity.context import DocumentContext
+from repro.types import Document, EntityId
+
+from repro.embeddings.model import EmbeddingModel
+
+
+class DensePreRanker:
+    """Top-K candidate truncation by dense dot-product score."""
+
+    def __init__(self, model: EmbeddingModel, topk: int):
+        if topk < 1:
+            raise ValueError("prerank topk must be >= 1")
+        self.model = model
+        self.topk = topk
+
+    def prune(
+        self,
+        document: Document,
+        candidates: Mapping[int, List[EntityId]],
+        protected: Mapping[int, Set[EntityId]],
+    ) -> Tuple[Dict[int, List[EntityId]], int, int]:
+        """Truncate each mention's pool to top-K plus its protected set.
+
+        Returns ``(pruned_candidates, pruned_count, survived_count)``.
+        Pool order (sorted by entity id) is preserved so downstream
+        stages see exactly the shape candidate retrieval produces.
+        """
+        needs_scores = any(
+            len(pool) > self.topk for pool in candidates.values()
+        )
+        scores: Dict[EntityId, float] = {}
+        if needs_scores:
+            context = DocumentContext(document)
+            query = self.model.context_vector(context.term_counts())
+            union = sorted(
+                {eid for pool in candidates.values() for eid in pool}
+            )
+            values = self.model.entity_scores(union, query)
+            scores = {eid: float(v) for eid, v in zip(union, values)}
+        pruned_total = 0
+        survived_total = 0
+        result: Dict[int, List[EntityId]] = {}
+        for index, pool in candidates.items():
+            if len(pool) <= self.topk:
+                result[index] = list(pool)
+                survived_total += len(pool)
+                continue
+            ranked = sorted(
+                pool, key=lambda eid: (-scores.get(eid, 0.0), eid)
+            )
+            keep = set(ranked[: self.topk])
+            keep.update(set(protected.get(index, ())) & set(pool))
+            result[index] = [eid for eid in pool if eid in keep]
+            survived_total += len(result[index])
+            pruned_total += len(pool) - len(result[index])
+        return result, pruned_total, survived_total
+
+    @staticmethod
+    def protected_sets(
+        kb,
+        mentions: Sequence,
+        candidates: Mapping[int, List[EntityId]],
+        extra: Mapping[int, Sequence[EntityId]],
+    ) -> Dict[int, Set[EntityId]]:
+        """Per-mention candidates the pre-ranker must never drop.
+
+        The prior-top candidate (highest ``P(e|m)``, ties by id) plus any
+        injected extra candidates — the emerging-entity placeholders,
+        whose whole point is to survive into scoring.
+        """
+        protected: Dict[int, Set[EntityId]] = {}
+        for index, pool in candidates.items():
+            if not pool:
+                continue
+            keep: Set[EntityId] = set(extra.get(index, ()))
+            surface = mentions[index].surface
+            keep.add(
+                max(pool, key=lambda eid: (kb.prior(surface, eid), eid))
+            )
+            protected[index] = keep
+        return protected

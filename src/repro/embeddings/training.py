@@ -1,0 +1,282 @@
+"""Offline skip-gram training of the joint word/entity embedding space.
+
+Follows the construction of Yamada et al. (2016): one corpus mixing
+
+* **article text** — each entity's keyphrases, emitted as short
+  "sentences" of the entity token followed by the phrase words, repeated
+  log-proportionally to the phrase's occurrence count;
+* **anchor contexts** — each dictionary name of the entity (anchor texts
+  and titles), as the entity token followed by the normalized name words;
+* **link neighborhoods** — the entity token followed by the entity tokens
+  of its out-links, so entities that link to each other land nearby.
+
+over which a pure-numpy skip-gram with negative sampling (SGNS) runs.
+Everything is deterministic given :class:`EmbeddingConfig.seed`: entity
+and vocabulary orders are sorted, the only RNG is a seeded PCG64
+generator, and the scatter-add updates (``np.add.at``) accumulate in
+array order — the same seed reproduces byte-identical matrices.
+
+Training cost is deliberately bounded: synthetic worlds and stress KBs
+have a few thousand entities and a bounded vocabulary, so a full run is
+a few hundred vectorized minibatches.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.utils.text import normalize_token
+
+from repro.embeddings.model import EmbeddingModel, unit_rows
+
+#: Token kinds in the mixed corpus.
+_WORD = "w"
+_ENTITY = "e"
+
+Token = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class EmbeddingConfig:
+    """Hyperparameters of the SGNS trainer.
+
+    Defaults are sized for the synthetic worlds: small dimension, few
+    epochs — enough signal to rank candidates, cheap enough to train
+    inside a pipeline constructor when no pre-trained model is supplied.
+    """
+
+    dim: int = 48
+    window: int = 4
+    negatives: int = 5
+    epochs: int = 3
+    learning_rate: float = 0.05
+    batch_size: int = 2048
+    seed: int = 13
+    #: Cap on log-scaled keyphrase repetitions (a count-c phrase is
+    #: emitted ``min(1 + floor(log2 c), cap)`` times).
+    max_phrase_repeats: int = 3
+    #: Cap on out-link neighbors per link-neighborhood sentence.
+    max_link_neighbors: int = 16
+
+    def __post_init__(self) -> None:
+        if self.dim < 2:
+            raise ConfigurationError("embedding dim must be >= 2")
+        if self.window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if self.negatives < 1:
+            raise ConfigurationError("negatives must be >= 1")
+        if self.epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        if self.learning_rate <= 0.0:
+            raise ConfigurationError("learning_rate must be positive")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.max_phrase_repeats < 1:
+            raise ConfigurationError("max_phrase_repeats must be >= 1")
+        if self.max_link_neighbors < 0:
+            raise ConfigurationError("max_link_neighbors must be >= 0")
+
+
+def build_corpus(
+    kb: KnowledgeBase, config: Optional[EmbeddingConfig] = None
+) -> List[List[Token]]:
+    """The mixed training corpus, in deterministic (sorted-entity) order.
+
+    Keyphrase words enter as-is (the store holds them normalized, exactly
+    as :class:`~repro.similarity.context.DocumentContext` indexes them);
+    dictionary names are tokenized and normalized the same way documents
+    are, so anchor-context sentences share the document vocabulary.
+    """
+    config = config if config is not None else EmbeddingConfig()
+    sentences: List[List[Token]] = []
+    for eid in kb.entity_ids():
+        head: Token = (_ENTITY, eid)
+        counts = kb.keyphrases.keyphrase_counts(eid)
+        for phrase, count in sorted(counts.items()):
+            words = [(_WORD, word) for word in phrase if word]
+            if not words:
+                continue
+            repeats = min(
+                config.max_phrase_repeats, 1 + int(math.log2(max(count, 1)))
+            )
+            sentence = [head] + words
+            for _ in range(repeats):
+                sentences.append(sentence)
+        for name in sorted(set(kb.dictionary.names_of(eid))):
+            words = [
+                (_WORD, norm)
+                for norm in (normalize_token(t) for t in name.split())
+                if norm
+            ]
+            if words:
+                sentences.append([head] + words)
+        if config.max_link_neighbors:
+            neighbors = sorted(kb.links.outlinks(eid))
+            neighbors = neighbors[: config.max_link_neighbors]
+            if neighbors:
+                sentences.append(
+                    [head] + [(_ENTITY, n) for n in neighbors]
+                )
+    return sentences
+
+
+def _skipgram_pairs(
+    sentences: List[List[int]], window: int, n_tokens: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All (center, context) id pairs plus per-token occurrence counts."""
+    centers: List[int] = []
+    contexts: List[int] = []
+    counts = np.zeros(n_tokens, dtype=np.int64)
+    for sentence in sentences:
+        length = len(sentence)
+        for i in range(length):
+            counts[sentence[i]] += 1
+            lo = max(0, i - window)
+            hi = min(length, i + window + 1)
+            for j in range(lo, hi):
+                if j != i:
+                    centers.append(sentence[i])
+                    contexts.append(sentence[j])
+    pairs = np.array([centers, contexts], dtype=np.int64).T
+    return pairs, counts
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+def _train_sgns(
+    pairs: np.ndarray, counts: np.ndarray, config: EmbeddingConfig
+) -> np.ndarray:
+    """Minibatch SGNS over the pair array; returns the input matrix.
+
+    The whole batch updates through ``np.add.at`` so repeated indices
+    accumulate (unbuffered, array-ordered — deterministic), and negatives
+    draw from the unigram^0.75 table via inverse-CDF sampling.
+    """
+    n_tokens = len(counts)
+    dim = config.dim
+    rng = np.random.default_rng(config.seed)
+    w_in = ((rng.random((n_tokens, dim)) - 0.5) / dim).astype(np.float32)
+    w_out = np.zeros((n_tokens, dim), dtype=np.float32)
+    if len(pairs) == 0:
+        return w_in
+    noise = counts.astype(np.float64) ** 0.75
+    total = noise.sum()
+    if total <= 0.0:
+        return w_in
+    cdf = np.cumsum(noise / total)
+    cdf[-1] = 1.0  # guard against float drift at the top
+    n_pairs = len(pairs)
+    batches_per_epoch = (n_pairs + config.batch_size - 1) // config.batch_size
+    total_steps = max(config.epochs * batches_per_epoch, 1)
+    step = 0
+    for _epoch in range(config.epochs):
+        order = rng.permutation(n_pairs)
+        for start in range(0, n_pairs, config.batch_size):
+            idx = order[start : start + config.batch_size]
+            centers = pairs[idx, 0]
+            contexts = pairs[idx, 1]
+            lr = config.learning_rate * max(
+                1.0 - step / total_steps, 1e-4
+            )
+            step += 1
+            negatives = np.searchsorted(
+                cdf, rng.random((len(idx), config.negatives))
+            ).astype(np.int64)
+            center_vecs = w_in[centers]  # (B, d)
+            # Positive pairs: pull context outputs toward the center.
+            out_pos = w_out[contexts]
+            g_pos = (
+                (1.0 - _sigmoid(np.sum(center_vecs * out_pos, axis=1))) * lr
+            ).astype(np.float32)
+            center_grad = g_pos[:, None] * out_pos
+            np.add.at(w_out, contexts, g_pos[:, None] * center_vecs)
+            # Negative samples: push sampled outputs away.
+            out_neg = w_out[negatives]  # (B, k, d)
+            g_neg = (
+                -_sigmoid(np.einsum("bd,bkd->bk", center_vecs, out_neg)) * lr
+            ).astype(np.float32)
+            center_grad += np.einsum("bk,bkd->bd", g_neg, out_neg)
+            np.add.at(
+                w_out,
+                negatives.reshape(-1),
+                (g_neg[..., None] * center_vecs[:, None, :]).reshape(
+                    -1, dim
+                ),
+            )
+            np.add.at(w_in, centers, center_grad)
+    return w_in
+
+
+def train_embeddings(
+    kb: KnowledgeBase, config: Optional[EmbeddingConfig] = None
+) -> EmbeddingModel:
+    """Train the joint space over *kb*; deterministic for a given config."""
+    config = config if config is not None else EmbeddingConfig()
+    sentences = build_corpus(kb, config)
+    words = sorted(
+        {text for sentence in sentences for kind, text in sentence
+         if kind == _WORD}
+    )
+    entity_ids = sorted(
+        {text for sentence in sentences for kind, text in sentence
+         if kind == _ENTITY}
+    )
+    word_id = {word: i for i, word in enumerate(words)}
+    entity_id = {
+        eid: len(words) + i for i, eid in enumerate(entity_ids)
+    }
+    id_sentences = [
+        [
+            word_id[text] if kind == _WORD else entity_id[text]
+            for kind, text in sentence
+        ]
+        for sentence in sentences
+    ]
+    n_tokens = len(words) + len(entity_ids)
+    pairs, counts = _skipgram_pairs(id_sentences, config.window, n_tokens)
+    matrix = _train_sgns(pairs, counts, config)
+    normalized = unit_rows(matrix)
+    return EmbeddingModel(
+        words=words,
+        entity_ids=entity_ids,
+        word_vectors=normalized[: len(words)],
+        entity_vectors=normalized[len(words):],
+        meta={
+            "config": asdict(config),
+            "sentences": len(sentences),
+            "pairs": int(len(pairs)),
+        },
+    )
+
+
+#: Per-KB model cache: pipelines built over the same KB object (thread
+#: pools, repeated test constructions) share one trained model per
+#: config.  Weak keys — dropping the KB drops its models.
+_SHARED: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def shared_model(
+    kb: KnowledgeBase, config: Optional[EmbeddingConfig] = None
+) -> EmbeddingModel:
+    """``train_embeddings`` memoized on (kb identity, config)."""
+    config = config if config is not None else EmbeddingConfig()
+    try:
+        per_kb: Dict[EmbeddingConfig, EmbeddingModel] = _SHARED.setdefault(
+            kb, {}
+        )
+    except TypeError:  # un-weakref-able KB stand-in: train uncached
+        return train_embeddings(kb, config)
+    model = per_kb.get(config)
+    if model is None:
+        model = train_embeddings(kb, config)
+        per_kb[config] = model
+    return model

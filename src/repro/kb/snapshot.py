@@ -77,7 +77,11 @@ from repro.types import EntityId
 from repro.weights.model import WeightModel
 
 MAGIC = b"RKBSNAP\x00"
-FORMAT_VERSION = 1
+#: Version written by this build.  Version 2 added the optional ``emb/*``
+#: embedding sections; images carrying none are byte-compatible with
+#: version 1, so the reader accepts both.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 #: ``magic, version, flags, toc_offset, toc_length, toc_crc, header_crc``.
 _HEADER = struct.Struct("<8sIIQQII")
@@ -179,6 +183,7 @@ def build_snapshot(
     backend: str = "auto",
     gearings: Sequence[str] = ("g", "f"),
     source_fingerprint: str = "",
+    embeddings=None,
 ) -> Dict[str, Any]:
     """Compile *kb* into a snapshot image at *path*, atomically.
 
@@ -186,8 +191,12 @@ def build_snapshot(
     :class:`~repro.compiled.keyphrases.CompiledKeyphrases` and must match
     the pipeline config the snapshot will serve.  ``gearings`` selects
     which LSH sketch tables to embed (``"g"`` recall-geared, ``"f"``
-    fast).  Returns the manifest.  The write is temp-file + rename: the
-    destination is never left torn, even on crash or injected fault.
+    fast).  ``embeddings`` optionally embeds a trained
+    :class:`~repro.embeddings.model.EmbeddingModel` as zero-copy
+    ``emb/*`` sections (the dense pre-ranker and embedding measures then
+    attach without training).  Returns the manifest.  The write is
+    temp-file + rename: the destination is never left torn, even on
+    crash or injected fault.
     """
     for gearing in gearings:
         if gearing not in GEARINGS:
@@ -264,6 +273,15 @@ def build_snapshot(
         "backend": backend,
         "source_fingerprint": source_fingerprint,
         "lsh": lsh_settings,
+        "embeddings": (
+            None
+            if embeddings is None
+            else {
+                "dim": embeddings.dim,
+                "words": len(embeddings.words),
+                "entities": len(embeddings.entity_ids),
+            }
+        ),
         "counts": {
             "ids": n,
             "entities": kb.entity_count,
@@ -322,6 +340,8 @@ def build_snapshot(
                     lsh_settings[gearing]["sketch_len"],
                     ids,
                 )
+            if embeddings is not None:
+                _write_embeddings(writer, embeddings)
 
             toc = json.dumps(
                 {"sections": writer.sections},
@@ -637,6 +657,25 @@ def _write_sketches(
     writer.add_array(f"lsh/{gearing}/rows", rows)
 
 
+def _write_embeddings(writer: _SectionWriter, model) -> None:
+    """The joint embedding space as optional (version-2) sections.
+
+    Matrices land as raw float32 row-major bytes on the container's
+    64-byte alignment, so the reader reconstructs them with one
+    ``np.frombuffer`` over the mapped window — no copy, shared pages
+    across workers like every other section.
+    """
+    blob, offsets = _string_table(model.words)
+    writer.add("emb/word_blob", blob)
+    writer.add_array("emb/word_offsets", offsets)
+    blob, offsets = _string_table(model.entity_ids)
+    writer.add("emb/ent_blob", blob)
+    writer.add_array("emb/ent_offsets", offsets)
+    writer.add("emb/word_vecs", model.word_vectors.tobytes())
+    writer.add("emb/ent_vecs", model.entity_vectors.tobytes())
+    writer.add_json("emb/meta", {"dim": model.dim, "meta": model.meta})
+
+
 # ----------------------------------------------------------------------
 # Reader core
 # ----------------------------------------------------------------------
@@ -685,11 +724,12 @@ class _Image:
                 f"header checksum mismatch "
                 f"(stored {header_crc:#x}, computed {actual_crc:#x})",
             )
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise _fail(
                 self.path,
                 f"unsupported format version {version} "
-                f"(this build reads version {FORMAT_VERSION})",
+                f"(this build reads versions "
+                f"{', '.join(map(str, SUPPORTED_VERSIONS))})",
             )
         if toc_offset + toc_length > size:
             raise _fail(
@@ -1849,6 +1889,52 @@ class Snapshot:
             "weights", lambda: WeightModel(self.store, self.links)
         )
 
+    @property
+    def has_embeddings(self) -> bool:
+        """Whether this image carries the optional ``emb/*`` sections."""
+        return self._image.has("emb/meta")
+
+    def _build_embeddings(self):
+        import numpy as np
+
+        from repro.embeddings.model import EmbeddingModel
+
+        meta = self._image.js("emb/meta")
+        dim = int(meta["dim"])
+        words_table = _StringTable(
+            self._image.raw("emb/word_blob"),
+            self._image.arr("emb/word_offsets", "q"),
+        )
+        words = [words_table.get(i) for i in range(len(words_table))]
+        ents_table = _StringTable(
+            self._image.raw("emb/ent_blob"),
+            self._image.arr("emb/ent_offsets", "q"),
+        )
+        entity_ids = [ents_table.get(i) for i in range(len(ents_table))]
+        word_vecs = np.frombuffer(
+            self._image.raw("emb/word_vecs"), dtype=np.float32
+        ).reshape(len(words), dim)
+        ent_vecs = np.frombuffer(
+            self._image.raw("emb/ent_vecs"), dtype=np.float32
+        ).reshape(len(entity_ids), dim)
+        return EmbeddingModel(
+            words=words,
+            entity_ids=entity_ids,
+            word_vectors=word_vecs,
+            entity_vectors=ent_vecs,
+            meta=meta.get("meta", {}),
+        )
+
+    @property
+    def embeddings(self):
+        """The embedded :class:`EmbeddingModel`; matrices stay mapped."""
+        if not self.has_embeddings:
+            raise _fail(
+                self.path,
+                "no embedding sections; rebuild with --embeddings",
+            )
+        return self._cached("embeddings", self._build_embeddings)
+
     def sketches(self, gearing: str) -> SketchTable:
         settings = self.manifest.get("lsh", {}).get(gearing)
         if settings is None or not self._image.has(f"lsh/{gearing}/mask"):
@@ -1896,12 +1982,20 @@ class Snapshot:
         for gearing, backend_name in GEARINGS.items():
             if backend == backend_name:
                 sketches = self.sketches(gearing)
+        # Embedded matrices win; a config needing embeddings over an
+        # image without them (a version-1 snapshot, or one built without
+        # --embeddings) falls back to the pipeline's deterministic
+        # on-demand training over the snapshot facades.
+        embedding_model = None
+        if config.needs_embeddings and self.has_embeddings:
+            embedding_model = self.embeddings
         relatedness = AidaDisambiguator.build_relatedness(
             self.kb,
             config,
             store=self.store,
             weights=self.weights,
             sketches=sketches,
+            embeddings=embedding_model,
         )
         return AidaDisambiguator(
             self.kb,
@@ -1910,6 +2004,7 @@ class Snapshot:
             keyphrase_store=self.store,
             weight_model=self.weights,
             compiled_keyphrases=compiled,
+            embedding_model=embedding_model,
         )
 
     def sections(self) -> List[Dict[str, Any]]:
@@ -1955,12 +2050,13 @@ def load_snapshot(path: str, verify: bool = True) -> Snapshot:
     except SnapshotError:
         image.close()
         raise
-    if manifest.get("format") != FORMAT_VERSION:
+    if manifest.get("format") not in SUPPORTED_VERSIONS:
         image.close()
         raise _fail(
             path,
-            f"manifest format {manifest.get('format')!r} does not match "
-            f"container version {FORMAT_VERSION}",
+            f"manifest format {manifest.get('format')!r} is not a "
+            f"supported container version "
+            f"({', '.join(map(str, SUPPORTED_VERSIONS))})",
         )
     return Snapshot(image, manifest)
 

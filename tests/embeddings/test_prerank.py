@@ -1,0 +1,157 @@
+"""DensePreRanker unit tests over a hand-built embedding space."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings import DensePreRanker, EmbeddingModel
+from repro.types import Document, Mention
+
+DIM = 4
+
+#: Axis-aligned words; entities at known angles to the "alpha" axis, so
+#: the cosine ranking under an alpha-only context is fully predictable:
+#: E1 (1.0) > E2 (0.8) > E3 (0.6) > E4 (0.0) > E5 (-1.0).
+WORDS = {"alpha": [1, 0, 0, 0], "beta": [0, 1, 0, 0]}
+ENTITIES = {
+    "E1": [1.0, 0.0, 0.0, 0.0],
+    "E2": [0.8, 0.6, 0.0, 0.0],
+    "E3": [0.6, 0.8, 0.0, 0.0],
+    "E4": [0.0, 0.0, 1.0, 0.0],
+    "E5": [-1.0, 0.0, 0.0, 0.0],
+}
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EmbeddingModel(
+        words=sorted(WORDS),
+        entity_ids=sorted(ENTITIES),
+        word_vectors=np.array(
+            [WORDS[w] for w in sorted(WORDS)], dtype=np.float32
+        ),
+        entity_vectors=np.array(
+            [ENTITIES[e] for e in sorted(ENTITIES)], dtype=np.float32
+        ),
+    )
+
+
+def alpha_document():
+    return Document(
+        doc_id="d",
+        tokens=("alpha", "alpha", "Pool"),
+        mentions=(Mention(surface="Pool", start=2, end=3),),
+    )
+
+
+class _PriorStub:
+    """KB stand-in: only ``prior`` is consulted by protected_sets."""
+
+    def __init__(self, priors):
+        self._priors = priors
+
+    def prior(self, surface, entity_id):
+        return self._priors.get((surface, entity_id), 0.0)
+
+
+class TestConstruction:
+    def test_topk_must_be_positive(self, model):
+        with pytest.raises(ValueError):
+            DensePreRanker(model, 0)
+
+
+class TestPrune:
+    def test_pool_within_k_untouched(self, model):
+        ranker = DensePreRanker(model, 3)
+        pools = {0: ["E1", "E2", "E3"]}
+        result, pruned, survived = ranker.prune(
+            alpha_document(), pools, {}
+        )
+        assert result == pools
+        assert result[0] is not pools[0]  # a copy, not an alias
+        assert (pruned, survived) == (0, 3)
+
+    def test_topk_by_cosine(self, model):
+        ranker = DensePreRanker(model, 2)
+        pools = {0: ["E1", "E2", "E3", "E4", "E5"]}
+        result, pruned, survived = ranker.prune(
+            alpha_document(), pools, {}
+        )
+        assert result[0] == ["E1", "E2"]
+        assert (pruned, survived) == (3, 2)
+
+    def test_protected_candidates_survive(self, model):
+        ranker = DensePreRanker(model, 2)
+        pools = {0: ["E1", "E2", "E3", "E4", "E5"]}
+        result, pruned, survived = ranker.prune(
+            alpha_document(), pools, {0: {"E5"}}
+        )
+        assert result[0] == ["E1", "E2", "E5"]
+        assert (pruned, survived) == (2, 3)
+
+    def test_protection_limited_to_pool(self, model):
+        ranker = DensePreRanker(model, 2)
+        pools = {0: ["E1", "E2"], 1: ["E2", "E3", "E4", "E5"]}
+        result, _, _ = ranker.prune(
+            alpha_document(), pools, {1: {"E9", "E5"}}
+        )
+        assert result[0] == ["E1", "E2"]  # within K: untouched
+        # E9 is protected but not in pool 1 — it must not be invented;
+        # E5 is protected and present, so it survives alongside the top-2.
+        assert result[1] == ["E2", "E3", "E5"]
+
+    def test_pool_order_preserved(self, model):
+        ranker = DensePreRanker(model, 2)
+        # Reverse-sorted pool: survivors must keep the input order.
+        pools = {0: ["E5", "E4", "E3", "E2", "E1"]}
+        result, _, _ = ranker.prune(alpha_document(), pools, {})
+        assert result[0] == ["E2", "E1"]
+
+    def test_unknown_entities_rank_last(self, model):
+        ranker = DensePreRanker(model, 2)
+        pools = {0: ["E1", "E2", "ZZ_unknown", "E4"]}
+        result, _, _ = ranker.prune(alpha_document(), pools, {})
+        assert result[0] == ["E1", "E2"]
+
+    def test_unknown_context_degrades_to_id_order(self, model):
+        ranker = DensePreRanker(model, 2)
+        document = Document(doc_id="d", tokens=("zzz", "yyy"))
+        pools = {0: ["E3", "E1", "E4"]}
+        result, _, _ = ranker.prune(document, pools, {})
+        # Every score is 0.0: the (score, id) tie-break keeps low ids,
+        # and the output preserves the input pool order.
+        assert result[0] == ["E3", "E1"]
+
+
+class TestProtectedSets:
+    def test_prior_top_protected(self):
+        kb = _PriorStub(
+            {("Pool", "E1"): 0.2, ("Pool", "E2"): 0.7, ("Pool", "E3"): 0.1}
+        )
+        mentions = [Mention(surface="Pool", start=0, end=1)]
+        protected = DensePreRanker.protected_sets(
+            kb, mentions, {0: ["E1", "E2", "E3"]}, {}
+        )
+        assert protected == {0: {"E2"}}
+
+    def test_prior_tie_breaks_by_id(self):
+        kb = _PriorStub({("Pool", "E1"): 0.5, ("Pool", "E2"): 0.5})
+        mentions = [Mention(surface="Pool", start=0, end=1)]
+        protected = DensePreRanker.protected_sets(
+            kb, mentions, {0: ["E1", "E2"]}, {}
+        )
+        assert protected == {0: {"E2"}}
+
+    def test_extra_candidates_protected(self):
+        kb = _PriorStub({("Pool", "E1"): 0.9})
+        mentions = [Mention(surface="Pool", start=0, end=1)]
+        protected = DensePreRanker.protected_sets(
+            kb, mentions, {0: ["E1", "E2", "E9"]}, {0: ["E9"]}
+        )
+        assert protected == {0: {"E1", "E9"}}
+
+    def test_empty_pool_skipped(self):
+        kb = _PriorStub({})
+        mentions = [Mention(surface="Pool", start=0, end=1)]
+        assert DensePreRanker.protected_sets(kb, mentions, {0: []}, {}) == {}

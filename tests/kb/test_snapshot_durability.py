@@ -24,6 +24,7 @@ from repro.errors import PermanentError
 from repro.faults import FaultInjector, FaultSpec, injected
 from repro.kb.snapshot import (
     _HEADER,
+    FORMAT_VERSION,
     HEADER_SIZE,
     MAGIC,
     SnapshotError,
@@ -113,7 +114,7 @@ def test_wrong_version(image):
 def test_corrupt_header_checksum(image):
     with open(image, "r+b") as handle:
         handle.seek(len(MAGIC))  # version field, CRC left stale
-        handle.write(struct.pack("<I", 2))
+        handle.write(struct.pack("<I", FORMAT_VERSION + 1))
     _assert_rejected(image)
 
 

@@ -1,0 +1,161 @@
+"""Snapshot embedding sections: v2 roundtrip and v1 compatibility."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.kb.snapshot as snap
+from repro.core.config import AidaConfig
+from repro.embeddings import EmbeddingConfig, train_embeddings
+from repro.kb.snapshot import (
+    SnapshotError,
+    build_snapshot,
+    inspect_snapshot,
+    load_snapshot,
+)
+
+FAST = EmbeddingConfig(dim=16, epochs=1)
+
+
+@pytest.fixture(scope="module")
+def model(kb):
+    return train_embeddings(kb, FAST)
+
+
+@pytest.fixture(scope="module")
+def snapshot_with_embeddings(kb, model, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("snap-emb") / "kb.snap")
+    manifest = build_snapshot(kb, path, embeddings=model)
+    snapshot = load_snapshot(path)
+    yield snapshot, manifest, path
+    snapshot.close()
+
+
+class TestRoundtrip:
+    def test_manifest_records_shape(self, snapshot_with_embeddings, model):
+        _, manifest, _ = snapshot_with_embeddings
+        assert manifest["embeddings"] == {
+            "dim": model.dim,
+            "words": len(model.words),
+            "entities": len(model.entity_ids),
+        }
+
+    def test_matrices_byte_identical(self, snapshot_with_embeddings, model):
+        snapshot, _, _ = snapshot_with_embeddings
+        assert snapshot.has_embeddings
+        mapped = snapshot.embeddings
+        assert mapped.fingerprint() == model.fingerprint()
+        assert mapped.words == model.words
+        assert mapped.entity_ids == model.entity_ids
+
+    def test_inspect_lists_embedding_sections(
+        self, snapshot_with_embeddings
+    ):
+        _, _, path = snapshot_with_embeddings
+        info = inspect_snapshot(path)
+        names = {section["name"] for section in info["sections"]}
+        assert "emb/meta" in names
+        assert "emb/word_vecs" in names
+        assert "emb/ent_vecs" in names
+
+    def test_pipeline_uses_mapped_model(self, snapshot_with_embeddings):
+        snapshot, _, _ = snapshot_with_embeddings
+        config = AidaConfig.full()
+        config.prerank_topk = 4
+        pipeline = snapshot.pipeline(config)
+        assert pipeline.embeddings is snapshot.embeddings
+
+
+class TestWithoutEmbeddings:
+    @pytest.fixture(scope="class")
+    def plain_snapshot(self, kb, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("snap-plain") / "kb.snap")
+        manifest = build_snapshot(kb, path)
+        snapshot = load_snapshot(path)
+        yield snapshot, manifest
+        snapshot.close()
+
+    def test_manifest_and_flag(self, plain_snapshot):
+        snapshot, manifest = plain_snapshot
+        assert manifest["embeddings"] is None
+        assert not snapshot.has_embeddings
+
+    def test_embeddings_access_fails_cleanly(self, plain_snapshot):
+        snapshot, _ = plain_snapshot
+        with pytest.raises(SnapshotError):
+            snapshot.embeddings
+
+    def test_prerank_pipeline_trains_on_demand(
+        self, plain_snapshot, sample_docs
+    ):
+        snapshot, _ = plain_snapshot
+        config = AidaConfig.full()
+        config.prerank_topk = 2
+        pipeline = snapshot.pipeline(config)
+        assert pipeline.preranker is not None
+        result = pipeline.disambiguate(sample_docs[0].document)
+        assert result.assignments
+
+
+class TestVersionOneCompatibility:
+    """Version-1 images (pre-embeddings) must keep loading and serving."""
+
+    @pytest.fixture(scope="class")
+    def v1_path(self, kb, tmp_path_factory, request):
+        path = str(tmp_path_factory.mktemp("snap-v1") / "kb.snap")
+        # Build a genuine version-1 image: the writer stamps the module
+        # global into both the header and the manifest at call time.
+        original = snap.FORMAT_VERSION
+        snap.FORMAT_VERSION = 1
+        try:
+            build_snapshot(kb, path)
+        finally:
+            snap.FORMAT_VERSION = original
+        return path
+
+    def test_v1_loads_under_v2_reader(self, v1_path):
+        snapshot = load_snapshot(v1_path)
+        try:
+            assert snapshot.manifest["format"] == 1
+            assert not snapshot.has_embeddings
+        finally:
+            snapshot.close()
+
+    def test_v1_inspects_clean(self, v1_path):
+        info = inspect_snapshot(v1_path)
+        assert info["manifest"]["format"] == 1
+
+    def test_v1_serves_default_config(self, v1_path, sample_docs):
+        snapshot = load_snapshot(v1_path)
+        try:
+            pipeline = snapshot.pipeline(AidaConfig.full())
+            result = pipeline.disambiguate(sample_docs[0].document)
+            assert result.assignments
+        finally:
+            snapshot.close()
+
+    def test_v1_serves_prerank_via_on_demand_training(
+        self, v1_path, sample_docs
+    ):
+        snapshot = load_snapshot(v1_path)
+        try:
+            config = AidaConfig.full()
+            config.prerank_topk = 2
+            pipeline = snapshot.pipeline(config)
+            assert pipeline.preranker is not None
+            result = pipeline.disambiguate(sample_docs[0].document)
+            assert result.assignments
+            assert "prerank" in result.stats.phase_seconds
+        finally:
+            snapshot.close()
+
+    def test_future_version_rejected(self, kb, tmp_path):
+        path = str(tmp_path / "future.snap")
+        original = snap.FORMAT_VERSION
+        snap.FORMAT_VERSION = original + 1
+        try:
+            build_snapshot(kb, path)
+        finally:
+            snap.FORMAT_VERSION = original
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)

@@ -1,0 +1,207 @@
+"""Differential: the pre-ranker at K >= pool size is a pure no-op.
+
+Twenty seeded synthetic worlds (override the base seed with
+``PRERANK_DIFF_BASE_SEED``): for each, the full pipeline runs with the
+pre-ranker off and at a K far above any pool size, and every assignment
+(mention, entity, score, per-candidate scores) must match exactly.  The
+golden fixture corpus gets the same treatment against the session KB,
+across the serial, thread-pool and process-pool executors, and served
+from an mmap snapshot image carrying the embedding sections.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.batch import BatchConfig, BatchRunner
+from repro.core.config import AidaConfig
+from repro.core.pipeline import AidaDisambiguator
+from repro.datagen.documents import DocumentGenerator, DocumentSpec
+from repro.datagen.io import load_corpus
+from repro.datagen.wikipedia import build_world_kb
+from repro.datagen.world import World, WorldConfig
+from repro.embeddings import EmbeddingConfig, shared_model
+from repro.eval.runner import run_disambiguator
+
+BASE_SEED = int(os.environ.get("PRERANK_DIFF_BASE_SEED", "3301"))
+WORLD_SEEDS = [BASE_SEED + i for i in range(20)]
+
+DOCS_PER_WORLD = 2
+MENTIONS_PER_DOC = 4
+
+HUGE_K = 10 ** 6
+
+GOLDEN_CORPUS = os.path.join(
+    os.path.dirname(__file__), "fixtures", "golden", "corpus.jsonl"
+)
+
+#: Small training setup: exactness does not depend on embedding quality.
+FAST = EmbeddingConfig(dim=16, epochs=1)
+
+
+def _comparable(result):
+    return [
+        (
+            assignment.mention,
+            assignment.entity,
+            assignment.score,
+            sorted(assignment.candidate_scores.items()),
+        )
+        for assignment in result.assignments
+    ]
+
+
+def _assert_identical(kb, documents):
+    baseline = AidaDisambiguator(kb, config=AidaConfig.full())
+    config = AidaConfig.full()
+    config.prerank_topk = HUGE_K
+    pruned = AidaDisambiguator(
+        kb, config=config, embedding_model=shared_model(kb, FAST)
+    )
+    assert pruned.preranker is not None
+    for document in documents:
+        want = baseline.disambiguate(document)
+        got = pruned.disambiguate(document)
+        assert _comparable(got) == _comparable(want)
+        # The stage ran — identity is not "the stage was skipped".
+        assert "prerank" in got.stats.phase_seconds
+        assert got.stats.counters["prerank_pruned"] == 0
+
+
+@pytest.fixture(scope="module", params=WORLD_SEEDS)
+def seeded_world(request):
+    seed = request.param
+    world = World.generate(WorldConfig(seed=seed, clusters_per_domain=2))
+    kb, _wiki = build_world_kb(world, seed=seed + 94)
+    generator = DocumentGenerator(world, seed=seed + 55)
+    cluster_ids = sorted(world.clusters)
+    documents = [
+        generator.generate(
+            DocumentSpec(
+                doc_id=f"w{seed}-d{index}",
+                cluster_ids=[cluster_ids[index % len(cluster_ids)]],
+                num_mentions=MENTIONS_PER_DOC,
+            )
+        ).document
+        for index in range(DOCS_PER_WORLD)
+    ]
+    return kb, documents
+
+
+def test_world_huge_k_bit_identical(seeded_world):
+    kb, documents = seeded_world
+    _assert_identical(kb, documents)
+
+
+def test_golden_huge_k_bit_identical(kb):
+    documents = [item.document for item in load_corpus(GOLDEN_CORPUS)]
+    _assert_identical(kb, documents)
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def golden_annotated():
+    return load_corpus(GOLDEN_CORPUS)
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(kb, golden_annotated):
+    return run_disambiguator(
+        AidaDisambiguator(kb, config=AidaConfig.full()),
+        golden_annotated,
+        kb=kb,
+    )
+
+
+def _pruned_config() -> AidaConfig:
+    config = AidaConfig.full()
+    config.prerank_topk = HUGE_K
+    return config
+
+
+def _assert_run_identical(serial_baseline, run):
+    assert not run.failures
+    for want, got in zip(serial_baseline.results, run.results):
+        assert want.doc_id == got.doc_id
+        assert _comparable(want) == _comparable(got)
+    assert run.micro == serial_baseline.micro
+    assert run.macro == serial_baseline.macro
+
+
+def test_serial_executor_identical(kb, golden_annotated, serial_baseline):
+    run = run_disambiguator(
+        AidaDisambiguator(
+            kb,
+            config=_pruned_config(),
+            embedding_model=shared_model(kb, FAST),
+        ),
+        golden_annotated,
+        kb=kb,
+    )
+    _assert_run_identical(serial_baseline, run)
+
+
+def test_thread_executor_identical(kb, golden_annotated, serial_baseline):
+    run = run_disambiguator(
+        AidaDisambiguator(
+            kb,
+            config=_pruned_config(),
+            embedding_model=shared_model(kb, FAST),
+        ),
+        golden_annotated,
+        kb=kb,
+        workers=4,
+    )
+    _assert_run_identical(serial_baseline, run)
+
+
+def _pruned_session_pipeline():
+    """Module-level factory: picklable for the process-pool executor.
+
+    Rebuilds the conftest world/KB (same seeds) and trains the embedding
+    model inside each worker process — determinism must come from the
+    seeds alone.
+    """
+    world = World.generate(WorldConfig(seed=7, clusters_per_domain=4))
+    kb, _wiki = build_world_kb(world, seed=101)
+    return AidaDisambiguator(
+        kb,
+        config=_pruned_config(),
+        embedding_model=shared_model(kb, FAST),
+    )
+
+
+def test_process_executor_identical(kb, golden_annotated, serial_baseline):
+    runner = BatchRunner(
+        pipeline_factory=_pruned_session_pipeline,
+        config=BatchConfig(workers=2, executor="process"),
+    )
+    run = run_disambiguator(
+        None, golden_annotated, kb=kb, batch=runner
+    )
+    _assert_run_identical(serial_baseline, run)
+
+
+# ----------------------------------------------------------------------
+# Snapshot-served
+# ----------------------------------------------------------------------
+def test_snapshot_huge_k_bit_identical(
+    kb, golden_annotated, serial_baseline, tmp_path
+):
+    from repro.embeddings import train_embeddings
+    from repro.kb.snapshot import build_snapshot, load_snapshot
+
+    path = str(tmp_path / "prerank.snap")
+    build_snapshot(kb, path, embeddings=train_embeddings(kb, FAST))
+    snapshot = load_snapshot(path)
+    try:
+        pipeline = snapshot.pipeline(_pruned_config())
+        assert pipeline.embeddings is snapshot.embeddings
+        run = run_disambiguator(pipeline, golden_annotated, kb=kb)
+        _assert_run_identical(serial_baseline, run)
+    finally:
+        snapshot.close()
